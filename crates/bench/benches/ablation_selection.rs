@@ -1,0 +1,61 @@
+//! A1 — selection-strategy cost plus the Steiner-tree construction that
+//! the flexible scheduler runs per decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsched_compute::ModelProfile;
+use flexsched_sched::SelectionStrategy;
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{algo, builders};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_selection(c: &mut Criterion) {
+    let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+    let state = NetworkState::new(Arc::clone(&topo));
+    let servers = topo.servers();
+    let mut utility = std::collections::BTreeMap::new();
+    for (i, s) in servers[1..16].iter().enumerate() {
+        utility.insert(*s, 0.05 + (i as f64) * 0.06);
+    }
+    let task = AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..16].to_vec(),
+        data_utility: utility,
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    };
+
+    let mut g = c.benchmark_group("selection_strategies");
+    let strategies: [(&str, SelectionStrategy); 4] = [
+        ("all", SelectionStrategy::All),
+        ("topk", SelectionStrategy::TopKUtility(0.5)),
+        ("random", SelectionStrategy::RandomK(0.5, 1)),
+        ("bandwidth-aware", SelectionStrategy::BandwidthAware(0.5)),
+    ];
+    for (name, s) in strategies {
+        g.bench_function(BenchmarkId::new("select", name), |b| {
+            b.iter(|| black_box(s.select(&task, &state)))
+        });
+    }
+    g.bench_function("steiner_tree_15_terminals", |b| {
+        b.iter(|| {
+            black_box(
+                algo::steiner_tree(
+                    &topo,
+                    task.global_site,
+                    &task.local_sites,
+                    algo::latency_weight,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! A3 — transport model cost: per-transfer completion-time computation for
+//! TCP vs RDMA vs ideal, in-metro and long-haul (the poster's open
+//! challenge #2 regimes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsched_simnet::transfer::TransferSpec;
+use flexsched_simnet::{transfer_time_ns, NetworkState, Transport};
+use flexsched_topo::{algo, builders, NodeId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer_models");
+    for (label, km) in [("metro", 10.0), ("longhaul", 2_000.0)] {
+        let topo = Arc::new(builders::linear(3, km, 100.0));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let path = algo::shortest_path(&topo, NodeId(0), NodeId(2), algo::hop_weight).unwrap();
+        for t in [Transport::tcp(), Transport::rdma(), Transport::ideal()] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}-{}", t.name), km as u64),
+                &t,
+                |b, t| {
+                    b.iter(|| {
+                        black_box(
+                            transfer_time_ns(
+                                &state,
+                                &TransferSpec {
+                                    path: &path,
+                                    size_bytes: black_box(16 << 20),
+                                    reserved_gbps: 50.0,
+                                    transport: t,
+                                },
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfers);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1/E2 — the Figure-3 scenario as a benchmark: end-to-end testbed runs
+//! for both schedulers at the sweep's end points. The measured quantity is
+//! wall-clock cost of regenerating one sweep point; the *data* the figure
+//! plots comes from the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsched_bench::{fig3_point, Policy};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_scenario");
+    g.sample_size(10);
+    for policy in [Policy::Fixed, Policy::Flexible] {
+        for n in [3usize, 15] {
+            g.bench_with_input(
+                BenchmarkId::new(policy.label(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let s = fig3_point(black_box(policy), n, 10, 2024);
+                        black_box(s.mean_iteration_ms)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! A5 — computational cost of one scheduling decision vs local-model count.
+//!
+//! The flexible scheduler runs two Steiner-tree constructions per task;
+//! this bench quantifies the control-plane cost it pays over SPFF's
+//! k-shortest-path probing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsched_compute::ModelProfile;
+use flexsched_sched::{FixedSpff, FlexibleMst, SchedContext, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::builders;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn make_task(topo: &flexsched_topo::Topology, n: usize) -> AiTask {
+    let servers = topo.servers();
+    AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..=n].to_vec(),
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    }
+}
+
+fn bench_schedule_cost(c: &mut Criterion) {
+    let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+    let state = NetworkState::new(Arc::clone(&topo));
+    let mut g = c.benchmark_group("schedule_compute_cost");
+    for n in [3usize, 9, 15] {
+        let task = make_task(&topo, n);
+        g.bench_with_input(BenchmarkId::new("fixed-spff", n), &task, |b, task| {
+            let ctx = SchedContext::new(&state);
+            b.iter(|| black_box(FixedSpff.schedule(task, &task.local_sites, &ctx).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("flexible-mst", n), &task, |b, task| {
+            let ctx = SchedContext::new(&state);
+            b.iter(|| {
+                black_box(
+                    FlexibleMst::paper()
+                        .schedule(task, &task.local_sites, &ctx)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_cost);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Error type for the compute substrate.
+
+use crate::container::ContainerId;
+use flexsched_topo::NodeId;
+use std::fmt;
+
+/// Errors produced by placement and lifecycle operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeError {
+    /// No server can fit the requested resources.
+    NoCapacity {
+        /// GPU share requested (1.0 = one full GPU).
+        gpus: f64,
+        /// CPU cores requested.
+        cpu_cores: f64,
+        /// Memory requested, GiB.
+        mem_gib: f64,
+    },
+    /// The node is not registered as a server.
+    UnknownServer(NodeId),
+    /// The container id is not registered.
+    UnknownContainer(ContainerId),
+    /// Requested resources exceed what a specific server has free.
+    ServerFull(NodeId),
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::NoCapacity {
+                gpus,
+                cpu_cores,
+                mem_gib,
+            } => write!(
+                f,
+                "no server fits request (gpus={gpus}, cpu={cpu_cores}, mem={mem_gib}GiB)"
+            ),
+            ComputeError::UnknownServer(n) => write!(f, "unknown server {n}"),
+            ComputeError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            ComputeError::ServerFull(n) => write!(f, "server {n} lacks free resources"),
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ComputeError::UnknownServer(NodeId(1)).to_string().contains("n1"));
+        assert!(ComputeError::ServerFull(NodeId(2)).to_string().contains("n2"));
+        let e = ComputeError::NoCapacity {
+            gpus: 1.0,
+            cpu_cores: 4.0,
+            mem_gib: 16.0,
+        };
+        assert!(e.to_string().contains("gpus=1"));
+    }
+}

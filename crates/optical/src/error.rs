@@ -1,0 +1,91 @@
+//! Error type for the optical layer.
+
+use crate::lightpath::LightpathId;
+use crate::wavelength::WavelengthId;
+use flexsched_topo::LinkId;
+use std::fmt;
+
+/// Errors produced by optical-layer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpticalError {
+    /// No wavelength satisfies the continuity constraint along the path.
+    NoFreeWavelength,
+    /// The requested wavelength is already occupied on a link.
+    WavelengthBusy { link: LinkId, wavelength: WavelengthId },
+    /// The wavelength index exceeds the link's WDM grid.
+    WavelengthOutOfRange { link: LinkId, wavelength: WavelengthId },
+    /// Unknown lightpath id.
+    UnknownLightpath(LightpathId),
+    /// Lightpath has insufficient residual capacity for a grooming request.
+    InsufficientLightpathCapacity {
+        lightpath: LightpathId,
+        requested_gbps: f64,
+        available_gbps: f64,
+    },
+    /// Not enough free timeslots.
+    InsufficientTimeslots { requested: u16, available: u16 },
+    /// A timeslot allocation id was not found.
+    UnknownAllocation(u64),
+    /// A topology lookup failed.
+    Topo(flexsched_topo::TopoError),
+}
+
+impl fmt::Display for OpticalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpticalError::NoFreeWavelength => write!(f, "no wavelength free on every hop"),
+            OpticalError::WavelengthBusy { link, wavelength } => {
+                write!(f, "wavelength {wavelength} busy on {link}")
+            }
+            OpticalError::WavelengthOutOfRange { link, wavelength } => {
+                write!(f, "wavelength {wavelength} out of range on {link}")
+            }
+            OpticalError::UnknownLightpath(id) => write!(f, "unknown lightpath {id}"),
+            OpticalError::InsufficientLightpathCapacity {
+                lightpath,
+                requested_gbps,
+                available_gbps,
+            } => write!(
+                f,
+                "lightpath {lightpath} cannot groom {requested_gbps} Gbps ({available_gbps} free)"
+            ),
+            OpticalError::InsufficientTimeslots {
+                requested,
+                available,
+            } => write!(f, "need {requested} timeslots, {available} free"),
+            OpticalError::UnknownAllocation(id) => write!(f, "unknown slot allocation {id}"),
+            OpticalError::Topo(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpticalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpticalError::Topo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexsched_topo::TopoError> for OpticalError {
+    fn from(e: flexsched_topo::TopoError) -> Self {
+        OpticalError::Topo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_fields() {
+        let e = OpticalError::WavelengthBusy {
+            link: LinkId(2),
+            wavelength: WavelengthId(5),
+        };
+        assert!(e.to_string().contains("l2"));
+        assert!(e.to_string().contains('5'));
+        assert!(OpticalError::NoFreeWavelength.to_string().contains("wavelength"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # flexsched-optical — the optical layer substrate
+//!
+//! Models the ROADM/WDM part of the paper's testbed: wavelength-granular
+//! switching with the continuity constraint, routing-and-wavelength
+//! assignment (RWA) with pluggable policies (the *first fit* of the SPFF
+//! baseline lives here), traffic grooming of sub-wavelength demands onto
+//! established lightpaths, optical-time-slice (OTS) sub-wavelength
+//! timeslots and their collaboration with optical-circuit switching (OCS)
+//! — open challenge #3 of the poster — plus a soft-failure model that
+//! degrades individual wavelengths.
+//!
+//! Layering contract: [`OpticalState`] tracks which wavelength of which
+//! fiber is held by which lightpath. IP-layer bandwidth accounting stays in
+//! `flexsched-simnet`; the schedulers keep both views consistent.
+
+pub mod error;
+pub mod groom;
+pub mod lightpath;
+pub mod rwa;
+pub mod softfail;
+pub mod spineleaf;
+pub mod timeslot;
+pub mod wavelength;
+
+pub use error::OpticalError;
+pub use groom::GroomingManager;
+pub use lightpath::{Lightpath, LightpathId};
+pub use rwa::{split_at_electrical, OpticalState, WavelengthPolicy};
+pub use timeslot::{SlotAllocation, TimeslotTable};
+pub use wavelength::WavelengthId;
+
+/// Convenience result alias for optical operations.
+pub type Result<T> = std::result::Result<T, OpticalError>;

@@ -1,0 +1,112 @@
+//! Lightpaths: wavelength circuits established through ROADMs.
+
+use crate::wavelength::WavelengthId;
+use flexsched_topo::{NodeId, Path};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an established lightpath.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LightpathId(pub u64);
+
+impl fmt::Display for LightpathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp{}", self.0)
+    }
+}
+
+/// An established wavelength circuit.
+///
+/// A lightpath occupies `wavelength` on every link of `path` (wavelength
+/// continuity; conversion-capable establishments are represented as several
+/// concatenated lightpaths). IP traffic is groomed onto it up to
+/// `capacity_gbps`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lightpath {
+    /// Identifier assigned by [`crate::OpticalState`].
+    pub id: LightpathId,
+    /// Physical route.
+    pub path: Path,
+    /// Wavelength used on every hop.
+    pub wavelength: WavelengthId,
+    /// Channel capacity (bottleneck per-wavelength rate along the route).
+    pub capacity_gbps: f64,
+    /// Bandwidth already groomed onto this lightpath.
+    pub groomed_gbps: f64,
+}
+
+impl Lightpath {
+    /// Ingress node.
+    pub fn source(&self) -> NodeId {
+        self.path.source()
+    }
+
+    /// Egress node.
+    pub fn destination(&self) -> NodeId {
+        self.path.destination()
+    }
+
+    /// Residual groomable capacity.
+    pub fn residual_gbps(&self) -> f64 {
+        (self.capacity_gbps - self.groomed_gbps).max(0.0)
+    }
+
+    /// Whether the lightpath carries no groomed traffic.
+    pub fn is_idle(&self) -> bool {
+        self.groomed_gbps <= 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::LinkId;
+
+    fn lp() -> Lightpath {
+        Lightpath {
+            id: LightpathId(1),
+            path: Path::new(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![LinkId(0), LinkId(1)],
+            )
+            .unwrap(),
+            wavelength: WavelengthId(2),
+            capacity_gbps: 100.0,
+            groomed_gbps: 30.0,
+        }
+    }
+
+    #[test]
+    fn endpoints_come_from_path() {
+        let l = lp();
+        assert_eq!(l.source(), NodeId(0));
+        assert_eq!(l.destination(), NodeId(2));
+    }
+
+    #[test]
+    fn residual_is_capacity_minus_groomed() {
+        assert!((lp().residual_gbps() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut l = lp();
+        assert!(!l.is_idle());
+        l.groomed_gbps = 0.0;
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn residual_never_negative() {
+        let mut l = lp();
+        l.groomed_gbps = 150.0;
+        assert_eq!(l.residual_gbps(), 0.0);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(LightpathId(7).to_string(), "lp7");
+    }
+}

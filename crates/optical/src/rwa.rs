@@ -1,0 +1,513 @@
+//! Routing and wavelength assignment (RWA) state.
+//!
+//! [`OpticalState`] tracks, for every fiber and wavelength, which lightpath
+//! holds it. Establishing a lightpath enforces the *wavelength continuity
+//! constraint*: the same wavelength index must be free on every hop of the
+//! optical segment. Electrical nodes (IP routers, servers) regenerate the
+//! signal, so paths crossing them are split into independently-assigned
+//! segments — which is also how wavelength conversion happens in the
+//! testbed (OEO at the routers).
+//!
+//! The *first fit* in the paper's SPFF baseline is [`WavelengthPolicy::FirstFit`].
+
+use crate::error::OpticalError;
+use crate::lightpath::{Lightpath, LightpathId};
+use crate::wavelength::WavelengthId;
+use crate::Result;
+use flexsched_topo::{LinkId, NodeId, Path, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Wavelength selection policy among the free, continuity-satisfying set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WavelengthPolicy {
+    /// Lowest free index — the classic first-fit of SPFF.
+    FirstFit,
+    /// Highest free index.
+    LastFit,
+    /// The free wavelength most used elsewhere in the network (packs
+    /// wavelengths, leaving whole indices free for long paths).
+    MostUsed,
+    /// The free wavelength least used elsewhere (spreads load).
+    LeastUsed,
+}
+
+/// Wavelength occupancy and lightpath registry.
+#[derive(Debug, Clone)]
+pub struct OpticalState {
+    topo: Arc<Topology>,
+    /// `occupancy[link][w]` = holder of wavelength `w` on that fiber.
+    occupancy: Vec<Vec<Option<LightpathId>>>,
+    /// `impaired[link][w]` = wavelength degraded by a soft failure.
+    impaired: Vec<Vec<bool>>,
+    lightpaths: BTreeMap<LightpathId, Lightpath>,
+    next_id: u64,
+}
+
+impl OpticalState {
+    /// Fresh state over a topology: everything free, nothing impaired.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        let occupancy = topo
+            .links()
+            .iter()
+            .map(|l| vec![None; l.wavelengths.max(1) as usize])
+            .collect();
+        let impaired = topo
+            .links()
+            .iter()
+            .map(|l| vec![false; l.wavelengths.max(1) as usize])
+            .collect();
+        OpticalState {
+            topo,
+            occupancy,
+            impaired,
+            lightpaths: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Whether `w` is free (unoccupied and unimpaired) on `link`.
+    pub fn is_free(&self, link: LinkId, w: WavelengthId) -> Result<bool> {
+        let slots = self
+            .occupancy
+            .get(link.index())
+            .ok_or(flexsched_topo::TopoError::UnknownLink(link))?;
+        if w.index() >= slots.len() {
+            return Err(OpticalError::WavelengthOutOfRange {
+                link,
+                wavelength: w,
+            });
+        }
+        Ok(slots[w.index()].is_none() && !self.impaired[link.index()][w.index()])
+    }
+
+    /// Wavelengths free on *every* hop of `path` (continuity intersection),
+    /// ascending. Bounded by the smallest grid among the path's links.
+    pub fn free_wavelengths_on_path(&self, path: &Path) -> Result<Vec<WavelengthId>> {
+        if path.links.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut grid = u16::MAX;
+        for l in &path.links {
+            grid = grid.min(self.topo.link(*l)?.wavelengths.max(1));
+        }
+        let mut free = Vec::new();
+        'w: for w in 0..grid {
+            let wid = WavelengthId(w);
+            for l in &path.links {
+                if !self.is_free(*l, wid)? {
+                    continue 'w;
+                }
+            }
+            free.push(wid);
+        }
+        Ok(free)
+    }
+
+    /// Times wavelength `w` is occupied across the network.
+    pub fn usage_count(&self, w: WavelengthId) -> usize {
+        self.occupancy
+            .iter()
+            .filter(|slots| slots.get(w.index()).is_some_and(|s| s.is_some()))
+            .count()
+    }
+
+    /// Pick a wavelength for `path` under `policy`.
+    ///
+    /// # Errors
+    /// [`OpticalError::NoFreeWavelength`] if the continuity set is empty.
+    pub fn choose_wavelength(
+        &self,
+        path: &Path,
+        policy: WavelengthPolicy,
+    ) -> Result<WavelengthId> {
+        let free = self.free_wavelengths_on_path(path)?;
+        let chosen = match policy {
+            WavelengthPolicy::FirstFit => free.first().copied(),
+            WavelengthPolicy::LastFit => free.last().copied(),
+            WavelengthPolicy::MostUsed => free
+                .iter()
+                .max_by_key(|w| (self.usage_count(**w), std::cmp::Reverse(w.0)))
+                .copied(),
+            WavelengthPolicy::LeastUsed => free
+                .iter()
+                .min_by_key(|w| (self.usage_count(**w), w.0))
+                .copied(),
+        };
+        chosen.ok_or(OpticalError::NoFreeWavelength)
+    }
+
+    /// Establish a lightpath on `path` with an explicit wavelength.
+    pub fn establish_on(&mut self, path: Path, w: WavelengthId) -> Result<LightpathId> {
+        // Validate first so we never partially mark occupancy.
+        for l in &path.links {
+            if !self.is_free(*l, w)? {
+                return Err(OpticalError::WavelengthBusy {
+                    link: *l,
+                    wavelength: w,
+                });
+            }
+        }
+        let id = LightpathId(self.next_id);
+        self.next_id += 1;
+        let mut capacity = f64::INFINITY;
+        for l in &path.links {
+            self.occupancy[l.index()][w.index()] = Some(id);
+            capacity = capacity.min(self.topo.link(*l)?.channel_gbps());
+        }
+        if !capacity.is_finite() {
+            capacity = 0.0;
+        }
+        self.lightpaths.insert(
+            id,
+            Lightpath {
+                id,
+                path,
+                wavelength: w,
+                capacity_gbps: capacity,
+                groomed_gbps: 0.0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Establish a lightpath on `path` choosing the wavelength by `policy`.
+    pub fn establish(&mut self, path: Path, policy: WavelengthPolicy) -> Result<LightpathId> {
+        let w = self.choose_wavelength(&path, policy)?;
+        self.establish_on(path, w)
+    }
+
+    /// Establish lightpaths along a possibly electro-optical route, splitting
+    /// at every electrical node (router/server) where the signal regenerates.
+    /// Returns the per-segment lightpath ids, in path order. All-or-nothing.
+    pub fn establish_route(
+        &mut self,
+        path: &Path,
+        policy: WavelengthPolicy,
+    ) -> Result<Vec<LightpathId>> {
+        let segments = split_at_electrical(&self.topo, path)?;
+        let mut ids = Vec::with_capacity(segments.len());
+        for seg in segments {
+            match self.establish(seg, policy) {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    for id in ids {
+                        let _ = self.teardown(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Tear a lightpath down, freeing its wavelength on every hop.
+    pub fn teardown(&mut self, id: LightpathId) -> Result<Lightpath> {
+        let lp = self
+            .lightpaths
+            .remove(&id)
+            .ok_or(OpticalError::UnknownLightpath(id))?;
+        for l in &lp.path.links {
+            self.occupancy[l.index()][lp.wavelength.index()] = None;
+        }
+        Ok(lp)
+    }
+
+    /// Access an established lightpath.
+    pub fn lightpath(&self, id: LightpathId) -> Result<&Lightpath> {
+        self.lightpaths
+            .get(&id)
+            .ok_or(OpticalError::UnknownLightpath(id))
+    }
+
+    /// All established lightpaths, in id order.
+    pub fn lightpaths(&self) -> impl Iterator<Item = &Lightpath> {
+        self.lightpaths.values()
+    }
+
+    /// Number of established lightpaths.
+    pub fn lightpath_count(&self) -> usize {
+        self.lightpaths.len()
+    }
+
+    /// Add groomed bandwidth to a lightpath (used by the grooming manager).
+    pub fn add_groomed(&mut self, id: LightpathId, gbps: f64) -> Result<()> {
+        let lp = self
+            .lightpaths
+            .get_mut(&id)
+            .ok_or(OpticalError::UnknownLightpath(id))?;
+        if gbps > lp.residual_gbps() + 1e-9 {
+            return Err(OpticalError::InsufficientLightpathCapacity {
+                lightpath: id,
+                requested_gbps: gbps,
+                available_gbps: lp.residual_gbps(),
+            });
+        }
+        lp.groomed_gbps += gbps;
+        Ok(())
+    }
+
+    /// Remove groomed bandwidth from a lightpath.
+    pub fn remove_groomed(&mut self, id: LightpathId, gbps: f64) -> Result<()> {
+        let lp = self
+            .lightpaths
+            .get_mut(&id)
+            .ok_or(OpticalError::UnknownLightpath(id))?;
+        lp.groomed_gbps = (lp.groomed_gbps - gbps).max(0.0);
+        Ok(())
+    }
+
+    /// Mark a wavelength on a link impaired (soft failure) or restored.
+    /// Existing lightpaths keep their assignment; new ones avoid it.
+    pub fn set_impaired(&mut self, link: LinkId, w: WavelengthId, impaired: bool) -> Result<()> {
+        let slots = self
+            .impaired
+            .get_mut(link.index())
+            .ok_or(flexsched_topo::TopoError::UnknownLink(link))?;
+        if w.index() >= slots.len() {
+            return Err(OpticalError::WavelengthOutOfRange {
+                link,
+                wavelength: w,
+            });
+        }
+        slots[w.index()] = impaired;
+        Ok(())
+    }
+
+    /// Fraction of (link, wavelength) slots currently occupied.
+    pub fn wavelength_utilization(&self) -> f64 {
+        let total: usize = self.occupancy.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let used: usize = self
+            .occupancy
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|s| s.is_some())
+            .count();
+        used as f64 / total as f64
+    }
+}
+
+/// Split `path` into maximal optical segments: cuts at every interior node
+/// that is electrical (router or server), where OEO regeneration occurs.
+pub fn split_at_electrical(topo: &Topology, path: &Path) -> Result<Vec<Path>> {
+    if path.links.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut segments = Vec::new();
+    let mut seg_nodes: Vec<NodeId> = vec![path.nodes[0]];
+    let mut seg_links: Vec<LinkId> = Vec::new();
+    for (i, l) in path.links.iter().enumerate() {
+        let next = path.nodes[i + 1];
+        seg_nodes.push(next);
+        seg_links.push(*l);
+        let is_last = i + 1 == path.links.len();
+        let cuts = is_last || !topo.node(next)?.kind.is_optical();
+        if cuts {
+            segments.push(
+                Path::new(std::mem::take(&mut seg_nodes), std::mem::take(&mut seg_links))
+                    .expect("segment alternation is maintained"),
+            );
+            seg_nodes = vec![next];
+        }
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::{builders, NodeKind};
+
+    fn wdm_line() -> (Arc<Topology>, Path) {
+        // Three ROADMs in a line with 4-wavelength fibers.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Roadm, "a");
+        let b = t.add_node(NodeKind::Roadm, "b");
+        let c = t.add_node(NodeKind::Roadm, "c");
+        t.add_wdm_link(a, b, 10.0, 400.0, 4).unwrap();
+        t.add_wdm_link(b, c, 10.0, 400.0, 4).unwrap();
+        let t = Arc::new(t);
+        let p = flexsched_topo::algo::shortest_path(&t, a, c, flexsched_topo::algo::hop_weight)
+            .unwrap();
+        (t, p)
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_index() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        let id = s.establish(p.clone(), WavelengthPolicy::FirstFit).unwrap();
+        assert_eq!(s.lightpath(id).unwrap().wavelength, WavelengthId(0));
+        let id2 = s.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        assert_eq!(s.lightpath(id2).unwrap().wavelength, WavelengthId(1));
+    }
+
+    #[test]
+    fn last_fit_picks_highest_index() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        let id = s.establish(p, WavelengthPolicy::LastFit).unwrap();
+        assert_eq!(s.lightpath(id).unwrap().wavelength, WavelengthId(3));
+    }
+
+    #[test]
+    fn continuity_blocks_mismatched_hops() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(Arc::clone(&t));
+        // Occupy w0 on the first hop only via a one-hop lightpath.
+        let hop1 = Path::new(vec![p.nodes[0], p.nodes[1]], vec![p.links[0]]).unwrap();
+        s.establish_on(hop1, WavelengthId(0)).unwrap();
+        // w0 is free on hop 2 but not hop 1 -> continuity set starts at w1.
+        let free = s.free_wavelengths_on_path(&p).unwrap();
+        assert_eq!(free.first(), Some(&WavelengthId(1)));
+    }
+
+    #[test]
+    fn exhaustion_yields_no_free_wavelength() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        for _ in 0..4 {
+            s.establish(p.clone(), WavelengthPolicy::FirstFit).unwrap();
+        }
+        assert!(matches!(
+            s.establish(p, WavelengthPolicy::FirstFit),
+            Err(OpticalError::NoFreeWavelength)
+        ));
+    }
+
+    #[test]
+    fn teardown_frees_wavelength() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        let id = s.establish(p.clone(), WavelengthPolicy::FirstFit).unwrap();
+        assert_eq!(s.lightpath_count(), 1);
+        s.teardown(id).unwrap();
+        assert_eq!(s.lightpath_count(), 0);
+        assert!(s.is_free(p.links[0], WavelengthId(0)).unwrap());
+    }
+
+    #[test]
+    fn capacity_is_bottleneck_channel_rate() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        let id = s.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        assert!((s.lightpath(id).unwrap().capacity_gbps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grooming_respects_capacity() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        let id = s.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        s.add_groomed(id, 60.0).unwrap();
+        assert!(matches!(
+            s.add_groomed(id, 60.0),
+            Err(OpticalError::InsufficientLightpathCapacity { .. })
+        ));
+        s.remove_groomed(id, 60.0).unwrap();
+        s.add_groomed(id, 100.0).unwrap();
+    }
+
+    #[test]
+    fn impairment_blocks_new_assignments() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        s.set_impaired(p.links[0], WavelengthId(0), true).unwrap();
+        let id = s.establish(p.clone(), WavelengthPolicy::FirstFit).unwrap();
+        assert_eq!(s.lightpath(id).unwrap().wavelength, WavelengthId(1));
+        s.set_impaired(p.links[0], WavelengthId(0), false).unwrap();
+        let id2 = s.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        assert_eq!(s.lightpath(id2).unwrap().wavelength, WavelengthId(0));
+    }
+
+    #[test]
+    fn most_used_packs_least_used_spreads() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(Arc::clone(&t));
+        // Occupy w1 on an unrelated one-hop path to give it usage.
+        let hop2 = Path::new(vec![p.nodes[1], p.nodes[2]], vec![p.links[1]]).unwrap();
+        s.establish_on(hop2, WavelengthId(1)).unwrap();
+        let hop1 = Path::new(vec![p.nodes[0], p.nodes[1]], vec![p.links[0]]).unwrap();
+        let packed = s.choose_wavelength(&hop1, WavelengthPolicy::MostUsed).unwrap();
+        assert_eq!(packed, WavelengthId(1));
+        let spread = s.choose_wavelength(&hop1, WavelengthPolicy::LeastUsed).unwrap();
+        assert_eq!(spread, WavelengthId(0));
+    }
+
+    #[test]
+    fn split_at_electrical_cuts_at_routers() {
+        // server - router - roadm - roadm - router - server
+        let mut t = Topology::new();
+        let s0 = t.add_node(NodeKind::Server, "s0");
+        let r0 = t.add_node(NodeKind::IpRouter, "r0");
+        let o0 = t.add_node(NodeKind::Roadm, "o0");
+        let o1 = t.add_node(NodeKind::Roadm, "o1");
+        let r1 = t.add_node(NodeKind::IpRouter, "r1");
+        let s1 = t.add_node(NodeKind::Server, "s1");
+        t.add_link(s0, r0, 0.1, 100.0).unwrap();
+        t.add_link(r0, o0, 0.1, 100.0).unwrap();
+        t.add_wdm_link(o0, o1, 20.0, 400.0, 4).unwrap();
+        t.add_link(o1, r1, 0.1, 100.0).unwrap();
+        t.add_link(r1, s1, 0.1, 100.0).unwrap();
+        let t = Arc::new(t);
+        let p = flexsched_topo::algo::shortest_path(&t, s0, s1, flexsched_topo::algo::hop_weight)
+            .unwrap();
+        let segs = split_at_electrical(&t, &p).unwrap();
+        // Cuts at r0, r1 (electrical): s0-r0 | r0-o0-o1-r1 | r1-s1.
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].hop_count(), 1);
+        assert_eq!(segs[1].hop_count(), 3);
+        assert_eq!(segs[2].hop_count(), 1);
+        assert_eq!(segs[1].source(), r0);
+        assert_eq!(segs[1].destination(), r1);
+    }
+
+    #[test]
+    fn establish_route_rolls_back_on_failure() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(Arc::clone(&t));
+        // Exhaust the second hop so multi-segment establishment fails.
+        let hop2 = Path::new(vec![p.nodes[1], p.nodes[2]], vec![p.links[1]]).unwrap();
+        for _ in 0..4 {
+            s.establish(hop2.clone(), WavelengthPolicy::FirstFit).unwrap();
+        }
+        let before = s.lightpath_count();
+        // A route over both hops has no continuity wavelength (hop2 full).
+        assert!(s.establish_route(&p, WavelengthPolicy::FirstFit).is_err());
+        assert_eq!(s.lightpath_count(), before, "rollback must tear down partials");
+    }
+
+    #[test]
+    fn utilization_tracks_establishments() {
+        let (t, p) = wdm_line();
+        let mut s = OpticalState::new(t);
+        assert_eq!(s.wavelength_utilization(), 0.0);
+        s.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        // 2 of 8 slots in use.
+        assert!((s.wavelength_utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metro_builder_paths_can_be_established() {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let servers = topo.servers();
+        let p = flexsched_topo::algo::shortest_path(
+            &topo,
+            servers[0],
+            servers[servers.len() - 1],
+            flexsched_topo::algo::latency_weight,
+        )
+        .unwrap();
+        let mut s = OpticalState::new(Arc::clone(&topo));
+        let ids = s.establish_route(&p, WavelengthPolicy::FirstFit).unwrap();
+        assert!(!ids.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the optical layer.
+
+use flexsched_optical::{
+    GroomingManager, OpticalState, TimeslotTable, WavelengthPolicy,
+};
+use flexsched_topo::{algo, builders, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn policy_from(i: u8) -> WavelengthPolicy {
+    match i % 4 {
+        0 => WavelengthPolicy::FirstFit,
+        1 => WavelengthPolicy::LastFit,
+        2 => WavelengthPolicy::MostUsed,
+        _ => WavelengthPolicy::LeastUsed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No (link, wavelength) slot is ever held by two lightpaths, across any
+    /// interleaving of establishments and teardowns under any policy.
+    #[test]
+    fn rwa_never_double_books(
+        ops in proptest::collection::vec((0u8..2, 0u8..4, 0usize..100), 1..60)
+    ) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        let mut live: Vec<flexsched_optical::LightpathId> = Vec::new();
+
+        for (op, pol, pick) in ops {
+            if op == 0 || live.is_empty() {
+                let a = servers[pick % servers.len()];
+                let b = servers[(pick / 7 + 1) % servers.len()];
+                if a == b { continue; }
+                let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+                if let Ok(ids) = state.establish_route(&path, policy_from(pol)) {
+                    live.extend(ids);
+                }
+            } else {
+                let id = live.swap_remove(pick % live.len());
+                state.teardown(id).unwrap();
+            }
+
+            // Invariant: every lightpath's wavelength slot maps back to it,
+            // and no two lightpaths claim the same slot.
+            let mut seen: BTreeMap<(u32, u16), u64> = BTreeMap::new();
+            for lp in state.lightpaths() {
+                for l in &lp.path.links {
+                    let key = (l.0, lp.wavelength.0);
+                    prop_assert!(
+                        seen.insert(key, lp.id.0).is_none(),
+                        "slot {key:?} double-booked"
+                    );
+                    prop_assert!(!state.is_free(*l, lp.wavelength).unwrap());
+                }
+            }
+        }
+    }
+
+    /// Grooming then releasing every demand leaves zero lightpaths, and
+    /// groomed bandwidth never exceeds lightpath capacity meanwhile.
+    #[test]
+    fn grooming_conserves_and_caps(
+        demands in proptest::collection::vec((0usize..100, 1.0f64..40.0), 1..20)
+    ) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        let mut mgr = GroomingManager::new();
+        let mut ids = Vec::new();
+        for (pick, gbps) in demands {
+            let a = servers[pick % servers.len()];
+            let b = servers[(pick + 1) % servers.len()];
+            if a == b { continue; }
+            let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+            if let Ok(id) = mgr.groom(&mut state, &path, gbps, WavelengthPolicy::FirstFit) {
+                ids.push(id);
+            }
+            for lp in state.lightpaths() {
+                prop_assert!(lp.groomed_gbps <= lp.capacity_gbps + 1e-6,
+                    "lightpath over-groomed: {} > {}", lp.groomed_gbps, lp.capacity_gbps);
+            }
+        }
+        for id in ids {
+            mgr.release(&mut state, id).unwrap();
+        }
+        prop_assert_eq!(state.lightpath_count(), 0);
+    }
+
+    /// Timeslot allocations are pairwise disjoint and free+held = frame.
+    #[test]
+    fn timeslots_partition_the_frame(
+        frame in 1u16..32,
+        asks in proptest::collection::vec(1u16..8, 1..20),
+    ) {
+        let mut table = TimeslotTable::new(frame);
+        let lp = flexsched_optical::LightpathId(0);
+        table.register(lp);
+        let mut allocs = Vec::new();
+        let mut held = 0u16;
+        for ask in asks {
+            match table.allocate(lp, ask) {
+                Ok(a) => {
+                    prop_assert_eq!(a.slots.len(), ask as usize);
+                    held += ask;
+                    allocs.push(a);
+                }
+                Err(_) => {
+                    prop_assert!(held + ask > frame, "refused although space existed");
+                }
+            }
+            prop_assert_eq!(table.free_slots(lp), frame - held);
+        }
+        // Disjointness.
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &allocs {
+            for s in &a.slots {
+                prop_assert!(seen.insert(*s), "slot {s} double-allocated");
+            }
+        }
+        // Release everything; frame is whole again.
+        for a in allocs {
+            table.release(a.id).unwrap();
+        }
+        prop_assert_eq!(table.free_slots(lp), frame);
+    }
+
+    /// establish/teardown round trip leaves wavelength utilization at zero.
+    #[test]
+    fn establish_teardown_round_trip(seed in 0u64..500) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        let a = servers[(seed as usize) % servers.len()];
+        let b = servers[(seed as usize + 3) % servers.len()];
+        prop_assume!(a != b);
+        let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+        let ids = state.establish_route(&path, WavelengthPolicy::FirstFit).unwrap();
+        prop_assert!(state.wavelength_utilization() > 0.0);
+        for id in ids {
+            state.teardown(id).unwrap();
+        }
+        prop_assert_eq!(state.wavelength_utilization(), 0.0);
+        prop_assert_eq!(state.lightpath_count(), 0);
+    }
+}
+
+#[test]
+fn sanity_establish_route_on_spine_leaf() {
+    let topo = Arc::new(builders::spine_leaf(2, 4, 2, true, 400.0));
+    let servers = topo.servers();
+    let mut state = OpticalState::new(Arc::clone(&topo));
+    let path = algo::shortest_path(&topo, servers[0], servers[7], algo::hop_weight).unwrap();
+    let ids = state.establish_route(&path, WavelengthPolicy::FirstFit).unwrap();
+    assert!(!ids.is_empty());
+}

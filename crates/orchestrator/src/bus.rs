@@ -1,0 +1,209 @@
+//! The control bus: a controller thread fed by crossbeam channels.
+//!
+//! Demonstrates the Figure-2 deployment shape: data-plane agents and
+//! managers send [`ControlMessage`]s (encoded with the binary codec) to a
+//! logically-centralised controller thread that owns the database and
+//! answers queries. In the discrete-event testbed everything runs inline
+//! for determinism; the bus exists for the threaded/daemon mode and its
+//! integration tests.
+
+use crate::database::Database;
+use crate::messages::ControlMessage;
+use crate::Result;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use flexsched_simnet::DirLink;
+use std::thread::JoinHandle;
+
+/// A request to the controller: an encoded message and a reply channel.
+struct Request {
+    frame: Bytes,
+    reply: Sender<Result<()>>,
+}
+
+/// Handle to a running controller thread.
+pub struct ControllerHandle {
+    tx: Sender<Request>,
+    join: Option<JoinHandle<u64>>,
+}
+
+impl ControllerHandle {
+    /// Spawn the controller thread over a shared database.
+    pub fn spawn(db: Database) -> Self {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(256);
+        let join = std::thread::Builder::new()
+            .name("flexsched-controller".into())
+            .spawn(move || {
+                let mut processed = 0u64;
+                while let Ok(req) = rx.recv() {
+                    let mut frame = req.frame;
+                    let outcome = ControlMessage::decode(&mut frame)
+                        .and_then(|msg| apply(&db, msg));
+                    processed += 1;
+                    let _ = req.reply.send(outcome);
+                }
+                processed
+            })
+            .expect("spawning controller thread");
+        ControllerHandle {
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// Send one message and wait for the controller's acknowledgement.
+    pub fn send(&self, msg: &ControlMessage) -> Result<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Request {
+                frame: msg.encode(),
+                reply: reply_tx,
+            })
+            .map_err(|_| crate::OrchError::ControllerDown)?;
+        reply_rx
+            .recv()
+            .map_err(|_| crate::OrchError::ControllerDown)?
+    }
+
+    /// Stop the controller, returning how many messages it processed.
+    pub fn shutdown(mut self) -> u64 {
+        drop(self.tx.clone());
+        // Dropping the last sender ends the loop; take() then join.
+        let join = self.join.take().expect("controller not yet joined");
+        drop(self); // drops tx
+        join.join().unwrap_or(0)
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        // Senders dropping ends the thread; detach if not joined.
+        if let Some(join) = self.join.take() {
+            drop(std::mem::replace(&mut self.tx, bounded(1).0));
+            let _ = join.join();
+        }
+    }
+}
+
+/// Apply one decoded message to the database.
+fn apply(db: &Database, msg: ControlMessage) -> Result<()> {
+    match msg {
+        ControlMessage::LinkStateReport {
+            link,
+            dir,
+            background_gbps,
+            down,
+            ..
+        } => {
+            db.write(|net, _, _| -> Result<()> {
+                let dl = DirLink::new(link, dir);
+                // Reconcile background level: set to the reported value.
+                let current = net.usage(dl)?.background_gbps;
+                net.add_background(dl, background_gbps - current)?;
+                net.set_down(link, down)?;
+                Ok(())
+            })
+        }
+        ControlMessage::InstallRules(rules) => db.write(|net, _, _| -> Result<()> {
+            for r in &rules {
+                net.reserve(DirLink::new(r.link, r.dir), r.rate_gbps)?;
+            }
+            Ok(())
+        }),
+        ControlMessage::RemoveTaskRules(_) | ControlMessage::TaskAdmitted(_) => Ok(()),
+        ControlMessage::TaskCompleted { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::{ClusterManager, ServerSpec};
+    use flexsched_optical::OpticalState;
+    use flexsched_simnet::NetworkState;
+    use flexsched_topo::{builders, Direction, LinkId};
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        Database::new(
+            NetworkState::new(Arc::clone(&topo)),
+            OpticalState::new(Arc::clone(&topo)),
+            ClusterManager::from_topology(&topo, ServerSpec::default()),
+        )
+    }
+
+    #[test]
+    fn link_state_reports_land_in_database() {
+        let db = db();
+        let ctl = ControllerHandle::spawn(db.clone());
+        ctl.send(&ControlMessage::LinkStateReport {
+            link: LinkId(0),
+            dir: Direction::AtoB,
+            reserved_gbps: 0.0,
+            background_gbps: 17.5,
+            down: false,
+        })
+        .unwrap();
+        let bg = db.read(|net, _, _| {
+            net.usage(DirLink::new(LinkId(0), Direction::AtoB))
+                .unwrap()
+                .background_gbps
+        });
+        assert!((bg - 17.5).abs() < 1e-9);
+        assert!(ctl.shutdown() >= 1);
+    }
+
+    #[test]
+    fn install_rules_reserve_bandwidth() {
+        let db = db();
+        let ctl = ControllerHandle::spawn(db.clone());
+        ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
+            task: flexsched_task::TaskId(1),
+            link: LinkId(2),
+            dir: Direction::BtoA,
+            rate_gbps: 11.0,
+        }]))
+        .unwrap();
+        assert!((db.total_reserved_gbps() - 11.0).abs() < 1e-9);
+        ctl.shutdown();
+    }
+
+    #[test]
+    fn concurrent_senders_are_serialised() {
+        let db = db();
+        let ctl = Arc::new(ControllerHandle::spawn(db.clone()));
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let ctl = Arc::clone(&ctl);
+            handles.push(std::thread::spawn(move || {
+                ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
+                    task: flexsched_task::TaskId(i),
+                    link: LinkId(0),
+                    dir: Direction::AtoB,
+                    rate_gbps: 1.0,
+                }]))
+                .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((db.total_reserved_gbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribing_rule_is_rejected_not_crashing() {
+        let db = db();
+        let ctl = ControllerHandle::spawn(db.clone());
+        let err = ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
+            task: flexsched_task::TaskId(0),
+            link: LinkId(0),
+            dir: Direction::AtoB,
+            rate_gbps: 1e9,
+        }]));
+        assert!(err.is_err());
+        assert_eq!(db.total_reserved_gbps(), 0.0);
+        ctl.shutdown();
+    }
+}

@@ -1,0 +1,270 @@
+//! The central database of Figure 2.
+//!
+//! Holds the orchestrator's view of everything: network conditions, optical
+//! state, compute occupancy, admitted tasks, their schedules and measured
+//! reports. Guarded by a `parking_lot::RwLock` and cheaply clonable, so the
+//! SDN controller, managers and the controller thread all share one store.
+
+use crate::Result;
+use flexsched_compute::ClusterManager;
+use flexsched_optical::OpticalState;
+use flexsched_sched::Schedule;
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId, TaskReport};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Lifecycle of an admitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Waiting for a feasible schedule.
+    Pending,
+    /// Scheduled and training.
+    Running,
+    /// All iterations done, resources released.
+    Completed,
+    /// Could not be scheduled within the scenario.
+    Blocked,
+}
+
+#[derive(Debug)]
+struct DbInner {
+    network: NetworkState,
+    optical: OpticalState,
+    cluster: ClusterManager,
+    tasks: BTreeMap<TaskId, (AiTask, TaskPhase)>,
+    schedules: BTreeMap<TaskId, Schedule>,
+    reports: Vec<TaskReport>,
+}
+
+/// Shared, thread-safe database handle.
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<RwLock<DbInner>>,
+}
+
+impl Database {
+    /// Create a database over fresh network/optical/cluster state.
+    pub fn new(network: NetworkState, optical: OpticalState, cluster: ClusterManager) -> Self {
+        Database {
+            inner: Arc::new(RwLock::new(DbInner {
+                network,
+                optical,
+                cluster,
+                tasks: BTreeMap::new(),
+                schedules: BTreeMap::new(),
+                reports: Vec::new(),
+            })),
+        }
+    }
+
+    /// Run `f` with read access to (network, optical, cluster).
+    pub fn read<R>(
+        &self,
+        f: impl FnOnce(&NetworkState, &OpticalState, &ClusterManager) -> R,
+    ) -> R {
+        let g = self.inner.read();
+        f(&g.network, &g.optical, &g.cluster)
+    }
+
+    /// Run `f` with write access to (network, optical, cluster).
+    pub fn write<R>(
+        &self,
+        f: impl FnOnce(&mut NetworkState, &mut OpticalState, &mut ClusterManager) -> R,
+    ) -> R {
+        let mut g = self.inner.write();
+        let DbInner {
+            network,
+            optical,
+            cluster,
+            ..
+        } = &mut *g;
+        f(network, optical, cluster)
+    }
+
+    /// Store a newly admitted task.
+    pub fn admit_task(&self, task: AiTask) {
+        self.inner
+            .write()
+            .tasks
+            .insert(task.id, (task, TaskPhase::Pending));
+    }
+
+    /// Update a task's phase.
+    pub fn set_phase(&self, id: TaskId, phase: TaskPhase) -> Result<()> {
+        let mut g = self.inner.write();
+        let entry = g
+            .tasks
+            .get_mut(&id)
+            .ok_or(crate::OrchError::UnknownTask(id))?;
+        entry.1 = phase;
+        Ok(())
+    }
+
+    /// Fetch a task and its phase.
+    pub fn task(&self, id: TaskId) -> Result<(AiTask, TaskPhase)> {
+        self.inner
+            .read()
+            .tasks
+            .get(&id)
+            .cloned()
+            .ok_or(crate::OrchError::UnknownTask(id))
+    }
+
+    /// Count tasks in the given phase.
+    pub fn count_phase(&self, phase: TaskPhase) -> usize {
+        self.inner
+            .read()
+            .tasks
+            .values()
+            .filter(|(_, p)| *p == phase)
+            .count()
+    }
+
+    /// Store (replace) a task's active schedule.
+    pub fn store_schedule(&self, schedule: Schedule) {
+        self.inner
+            .write()
+            .schedules
+            .insert(schedule.task, schedule);
+    }
+
+    /// Remove a task's schedule, returning it.
+    pub fn take_schedule(&self, id: TaskId) -> Option<Schedule> {
+        self.inner.write().schedules.remove(&id)
+    }
+
+    /// Clone a task's schedule.
+    pub fn schedule(&self, id: TaskId) -> Option<Schedule> {
+        self.inner.read().schedules.get(&id).cloned()
+    }
+
+    /// Number of active schedules.
+    pub fn schedule_count(&self) -> usize {
+        self.inner.read().schedules.len()
+    }
+
+    /// Append a measured report.
+    pub fn push_report(&self, report: TaskReport) {
+        self.inner.write().reports.push(report);
+    }
+
+    /// Snapshot all reports.
+    pub fn reports(&self) -> Vec<TaskReport> {
+        self.inner.read().reports.clone()
+    }
+
+    /// Current total reserved bandwidth (the live Figure-3b counter).
+    pub fn total_reserved_gbps(&self) -> f64 {
+        self.inner.read().network.total_reserved_gbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::{ModelProfile, ServerSpec};
+    use flexsched_topo::builders;
+
+    fn db() -> Database {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let network = NetworkState::new(Arc::clone(&topo));
+        let optical = OpticalState::new(Arc::clone(&topo));
+        let cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
+        Database::new(network, optical, cluster)
+    }
+
+    fn mk_task(id: u64) -> AiTask {
+        AiTask {
+            id: TaskId(id),
+            model: ModelProfile::lenet(),
+            global_site: flexsched_topo::NodeId(12),
+            local_sites: vec![flexsched_topo::NodeId(13)],
+            data_utility: Default::default(),
+            iterations: 1,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        }
+    }
+
+    #[test]
+    fn task_lifecycle() {
+        let db = db();
+        db.admit_task(mk_task(1));
+        assert_eq!(db.count_phase(TaskPhase::Pending), 1);
+        db.set_phase(TaskId(1), TaskPhase::Running).unwrap();
+        assert_eq!(db.count_phase(TaskPhase::Running), 1);
+        assert_eq!(db.count_phase(TaskPhase::Pending), 0);
+        let (t, p) = db.task(TaskId(1)).unwrap();
+        assert_eq!(t.id, TaskId(1));
+        assert_eq!(p, TaskPhase::Running);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let db = db();
+        assert!(db.task(TaskId(9)).is_err());
+        assert!(db.set_phase(TaskId(9), TaskPhase::Blocked).is_err());
+    }
+
+    #[test]
+    fn write_access_mutates_network() {
+        let db = db();
+        let before = db.total_reserved_gbps();
+        db.write(|net, _, _| {
+            net.reserve(
+                flexsched_simnet::DirLink::new(
+                    flexsched_topo::LinkId(0),
+                    flexsched_topo::Direction::AtoB,
+                ),
+                5.0,
+            )
+            .unwrap();
+        });
+        assert!(db.total_reserved_gbps() > before);
+    }
+
+    #[test]
+    fn reports_accumulate() {
+        let db = db();
+        db.push_report(TaskReport {
+            task: TaskId(0),
+            scheduler: "x".into(),
+            locals_scheduled: 1,
+            training_ns: 1,
+            broadcast_ns: 1,
+            upload_ns: 1,
+            aggregation_ns: 0,
+            iterations: 1,
+            bandwidth_gbps: 1.0,
+            reschedules: 0,
+        });
+        assert_eq!(db.reports().len(), 1);
+    }
+
+    #[test]
+    fn database_is_shareable_across_threads() {
+        let db = db();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    db.admit_task(mk_task(i));
+                    db.count_phase(TaskPhase::Pending)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.count_phase(TaskPhase::Pending), 4);
+    }
+
+    #[test]
+    fn schedules_store_and_take() {
+        let db = db();
+        assert_eq!(db.schedule_count(), 0);
+        assert!(db.take_schedule(TaskId(0)).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # flexsched-orchestrator — the Figure-2 control plane
+//!
+//! The paper's experimental framework is a logically-centralised control
+//! plane: "An orchestrator is used to report networking conditions to the
+//! database, and configure routing paths according to the scheduling
+//! policy. An AI task manager is responsible for managing new AI tasks and
+//! storing them into database." This crate reproduces that loop:
+//!
+//! * [`Database`] — the shared store of network conditions, tasks,
+//!   schedules and measurements (parking_lot-guarded, cheaply clonable),
+//! * [`messages`] — the binary control-plane codec (`bytes`-based) for
+//!   link-state reports and flow rules,
+//! * [`SdnController`] — turns schedules into flow rules and applies them
+//!   to the network state,
+//! * [`AiTaskManager`] — task admission, retry and lifecycle,
+//! * [`bus`] — a crossbeam-channel controller thread, demonstrating the
+//!   report/configure loop across real threads,
+//! * [`Testbed`] — the end-to-end discrete-event harness that regenerates
+//!   the paper's evaluation: tasks arrive, get selected/placed/scheduled,
+//!   run their iterations under background traffic and faults, and emit
+//!   [`flexsched_task::TaskReport`]s.
+
+pub mod bus;
+pub mod database;
+pub mod error;
+pub mod managers;
+pub mod messages;
+pub mod sdn;
+pub mod testbed;
+
+pub use bus::ControllerHandle;
+pub use database::Database;
+pub use error::OrchError;
+pub use managers::AiTaskManager;
+pub use messages::ControlMessage;
+pub use sdn::SdnController;
+pub use testbed::{RunSummary, Testbed, TestbedConfig};
+
+/// Convenience result alias for orchestrator operations.
+pub type Result<T> = std::result::Result<T, OrchError>;

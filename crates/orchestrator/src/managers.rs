@@ -1,0 +1,197 @@
+//! The AI task manager: admission, placement and lifecycle bookkeeping.
+//!
+//! "An AI task manager is responsible for managing new AI tasks and storing
+//! them into database." It also drives container placement through the
+//! computing manager so the global/local models exist somewhere before the
+//! network is scheduled.
+
+use crate::database::{Database, TaskPhase};
+use crate::Result;
+use flexsched_compute::server::ResourceRequest;
+use flexsched_compute::{ContainerId, ModelRole};
+use flexsched_task::{AiTask, TaskId};
+use std::collections::BTreeMap;
+
+/// Admission/lifecycle front-end over the shared database.
+#[derive(Debug, Default)]
+pub struct AiTaskManager {
+    containers: BTreeMap<TaskId, Vec<ContainerId>>,
+    admitted: u64,
+    completed: u64,
+}
+
+impl AiTaskManager {
+    /// A manager with no tasks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit a task with the default full-size container requests.
+    pub fn admit(&mut self, db: &Database, task: &AiTask) -> Result<()> {
+        self.admit_with(
+            db,
+            task,
+            ResourceRequest::global_model(),
+            ResourceRequest::local_model(),
+        )
+    }
+
+    /// Admit a task: validate it, store it in the database and place its
+    /// containers (global on its global site, one local per local site)
+    /// with explicit resource requests (the dockerised testbed packs many
+    /// lightweight model containers per server).
+    pub fn admit_with(
+        &mut self,
+        db: &Database,
+        task: &AiTask,
+        global_req: ResourceRequest,
+        local_req: ResourceRequest,
+    ) -> Result<()> {
+        task.validate()
+            .map_err(crate::OrchError::Scheduling)?;
+        let placed = db.write(|_, _, cluster| -> Result<Vec<ContainerId>> {
+            let mut ids = Vec::with_capacity(task.local_sites.len() + 1);
+            ids.push(cluster.place_on(
+                task.global_site,
+                task.id.0,
+                ModelRole::Global,
+                task.model.clone(),
+                global_req,
+            )?);
+            for site in &task.local_sites {
+                match cluster.place_on(
+                    *site,
+                    task.id.0,
+                    ModelRole::Local,
+                    task.model.clone(),
+                    local_req,
+                ) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        // Roll back everything placed so far.
+                        for placed in ids {
+                            let _ = cluster.remove(placed);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            Ok(ids)
+        })?;
+        db.admit_task(task.clone());
+        self.containers.insert(task.id, placed);
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// Complete a task: free its containers and mark it done.
+    pub fn complete(&mut self, db: &Database, id: TaskId) -> Result<()> {
+        let containers = self
+            .containers
+            .remove(&id)
+            .ok_or(crate::OrchError::UnknownTask(id))?;
+        db.write(|_, _, cluster| {
+            for c in containers {
+                let _ = cluster.remove(c);
+            }
+        });
+        db.set_phase(id, TaskPhase::Completed)?;
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// Lifetime counters (admitted, completed).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.admitted, self.completed)
+    }
+
+    /// Containers placed for a task.
+    pub fn containers_of(&self, id: TaskId) -> Option<&[ContainerId]> {
+        self.containers.get(&id).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+    use flexsched_optical::OpticalState;
+    use flexsched_simnet::NetworkState;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn rig() -> (Database, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let db = Database::new(
+            NetworkState::new(Arc::clone(&topo)),
+            OpticalState::new(Arc::clone(&topo)),
+            ClusterManager::from_topology(&topo, ServerSpec::default()),
+        );
+        let servers = topo.servers();
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::lenet(),
+            global_site: servers[0],
+            local_sites: servers[1..4].to_vec(),
+            data_utility: Default::default(),
+            iterations: 2,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        (db, task)
+    }
+
+    #[test]
+    fn admission_places_containers() {
+        let (db, task) = rig();
+        let mut mgr = AiTaskManager::new();
+        mgr.admit(&db, &task).unwrap();
+        assert_eq!(mgr.containers_of(task.id).unwrap().len(), 4); // 1 global + 3 locals
+        assert_eq!(db.count_phase(TaskPhase::Pending), 1);
+        db.read(|_, _, cluster| {
+            assert_eq!(cluster.container_count(), 4);
+        });
+    }
+
+    #[test]
+    fn completion_frees_containers() {
+        let (db, task) = rig();
+        let mut mgr = AiTaskManager::new();
+        mgr.admit(&db, &task).unwrap();
+        mgr.complete(&db, task.id).unwrap();
+        assert_eq!(db.count_phase(TaskPhase::Completed), 1);
+        db.read(|_, _, cluster| {
+            assert_eq!(cluster.container_count(), 0);
+        });
+        assert_eq!(mgr.counters(), (1, 1));
+    }
+
+    #[test]
+    fn invalid_task_is_rejected() {
+        let (db, mut task) = rig();
+        task.local_sites.clear();
+        let mut mgr = AiTaskManager::new();
+        assert!(mgr.admit(&db, &task).is_err());
+        assert_eq!(db.count_phase(TaskPhase::Pending), 0);
+    }
+
+    #[test]
+    fn placement_failure_rolls_back() {
+        let (db, mut task) = rig();
+        // Point a local site at a non-server node: placement must fail.
+        task.local_sites[0] = flexsched_topo::NodeId(0); // a ROADM
+        task.data_utility.clear();
+        let mut mgr = AiTaskManager::new();
+        assert!(mgr.admit(&db, &task).is_err());
+        db.read(|_, _, cluster| {
+            assert_eq!(cluster.container_count(), 0, "rollback leaked containers");
+        });
+    }
+
+    #[test]
+    fn completing_unknown_task_errors() {
+        let (db, _) = rig();
+        let mut mgr = AiTaskManager::new();
+        assert!(mgr.complete(&db, TaskId(5)).is_err());
+    }
+}

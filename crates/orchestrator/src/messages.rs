@@ -1,0 +1,281 @@
+//! Control-plane message codec.
+//!
+//! The orchestrator, SDN controller and managers exchange compact binary
+//! messages (the real testbed speaks OpenFlow/NETCONF-style protocols over
+//! the control network). The codec is hand-rolled over [`bytes`]: one tag
+//! byte, fixed-width big-endian fields, length-prefixed repetition. Every
+//! message round-trips exactly.
+
+use crate::error::OrchError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flexsched_task::TaskId;
+use flexsched_topo::{Direction, LinkId};
+
+/// A directed flow rule: reserve `rate_gbps` for `task` on `link`/`dir`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRule {
+    /// Owning task.
+    pub task: TaskId,
+    /// Link to program.
+    pub link: LinkId,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Reserved rate, Gbit/s.
+    pub rate_gbps: f64,
+}
+
+/// Messages on the control bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// Periodic link-state report from the data plane to the database.
+    LinkStateReport {
+        /// Reported link.
+        link: LinkId,
+        /// Direction the counters apply to.
+        dir: Direction,
+        /// Task-reserved bandwidth, Gbit/s.
+        reserved_gbps: f64,
+        /// Background-traffic bandwidth, Gbit/s.
+        background_gbps: f64,
+        /// Whether the link is down.
+        down: bool,
+    },
+    /// Install a batch of flow rules (schedule commit).
+    InstallRules(Vec<FlowRule>),
+    /// Remove every rule belonging to a task (schedule release).
+    RemoveTaskRules(TaskId),
+    /// A new AI task was admitted (id echoed into the database).
+    TaskAdmitted(TaskId),
+    /// A task finished and reported its measured per-iteration latency (ns).
+    TaskCompleted {
+        /// Finished task.
+        task: TaskId,
+        /// Measured per-iteration latency, ns.
+        iteration_ns: u64,
+    },
+}
+
+const TAG_LINK_STATE: u8 = 1;
+const TAG_INSTALL: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_ADMITTED: u8 = 4;
+const TAG_COMPLETED: u8 = 5;
+
+fn dir_to_u8(d: Direction) -> u8 {
+    match d {
+        Direction::AtoB => 0,
+        Direction::BtoA => 1,
+    }
+}
+
+fn dir_from_u8(b: u8) -> Result<Direction> {
+    match b {
+        0 => Ok(Direction::AtoB),
+        1 => Ok(Direction::BtoA),
+        _ => Err(OrchError::Codec("bad direction byte")),
+    }
+}
+
+impl ControlMessage {
+    /// Serialise into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            ControlMessage::LinkStateReport {
+                link,
+                dir,
+                reserved_gbps,
+                background_gbps,
+                down,
+            } => {
+                b.put_u8(TAG_LINK_STATE);
+                b.put_u32(link.0);
+                b.put_u8(dir_to_u8(*dir));
+                b.put_f64(*reserved_gbps);
+                b.put_f64(*background_gbps);
+                b.put_u8(u8::from(*down));
+            }
+            ControlMessage::InstallRules(rules) => {
+                b.put_u8(TAG_INSTALL);
+                b.put_u32(rules.len() as u32);
+                for r in rules {
+                    b.put_u64(r.task.0);
+                    b.put_u32(r.link.0);
+                    b.put_u8(dir_to_u8(r.dir));
+                    b.put_f64(r.rate_gbps);
+                }
+            }
+            ControlMessage::RemoveTaskRules(t) => {
+                b.put_u8(TAG_REMOVE);
+                b.put_u64(t.0);
+            }
+            ControlMessage::TaskAdmitted(t) => {
+                b.put_u8(TAG_ADMITTED);
+                b.put_u64(t.0);
+            }
+            ControlMessage::TaskCompleted { task, iteration_ns } => {
+                b.put_u8(TAG_COMPLETED);
+                b.put_u64(task.0);
+                b.put_u64(*iteration_ns);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialise from a buffer (consumes exactly one message).
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        if buf.remaining() < 1 {
+            return Err(OrchError::Codec("empty buffer"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_LINK_STATE => {
+                if buf.remaining() < 4 + 1 + 8 + 8 + 1 {
+                    return Err(OrchError::Codec("short link-state report"));
+                }
+                Ok(ControlMessage::LinkStateReport {
+                    link: LinkId(buf.get_u32()),
+                    dir: dir_from_u8(buf.get_u8())?,
+                    reserved_gbps: buf.get_f64(),
+                    background_gbps: buf.get_f64(),
+                    down: buf.get_u8() != 0,
+                })
+            }
+            TAG_INSTALL => {
+                if buf.remaining() < 4 {
+                    return Err(OrchError::Codec("short rule count"));
+                }
+                let n = buf.get_u32() as usize;
+                let mut rules = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    if buf.remaining() < 8 + 4 + 1 + 8 {
+                        return Err(OrchError::Codec("short flow rule"));
+                    }
+                    rules.push(FlowRule {
+                        task: TaskId(buf.get_u64()),
+                        link: LinkId(buf.get_u32()),
+                        dir: dir_from_u8(buf.get_u8())?,
+                        rate_gbps: buf.get_f64(),
+                    });
+                }
+                Ok(ControlMessage::InstallRules(rules))
+            }
+            TAG_REMOVE => {
+                if buf.remaining() < 8 {
+                    return Err(OrchError::Codec("short remove"));
+                }
+                Ok(ControlMessage::RemoveTaskRules(TaskId(buf.get_u64())))
+            }
+            TAG_ADMITTED => {
+                if buf.remaining() < 8 {
+                    return Err(OrchError::Codec("short admitted"));
+                }
+                Ok(ControlMessage::TaskAdmitted(TaskId(buf.get_u64())))
+            }
+            TAG_COMPLETED => {
+                if buf.remaining() < 16 {
+                    return Err(OrchError::Codec("short completed"));
+                }
+                Ok(ControlMessage::TaskCompleted {
+                    task: TaskId(buf.get_u64()),
+                    iteration_ns: buf.get_u64(),
+                })
+            }
+            _ => Err(OrchError::Codec("unknown tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: ControlMessage) {
+        let mut encoded = m.encode();
+        let decoded = ControlMessage::decode(&mut encoded).unwrap();
+        assert_eq!(m, decoded);
+        assert_eq!(encoded.remaining(), 0, "decode must consume everything");
+    }
+
+    #[test]
+    fn link_state_round_trips() {
+        round_trip(ControlMessage::LinkStateReport {
+            link: LinkId(7),
+            dir: Direction::BtoA,
+            reserved_gbps: 12.75,
+            background_gbps: 3.25,
+            down: true,
+        });
+    }
+
+    #[test]
+    fn rule_batches_round_trip() {
+        round_trip(ControlMessage::InstallRules(vec![
+            FlowRule {
+                task: TaskId(1),
+                link: LinkId(2),
+                dir: Direction::AtoB,
+                rate_gbps: 40.0,
+            },
+            FlowRule {
+                task: TaskId(1),
+                link: LinkId(3),
+                dir: Direction::BtoA,
+                rate_gbps: 40.0,
+            },
+        ]));
+        round_trip(ControlMessage::InstallRules(vec![]));
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        round_trip(ControlMessage::RemoveTaskRules(TaskId(9)));
+        round_trip(ControlMessage::TaskAdmitted(TaskId(0)));
+        round_trip(ControlMessage::TaskCompleted {
+            task: TaskId(4),
+            iteration_ns: 1_900_000,
+        });
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let full = ControlMessage::LinkStateReport {
+            link: LinkId(1),
+            dir: Direction::AtoB,
+            reserved_gbps: 1.0,
+            background_gbps: 0.0,
+            down: false,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let mut truncated = full.slice(..cut);
+            assert!(
+                ControlMessage::decode(&mut truncated).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut b = Bytes::from_static(&[0xFF]);
+        assert!(matches!(
+            ControlMessage::decode(&mut b),
+            Err(OrchError::Codec("unknown tag"))
+        ));
+    }
+
+    #[test]
+    fn messages_stream_back_to_back() {
+        let a = ControlMessage::TaskAdmitted(TaskId(1));
+        let b = ControlMessage::RemoveTaskRules(TaskId(2));
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a.encode());
+        buf.extend_from_slice(&b.encode());
+        let mut stream = buf.freeze();
+        assert_eq!(ControlMessage::decode(&mut stream).unwrap(), a);
+        assert_eq!(ControlMessage::decode(&mut stream).unwrap(), b);
+        assert_eq!(stream.remaining(), 0);
+    }
+}

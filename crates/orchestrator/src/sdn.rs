@@ -1,0 +1,157 @@
+//! The SDN controller: schedules in, flow rules out.
+//!
+//! Converts a [`Schedule`] into the directed [`FlowRule`]s of the control
+//! protocol, installs them onto the network state, and tracks installed
+//! rules per task so a release or reschedule removes exactly what was
+//! added.
+
+use crate::messages::FlowRule;
+use crate::Result;
+use flexsched_sched::Schedule;
+use flexsched_simnet::{DirLink, NetworkState};
+use flexsched_task::TaskId;
+use std::collections::BTreeMap;
+
+/// Tracks installed flow rules per task.
+#[derive(Debug, Default)]
+pub struct SdnController {
+    installed: BTreeMap<TaskId, Vec<FlowRule>>,
+    installs: u64,
+    removals: u64,
+}
+
+impl SdnController {
+    /// A controller with no rules installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile a schedule into flow rules (no side effects).
+    pub fn compile(schedule: &Schedule, state: &NetworkState) -> Result<Vec<FlowRule>> {
+        let reservations = schedule.reservations(state.topo())?;
+        Ok(reservations
+            .into_iter()
+            .map(|(dl, rate)| FlowRule {
+                task: schedule.task,
+                link: dl.link,
+                dir: dl.dir,
+                rate_gbps: rate,
+            })
+            .collect())
+    }
+
+    /// Install a schedule: reserve bandwidth and remember the rules.
+    /// All-or-nothing (delegates to [`Schedule::apply`]).
+    pub fn install(&mut self, schedule: &Schedule, state: &mut NetworkState) -> Result<()> {
+        let rules = Self::compile(schedule, state)?;
+        schedule.apply(state)?;
+        self.installs += rules.len() as u64;
+        self.installed.insert(schedule.task, rules);
+        Ok(())
+    }
+
+    /// Remove a task's rules, releasing its bandwidth.
+    pub fn remove_task(&mut self, task: TaskId, state: &mut NetworkState) -> Result<()> {
+        let rules = self
+            .installed
+            .remove(&task)
+            .ok_or(crate::OrchError::UnknownTask(task))?;
+        for r in &rules {
+            state.release(DirLink::new(r.link, r.dir), r.rate_gbps)?;
+        }
+        self.removals += rules.len() as u64;
+        Ok(())
+    }
+
+    /// Rules currently installed for a task.
+    pub fn rules_of(&self, task: TaskId) -> Option<&[FlowRule]> {
+        self.installed.get(&task).map(Vec::as_slice)
+    }
+
+    /// Number of tasks with installed rules.
+    pub fn task_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Lifetime (installs, removals) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.installs, self.removals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::ModelProfile;
+    use flexsched_sched::{FlexibleMst, SchedContext, Scheduler};
+    use flexsched_task::AiTask;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn rig() -> (NetworkState, Schedule) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let servers = topo.servers();
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: servers[0],
+            local_sites: servers[1..6].to_vec(),
+            data_utility: Default::default(),
+            iterations: 3,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        let s = {
+            let ctx = SchedContext::new(&state);
+            FlexibleMst::paper()
+                .schedule(&task, &task.local_sites, &ctx)
+                .unwrap()
+        };
+        (state, s)
+    }
+
+    #[test]
+    fn compile_covers_every_reservation() {
+        let (state, s) = rig();
+        let rules = SdnController::compile(&s, &state).unwrap();
+        assert_eq!(
+            rules.len(),
+            s.reservations(state.topo()).unwrap().len()
+        );
+        assert!(rules.iter().all(|r| r.task == s.task));
+    }
+
+    #[test]
+    fn install_then_remove_round_trips() {
+        let (mut state, s) = rig();
+        let mut sdn = SdnController::new();
+        sdn.install(&s, &mut state).unwrap();
+        assert_eq!(sdn.task_count(), 1);
+        assert!(state.total_reserved_gbps() > 0.0);
+        sdn.remove_task(s.task, &mut state).unwrap();
+        assert_eq!(sdn.task_count(), 0);
+        assert!(state.total_reserved_gbps().abs() < 1e-9);
+        let (ins, rem) = sdn.counters();
+        assert_eq!(ins, rem);
+        assert!(ins > 0);
+    }
+
+    #[test]
+    fn removing_unknown_task_errors() {
+        let (mut state, _) = rig();
+        let mut sdn = SdnController::new();
+        assert!(sdn.remove_task(TaskId(42), &mut state).is_err());
+    }
+
+    #[test]
+    fn rules_are_queryable_while_installed() {
+        let (mut state, s) = rig();
+        let mut sdn = SdnController::new();
+        sdn.install(&s, &mut state).unwrap();
+        let rules = sdn.rules_of(s.task).unwrap();
+        assert!(!rules.is_empty());
+        // Every rule's rate must be positive.
+        assert!(rules.iter().all(|r| r.rate_gbps > 0.0));
+    }
+}

@@ -1,0 +1,623 @@
+//! The end-to-end testbed: Figure 2 as a discrete-event scenario.
+//!
+//! Tasks arrive over time (AI task manager), get their containers placed
+//! (computing manager), their routing computed by the configured policy,
+//! their flow rules installed (SDN controller) and their wavelengths
+//! groomed (optical layer), all against live background traffic and
+//! optional link faults. Every task produces a
+//! [`flexsched_task::TaskReport`]; the run summary aggregates the
+//! Figure 3a/3b metrics.
+
+use crate::database::{Database, TaskPhase};
+use crate::managers::AiTaskManager;
+use crate::sdn::SdnController;
+use crate::Result;
+use flexsched_compute::{ClusterManager, ServerSpec};
+use flexsched_optical::{GroomingManager, OpticalState, WavelengthPolicy};
+use flexsched_sched::{
+    evaluate_schedule, reschedule, ReschedulePolicy, SchedContext, Scheduler, SelectionStrategy,
+};
+use flexsched_simnet::fault::FaultSchedule;
+use flexsched_simnet::traffic::{TrafficConfig, TrafficGenerator};
+use flexsched_simnet::{EventQueue, NetworkState, SimTime, Transport};
+use flexsched_task::{generate_workload, AiTask, TaskId, TaskReport, WorkloadConfig};
+use flexsched_topo::builders::{metro, MetroParams};
+use flexsched_topo::Path;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Scenario configuration.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Physical topology parameters.
+    pub metro: MetroParams,
+    /// Workload generation parameters (the paper's 30 tasks).
+    pub workload: WorkloadConfig,
+    /// Background traffic; `None` disables the traffic generator.
+    pub traffic: Option<TrafficConfig>,
+    /// Number of random link outages injected (0 = none).
+    pub fault_count: usize,
+    /// Fault schedule seed.
+    pub fault_seed: u64,
+    /// Mean outage repair time.
+    pub mean_repair: SimTime,
+    /// Transport protocol for model-weight transfers.
+    pub transport: Transport,
+    /// Local-model selection strategy.
+    pub selection: SelectionStrategy,
+    /// Rescheduling policy; `None` disables rescheduling.
+    pub reschedule: Option<ReschedulePolicy>,
+    /// Interval between rescheduling checks.
+    pub reschedule_check: SimTime,
+    /// Backoff before retrying a blocked task.
+    pub retry_backoff: SimTime,
+    /// Attempts before a task is declared blocked for good.
+    pub max_retries: u32,
+    /// Hard stop for the scenario clock.
+    pub horizon: SimTime,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            metro: MetroParams::default(),
+            workload: WorkloadConfig::default(),
+            traffic: None,
+            fault_count: 0,
+            fault_seed: 7,
+            mean_repair: SimTime::from_ms(20),
+            transport: Transport::tcp(),
+            selection: SelectionStrategy::All,
+            reschedule: None,
+            reschedule_check: SimTime::from_ms(10),
+            retry_backoff: SimTime::from_ms(10),
+            max_retries: 500,
+            horizon: SimTime::from_secs(60),
+        }
+    }
+}
+
+/// Aggregated scenario outcome.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Scheduling policy that produced this run.
+    pub scheduler: String,
+    /// Per-task measurements (one per successfully scheduled task).
+    pub reports: Vec<TaskReport>,
+    /// Tasks that never got scheduled.
+    pub blocked: u32,
+    /// Schedule retries performed.
+    pub retries: u32,
+    /// Successful migrations (rescheduling events).
+    pub reschedules: u32,
+    /// Peak concurrently reserved bandwidth, Gbit/s·link.
+    pub peak_reserved_gbps: f64,
+    /// Time-weighted mean reserved bandwidth, Gbit/s·link.
+    pub mean_reserved_gbps: f64,
+    /// Sum over tasks of per-schedule bandwidth (the Figure-3b series).
+    pub sum_task_bandwidth_gbps: f64,
+    /// Mean per-iteration latency over all reports, ms (Figure 3a).
+    pub mean_iteration_ms: f64,
+    /// Wavelength-grooming placements that reused an existing lightpath.
+    pub groom_reuse_hits: u64,
+    /// Wavelength-grooming placements that lit a new wavelength.
+    pub groom_new_lights: u64,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Events processed by the engine.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    TaskArrive(usize),
+    TaskRetry(usize, u32),
+    TaskComplete(TaskId),
+    TrafficArrive,
+    TrafficDepart(u64),
+    FaultTick,
+    RescheduleCheck,
+}
+
+struct ActiveTask {
+    task: AiTask,
+    report_idx: usize,
+    groomed: Vec<u64>,
+    remaining_iterations: u32,
+}
+
+/// The scenario driver. Build with [`Testbed::new`], run with
+/// [`Testbed::run`].
+pub struct Testbed {
+    cfg: TestbedConfig,
+    db: Database,
+    sdn: SdnController,
+    mgr: AiTaskManager,
+    groom: GroomingManager,
+    traffic: Option<TrafficGenerator>,
+    faults: FaultSchedule,
+    scheduler: Box<dyn Scheduler>,
+    tasks: Vec<AiTask>,
+    active: BTreeMap<TaskId, ActiveTask>,
+    reports: Vec<TaskReport>,
+    blocked: u32,
+    retries: u32,
+    reschedules: u32,
+    peak_reserved: f64,
+    reserved_integral: f64,
+    last_sample: SimTime,
+}
+
+impl Testbed {
+    /// Build a testbed over a metro topology with the given policy.
+    pub fn new(cfg: TestbedConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        let topo = Arc::new(metro(&cfg.metro));
+        let network = NetworkState::new(Arc::clone(&topo));
+        let optical = OpticalState::new(Arc::clone(&topo));
+        let cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
+        let db = Database::new(network, optical, cluster);
+        let tasks = generate_workload(&topo, &cfg.workload);
+        let traffic = cfg
+            .traffic
+            .clone()
+            .map(|tc| TrafficGenerator::new(tc, Arc::clone(&topo)));
+        let faults = if cfg.fault_count > 0 {
+            FaultSchedule::random(
+                &topo,
+                cfg.fault_count,
+                cfg.horizon,
+                cfg.mean_repair,
+                cfg.fault_seed,
+            )
+        } else {
+            FaultSchedule::new()
+        };
+        Testbed {
+            cfg,
+            db,
+            sdn: SdnController::new(),
+            mgr: AiTaskManager::new(),
+            groom: GroomingManager::new(),
+            traffic,
+            faults,
+            scheduler,
+            tasks,
+            active: BTreeMap::new(),
+            reports: Vec::new(),
+            blocked: 0,
+            retries: 0,
+            reschedules: 0,
+            peak_reserved: 0.0,
+            reserved_integral: 0.0,
+            last_sample: SimTime::ZERO,
+        }
+    }
+
+    /// Read-only access to the shared database (for inspection/examples).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn sample_bandwidth(&mut self, now: SimTime) {
+        let current = self.db.total_reserved_gbps();
+        let dt = now.saturating_sub(self.last_sample).as_ns() as f64;
+        self.reserved_integral += current * dt;
+        self.peak_reserved = self.peak_reserved.max(current);
+        self.last_sample = now;
+    }
+
+    /// Attempt to schedule and start a task; returns false when blocked.
+    fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Ev>) -> Result<bool> {
+        let task = self.tasks[idx].clone();
+        let selected = self
+            .db
+            .read(|net, _, _| self.cfg.selection.select(&task, net));
+        if selected.is_empty() {
+            return Ok(false);
+        }
+        // Compute the schedule under a read view.
+        let schedule = {
+            let outcome = self.db.read(|net, opt, _| {
+                let ctx = SchedContext::new(net).with_optical(opt);
+                self.scheduler.schedule(&task, &selected, &ctx)
+            });
+            match outcome {
+                Ok(s) => s,
+                Err(flexsched_sched::SchedError::Blocked { .. })
+                | Err(flexsched_sched::SchedError::Unreachable { .. }) => return Ok(false),
+                Err(e) => return Err(e.into()),
+            }
+        };
+        // Commit: flow rules, wavelengths, evaluation.
+        let (report, groomed) = {
+            let sdn = &mut self.sdn;
+            let groom = &mut self.groom;
+            let transport = &self.cfg.transport;
+            self.db.write(|net, opt, cluster| -> Result<_> {
+                sdn.install(&schedule, net)?;
+                // Groom the schedule's paths onto wavelengths (best-effort:
+                // per-chain; wavelength shortage does not block the IP-layer
+                // schedule, mirroring a grey-spectrum fallback).
+                let mut groomed = Vec::new();
+                for chain in schedule_chains(&schedule) {
+                    if let Ok(d) =
+                        groom.groom(opt, &chain, schedule.demand_gbps, WavelengthPolicy::FirstFit)
+                    {
+                        groomed.push(d);
+                    }
+                }
+                let report = evaluate_schedule(&task, &schedule, net, cluster, transport)?;
+                Ok((report, groomed))
+            })?
+        };
+        self.db.store_schedule(schedule);
+        self.db.set_phase(task.id, TaskPhase::Running)?;
+        let total = SimTime::from_ns(report.total_ns());
+        queue.schedule(now + total, Ev::TaskComplete(task.id));
+        let report_idx = self.reports.len();
+        self.reports.push(report);
+        self.active.insert(
+            task.id,
+            ActiveTask {
+                remaining_iterations: task.iterations,
+                task,
+                report_idx,
+                groomed,
+            },
+        );
+        Ok(true)
+    }
+
+    fn finish_task(&mut self, id: TaskId) -> Result<()> {
+        let Some(active) = self.active.remove(&id) else {
+            return Ok(());
+        };
+        if let Some(schedule) = self.db.take_schedule(id) {
+            let sdn = &mut self.sdn;
+            let groom = &mut self.groom;
+            self.db.write(|net, opt, _| -> Result<()> {
+                sdn.remove_task(schedule.task, net)?;
+                for d in &active.groomed {
+                    let _ = groom.release(opt, *d);
+                }
+                Ok(())
+            })?;
+        }
+        self.mgr.complete(&self.db, id)?;
+        Ok(())
+    }
+
+    /// Re-evaluate every active task's report against current conditions
+    /// (preserving its reschedule counter).
+    fn refresh_reports(&mut self) -> Result<()> {
+        let ids: Vec<TaskId> = self.active.keys().copied().collect();
+        for id in ids {
+            let Some(schedule) = self.db.schedule(id) else {
+                continue;
+            };
+            let (task, idx) = {
+                let a = &self.active[&id];
+                (a.task.clone(), a.report_idx)
+            };
+            let transport = &self.cfg.transport;
+            let fresh = self
+                .db
+                .read(|net, _, cluster| evaluate_schedule(&task, &schedule, net, cluster, transport));
+            if let (Ok(mut fresh), Some(slot)) = (fresh, self.reports.get_mut(idx)) {
+                fresh.reschedules = slot.reschedules;
+                *slot = fresh;
+            }
+        }
+        Ok(())
+    }
+
+    fn reschedule_pass(&mut self) -> Result<()> {
+        let Some(policy) = self.cfg.reschedule.clone() else {
+            return Ok(());
+        };
+        let ids: Vec<TaskId> = self.active.keys().copied().collect();
+        for id in ids {
+            let Some(schedule) = self.db.schedule(id) else {
+                continue;
+            };
+            let (task, remaining) = {
+                let a = &self.active[&id];
+                (a.task.clone(), a.remaining_iterations)
+            };
+            let scheduler = &*self.scheduler;
+            let verdict = self.db.read(|net, _, cluster| {
+                reschedule::consider(
+                    &policy,
+                    scheduler,
+                    &task,
+                    &schedule,
+                    remaining,
+                    net,
+                    cluster,
+                    &self.cfg.transport,
+                )
+            });
+            match verdict {
+                Ok(reschedule::RescheduleVerdict::Migrate { new_schedule, .. }) => {
+                    let sdn = &mut self.sdn;
+                    let applied = self.db.write(|net, _, _| -> Result<()> {
+                        sdn.remove_task(id, net)?;
+                        sdn.install(&new_schedule, net)?;
+                        Ok(())
+                    });
+                    if applied.is_ok() {
+                        self.db.store_schedule(*new_schedule);
+                        self.reschedules += 1;
+                        if let Some(r) = self.reports.get_mut(self.active[&id].report_idx) {
+                            r.reschedules += 1;
+                        }
+                    }
+                }
+                Ok(reschedule::RescheduleVerdict::Keep { .. }) => {}
+                Err(_) => {} // candidate infeasible right now; keep running
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the scenario to completion (or the configured horizon).
+    pub fn run(mut self) -> Result<RunSummary> {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        // Seed arrivals.
+        for (i, t) in self.tasks.iter().enumerate() {
+            queue.schedule(SimTime::from_ns(t.arrival_ns), Ev::TaskArrive(i));
+        }
+        if let Some(gen) = self.traffic.as_mut() {
+            let gap = gen.sample_interarrival();
+            queue.schedule(gap, Ev::TrafficArrive);
+        }
+        if !self.faults.is_empty() {
+            let first = self.faults.events()[0].at;
+            queue.schedule(first, Ev::FaultTick);
+        }
+        if self.cfg.reschedule.is_some() {
+            queue.schedule(self.cfg.reschedule_check, Ev::RescheduleCheck);
+        }
+
+        let horizon = self.cfg.horizon;
+        // Admit every task up-front so containers exist (the task manager
+        // stores them into the database as in Figure 2). The testbed packs
+        // many lightweight dockerised model replicas per server (fractional
+        // GPU shares, as with MPS/MIG slicing).
+        let tasks = self.tasks.clone();
+        let global_req = flexsched_compute::server::ResourceRequest {
+            cpu_cores: 1.0,
+            gpus: 0.0,
+            mem_gib: 4.0,
+        };
+        let local_req = flexsched_compute::server::ResourceRequest {
+            cpu_cores: 0.5,
+            gpus: 0.05,
+            mem_gib: 4.0,
+        };
+        for t in &tasks {
+            self.mgr.admit_with(&self.db, t, global_req, local_req)?;
+        }
+
+        while let Some(at) = queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, ev) = queue.pop().expect("peeked event exists");
+            self.sample_bandwidth(now);
+            match ev {
+                Ev::TaskArrive(idx) => {
+                    if !self.try_start(idx, now, &mut queue)? {
+                        queue.schedule(now + self.cfg.retry_backoff, Ev::TaskRetry(idx, 1));
+                    }
+                }
+                Ev::TaskRetry(idx, attempt) => {
+                    self.retries += 1;
+                    if self.try_start(idx, now, &mut queue)? {
+                        continue;
+                    }
+                    if attempt >= self.cfg.max_retries {
+                        self.blocked += 1;
+                        self.db.set_phase(self.tasks[idx].id, TaskPhase::Blocked)?;
+                    } else {
+                        queue.schedule(
+                            now + self.cfg.retry_backoff,
+                            Ev::TaskRetry(idx, attempt + 1),
+                        );
+                    }
+                }
+                Ev::TaskComplete(id) => {
+                    self.finish_task(id)?;
+                }
+                Ev::TrafficArrive => {
+                    if let Some(gen) = self.traffic.as_mut() {
+                        let flow = self
+                            .db
+                            .write(|net, _, _| gen.spawn_flow(net))?;
+                        let dur = gen.sample_duration();
+                        queue.schedule(now + dur, Ev::TrafficDepart(flow.id));
+                        let gap = gen.sample_interarrival();
+                        queue.schedule(now + gap, Ev::TrafficArrive);
+                    }
+                }
+                Ev::TrafficDepart(id) => {
+                    if let Some(gen) = self.traffic.as_mut() {
+                        self.db.write(|net, _, _| gen.retire_flow(net, id))?;
+                    }
+                }
+                Ev::FaultTick => {
+                    let faults = &mut self.faults;
+                    self.db
+                        .write(|net, _, _| faults.apply_due(now, net))?;
+                    if let Some(next) = self.faults.events().first() {
+                        queue.schedule(next.at.max(now), Ev::FaultTick);
+                    }
+                    // Fault transitions change what running schedules cost:
+                    // refresh every active task's measured report (outage
+                    // penalties appear for schedules over cut links).
+                    self.refresh_reports()?;
+                    if self.cfg.reschedule.is_some() {
+                        self.reschedule_pass()?;
+                        self.refresh_reports()?;
+                    }
+                }
+                Ev::RescheduleCheck => {
+                    self.reschedule_pass()?;
+                    if !self.active.is_empty() || queue.len() > 1 {
+                        queue.schedule(now + self.cfg.reschedule_check, Ev::RescheduleCheck);
+                    }
+                }
+            }
+        }
+
+        let duration = queue.now();
+        self.sample_bandwidth(duration);
+        let mean_reserved_gbps = if duration > SimTime::ZERO {
+            self.reserved_integral / duration.as_ns() as f64
+        } else {
+            0.0
+        };
+        let (mean_iteration_ms, sum_task_bandwidth_gbps) =
+            flexsched_task::report::aggregate(&self.reports);
+        Ok(RunSummary {
+            scheduler: self.scheduler.name().to_string(),
+            blocked: self.blocked,
+            retries: self.retries,
+            reschedules: self.reschedules,
+            peak_reserved_gbps: self.peak_reserved,
+            mean_reserved_gbps,
+            sum_task_bandwidth_gbps,
+            mean_iteration_ms,
+            groom_reuse_hits: self.groom.reuse_hits(),
+            groom_new_lights: self.groom.new_lights(),
+            duration,
+            events: queue.processed(),
+            reports: self.reports,
+        })
+    }
+}
+
+/// Decompose a schedule into groomable directed paths: per-local paths for
+/// path plans, significant-node chains for tree plans.
+fn schedule_chains(schedule: &flexsched_sched::Schedule) -> Vec<Path> {
+    let mut chains = Vec::new();
+    for plan in [&schedule.broadcast, &schedule.upload] {
+        match plan {
+            flexsched_sched::RoutingPlan::Paths(map) => {
+                chains.extend(map.values().map(|rp| rp.path.clone()));
+            }
+            flexsched_sched::RoutingPlan::Tree { tree, .. } => {
+                chains.extend(tree.chains());
+            }
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_sched::{FixedSpff, FlexibleMst};
+
+    fn quick_cfg(n_locals: usize) -> TestbedConfig {
+        TestbedConfig {
+            workload: WorkloadConfig {
+                num_tasks: 8,
+                locals_per_task: n_locals,
+                ..WorkloadConfig::default()
+            },
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_completes_all_tasks() {
+        let tb = Testbed::new(quick_cfg(5), Box::new(FlexibleMst::paper()));
+        let s = tb.run().unwrap();
+        assert_eq!(s.reports.len(), 8);
+        assert_eq!(s.blocked, 0);
+        assert!(s.mean_iteration_ms > 0.0);
+        assert!(s.events > 8);
+    }
+
+    #[test]
+    fn bandwidth_returns_to_zero_after_run() {
+        let tb = Testbed::new(quick_cfg(4), Box::new(FixedSpff));
+        let db = tb.database().clone();
+        let s = tb.run().unwrap();
+        assert!(s.peak_reserved_gbps > 0.0);
+        assert!(db.total_reserved_gbps().abs() < 1e-6, "reservations leaked");
+    }
+
+    #[test]
+    fn flexible_beats_fixed_on_both_metrics_at_15_locals() {
+        let fixed = Testbed::new(quick_cfg(15), Box::new(FixedSpff)).run().unwrap();
+        let flex = Testbed::new(quick_cfg(15), Box::new(FlexibleMst::paper()))
+            .run()
+            .unwrap();
+        assert!(
+            flex.mean_iteration_ms < fixed.mean_iteration_ms,
+            "latency: flexible {} !< fixed {}",
+            flex.mean_iteration_ms,
+            fixed.mean_iteration_ms
+        );
+        assert!(
+            flex.sum_task_bandwidth_gbps < fixed.sum_task_bandwidth_gbps,
+            "bandwidth: flexible {} !< fixed {}",
+            flex.sum_task_bandwidth_gbps,
+            fixed.sum_task_bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_identical_summaries() {
+        let a = Testbed::new(quick_cfg(6), Box::new(FlexibleMst::paper()))
+            .run()
+            .unwrap();
+        let b = Testbed::new(quick_cfg(6), Box::new(FlexibleMst::paper()))
+            .run()
+            .unwrap();
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.events, b.events);
+        assert!((a.mean_reserved_gbps - b.mean_reserved_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_traffic_slows_tasks_down() {
+        let calm = Testbed::new(quick_cfg(8), Box::new(FixedSpff)).run().unwrap();
+        let mut cfg = quick_cfg(8);
+        cfg.traffic = Some(TrafficConfig {
+            mean_rate_gbps: 20.0,
+            mean_interarrival: SimTime::from_us(100),
+            mean_duration: SimTime::from_ms(5),
+            ..TrafficConfig::default()
+        });
+        let busy = Testbed::new(cfg, Box::new(FixedSpff)).run().unwrap();
+        assert!(
+            busy.mean_iteration_ms > calm.mean_iteration_ms,
+            "busy {} !> calm {}",
+            busy.mean_iteration_ms,
+            calm.mean_iteration_ms
+        );
+    }
+
+    #[test]
+    fn faults_with_rescheduling_still_complete() {
+        let mut cfg = quick_cfg(5);
+        cfg.fault_count = 4;
+        cfg.reschedule = Some(ReschedulePolicy::default());
+        let s = Testbed::new(cfg, Box::new(FlexibleMst::paper())).run().unwrap();
+        assert_eq!(s.reports.len(), 8);
+    }
+
+    #[test]
+    fn grooming_reuses_wavelengths() {
+        let s = Testbed::new(quick_cfg(8), Box::new(FlexibleMst::paper()))
+            .run()
+            .unwrap();
+        assert!(
+            s.groom_reuse_hits + s.groom_new_lights > 0,
+            "grooming must have run"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the control plane.
+
+use flexsched_orchestrator::messages::FlowRule;
+use flexsched_orchestrator::ControlMessage;
+use flexsched_task::TaskId;
+use flexsched_topo::{Direction, LinkId};
+use proptest::prelude::*;
+
+fn arb_dir() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::AtoB), Just(Direction::BtoA)]
+}
+
+fn arb_rule() -> impl Strategy<Value = FlowRule> {
+    (any::<u64>(), any::<u32>(), arb_dir(), 0.0f64..1_000.0).prop_map(
+        |(task, link, dir, rate)| FlowRule {
+            task: TaskId(task),
+            link: LinkId(link),
+            dir,
+            rate_gbps: rate,
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = ControlMessage> {
+    prop_oneof![
+        (any::<u32>(), arb_dir(), 0.0f64..1e4, 0.0f64..1e4, any::<bool>()).prop_map(
+            |(link, dir, reserved, background, down)| ControlMessage::LinkStateReport {
+                link: LinkId(link),
+                dir,
+                reserved_gbps: reserved,
+                background_gbps: background,
+                down,
+            }
+        ),
+        proptest::collection::vec(arb_rule(), 0..20).prop_map(ControlMessage::InstallRules),
+        any::<u64>().prop_map(|t| ControlMessage::RemoveTaskRules(TaskId(t))),
+        any::<u64>().prop_map(|t| ControlMessage::TaskAdmitted(TaskId(t))),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, ns)| ControlMessage::TaskCompleted {
+            task: TaskId(t),
+            iteration_ns: ns,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every control message round-trips the binary codec exactly and the
+    /// decoder consumes precisely one message.
+    #[test]
+    fn codec_round_trips(msg in arb_message()) {
+        let mut encoded = msg.encode();
+        let decoded = ControlMessage::decode(&mut encoded).unwrap();
+        prop_assert_eq!(&msg, &decoded);
+        prop_assert_eq!(encoded.len(), 0, "decoder must consume the frame");
+    }
+
+    /// Concatenated messages decode back in order (stream framing).
+    #[test]
+    fn codec_streams(msgs in proptest::collection::vec(arb_message(), 1..10)) {
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            buf.extend_from_slice(&m.encode());
+        }
+        let mut stream = buf.freeze();
+        for m in &msgs {
+            let decoded = ControlMessage::decode(&mut stream).unwrap();
+            prop_assert_eq!(m, &decoded);
+        }
+        prop_assert_eq!(stream.len(), 0);
+    }
+
+    /// Truncating any encoded message at any byte boundary yields a clean
+    /// codec error, never a panic or a bogus decode.
+    #[test]
+    fn truncation_always_errors(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let full = msg.encode();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < full.len());
+        let mut truncated = full.slice(..cut);
+        prop_assert!(ControlMessage::decode(&mut truncated).is_err());
+    }
+}

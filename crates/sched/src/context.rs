@@ -1,0 +1,81 @@
+//! Read-only scheduling context: what a policy may observe.
+
+use flexsched_optical::OpticalState;
+use flexsched_simnet::NetworkState;
+
+/// The observable world for a scheduling decision — the orchestrator
+/// database's view of "networking conditions".
+pub struct SchedContext<'a> {
+    /// IP-layer link state: reservations, background load, faults.
+    pub state: &'a NetworkState,
+    /// Optical-layer state, when the scenario models wavelengths. Schedulers
+    /// use it to avoid routes with no free wavelength.
+    pub optical: Option<&'a OpticalState>,
+    /// Minimum useful per-flow rate, Gbit/s; candidate routes whose
+    /// obtainable rate falls below this are treated as infeasible.
+    pub min_rate_gbps: f64,
+    /// How many alternate (k-shortest) paths the fixed scheduler probes
+    /// before declaring a local unreachable.
+    pub k_paths: usize,
+}
+
+impl<'a> SchedContext<'a> {
+    /// Context with default knobs (0.5 Gbit/s floor, 3 candidate paths).
+    pub fn new(state: &'a NetworkState) -> Self {
+        SchedContext {
+            state,
+            optical: None,
+            min_rate_gbps: 0.5,
+            k_paths: 3,
+        }
+    }
+
+    /// Attach an optical-layer view.
+    pub fn with_optical(mut self, optical: &'a OpticalState) -> Self {
+        self.optical = Some(optical);
+        self
+    }
+
+    /// Override the rate floor.
+    pub fn with_min_rate(mut self, gbps: f64) -> Self {
+        self.min_rate_gbps = gbps;
+        self
+    }
+
+    /// Override the candidate path count.
+    pub fn with_k_paths(mut self, k: usize) -> Self {
+        self.k_paths = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let optical = OpticalState::new(topo);
+        let ctx = SchedContext::new(&state)
+            .with_optical(&optical)
+            .with_min_rate(2.0)
+            .with_k_paths(5);
+        assert!(ctx.optical.is_some());
+        assert_eq!(ctx.min_rate_gbps, 2.0);
+        assert_eq!(ctx.k_paths, 5);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let state = NetworkState::new(topo);
+        let ctx = SchedContext::new(&state);
+        assert!(ctx.optical.is_none());
+        assert_eq!(ctx.min_rate_gbps, 0.5);
+        assert_eq!(ctx.k_paths, 3);
+    }
+}

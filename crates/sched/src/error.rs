@@ -1,0 +1,99 @@
+//! Error type for scheduling.
+
+use flexsched_task::TaskId;
+use flexsched_topo::NodeId;
+use std::fmt;
+
+/// Errors produced while computing or applying schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The task cannot be scheduled right now (no feasible routing).
+    Blocked {
+        /// The task that failed.
+        task: TaskId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A local site is unreachable from the global site.
+    Unreachable { task: TaskId, site: NodeId },
+    /// No local sites remain after selection.
+    NothingSelected(TaskId),
+    /// Topology-level failure.
+    Topo(flexsched_topo::TopoError),
+    /// Network-state failure while applying a schedule.
+    Sim(flexsched_simnet::SimError),
+    /// Optical-layer failure while applying a schedule.
+    Optical(flexsched_optical::OpticalError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Blocked { task, reason } => write!(f, "{task} blocked: {reason}"),
+            SchedError::Unreachable { task, site } => {
+                write!(f, "{task}: site {site} unreachable")
+            }
+            SchedError::NothingSelected(t) => write!(f, "{t}: no local models selected"),
+            SchedError::Topo(e) => write!(f, "topology error: {e}"),
+            SchedError::Sim(e) => write!(f, "network state error: {e}"),
+            SchedError::Optical(e) => write!(f, "optical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Topo(e) => Some(e),
+            SchedError::Sim(e) => Some(e),
+            SchedError::Optical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexsched_topo::TopoError> for SchedError {
+    fn from(e: flexsched_topo::TopoError) -> Self {
+        SchedError::Topo(e)
+    }
+}
+
+impl From<flexsched_simnet::SimError> for SchedError {
+    fn from(e: flexsched_simnet::SimError) -> Self {
+        SchedError::Sim(e)
+    }
+}
+
+impl From<flexsched_optical::OpticalError> for SchedError {
+    fn from(e: flexsched_optical::OpticalError) -> Self {
+        SchedError::Optical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SchedError::Blocked {
+            task: TaskId(3),
+            reason: "no residual capacity".into(),
+        };
+        assert!(e.to_string().contains("task3"));
+        assert!(e.to_string().contains("residual"));
+        assert!(SchedError::NothingSelected(TaskId(1))
+            .to_string()
+            .contains("task1"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let t: SchedError = flexsched_topo::TopoError::UnknownNode(NodeId(0)).into();
+        assert!(matches!(t, SchedError::Topo(_)));
+        let s: SchedError = flexsched_simnet::SimError::UnknownFlow(1).into();
+        assert!(matches!(s, SchedError::Sim(_)));
+        let o: SchedError = flexsched_optical::OpticalError::NoFreeWavelength.into();
+        assert!(matches!(o, SchedError::Optical(_)));
+    }
+}

@@ -1,0 +1,422 @@
+//! Per-iteration latency and bandwidth evaluation of a schedule.
+//!
+//! Produces the [`TaskReport`]s behind Figure 3a ("total latency — both
+//! model training and communication") and Figure 3b ("consumed bandwidth").
+//! The evaluation runs against the network state *with the schedule
+//! applied*, so queuing reflects both this task's reservations and
+//! everything else on the network.
+
+use crate::schedule::{RoutingPlan, Schedule};
+use crate::Result;
+use flexsched_compute::{training, ClusterManager, ServerSpec};
+use flexsched_simnet::transfer::TransferSpec;
+use flexsched_simnet::{transfer_time_ns, NetworkState, Transport};
+use flexsched_task::{AiTask, TaskReport};
+use flexsched_topo::{NodeId, Path};
+use std::collections::BTreeMap;
+
+/// Latency penalty per down link a schedule still traverses, ns. A flow
+/// over a failed link stalls until protection switching or rescheduling
+/// kicks in; 100 ms is a conservative restoration timescale and is what
+/// makes the reschedule policy migrate away from broken schedules.
+pub const OUTAGE_PENALTY_NS: u64 = 100_000_000;
+
+/// Evaluate one schedule into a [`TaskReport`].
+pub fn evaluate_schedule(
+    task: &AiTask,
+    schedule: &Schedule,
+    state: &NetworkState,
+    cluster: &ClusterManager,
+    transport: &Transport,
+) -> Result<TaskReport> {
+    let training_ns = training_latency_ns(task, schedule, cluster);
+    let broadcast_ns = broadcast_latency_ns(task, schedule, state, transport)?;
+    let (mut upload_ns, aggregation_ns) = upload_latency_ns(task, schedule, state, transport)?;
+    let bandwidth_gbps = schedule.total_bandwidth_gbps(state.topo())?;
+
+    // Charge outage penalties for every distinct down link in the footprint.
+    let mut down_links = std::collections::BTreeSet::new();
+    for (dl, _) in schedule.reservations(state.topo())? {
+        if state.is_down(dl.link) {
+            down_links.insert(dl.link);
+        }
+    }
+    upload_ns += OUTAGE_PENALTY_NS * down_links.len() as u64;
+
+    Ok(TaskReport {
+        task: task.id,
+        scheduler: schedule.scheduler.clone(),
+        locals_scheduled: schedule.selected_locals.len(),
+        training_ns,
+        broadcast_ns,
+        upload_ns,
+        aggregation_ns,
+        iterations: task.iterations,
+        bandwidth_gbps,
+        reschedules: 0,
+    })
+}
+
+/// Slowest local's per-iteration training time (locals train in parallel;
+/// the synchronisation barrier waits for the straggler).
+fn training_latency_ns(task: &AiTask, schedule: &Schedule, cluster: &ClusterManager) -> u64 {
+    let default_spec = ServerSpec::default();
+    schedule
+        .selected_locals
+        .iter()
+        .map(|site| {
+            let (spec, colocated) = match cluster.server(*site) {
+                Ok(s) => (s.spec.clone(), s.containers.max(1)),
+                Err(_) => (default_spec.clone(), 1),
+            };
+            training::training_iteration_ns(&task.model, &spec, colocated)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn transfer_over(
+    state: &NetworkState,
+    path: &Path,
+    bytes: u64,
+    rate: f64,
+    transport: &Transport,
+) -> Result<u64> {
+    Ok(transfer_time_ns(
+        state,
+        &TransferSpec {
+            path,
+            size_bytes: bytes,
+            reserved_gbps: rate,
+            transport,
+        },
+    )?
+    .as_ns())
+}
+
+/// Broadcast completion: all locals must receive the global weights; flows
+/// run concurrently, so completion is the slowest one.
+fn broadcast_latency_ns(
+    task: &AiTask,
+    schedule: &Schedule,
+    state: &NetworkState,
+    transport: &Transport,
+) -> Result<u64> {
+    let bytes = task.update_bytes();
+    match &schedule.broadcast {
+        RoutingPlan::Paths(map) => {
+            let mut worst = 0u64;
+            for rp in map.values() {
+                worst = worst.max(transfer_over(
+                    state,
+                    &rp.path,
+                    bytes,
+                    rp.rate_gbps,
+                    transport,
+                )?);
+            }
+            Ok(worst)
+        }
+        RoutingPlan::Tree {
+            tree, rate_gbps, ..
+        } => {
+            // Multicast: each leaf's copy streams down its root path at the
+            // tree rate; completion is the deepest/slowest leaf.
+            let mut worst = 0u64;
+            for local in &schedule.selected_locals {
+                let path = tree.path_from_root(*local)?;
+                worst = worst.max(transfer_over(state, &path, bytes, *rate_gbps, transport)?);
+            }
+            Ok(worst)
+        }
+    }
+}
+
+/// Upload completion and the aggregation time on the critical path.
+fn upload_latency_ns(
+    task: &AiTask,
+    schedule: &Schedule,
+    state: &NetworkState,
+    transport: &Transport,
+) -> Result<(u64, u64)> {
+    let bytes = task.update_bytes();
+    match &schedule.upload {
+        RoutingPlan::Paths(map) => {
+            // All locals push concurrently; the global site then aggregates
+            // every update at once.
+            let mut worst = 0u64;
+            for rp in map.values() {
+                worst = worst.max(transfer_over(
+                    state,
+                    &rp.path,
+                    bytes,
+                    rp.rate_gbps,
+                    transport,
+                )?);
+            }
+            let agg = training::aggregation_ns(&task.model, map.len() + 1);
+            Ok((worst + agg, agg))
+        }
+        RoutingPlan::Tree {
+            tree,
+            rate_gbps,
+            copies,
+        } => {
+            // Bottom-up completion-time recursion at *chain* granularity:
+            // between aggregation-significant nodes (root, selected locals
+            // and branch points) updates stream cut-through, so
+            // serialization is charged once per chain, not once per hop.
+            let selected: std::collections::BTreeSet<NodeId> =
+                schedule.selected_locals.iter().copied().collect();
+            let children = tree.children();
+            let significant: std::collections::BTreeSet<NodeId> = tree
+                .nodes
+                .iter()
+                .copied()
+                .filter(|n| {
+                    *n == tree.root
+                        || selected.contains(n)
+                        || children.get(n).map(|k| k.len()).unwrap_or(0) >= 2
+                })
+                .collect();
+
+            // Chain from each significant node up to its nearest significant
+            // ancestor: sig_children[ancestor] = [(node, chain path)].
+            let mut sig_children: BTreeMap<NodeId, Vec<(NodeId, Path)>> = BTreeMap::new();
+            for s in &significant {
+                if *s == tree.root {
+                    continue;
+                }
+                let mut nodes = vec![*s];
+                let mut links = Vec::new();
+                let mut cur = *s;
+                while let Some((p, l)) = tree.parent_of(cur) {
+                    nodes.push(p);
+                    links.push(l);
+                    cur = p;
+                    if significant.contains(&cur) {
+                        break;
+                    }
+                }
+                let chain = Path::new(nodes, links).expect("chain alternation holds");
+                sig_children.entry(cur).or_default().push((*s, chain));
+            }
+
+            // Streaming (pipelined) aggregation: updates flow through the
+            // tree in chunks, each aggregation stage starts merging as soon
+            // as the first chunk arrives. Completion follows the classic
+            // pipeline formula
+            //
+            //   total = fill(deepest path of stage latencies) + drain,
+            //
+            // where a stage's latency is its chain's propagation/switching/
+            // queuing plus one chunk of serialization and (if it collapses
+            // updates) one chunk of aggregation compute, and the drain is a
+            // single full-update serialization at the tree rate.
+            //
+            // Process significant nodes deepest-first.
+            let mut order: Vec<NodeId> = significant.iter().copied().collect();
+            order.sort_by_key(|n| std::cmp::Reverse(tree.depth(*n).unwrap_or(0)));
+            let mut fill: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
+            for n in order {
+                let mut worst_fill = 0u64;
+                let mut agg_on_path = 0u64;
+                let mut inputs = usize::from(selected.contains(&n));
+                for (child, chain) in sig_children.get(&n).cloned().unwrap_or_default() {
+                    let (c_fill, c_agg) = fill.get(&child).copied().unwrap_or((0, 0));
+                    let c = u64::from(copies.get(&child).copied().unwrap_or(1).max(1));
+                    // One chunk of the (possibly multi-copy) stream at the
+                    // (copy-scaled) reserved chain rate; the chunked bytes
+                    // and rate scale together, so copies cancel in the
+                    // serialization term but not in queuing/propagation.
+                    let t = transfer_over(
+                        state,
+                        &chain,
+                        (bytes * c).div_ceil(PIPELINE_CHUNKS),
+                        *rate_gbps * c as f64,
+                        transport,
+                    )?;
+                    let arrival = c_fill + t;
+                    if arrival >= worst_fill {
+                        worst_fill = arrival;
+                        agg_on_path = c_agg;
+                    }
+                    inputs += c as usize;
+                }
+                // Aggregate here iff this node collapses multiple updates
+                // into one (the root always merges what arrives). Streaming
+                // aggregation adds one chunk's worth of merge time to the
+                // pipeline fill.
+                let collapses = if n == tree.root {
+                    inputs > 1
+                } else {
+                    copies.get(&n).copied().unwrap_or(1) == 1 && inputs > 1
+                };
+                if collapses {
+                    let agg =
+                        training::aggregation_ns(&task.model, inputs).div_ceil(PIPELINE_CHUNKS);
+                    worst_fill += agg;
+                    agg_on_path += agg;
+                }
+                fill.insert(n, (worst_fill, agg_on_path));
+            }
+            let (fill_ns, agg) = fill.get(&tree.root).copied().unwrap_or((0, 0));
+            // Drain: one full update streams into the root at the tree rate.
+            let drain_ns = (bytes as f64 * 8.0 / rate_gbps.max(1e-9)).round() as u64;
+            Ok((fill_ns + drain_ns, agg))
+        }
+    }
+}
+
+/// Chunks an update is pipelined into while streaming through the
+/// aggregation tree (RDMA message / collective chunk granularity).
+const PIPELINE_CHUNKS: u64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SchedContext;
+    use crate::fixed::FixedSpff;
+    use crate::flexible::FlexibleMst;
+    use crate::Scheduler;
+    use flexsched_compute::{ModelProfile, PlacementPolicy};
+    use flexsched_task::TaskId;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn rig(locals: usize) -> (NetworkState, ClusterManager, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let mut cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
+        let servers = topo.servers();
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: servers[0],
+            local_sites: servers[1..=locals].to_vec(),
+            data_utility: Default::default(),
+            iterations: 5,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        // Place containers so training sees real occupancy.
+        cluster
+            .place_on(
+                task.global_site,
+                0,
+                flexsched_compute::ModelRole::Global,
+                task.model.clone(),
+                flexsched_compute::server::ResourceRequest::global_model(),
+            )
+            .unwrap();
+        for site in &task.local_sites {
+            cluster
+                .place_on(
+                    *site,
+                    0,
+                    flexsched_compute::ModelRole::Local,
+                    task.model.clone(),
+                    flexsched_compute::server::ResourceRequest::local_model(),
+                )
+                .unwrap();
+        }
+        let _ = PlacementPolicy::FirstFit;
+        (state, cluster, task)
+    }
+
+    fn evaluate_with(
+        sched: &dyn Scheduler,
+        locals: usize,
+    ) -> (TaskReport, f64) {
+        let (mut state, cluster, task) = rig(locals);
+        let s = {
+            let ctx = SchedContext::new(&state);
+            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        s.apply(&mut state).unwrap();
+        let report =
+            evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
+        let bw = s.total_bandwidth_gbps(state.topo()).unwrap();
+        (report, bw)
+    }
+
+    #[test]
+    fn reports_have_all_components() {
+        let (r, _) = evaluate_with(&FixedSpff, 5);
+        assert!(r.training_ns > 0);
+        assert!(r.broadcast_ns > 0);
+        assert!(r.upload_ns > 0);
+        assert!(r.upload_ns >= r.aggregation_ns);
+        assert!(r.bandwidth_gbps > 0.0);
+        assert_eq!(r.locals_scheduled, 5);
+    }
+
+    #[test]
+    fn latencies_land_in_the_millisecond_regime() {
+        let (r, _) = evaluate_with(&FlexibleMst::paper(), 10);
+        let ms = r.iteration_ms();
+        assert!(ms > 0.05 && ms < 1_000.0, "iteration {ms} ms out of regime");
+    }
+
+    #[test]
+    fn flexible_beats_fixed_at_high_local_counts() {
+        let (fx, _) = evaluate_with(&FixedSpff, 15);
+        let (fl, _) = evaluate_with(&FlexibleMst::paper(), 15);
+        assert!(
+            fl.iteration_ns() < fx.iteration_ns(),
+            "flexible {} !< fixed {}",
+            fl.iteration_ms(),
+            fx.iteration_ms()
+        );
+    }
+
+    #[test]
+    fn schedulers_are_comparable_at_low_local_counts() {
+        let (fx, _) = evaluate_with(&FixedSpff, 3);
+        let (fl, _) = evaluate_with(&FlexibleMst::paper(), 3);
+        // Within 2x of each other at N=3 (the Figure-3a curves start close).
+        let ratio = fx.iteration_ns() as f64 / fl.iteration_ns().max(1) as f64;
+        assert!(ratio > 0.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fixed_latency_grows_faster_with_locals() {
+        let (fx3, _) = evaluate_with(&FixedSpff, 3);
+        let (fx15, _) = evaluate_with(&FixedSpff, 15);
+        let (fl3, _) = evaluate_with(&FlexibleMst::paper(), 3);
+        let (fl15, _) = evaluate_with(&FlexibleMst::paper(), 15);
+        let fixed_growth = fx15.iteration_ns() as f64 / fx3.iteration_ns() as f64;
+        let flex_growth = fl15.iteration_ns() as f64 / fl3.iteration_ns() as f64;
+        assert!(
+            fixed_growth > flex_growth,
+            "fixed growth {fixed_growth} !> flexible growth {flex_growth}"
+        );
+    }
+
+    #[test]
+    fn flexible_bandwidth_is_lower() {
+        let (_, bx) = evaluate_with(&FixedSpff, 12);
+        let (_, bl) = evaluate_with(&FlexibleMst::paper(), 12);
+        assert!(bl < bx, "flexible bw {bl} !< fixed bw {bx}");
+    }
+
+    #[test]
+    fn aggregation_ablation_increases_upload_bandwidth_not_latency_floor() {
+        let (with_agg, bw_with) = evaluate_with(&FlexibleMst::paper(), 10);
+        let (no_agg, bw_without) = evaluate_with(&FlexibleMst::without_aggregation(), 10);
+        assert!(bw_without > bw_with);
+        // Without aggregation the root still collapses everything at once.
+        assert!(no_agg.upload_ns > 0);
+    }
+
+    #[test]
+    fn training_reflects_colocation() {
+        let (state, cluster, task) = rig(5);
+        let ctx = SchedContext::new(&state);
+        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let with_containers = training_latency_ns(&task, &s, &cluster);
+        let empty_cluster = ClusterManager::new();
+        let bare = training_latency_ns(&task, &s, &empty_cluster);
+        assert!(with_containers >= bare, "colocation can only slow training");
+    }
+}

@@ -1,0 +1,383 @@
+//! The flexible scheduler: MST-based routing with multi-aggregation.
+//!
+//! "The flexible scheduler finds a suitable connectivity set ... We first
+//! build auxiliary graphs for broadcast and upload procedures,
+//! respectively. We initialize each link of the broadcast/upload graphs
+//! according to bandwidth consumption and latency (if AI tasks pass through
+//! the link), and then find MSTs between the global model and local models.
+//! The links of MSTs are considered as routing paths, and the aggregation
+//! operations happen in the middle and final nodes of upload procedure."
+
+use crate::context::SchedContext;
+use crate::error::SchedError;
+use crate::schedule::{RoutingPlan, Schedule};
+use crate::weights::auxiliary_weight;
+use crate::{Result, Scheduler};
+use flexsched_task::AiTask;
+use flexsched_topo::algo::{steiner_tree, SteinerTree};
+use flexsched_topo::{LinkId, NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The proposed MST-based flexible scheduler.
+#[derive(Debug, Clone)]
+pub struct FlexibleMst {
+    /// Build a separate upload tree with a reuse discount on the broadcast
+    /// tree's links (paper behaviour). When `false` the broadcast tree is
+    /// reused verbatim for upload.
+    pub separate_trees: bool,
+    /// Enable in-network aggregation at capable tree nodes. Disabling it is
+    /// the ablation that shows where the bandwidth saving comes from: the
+    /// tree still shares segments, but every edge must carry one update per
+    /// descendant local model.
+    pub aggregation: bool,
+}
+
+impl Default for FlexibleMst {
+    fn default() -> Self {
+        FlexibleMst {
+            separate_trees: true,
+            aggregation: true,
+        }
+    }
+}
+
+impl FlexibleMst {
+    /// The scheduler exactly as evaluated in the poster.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Ablation: tree routing without in-network aggregation.
+    pub fn without_aggregation() -> Self {
+        FlexibleMst {
+            separate_trees: true,
+            aggregation: false,
+        }
+    }
+}
+
+/// Per-node upload copy counts: how many model updates each node's parent
+/// edge carries, given which nodes can aggregate.
+///
+/// Processes the tree bottom-up: a subtree contributes the sum of its
+/// children's contributions plus one if its root hosts a selected local
+/// model; a node that can aggregate collapses any number of updates to one.
+pub fn upload_copies(
+    tree: &SteinerTree,
+    topo: &Topology,
+    selected: &BTreeSet<NodeId>,
+    aggregation: bool,
+) -> Result<BTreeMap<NodeId, u32>> {
+    let order = tree.bfs_from_root();
+    let mut carried: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let children = tree.children();
+    for n in order.iter().rev() {
+        let mut c: u32 = selected.contains(n) as u32;
+        if let Some(kids) = children.get(n) {
+            for k in kids {
+                c += carried.get(k).copied().unwrap_or(0);
+            }
+        }
+        let can_agg = topo.node(*n)?.kind.can_aggregate();
+        if aggregation && can_agg && c > 1 {
+            c = 1;
+        }
+        carried.insert(*n, c);
+    }
+    // The map keyed by child node = copies on its parent edge; drop the root.
+    carried.remove(&tree.root);
+    Ok(carried)
+}
+
+/// Smallest `residual / copies` over the tree's edges: the feasible uniform
+/// per-update rate.
+fn feasible_rate(
+    ctx: &SchedContext<'_>,
+    tree: &SteinerTree,
+    copies: &BTreeMap<NodeId, u32>,
+    demand: f64,
+) -> f64 {
+    let mut rate = demand;
+    for n in &tree.nodes {
+        if let Some((_, l)) = tree.parent_of(*n) {
+            let c = f64::from(copies.get(n).copied().unwrap_or(1).max(1));
+            let residual = ctx.state.residual_min_gbps(l);
+            rate = rate.min(residual / c);
+        }
+    }
+    rate
+}
+
+impl Scheduler for FlexibleMst {
+    fn name(&self) -> &'static str {
+        if self.aggregation {
+            "flexible-mst"
+        } else {
+            "flexible-mst-noagg"
+        }
+    }
+
+    fn schedule(
+        &self,
+        task: &AiTask,
+        selected: &[NodeId],
+        ctx: &SchedContext<'_>,
+    ) -> Result<Schedule> {
+        if selected.is_empty() {
+            return Err(SchedError::NothingSelected(task.id));
+        }
+        let topo = ctx.state.topo();
+        let demand = task.demand_gbps();
+
+        // Broadcast auxiliary graph: nothing reused yet.
+        let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
+        let broadcast_tree = steiner_tree(topo, task.global_site, selected, |l| {
+            auxiliary_weight(ctx.state, ctx.optical, demand, &no_reuse, l)
+        })
+        .map_err(|e| match e {
+            flexsched_topo::TopoError::Disconnected { to, .. } => SchedError::Unreachable {
+                task: task.id,
+                site: to,
+            },
+            other => SchedError::Topo(other),
+        })?;
+
+        // Upload auxiliary graph: the task already passes through the
+        // broadcast tree's links, so they carry the reuse discount.
+        let upload_tree = if self.separate_trees {
+            let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
+            steiner_tree(topo, task.global_site, selected, |l| {
+                auxiliary_weight(ctx.state, ctx.optical, demand, &reused, l)
+            })
+            .map_err(|e| match e {
+                flexsched_topo::TopoError::Disconnected { to, .. } => SchedError::Unreachable {
+                    task: task.id,
+                    site: to,
+                },
+                other => SchedError::Topo(other),
+            })?
+        } else {
+            broadcast_tree.clone()
+        };
+
+        let selected_set: BTreeSet<NodeId> = selected.iter().copied().collect();
+        let up_copies = upload_copies(&upload_tree, topo, &selected_set, self.aggregation)?;
+        let bcast_copies: BTreeMap<NodeId, u32> = BTreeMap::new(); // multicast: 1 everywhere
+
+        let bcast_rate = feasible_rate(ctx, &broadcast_tree, &bcast_copies, demand);
+        let up_rate = feasible_rate(ctx, &upload_tree, &up_copies, demand);
+        let rate = bcast_rate.min(up_rate);
+        // The floor guards against uselessly slow *congested* rates; tasks
+        // whose own demand is tiny are fine at their full demand.
+        if rate < ctx.min_rate_gbps.min(demand) {
+            return Err(SchedError::Blocked {
+                task: task.id,
+                reason: format!("feasible tree rate {rate:.3} Gbps below floor"),
+            });
+        }
+
+        Ok(Schedule {
+            task: task.id,
+            scheduler: self.name().into(),
+            global_site: task.global_site,
+            selected_locals: selected.to_vec(),
+            demand_gbps: demand,
+            broadcast: RoutingPlan::Tree {
+                tree: broadcast_tree,
+                rate_gbps: rate,
+                copies: bcast_copies,
+            },
+            upload: RoutingPlan::Tree {
+                tree: upload_tree,
+                rate_gbps: rate,
+                copies: up_copies,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::ModelProfile;
+    use flexsched_simnet::NetworkState;
+    use flexsched_task::TaskId;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn task_on_metro(locals: usize) -> (NetworkState, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let servers = topo.servers();
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: servers[0],
+            local_sites: servers[1..=locals].to_vec(),
+            data_utility: Default::default(),
+            iterations: 3,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        (state, task)
+    }
+
+    #[test]
+    fn produces_tree_plans_spanning_all_locals() {
+        let (state, task) = task_on_metro(6);
+        let ctx = SchedContext::new(&state);
+        let s = FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        match (&s.broadcast, &s.upload) {
+            (RoutingPlan::Tree { tree: b, .. }, RoutingPlan::Tree { tree: u, .. }) => {
+                assert!(b.spans_all_terminals());
+                assert!(u.spans_all_terminals());
+                assert_eq!(b.root, task.global_site);
+            }
+            _ => panic!("flexible must produce tree plans"),
+        }
+    }
+
+    #[test]
+    fn uses_less_bandwidth_than_fixed() {
+        use crate::fixed::FixedSpff;
+        for n in [5, 10, 15] {
+            let (state, task) = task_on_metro(n);
+            let ctx = SchedContext::new(&state);
+            let flex = FlexibleMst::paper()
+                .schedule(&task, &task.local_sites, &ctx)
+                .unwrap();
+            let fixed = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+            let bf = flex.total_bandwidth_gbps(state.topo()).unwrap();
+            let bx = fixed.total_bandwidth_gbps(state.topo()).unwrap();
+            assert!(bf < bx, "n={n}: flexible {bf} !< fixed {bx}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates_with_locals() {
+        // Tree bandwidth growth slows: the increment from 12->15 locals is
+        // smaller than from 3->6.
+        let bw = |n: usize| {
+            let (state, task) = task_on_metro(n);
+            let ctx = SchedContext::new(&state);
+            FlexibleMst::paper()
+                .schedule(&task, &task.local_sites, &ctx)
+                .unwrap()
+                .total_bandwidth_gbps(state.topo())
+                .unwrap()
+        };
+        let (b3, b6, b12, b15) = (bw(3), bw(6), bw(12), bw(15));
+        assert!(b6 - b3 > b15 - b12, "growth must flatten: {b3} {b6} {b12} {b15}");
+    }
+
+    #[test]
+    fn upload_copies_collapse_at_routers() {
+        let (state, task) = task_on_metro(8);
+        let ctx = SchedContext::new(&state);
+        let s = FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        if let RoutingPlan::Tree { tree, copies, .. } = &s.upload {
+            // The edge into the root (global server) carries exactly one
+            // aggregated update: its child is an aggregating router.
+            let root_children: Vec<_> = tree
+                .children()
+                .get(&tree.root)
+                .cloned()
+                .unwrap_or_default();
+            let _ = root_children;
+            for (n, c) in copies {
+                let kind = state.topo().node(*n).unwrap().kind;
+                if kind.can_aggregate() {
+                    assert!(*c <= 1, "aggregating node {n} forwards {c} copies");
+                }
+            }
+        } else {
+            panic!("expected tree plan");
+        }
+    }
+
+    #[test]
+    fn no_aggregation_ablation_costs_more_bandwidth() {
+        let (state, task) = task_on_metro(10);
+        let ctx = SchedContext::new(&state);
+        let with = FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        let without = FlexibleMst::without_aggregation()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        let bw = with.total_bandwidth_gbps(state.topo()).unwrap();
+        let bwo = without.total_bandwidth_gbps(state.topo()).unwrap();
+        assert!(bwo > bw, "no-agg {bwo} !> agg {bw}");
+        assert_eq!(without.scheduler, "flexible-mst-noagg");
+    }
+
+    #[test]
+    fn schedule_applies_and_releases() {
+        let (mut state, task) = task_on_metro(10);
+        let s = {
+            let ctx = SchedContext::new(&state);
+            FlexibleMst::paper()
+                .schedule(&task, &task.local_sites, &ctx)
+                .unwrap()
+        };
+        s.apply(&mut state).unwrap();
+        assert!(state.total_reserved_gbps() > 0.0);
+        s.release(&mut state).unwrap();
+        assert!(state.total_reserved_gbps().abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_points_are_middle_and_final_nodes() {
+        let (state, task) = task_on_metro(10);
+        let ctx = SchedContext::new(&state);
+        let s = FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        let pts = s.aggregation_points(state.topo());
+        assert!(pts.contains(&task.global_site), "final node aggregates");
+        assert!(pts.len() > 1, "middle nodes must aggregate too");
+    }
+
+    #[test]
+    fn shared_trees_when_configured() {
+        let (state, task) = task_on_metro(5);
+        let ctx = SchedContext::new(&state);
+        let sched = FlexibleMst {
+            separate_trees: false,
+            aggregation: true,
+        };
+        let s = sched.schedule(&task, &task.local_sites, &ctx).unwrap();
+        if let (RoutingPlan::Tree { tree: b, .. }, RoutingPlan::Tree { tree: u, .. }) =
+            (&s.broadcast, &s.upload)
+        {
+            assert_eq!(b.links, u.links);
+        }
+    }
+
+    #[test]
+    fn routes_around_down_links() {
+        let (mut state, task) = task_on_metro(5);
+        state.set_down(flexsched_topo::LinkId(0), true).unwrap();
+        let ctx = SchedContext::new(&state);
+        let s = FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap();
+        for (dl, _) in s.reservations(state.topo()).unwrap() {
+            assert_ne!(dl.link, flexsched_topo::LinkId(0));
+        }
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let (state, task) = task_on_metro(3);
+        let ctx = SchedContext::new(&state);
+        assert!(matches!(
+            FlexibleMst::paper().schedule(&task, &[], &ctx),
+            Err(SchedError::NothingSelected(_))
+        ));
+    }
+}

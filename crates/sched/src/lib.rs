@@ -1,0 +1,66 @@
+//! # flexsched-sched — the paper's contribution
+//!
+//! Two schedulers for distributed AI tasks over a telecom/cloud network:
+//!
+//! * [`FixedSpff`] — the baseline: a **fixed** set of end-to-end paths
+//!   between the global model and every local model, found by **s**hortest
+//!   **p**ath routing with **f**irst-**f**it wavelength assignment (SPFF,
+//!   the paper's ref [15] baseline). Model updates are aggregated only at
+//!   the global-model node.
+//! * [`FlexibleMst`] — the proposal: build auxiliary graphs for the
+//!   broadcast and upload procedures, weight each link by **bandwidth
+//!   consumption and latency** (links already carrying the task are free to
+//!   reuse), find a **minimum spanning tree between the global and local
+//!   models**, route along the tree, and **aggregate at the middle and
+//!   final nodes** of the upload procedure.
+//!
+//! Supporting machinery:
+//!
+//! * [`Schedule`] / [`RoutingPlan`] — the output: rated paths or a rated
+//!   tree for each procedure, with apply/release onto the network state,
+//! * [`evaluate`] — per-iteration latency/bandwidth evaluation producing
+//!   the [`flexsched_task::TaskReport`]s behind Figures 3a/3b,
+//! * [`selection`] — local-model selection strategies (open challenge #1),
+//! * [`reschedule`] — the re-scheduling trade-off policy (interruption vs
+//!   bandwidth/latency saving, also open challenge #1).
+
+pub mod context;
+pub mod error;
+pub mod evaluate;
+pub mod fixed;
+pub mod flexible;
+pub mod reschedule;
+pub mod schedule;
+pub mod selection;
+pub mod weights;
+
+pub use context::SchedContext;
+pub use error::SchedError;
+pub use evaluate::evaluate_schedule;
+pub use fixed::FixedSpff;
+pub use flexible::FlexibleMst;
+pub use reschedule::{ReschedulePolicy, RescheduleVerdict};
+pub use schedule::{RatedPath, RoutingPlan, Schedule};
+pub use selection::SelectionStrategy;
+
+use flexsched_task::AiTask;
+use flexsched_topo::NodeId;
+
+/// Convenience result alias for scheduling operations.
+pub type Result<T> = std::result::Result<T, SchedError>;
+
+/// A scheduling policy: compute routing for one task against a read-only
+/// view of the network. Mutation (reserving bandwidth, lighting
+/// wavelengths) is the orchestrator's job via [`Schedule::apply`].
+pub trait Scheduler {
+    /// Stable policy name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce a schedule for `task` over the already-selected local sites.
+    fn schedule(
+        &self,
+        task: &AiTask,
+        selected: &[NodeId],
+        ctx: &SchedContext<'_>,
+    ) -> Result<Schedule>;
+}

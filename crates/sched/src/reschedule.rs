@@ -1,0 +1,279 @@
+//! Rescheduling: the interruption-vs-saving trade-off (open challenge #1).
+//!
+//! "Routing paths and aggregation procedures must be initially scheduled
+//! for each AI task, and then re-scheduled when the deployed AI tasks and
+//! networks change. ... We also need to balance a trade-off between
+//! re-scheduling (temporary interruption) and bandwidth/latency saving."
+//!
+//! The policy here: re-evaluate the task's current schedule against fresh
+//! network state, compute a candidate schedule, and migrate only when the
+//! predicted latency saving over the task's remaining iterations outweighs
+//! the interruption cost by a configurable factor.
+
+use crate::context::SchedContext;
+use crate::evaluate::evaluate_schedule;
+use crate::schedule::Schedule;
+use crate::{Result, Scheduler};
+use flexsched_compute::ClusterManager;
+use flexsched_simnet::{NetworkState, Transport};
+use flexsched_task::AiTask;
+
+/// Rescheduling decision knobs.
+#[derive(Debug, Clone)]
+pub struct ReschedulePolicy {
+    /// Time the task is paused while paths are reconfigured, ns.
+    pub interruption_ns: u64,
+    /// Required benefit-to-cost ratio before migrating (1.0 = break-even;
+    /// higher = more conservative).
+    pub threshold: f64,
+}
+
+impl Default for ReschedulePolicy {
+    fn default() -> Self {
+        ReschedulePolicy {
+            // SDN flow-rule + ROADM reconfiguration: a few milliseconds.
+            interruption_ns: 5_000_000,
+            threshold: 1.5,
+        }
+    }
+}
+
+/// Outcome of a rescheduling consideration.
+#[derive(Debug)]
+pub enum RescheduleVerdict {
+    /// Keep the current schedule (saving does not justify interruption).
+    Keep {
+        /// Predicted total saving that was rejected, ns (may be negative).
+        rejected_saving_ns: i64,
+    },
+    /// Migrate to the new schedule.
+    Migrate {
+        /// The replacement schedule (not yet applied).
+        new_schedule: Box<Schedule>,
+        /// Predicted latency saving over remaining iterations, ns.
+        predicted_saving_ns: i64,
+        /// Bandwidth change (new - old), Gbit/s·link (negative = saving).
+        bandwidth_delta_gbps: f64,
+    },
+}
+
+/// Consider rescheduling `task` (currently running `current`, with
+/// `remaining_iterations` left) under fresh network conditions.
+///
+/// `state` must be the live network state *with `current` applied*. The
+/// candidate is computed against a hypothetical state where the task's own
+/// reservations are released (so it does not compete with itself), and
+/// never mutates the real state.
+pub fn consider(
+    policy: &ReschedulePolicy,
+    scheduler: &dyn Scheduler,
+    task: &AiTask,
+    current: &Schedule,
+    remaining_iterations: u32,
+    state: &NetworkState,
+    cluster: &ClusterManager,
+    transport: &Transport,
+) -> Result<RescheduleVerdict> {
+    // Current cost under today's conditions.
+    let current_report = evaluate_schedule(task, current, state, cluster, transport)?;
+
+    // Hypothetical world without our reservations.
+    let mut without_us = state.clone();
+    current.release(&mut without_us)?;
+    let candidate = {
+        let ctx = SchedContext::new(&without_us);
+        scheduler.schedule(task, &current.selected_locals, &ctx)?
+    };
+    let mut with_candidate = without_us.clone();
+    candidate.apply(&mut with_candidate)?;
+    let candidate_report =
+        evaluate_schedule(task, &candidate, &with_candidate, cluster, transport)?;
+
+    let per_iter_saving =
+        current_report.iteration_ns() as i64 - candidate_report.iteration_ns() as i64;
+    let total_saving = per_iter_saving * i64::from(remaining_iterations);
+    let cost = (policy.interruption_ns as f64 * policy.threshold) as i64;
+
+    if total_saving > cost {
+        let bandwidth_delta_gbps = candidate.total_bandwidth_gbps(state.topo())?
+            - current.total_bandwidth_gbps(state.topo())?;
+        Ok(RescheduleVerdict::Migrate {
+            new_schedule: Box::new(candidate),
+            predicted_saving_ns: total_saving,
+            bandwidth_delta_gbps,
+        })
+    } else {
+        Ok(RescheduleVerdict::Keep {
+            rejected_saving_ns: total_saving,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedSpff;
+    use crate::flexible::FlexibleMst;
+    use flexsched_compute::{ModelProfile, ServerSpec};
+    use flexsched_simnet::DirLink;
+    use flexsched_task::TaskId;
+    use flexsched_topo::{builders, Direction};
+    use std::sync::Arc;
+
+    fn rig() -> (NetworkState, ClusterManager, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
+        let servers = topo.servers();
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: servers[0],
+            local_sites: servers[1..=8].to_vec(),
+            data_utility: Default::default(),
+            iterations: 10,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        (state, cluster, task)
+    }
+
+    #[test]
+    fn stable_network_keeps_schedule() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = {
+            let ctx = SchedContext::new(&state);
+            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        current.apply(&mut state).unwrap();
+        let verdict = consider(
+            &ReschedulePolicy::default(),
+            &sched,
+            &task,
+            &current,
+            8,
+            &state,
+            &cluster,
+            &Transport::tcp(),
+        )
+        .unwrap();
+        assert!(
+            matches!(verdict, RescheduleVerdict::Keep { .. }),
+            "nothing changed; migration would be pure interruption"
+        );
+    }
+
+    #[test]
+    fn link_failure_triggers_migration() {
+        let (mut state, cluster, task) = rig();
+        let sched = FixedSpff;
+        let current = {
+            let ctx = SchedContext::new(&state);
+            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        current.apply(&mut state).unwrap();
+
+        // Cut a core ring span (ROADM-to-ROADM) the schedule uses: the
+        // current schedule stalls while a rerouted candidate detours the
+        // ring around the failure.
+        let core = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl)
+            .find(|dl| {
+                let l = state.topo().link(dl.link).unwrap();
+                let a = state.topo().node(l.a).unwrap().kind;
+                let b = state.topo().node(l.b).unwrap().kind;
+                a == flexsched_topo::NodeKind::Roadm && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        state.set_down(core.link, true).unwrap();
+
+        let verdict = consider(
+            &ReschedulePolicy {
+                interruption_ns: 1_000,
+                threshold: 1.0,
+            },
+            &sched,
+            &task,
+            &current,
+            10,
+            &state,
+            &cluster,
+            &Transport::tcp(),
+        )
+        .unwrap();
+        match verdict {
+            RescheduleVerdict::Migrate {
+                predicted_saving_ns,
+                new_schedule,
+                ..
+            } => {
+                assert!(predicted_saving_ns > 0);
+                for (dl, _) in new_schedule.reservations(state.topo()).unwrap() {
+                    assert_ne!(dl.link, core.link, "candidate must avoid the cut link");
+                }
+            }
+            RescheduleVerdict::Keep { rejected_saving_ns } => {
+                panic!("expected migration, saving was {rejected_saving_ns}")
+            }
+        }
+    }
+
+    #[test]
+    fn high_threshold_suppresses_migration() {
+        let (mut state, cluster, task) = rig();
+        let sched = FixedSpff;
+        let current = {
+            let ctx = SchedContext::new(&state);
+            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        current.apply(&mut state).unwrap();
+        let (dl0, _) = current.reservations(state.topo()).unwrap()[0];
+        let residual = state.residual_gbps(dl0).unwrap();
+        state.add_background(dl0, residual * 0.9).unwrap();
+
+        let verdict = consider(
+            &ReschedulePolicy {
+                interruption_ns: u64::MAX / 4,
+                threshold: 1_000.0,
+            },
+            &sched,
+            &task,
+            &current,
+            2,
+            &state,
+            &cluster,
+            &Transport::tcp(),
+        )
+        .unwrap();
+        assert!(matches!(verdict, RescheduleVerdict::Keep { .. }));
+    }
+
+    #[test]
+    fn consider_does_not_mutate_live_state() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = {
+            let ctx = SchedContext::new(&state);
+            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        current.apply(&mut state).unwrap();
+        let before = state.total_reserved_gbps();
+        let _ = consider(
+            &ReschedulePolicy::default(),
+            &sched,
+            &task,
+            &current,
+            5,
+            &state,
+            &cluster,
+            &Transport::tcp(),
+        )
+        .unwrap();
+        assert_eq!(state.total_reserved_gbps(), before);
+        let _ = DirLink::new(flexsched_topo::LinkId(0), Direction::AtoB);
+    }
+}

@@ -1,0 +1,347 @@
+//! Schedule representation: the output of a scheduling policy.
+
+use crate::Result;
+use flexsched_simnet::{DirLink, NetworkState};
+use flexsched_task::TaskId;
+use flexsched_topo::algo::SteinerTree;
+use flexsched_topo::{NodeId, Path, Topology};
+use std::collections::BTreeMap;
+
+/// A path with the rate reserved on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatedPath {
+    /// The route (stored in its travel direction).
+    pub path: Path,
+    /// Reserved rate, Gbit/s.
+    pub rate_gbps: f64,
+}
+
+/// Routing for one procedure (broadcast or upload).
+#[derive(Debug, Clone)]
+pub enum RoutingPlan {
+    /// Per-local end-to-end paths (fixed scheduler). Keys are local sites;
+    /// broadcast paths run global→local, upload paths local→global.
+    Paths(BTreeMap<NodeId, RatedPath>),
+    /// A shared tree (flexible scheduler). Broadcast flows root→leaves,
+    /// upload flows leaves→root with aggregation at branch nodes.
+    Tree {
+        /// The routing tree rooted at the global site.
+        tree: SteinerTree,
+        /// Base rate reserved per model-update stream, Gbit/s.
+        rate_gbps: f64,
+        /// Model-update copies carried on each node's parent edge. Broadcast
+        /// trees carry one copy everywhere (multicast); upload trees carry
+        /// one copy below aggregation points and more above branch nodes
+        /// that cannot aggregate (e.g. all-optical ROADMs). Missing entries
+        /// default to 1.
+        copies: BTreeMap<NodeId, u32>,
+    },
+}
+
+impl RoutingPlan {
+    /// Directed reservations this plan needs: `(link, direction, rate)`
+    /// triples. `towards_root` selects the upload orientation for trees and
+    /// is ignored for path plans (paths are already stored directed).
+    pub fn reservations(
+        &self,
+        topo: &Topology,
+        towards_root: bool,
+    ) -> Result<Vec<(DirLink, f64)>> {
+        let mut out = Vec::new();
+        match self {
+            RoutingPlan::Paths(map) => {
+                for rp in map.values() {
+                    for (i, l) in rp.path.links.iter().enumerate() {
+                        let link = topo.link(*l)?;
+                        let dir = link
+                            .direction_from(rp.path.nodes[i])
+                            .ok_or(flexsched_topo::TopoError::UnknownLink(*l))?;
+                        out.push((DirLink::new(*l, dir), rp.rate_gbps));
+                    }
+                }
+            }
+            RoutingPlan::Tree {
+                tree,
+                rate_gbps,
+                copies,
+            } => {
+                for n in &tree.nodes {
+                    if let Some((parent, l)) = tree.parent_of(*n) {
+                        let link = topo.link(l)?;
+                        // Tree edge n <-> parent: broadcast travels
+                        // parent->n, upload travels n->parent.
+                        let from = if towards_root { *n } else { parent };
+                        let dir = link
+                            .direction_from(from)
+                            .ok_or(flexsched_topo::TopoError::UnknownLink(l))?;
+                        let c = f64::from(copies.get(n).copied().unwrap_or(1).max(1));
+                        out.push((DirLink::new(l, dir), *rate_gbps * c));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of `rate × directed links` for this plan, Gbit/s — the bandwidth
+    /// consumption the paper plots in Figure 3b.
+    pub fn bandwidth_gbps(&self, topo: &Topology, towards_root: bool) -> Result<f64> {
+        Ok(self
+            .reservations(topo, towards_root)?
+            .iter()
+            .map(|(_, r)| r)
+            .sum())
+    }
+
+    /// Smallest reserved rate anywhere in the plan (for reporting).
+    pub fn min_rate_gbps(&self) -> f64 {
+        match self {
+            RoutingPlan::Paths(map) => map
+                .values()
+                .map(|rp| rp.rate_gbps)
+                .fold(f64::INFINITY, f64::min),
+            RoutingPlan::Tree { rate_gbps, .. } => *rate_gbps,
+        }
+    }
+}
+
+/// A complete schedule for one task: routing for both procedures.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The task scheduled.
+    pub task: TaskId,
+    /// Producing policy name.
+    pub scheduler: String,
+    /// Global-model site (tree root / path endpoint).
+    pub global_site: NodeId,
+    /// Local sites actually scheduled (post-selection).
+    pub selected_locals: Vec<NodeId>,
+    /// Bandwidth demand the task asked for, Gbit/s.
+    pub demand_gbps: f64,
+    /// Broadcast-procedure routing (global → locals).
+    pub broadcast: RoutingPlan,
+    /// Upload-procedure routing (locals → global).
+    pub upload: RoutingPlan,
+}
+
+impl Schedule {
+    /// All directed reservations of both procedures.
+    pub fn reservations(&self, topo: &Topology) -> Result<Vec<(DirLink, f64)>> {
+        let mut r = self.broadcast.reservations(topo, false)?;
+        r.extend(self.upload.reservations(topo, true)?);
+        Ok(r)
+    }
+
+    /// Total bandwidth held by this schedule (both procedures), Gbit/s·link.
+    pub fn total_bandwidth_gbps(&self, topo: &Topology) -> Result<f64> {
+        Ok(self
+            .reservations(topo)?
+            .iter()
+            .map(|(_, r)| r)
+            .sum())
+    }
+
+    /// Reserve every directed hop on the network state. All-or-nothing: on
+    /// failure, already-applied reservations are rolled back.
+    pub fn apply(&self, state: &mut NetworkState) -> Result<()> {
+        let reservations = self.reservations(state.topo())?;
+        let mut done: Vec<(DirLink, f64)> = Vec::with_capacity(reservations.len());
+        for (dl, rate) in reservations {
+            match state.reserve(dl, rate) {
+                Ok(()) => done.push((dl, rate)),
+                Err(e) => {
+                    for (d, r) in done {
+                        state
+                            .release(d, r)
+                            .expect("rollback of fresh reservation cannot fail");
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Release every directed hop previously applied.
+    pub fn release(&self, state: &mut NetworkState) -> Result<()> {
+        for (dl, rate) in self.reservations(state.topo())? {
+            state.release(dl, rate)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregation points of the upload plan: aggregation-capable branch
+    /// nodes for trees (paper: "the middle and final nodes"), or just the
+    /// global site for path plans (baseline aggregates only at G).
+    pub fn aggregation_points(&self, topo: &Topology) -> Vec<NodeId> {
+        match &self.upload {
+            RoutingPlan::Paths(_) => vec![self.global_site],
+            RoutingPlan::Tree { tree, .. } => tree
+                .aggregation_points()
+                .into_iter()
+                .filter(|n| {
+                    topo.node(*n)
+                        .map(|node| node.kind.can_aggregate())
+                        .unwrap_or(false)
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of distinct physical links the schedule touches.
+    pub fn footprint_links(&self, topo: &Topology) -> Result<usize> {
+        let mut set = std::collections::BTreeSet::new();
+        for (dl, _) in self.reservations(topo)? {
+            set.insert(dl.link);
+        }
+        Ok(set.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::algo::{hop_weight, shortest_path, steiner_tree};
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn rig() -> (Arc<Topology>, NetworkState) {
+        let topo = Arc::new(builders::star(4, 1.0, 100.0));
+        let state = NetworkState::new(Arc::clone(&topo));
+        (topo, state)
+    }
+
+    /// Build a fixed-style schedule on a star: G = server 1, locals 2..4.
+    fn fixed_schedule(topo: &Topology, rate: f64) -> Schedule {
+        let g = NodeId(1);
+        let locals = [NodeId(2), NodeId(3), NodeId(4)];
+        let mut bcast = BTreeMap::new();
+        let mut up = BTreeMap::new();
+        for l in locals {
+            let down = shortest_path(topo, g, l, hop_weight).unwrap();
+            let upp = down.reversed();
+            bcast.insert(l, RatedPath { path: down, rate_gbps: rate });
+            up.insert(l, RatedPath { path: upp, rate_gbps: rate });
+        }
+        Schedule {
+            task: TaskId(0),
+            scheduler: "fixed-test".into(),
+            global_site: g,
+            selected_locals: locals.to_vec(),
+            demand_gbps: rate,
+            broadcast: RoutingPlan::Paths(bcast),
+            upload: RoutingPlan::Paths(up),
+        }
+    }
+
+    /// Build a tree-style schedule on the same star.
+    fn tree_schedule(topo: &Topology, rate: f64) -> Schedule {
+        let g = NodeId(1);
+        let locals = vec![NodeId(2), NodeId(3), NodeId(4)];
+        let tree = steiner_tree(topo, g, &locals, hop_weight).unwrap();
+        Schedule {
+            task: TaskId(1),
+            scheduler: "flex-test".into(),
+            global_site: g,
+            selected_locals: locals,
+            demand_gbps: rate,
+            broadcast: RoutingPlan::Tree {
+                tree: tree.clone(),
+                rate_gbps: rate,
+                copies: BTreeMap::new(),
+            },
+            upload: RoutingPlan::Tree {
+                tree,
+                rate_gbps: rate,
+                copies: BTreeMap::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn fixed_bandwidth_counts_every_path_hop() {
+        let (topo, _) = rig();
+        let s = fixed_schedule(&topo, 10.0);
+        // 3 locals × 2 hops × 2 procedures × 10 Gbps = 120.
+        assert!((s.total_bandwidth_gbps(&topo).unwrap() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_bandwidth_counts_each_edge_once_per_procedure() {
+        let (topo, _) = rig();
+        let s = tree_schedule(&topo, 10.0);
+        // Star tree: 4 edges (hub + 3 leaves... G-hub + hub-l2,3,4) × 2 × 10.
+        assert!((s.total_bandwidth_gbps(&topo).unwrap() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_beats_paths_on_bandwidth() {
+        let (topo, _) = rig();
+        let fixed = fixed_schedule(&topo, 10.0);
+        let tree = tree_schedule(&topo, 10.0);
+        assert!(
+            tree.total_bandwidth_gbps(&topo).unwrap()
+                < fixed.total_bandwidth_gbps(&topo).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_then_release_round_trips() {
+        let (topo, mut state) = rig();
+        let s = fixed_schedule(&topo, 10.0);
+        s.apply(&mut state).unwrap();
+        assert!((state.total_reserved_gbps() - 120.0).abs() < 1e-9);
+        s.release(&mut state).unwrap();
+        assert!(state.total_reserved_gbps().abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_is_atomic_under_shortage() {
+        let (topo, mut state) = rig();
+        // The hub->G link (shared by all upload paths as last hop) carries
+        // 3 flows of 40 G = 120 > 100: apply must fail and roll back.
+        let s = fixed_schedule(&topo, 40.0);
+        assert!(s.apply(&mut state).is_err());
+        assert!(state.total_reserved_gbps().abs() < 1e-9, "rollback leaked");
+    }
+
+    #[test]
+    fn directions_let_broadcast_and_upload_coexist() {
+        let (topo, mut state) = rig();
+        // 34 G each way saturates neither direction alone (100 G cap).
+        let s = fixed_schedule(&topo, 30.0);
+        s.apply(&mut state).unwrap();
+        s.release(&mut state).unwrap();
+    }
+
+    #[test]
+    fn aggregation_points_differ_by_plan() {
+        let (topo, _) = rig();
+        let fixed = fixed_schedule(&topo, 1.0);
+        assert_eq!(fixed.aggregation_points(&topo), vec![NodeId(1)]);
+        let tree = tree_schedule(&topo, 1.0);
+        let pts = tree.aggregation_points(&topo);
+        assert!(pts.contains(&NodeId(1)), "root aggregates");
+        assert!(pts.contains(&NodeId(0)), "hub is a branch aggregation point");
+    }
+
+    #[test]
+    fn footprint_counts_distinct_links() {
+        let (topo, _) = rig();
+        let fixed = fixed_schedule(&topo, 1.0);
+        // Paths G-hub-Li touch links: (G,hub), (hub,l2), (hub,l3), (hub,l4).
+        assert_eq!(fixed.footprint_links(&topo).unwrap(), 4);
+        let tree = tree_schedule(&topo, 1.0);
+        assert_eq!(tree.footprint_links(&topo).unwrap(), 4);
+    }
+
+    #[test]
+    fn min_rate_reports_weakest_flow() {
+        let (topo, _) = rig();
+        let mut s = fixed_schedule(&topo, 10.0);
+        if let RoutingPlan::Paths(map) = &mut s.broadcast {
+            map.get_mut(&NodeId(2)).unwrap().rate_gbps = 2.5;
+        }
+        assert!((s.broadcast.min_rate_gbps() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Local-model selection strategies (open challenge #1).
+//!
+//! "Each local model contributes to the global model based on its local
+//! data. Thus, we should strategically select only those local models
+//! containing useful data to improve model learning."
+
+use flexsched_simnet::NetworkState;
+use flexsched_task::AiTask;
+use flexsched_topo::{algo, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How to choose which local models participate in an iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionStrategy {
+    /// Use every local model (the poster's evaluation setting).
+    All,
+    /// The `frac` (0..=1] highest-utility sites.
+    TopKUtility(f64),
+    /// A uniformly random `frac` of sites (seeded; the baseline selector in
+    /// FL literature).
+    RandomK(f64, u64),
+    /// Highest utility *per unit network distance* from the global site:
+    /// prefers useful data that is also cheap to reach.
+    BandwidthAware(f64),
+}
+
+impl SelectionStrategy {
+    /// Apply the strategy, returning the selected sites (ascending ids).
+    /// Always selects at least one site.
+    pub fn select(&self, task: &AiTask, state: &NetworkState) -> Vec<NodeId> {
+        let n = task.local_sites.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let keep = |frac: f64| ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        let mut chosen = match self {
+            SelectionStrategy::All => task.local_sites.clone(),
+            SelectionStrategy::TopKUtility(frac) => {
+                task.sites_by_utility().into_iter().take(keep(*frac)).collect()
+            }
+            SelectionStrategy::RandomK(frac, seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed ^ task.id.0);
+                let mut pool = task.local_sites.clone();
+                let mut out = Vec::new();
+                for _ in 0..keep(*frac) {
+                    let i = rng.random_range(0..pool.len());
+                    out.push(pool.swap_remove(i));
+                }
+                out
+            }
+            SelectionStrategy::BandwidthAware(frac) => {
+                // Score = utility / (1 + hops from global site).
+                let spt = algo::shortest_path_tree(
+                    state.topo(),
+                    task.global_site,
+                    algo::hop_weight,
+                );
+                let mut scored: Vec<(f64, NodeId)> = task
+                    .local_sites
+                    .iter()
+                    .map(|s| {
+                        let hops = spt
+                            .as_ref()
+                            .map(|t| t.cost_to(*s))
+                            .unwrap_or(f64::INFINITY);
+                        let score = task.utility_of(*s) / (1.0 + hops);
+                        (score, *s)
+                    })
+                    .collect();
+                scored.sort_by(|(sa, na), (sb, nb)| {
+                    sb.partial_cmp(sa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(na.cmp(nb))
+                });
+                scored.into_iter().take(keep(*frac)).map(|(_, s)| s).collect()
+            }
+        };
+        chosen.sort();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::ModelProfile;
+    use flexsched_task::TaskId;
+    use flexsched_topo::builders;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn rig() -> (NetworkState, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let servers = topo.servers();
+        let global = servers[0];
+        let locals: Vec<NodeId> = servers[1..7].to_vec();
+        let mut utility = BTreeMap::new();
+        for (i, s) in locals.iter().enumerate() {
+            utility.insert(*s, 0.1 + 0.15 * i as f64);
+        }
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::lenet(),
+            global_site: global,
+            local_sites: locals,
+            data_utility: utility,
+            iterations: 3,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        (state, task)
+    }
+
+    #[test]
+    fn all_keeps_everything() {
+        let (state, task) = rig();
+        assert_eq!(
+            SelectionStrategy::All.select(&task, &state),
+            task.local_sites
+        );
+    }
+
+    #[test]
+    fn topk_takes_highest_utility() {
+        let (state, task) = rig();
+        let half = SelectionStrategy::TopKUtility(0.5).select(&task, &state);
+        assert_eq!(half.len(), 3);
+        // The three highest utilities are the last three inserted sites.
+        let best = task.sites_by_utility()[..3].to_vec();
+        let mut best_sorted = best;
+        best_sorted.sort();
+        assert_eq!(half, best_sorted);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_task() {
+        let (state, task) = rig();
+        let a = SelectionStrategy::RandomK(0.5, 7).select(&task, &state);
+        let b = SelectionStrategy::RandomK(0.5, 7).select(&task, &state);
+        assert_eq!(a, b);
+        let c = SelectionStrategy::RandomK(0.5, 8).select(&task, &state);
+        // Different seed will usually differ; at minimum same length.
+        assert_eq!(c.len(), a.len());
+    }
+
+    #[test]
+    fn at_least_one_site_is_always_selected() {
+        let (state, task) = rig();
+        for s in [
+            SelectionStrategy::TopKUtility(0.0001),
+            SelectionStrategy::RandomK(0.0001, 1),
+            SelectionStrategy::BandwidthAware(0.0001),
+        ] {
+            assert_eq!(s.select(&task, &state).len(), 1);
+        }
+    }
+
+    #[test]
+    fn bandwidth_aware_prefers_near_and_useful() {
+        let (state, task) = rig();
+        let picked = SelectionStrategy::BandwidthAware(0.3).select(&task, &state);
+        assert_eq!(picked.len(), 2);
+        // All picked sites must be in the task's local set.
+        for p in &picked {
+            assert!(task.local_sites.contains(p));
+        }
+    }
+
+    #[test]
+    fn fraction_one_equals_all() {
+        let (state, task) = rig();
+        assert_eq!(
+            SelectionStrategy::TopKUtility(1.0).select(&task, &state),
+            task.local_sites
+        );
+    }
+}

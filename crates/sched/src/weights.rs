@@ -1,0 +1,213 @@
+//! Auxiliary-graph link weights.
+//!
+//! The poster: "We initialize each link of the broadcast/upload graphs
+//! according to bandwidth consumption and latency (if AI tasks pass through
+//! the link)". Concretely:
+//!
+//! * the **bandwidth term** charges the fraction of the link's residual
+//!   capacity the task's demand would consume (scarce links are expensive,
+//!   and a link *already carrying this task* costs nothing more — the reuse
+//!   discount that makes trees share segments),
+//! * the **latency term** charges the hop's propagation + switching delay,
+//!   normalised to a metro-scale hop, plus a congestion-dependent queuing
+//!   estimate,
+//! * unusable links (down, no residual, or — when an optical view is
+//!   attached — no free wavelength) weigh `f64::INFINITY`.
+
+use flexsched_optical::OpticalState;
+use flexsched_simnet::NetworkState;
+use flexsched_topo::{Link, LinkId};
+use std::collections::BTreeSet;
+
+/// Relative importance of the bandwidth-consumption term.
+pub const ALPHA_BANDWIDTH: f64 = 1.0;
+
+/// Relative importance of the latency term.
+pub const BETA_LATENCY: f64 = 1.0;
+
+/// Latency normalisation: one "unit" of latency cost per this many ns
+/// (a 10 km metro hop plus router transit ≈ 52 µs).
+const LATENCY_UNIT_NS: f64 = 52_000.0;
+
+/// Weight of a link in the auxiliary graph of one procedure.
+///
+/// `reused` is the set of links already carrying this task (e.g. by the
+/// other procedure's tree, or by the previous schedule during
+/// rescheduling); their bandwidth term is zero.
+pub fn auxiliary_weight(
+    state: &NetworkState,
+    optical: Option<&OpticalState>,
+    demand_gbps: f64,
+    reused: &BTreeSet<LinkId>,
+    link: &Link,
+) -> f64 {
+    if state.is_down(link.id) {
+        return f64::INFINITY;
+    }
+    let residual = state.residual_min_gbps(link.id);
+    if residual <= 0.0 {
+        return f64::INFINITY;
+    }
+    // Wavelength feasibility: a link is usable if a new lightpath can be
+    // lit on it *or* an established lightpath crossing it still has
+    // groomable capacity for this demand. Reused links already carry one.
+    if let Some(opt) = optical {
+        if !reused.contains(&link.id) {
+            let grid = link.wavelengths.max(1);
+            let any_free = (0..grid).any(|w| {
+                opt.is_free(link.id, flexsched_optical::WavelengthId(w))
+                    .unwrap_or(false)
+            });
+            let groomable = !any_free
+                && opt.lightpaths().any(|lp| {
+                    lp.path.links.contains(&link.id)
+                        && lp.residual_gbps() + 1e-9 >= demand_gbps
+                });
+            if !any_free && !groomable {
+                return f64::INFINITY;
+            }
+        }
+    }
+
+    let bandwidth_term = if reused.contains(&link.id) {
+        0.0
+    } else {
+        // Demand as a fraction of residual: cheap on empty links, expensive
+        // as the link approaches saturation.
+        (demand_gbps / residual).min(100.0)
+    };
+    let latency_ns = link.propagation_ns() as f64;
+    let utilization = 1.0 - (residual / link.capacity_gbps.max(1e-9)).clamp(0.0, 1.0);
+    let queue_penalty = if utilization < 1.0 {
+        utilization / (1.0 - utilization)
+    } else {
+        100.0
+    }
+    .min(100.0);
+    let latency_term = latency_ns / LATENCY_UNIT_NS + 0.1 * queue_penalty;
+
+    ALPHA_BANDWIDTH * bandwidth_term + BETA_LATENCY * latency_term
+}
+
+/// Weight used by the fixed SPFF baseline: pure latency shortest path,
+/// infinite when the link is down or has no residual capacity at all. The
+/// baseline deliberately ignores bandwidth consumption — that is what makes
+/// it "fixed".
+pub fn spff_weight(state: &NetworkState, link: &Link) -> f64 {
+    if state.is_down(link.id) || state.residual_min_gbps(link.id) <= 0.0 {
+        return f64::INFINITY;
+    }
+    link.propagation_ns() as f64 + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_simnet::DirLink;
+    use flexsched_topo::{builders, Direction};
+    use std::sync::Arc;
+
+    fn rig() -> NetworkState {
+        NetworkState::new(Arc::new(builders::linear(3, 10.0, 100.0)))
+    }
+
+    fn link0(state: &NetworkState) -> Link {
+        state.topo().link(LinkId(0)).unwrap().clone()
+    }
+
+    #[test]
+    fn reused_links_have_no_bandwidth_cost() {
+        let state = rig();
+        let l = link0(&state);
+        let empty = BTreeSet::new();
+        let mut reused = BTreeSet::new();
+        reused.insert(LinkId(0));
+        let fresh = auxiliary_weight(&state, None, 50.0, &empty, &l);
+        let cheap = auxiliary_weight(&state, None, 50.0, &reused, &l);
+        assert!(cheap < fresh, "reuse discount missing: {cheap} !< {fresh}");
+    }
+
+    #[test]
+    fn scarcer_links_cost_more() {
+        let mut state = rig();
+        let l = link0(&state);
+        let empty = BTreeSet::new();
+        let idle = auxiliary_weight(&state, None, 20.0, &empty, &l);
+        state
+            .add_background(DirLink::new(LinkId(0), Direction::AtoB), 70.0)
+            .unwrap();
+        let busy = auxiliary_weight(&state, None, 20.0, &empty, &l);
+        assert!(busy > idle);
+    }
+
+    #[test]
+    fn saturated_links_are_unusable() {
+        let mut state = rig();
+        let l = link0(&state);
+        state
+            .add_background(DirLink::new(LinkId(0), Direction::AtoB), 100.0)
+            .unwrap();
+        assert_eq!(
+            auxiliary_weight(&state, None, 1.0, &BTreeSet::new(), &l),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn down_links_are_unusable_for_both_weights() {
+        let mut state = rig();
+        let l = link0(&state);
+        state.set_down(LinkId(0), true).unwrap();
+        assert_eq!(
+            auxiliary_weight(&state, None, 1.0, &BTreeSet::new(), &l),
+            f64::INFINITY
+        );
+        assert_eq!(spff_weight(&state, &l), f64::INFINITY);
+    }
+
+    #[test]
+    fn spff_weight_tracks_latency_only() {
+        let mut topo = flexsched_topo::Topology::new();
+        let a = topo.add_node(flexsched_topo::NodeKind::IpRouter, "a");
+        let b = topo.add_node(flexsched_topo::NodeKind::IpRouter, "b");
+        let short = topo.add_link(a, b, 1.0, 10.0).unwrap();
+        let long = topo.add_link(a, b, 50.0, 400.0).unwrap();
+        let state = NetworkState::new(Arc::new(topo));
+        let ws = spff_weight(&state, state.topo().link(short).unwrap());
+        let wl = spff_weight(&state, state.topo().link(long).unwrap());
+        assert!(ws < wl, "capacity must not matter to SPFF: {ws} {wl}");
+    }
+
+    #[test]
+    fn wavelength_exhaustion_blocks_new_links_only() {
+        use flexsched_optical::{OpticalState, WavelengthPolicy};
+        let mut topo = flexsched_topo::Topology::new();
+        let a = topo.add_node(flexsched_topo::NodeKind::Roadm, "a");
+        let b = topo.add_node(flexsched_topo::NodeKind::Roadm, "b");
+        topo.add_wdm_link(a, b, 10.0, 100.0, 1).unwrap();
+        let topo = Arc::new(topo);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let mut opt = OpticalState::new(Arc::clone(&topo));
+        let p = flexsched_topo::algo::shortest_path(
+            &topo,
+            a,
+            b,
+            flexsched_topo::algo::hop_weight,
+        )
+        .unwrap();
+        opt.establish(p, WavelengthPolicy::FirstFit).unwrap();
+        let l = state.topo().link(LinkId(0)).unwrap().clone();
+        // Demand exceeding the occupied lightpath's residual: unusable.
+        let fresh =
+            auxiliary_weight(&state, Some(&opt), 500.0, &BTreeSet::new(), &l);
+        assert_eq!(fresh, f64::INFINITY, "no free wavelength -> unusable");
+        // A small demand fits the established lightpath's residual: usable.
+        let groomed =
+            auxiliary_weight(&state, Some(&opt), 1.0, &BTreeSet::new(), &l);
+        assert!(groomed.is_finite(), "groomable lightpath keeps link usable");
+        let mut reused = BTreeSet::new();
+        reused.insert(LinkId(0));
+        let re = auxiliary_weight(&state, Some(&opt), 1.0, &reused, &l);
+        assert!(re.is_finite(), "reused link keeps its lightpath");
+    }
+}

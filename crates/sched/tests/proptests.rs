@@ -1,0 +1,168 @@
+//! Property-based tests for the schedulers.
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_sched::{
+    evaluate_schedule, FixedSpff, FlexibleMst, RoutingPlan, SchedContext, Scheduler,
+};
+use flexsched_simnet::{NetworkState, Transport};
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::builders;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn make_task(topo: &flexsched_topo::Topology, n_locals: usize, seed: u64) -> AiTask {
+    let servers = topo.servers();
+    let g = servers[(seed as usize) % servers.len()];
+    let mut locals = Vec::new();
+    let mut i = seed as usize + 1;
+    while locals.len() < n_locals {
+        let cand = servers[i % servers.len()];
+        if cand != g && !locals.contains(&cand) {
+            locals.push(cand);
+        }
+        i += 1;
+    }
+    locals.sort();
+    AiTask {
+        id: TaskId(seed),
+        model: ModelProfile::mobilenet(),
+        global_site: g,
+        local_sites: locals,
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every local selected must appear in the broadcast and upload plans,
+    /// with routes that actually connect the global site to it.
+    #[test]
+    fn schedules_cover_all_selected_locals(n in 1usize..16, seed in 0u64..200) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let task = make_task(&topo, n, seed);
+        let ctx = SchedContext::new(&state);
+        for sched in [&FixedSpff as &dyn Scheduler, &FlexibleMst::paper()] {
+            let s = sched.schedule(&task, &task.local_sites, &ctx).unwrap();
+            match &s.broadcast {
+                RoutingPlan::Paths(m) => {
+                    for local in &task.local_sites {
+                        let rp = &m[local];
+                        prop_assert_eq!(rp.path.source(), task.global_site);
+                        prop_assert_eq!(rp.path.destination(), *local);
+                        rp.path.validate(&topo).unwrap();
+                    }
+                }
+                RoutingPlan::Tree { tree, .. } => {
+                    for local in &task.local_sites {
+                        let p = tree.path_from_root(*local).unwrap();
+                        prop_assert_eq!(p.destination(), *local);
+                        p.validate(&topo).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flexible scheduler never consumes more bandwidth than the fixed
+    /// baseline for the same task (the Figure-3b dominance).
+    #[test]
+    fn flexible_bandwidth_dominates(n in 2usize..16, seed in 0u64..200) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let task = make_task(&topo, n, seed);
+        let ctx = SchedContext::new(&state);
+        let fixed = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let flex = FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap();
+        let bx = fixed.total_bandwidth_gbps(&topo).unwrap();
+        let bf = flex.total_bandwidth_gbps(&topo).unwrap();
+        prop_assert!(bf <= bx + 1e-6, "flexible {bf} > fixed {bx} at n={n}");
+    }
+
+    /// Applying then releasing any schedule leaves the network untouched,
+    /// and the applied amount matches the schedule's own accounting.
+    #[test]
+    fn apply_release_conservation(n in 1usize..14, seed in 0u64..200, flex in proptest::bool::ANY) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let mut state = NetworkState::new(Arc::clone(&topo));
+        let task = make_task(&topo, n, seed);
+        let s = {
+            let ctx = SchedContext::new(&state);
+            if flex {
+                FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap()
+            } else {
+                FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap()
+            }
+        };
+        s.apply(&mut state).unwrap();
+        let reserved = state.total_reserved_gbps();
+        let accounted = s.total_bandwidth_gbps(&topo).unwrap();
+        prop_assert!((reserved - accounted).abs() < 1e-6,
+            "reserved {reserved} != accounted {accounted}");
+        s.release(&mut state).unwrap();
+        prop_assert!(state.total_reserved_gbps().abs() < 1e-9);
+    }
+
+    /// Evaluation is deterministic and all its latency components positive.
+    #[test]
+    fn evaluation_is_deterministic(n in 1usize..12, seed in 0u64..100) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let mut state = NetworkState::new(Arc::clone(&topo));
+        let cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
+        let task = make_task(&topo, n, seed);
+        let s = {
+            let ctx = SchedContext::new(&state);
+            FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap()
+        };
+        s.apply(&mut state).unwrap();
+        let a = evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
+        let b = evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.broadcast_ns > 0);
+        prop_assert!(a.upload_ns > 0);
+        prop_assert!(a.iteration_ns() >= a.training_ns);
+    }
+
+    /// Tree reservations never exceed residual capacity at apply time, for
+    /// sequences of tasks applied one after another.
+    #[test]
+    fn sequential_tasks_never_oversubscribe(
+        seeds in proptest::collection::vec(0u64..400, 1..8)
+    ) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let mut state = NetworkState::new(Arc::clone(&topo));
+        let mut applied = Vec::new();
+        for (i, seed) in seeds.iter().enumerate() {
+            let task = make_task(&topo, 4 + (i % 8), *seed);
+            let res = {
+                let ctx = SchedContext::new(&state);
+                FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx)
+            };
+            if let Ok(s) = res {
+                // apply may legitimately fail only by Blocked-style races,
+                // but never corrupt state.
+                if s.apply(&mut state).is_ok() {
+                    applied.push(s);
+                }
+            }
+            // Invariant: no directed link oversubscribed.
+            for l in topo.link_ids() {
+                for dir in [flexsched_topo::Direction::AtoB, flexsched_topo::Direction::BtoA] {
+                    let dl = flexsched_simnet::DirLink::new(l, dir);
+                    let u = state.usage(dl).unwrap();
+                    let cap = topo.link(l).unwrap().capacity_gbps;
+                    prop_assert!(u.occupied_gbps() <= cap + 1e-6,
+                        "link {l} oversubscribed: {} > {cap}", u.occupied_gbps());
+                }
+            }
+        }
+        for s in applied {
+            s.release(&mut state).unwrap();
+        }
+        prop_assert!(state.total_reserved_gbps().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic discrete-event queue and run loop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue: ordered by time, then insertion sequence.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue with a monotone clock.
+///
+/// Events scheduled for the same instant pop in insertion (FIFO) order, so
+/// simulations are fully deterministic. Scheduling an event in the past is a
+/// logic error and panics (it would silently corrupt causality otherwise).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drive the queue until it drains or `handler` returns `false`.
+    ///
+    /// The handler receives the event time, the event, and the queue itself
+    /// (so it can schedule follow-up events). Returns the number of events
+    /// processed by this call.
+    pub fn run<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Self) -> bool,
+    {
+        let start = self.processed;
+        while let Some((t, e)) = self.pop() {
+            if !handler(t, e, self) {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// Drive the queue until `deadline` (events at exactly `deadline` are
+    /// processed); later events remain queued. Returns events processed.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Self),
+    {
+        let start = self.processed;
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            let (t, e) = self.pop().expect("peeked event exists");
+            handler(t, e, self);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), 0u32);
+        let mut seen = Vec::new();
+        q.run(|t, e, q| {
+            seen.push((t.as_ns(), e));
+            if e < 3 {
+                q.schedule_in(SimTime::from_ns(10), e + 1);
+            }
+            true
+        });
+        assert_eq!(seen, vec![(1, 0), (11, 1), (21, 2), (31, 3)]);
+    }
+
+    #[test]
+    fn run_stops_when_handler_returns_false() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_ns(i), i);
+        }
+        let n = q.run(|_, e, _| e < 2);
+        assert_eq!(n, 3); // events 0,1 continue; event 2 stops the loop
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        for i in 1..=5 {
+            q.schedule(SimTime::from_us(i), i);
+        }
+        let mut seen = Vec::new();
+        let n = q.run_until(SimTime::from_us(3), |_, e, _| seen.push(e));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.now(), SimTime::from_us(3));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_with_no_events() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.run_until(SimTime::from_ms(1), |_, _, _| {});
+        assert_eq!(q.now(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn processed_counter_accumulates() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), ());
+        q.schedule(SimTime::from_ns(2), ());
+        q.run(|_, _, _| true);
+        assert_eq!(q.processed(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the simulator.
+
+use flexsched_topo::{LinkId, NodeId};
+use std::fmt;
+
+/// Errors produced by simulator state transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Reserving bandwidth failed because the link lacks residual capacity.
+    InsufficientCapacity {
+        /// Link that could not fit the reservation.
+        link: LinkId,
+        /// Rate requested, Gbit/s.
+        requested_gbps: f64,
+        /// Rate actually available, Gbit/s.
+        available_gbps: f64,
+    },
+    /// The link is administratively or physically down.
+    LinkDown(LinkId),
+    /// Releasing more bandwidth than was reserved.
+    ReleaseUnderflow { link: LinkId, requested_gbps: f64 },
+    /// A topology lookup failed.
+    Topo(flexsched_topo::TopoError),
+    /// A flow id was not found.
+    UnknownFlow(u64),
+    /// A node lookup failed in a context requiring a server.
+    NotAServer(NodeId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InsufficientCapacity {
+                link,
+                requested_gbps,
+                available_gbps,
+            } => write!(
+                f,
+                "insufficient capacity on {link}: requested {requested_gbps} Gbps, available {available_gbps} Gbps"
+            ),
+            SimError::LinkDown(l) => write!(f, "link {l} is down"),
+            SimError::ReleaseUnderflow {
+                link,
+                requested_gbps,
+            } => write!(f, "release underflow on {link} ({requested_gbps} Gbps)"),
+            SimError::Topo(e) => write!(f, "topology error: {e}"),
+            SimError::UnknownFlow(id) => write!(f, "unknown flow {id}"),
+            SimError::NotAServer(n) => write!(f, "node {n} is not a server"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Topo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexsched_topo::TopoError> for SimError {
+    fn from(e: flexsched_topo::TopoError) -> Self {
+        SimError::Topo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::InsufficientCapacity {
+            link: LinkId(3),
+            requested_gbps: 10.0,
+            available_gbps: 4.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("l3") && msg.contains("10") && msg.contains("4"));
+        assert!(SimError::LinkDown(LinkId(1)).to_string().contains("down"));
+        assert!(SimError::UnknownFlow(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn topo_errors_convert() {
+        let t = flexsched_topo::TopoError::UnknownNode(NodeId(0));
+        let s: SimError = t.clone().into();
+        assert_eq!(s, SimError::Topo(t));
+    }
+}

@@ -1,0 +1,429 @@
+//! Network state: per-direction link reservations, background load, faults.
+//!
+//! This is the data the paper's orchestrator "reports to the database": for
+//! every link and direction, how much capacity is reserved by scheduled AI
+//! tasks, how much is occupied by live background traffic, and whether the
+//! link is up. Schedulers read it to derive link weights; the simulator
+//! mutates it as flows come and go.
+
+use crate::error::SimError;
+use crate::Result;
+use flexsched_topo::{Direction, LinkId, NodeId, Path, Topology};
+use std::sync::Arc;
+
+/// A directed view of an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirLink {
+    /// The underlying undirected link.
+    pub link: LinkId,
+    /// Travel direction.
+    pub dir: Direction,
+}
+
+impl DirLink {
+    /// Construct a directed link view.
+    pub fn new(link: LinkId, dir: Direction) -> Self {
+        DirLink { link, dir }
+    }
+}
+
+/// Usage counters for one direction of one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkUsage {
+    /// Bandwidth reserved by scheduled AI tasks, Gbit/s.
+    pub reserved_gbps: f64,
+    /// Bandwidth occupied by background (live) traffic, Gbit/s.
+    pub background_gbps: f64,
+}
+
+impl LinkUsage {
+    /// Total occupied bandwidth.
+    #[inline]
+    pub fn occupied_gbps(&self) -> f64 {
+        self.reserved_gbps + self.background_gbps
+    }
+}
+
+/// Mutable network condition state over an immutable topology.
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    topo: Arc<Topology>,
+    /// usage[link][dir as usize]
+    usage: Vec<[LinkUsage; 2]>,
+    down: Vec<bool>,
+    /// Monotone counter of reservation operations (for observability).
+    reservations_made: u64,
+}
+
+fn dir_index(d: Direction) -> usize {
+    match d {
+        Direction::AtoB => 0,
+        Direction::BtoA => 1,
+    }
+}
+
+impl NetworkState {
+    /// Fresh state: nothing reserved, nothing down.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        let n = topo.link_count();
+        NetworkState {
+            topo,
+            usage: vec![[LinkUsage::default(); 2]; n],
+            down: vec![false; n],
+            reservations_made: 0,
+        }
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Shared handle to the topology.
+    pub fn topo_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
+    }
+
+    /// Usage counters for one direction of a link.
+    pub fn usage(&self, dl: DirLink) -> Result<LinkUsage> {
+        self.check(dl.link)?;
+        Ok(self.usage[dl.link.index()][dir_index(dl.dir)])
+    }
+
+    /// Whether the link is down.
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.down.get(link.index()).copied().unwrap_or(false)
+    }
+
+    /// Mark a link down (its residual capacity becomes zero in both
+    /// directions; existing reservations are retained so the orchestrator can
+    /// see which tasks are affected).
+    pub fn set_down(&mut self, link: LinkId, down: bool) -> Result<()> {
+        self.check(link)?;
+        self.down[link.index()] = down;
+        Ok(())
+    }
+
+    /// Residual (unreserved, non-background) capacity in Gbit/s for one
+    /// direction. Zero when the link is down.
+    pub fn residual_gbps(&self, dl: DirLink) -> Result<f64> {
+        self.check(dl.link)?;
+        if self.is_down(dl.link) {
+            return Ok(0.0);
+        }
+        let cap = self.topo.link(dl.link)?.capacity_gbps;
+        let used = self.usage[dl.link.index()][dir_index(dl.dir)].occupied_gbps();
+        Ok((cap - used).max(0.0))
+    }
+
+    /// Utilization (occupied / capacity) in `[0, 1]` for one direction;
+    /// reports `1.0` when down.
+    pub fn utilization(&self, dl: DirLink) -> Result<f64> {
+        self.check(dl.link)?;
+        if self.is_down(dl.link) {
+            return Ok(1.0);
+        }
+        let cap = self.topo.link(dl.link)?.capacity_gbps;
+        if cap <= 0.0 {
+            return Ok(1.0);
+        }
+        let used = self.usage[dl.link.index()][dir_index(dl.dir)].occupied_gbps();
+        Ok((used / cap).clamp(0.0, 1.0))
+    }
+
+    fn check(&self, l: LinkId) -> Result<()> {
+        if l.index() < self.usage.len() {
+            Ok(())
+        } else {
+            Err(SimError::Topo(flexsched_topo::TopoError::UnknownLink(l)))
+        }
+    }
+
+    /// Reserve `gbps` of task bandwidth on one directed link.
+    ///
+    /// # Errors
+    /// [`SimError::LinkDown`] or [`SimError::InsufficientCapacity`].
+    pub fn reserve(&mut self, dl: DirLink, gbps: f64) -> Result<()> {
+        self.check(dl.link)?;
+        if self.is_down(dl.link) {
+            return Err(SimError::LinkDown(dl.link));
+        }
+        let avail = self.residual_gbps(dl)?;
+        if gbps > avail + 1e-9 {
+            return Err(SimError::InsufficientCapacity {
+                link: dl.link,
+                requested_gbps: gbps,
+                available_gbps: avail,
+            });
+        }
+        self.usage[dl.link.index()][dir_index(dl.dir)].reserved_gbps += gbps;
+        self.reservations_made += 1;
+        Ok(())
+    }
+
+    /// Release previously reserved task bandwidth on one directed link.
+    ///
+    /// # Errors
+    /// [`SimError::ReleaseUnderflow`] if more is released than reserved.
+    pub fn release(&mut self, dl: DirLink, gbps: f64) -> Result<()> {
+        self.check(dl.link)?;
+        let slot = &mut self.usage[dl.link.index()][dir_index(dl.dir)].reserved_gbps;
+        if gbps > *slot + 1e-9 {
+            return Err(SimError::ReleaseUnderflow {
+                link: dl.link,
+                requested_gbps: gbps,
+            });
+        }
+        *slot = (*slot - gbps).max(0.0);
+        Ok(())
+    }
+
+    /// Add (or with a negative value, remove) background traffic on one
+    /// directed link. Background traffic may oversubscribe the link — the
+    /// generator injects what it injects; utilization saturates at 1.0.
+    pub fn add_background(&mut self, dl: DirLink, gbps: f64) -> Result<()> {
+        self.check(dl.link)?;
+        let slot = &mut self.usage[dl.link.index()][dir_index(dl.dir)].background_gbps;
+        *slot = (*slot + gbps).max(0.0);
+        Ok(())
+    }
+
+    /// Reserve `gbps` on every directed hop of `path`, all-or-nothing: if any
+    /// hop fails, earlier hops are rolled back and the error returned.
+    pub fn reserve_path(&mut self, path: &Path, gbps: f64) -> Result<()> {
+        let mut done: Vec<DirLink> = Vec::with_capacity(path.links.len());
+        for (i, l) in path.links.iter().enumerate() {
+            let from = path.nodes[i];
+            let dir = self
+                .topo
+                .link(*l)?
+                .direction_from(from)
+                .ok_or(flexsched_topo::TopoError::UnknownLink(*l))?;
+            let dl = DirLink::new(*l, dir);
+            match self.reserve(dl, gbps) {
+                Ok(()) => done.push(dl),
+                Err(e) => {
+                    for d in done {
+                        self.release(d, gbps).expect("rollback of fresh reservation");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Release `gbps` on every directed hop of `path`.
+    pub fn release_path(&mut self, path: &Path, gbps: f64) -> Result<()> {
+        for (i, l) in path.links.iter().enumerate() {
+            let from = path.nodes[i];
+            let dir = self
+                .topo
+                .link(*l)?
+                .direction_from(from)
+                .ok_or(flexsched_topo::TopoError::UnknownLink(*l))?;
+            self.release(DirLink::new(*l, dir), gbps)?;
+        }
+        Ok(())
+    }
+
+    /// Total task-reserved bandwidth over all links and directions, Gbit/s.
+    /// This is the paper's Figure-3b "consumed bandwidth" metric.
+    pub fn total_reserved_gbps(&self) -> f64 {
+        self.usage
+            .iter()
+            .map(|u| u[0].reserved_gbps + u[1].reserved_gbps)
+            .sum()
+    }
+
+    /// Total background bandwidth over all links and directions, Gbit/s.
+    pub fn total_background_gbps(&self) -> f64 {
+        self.usage
+            .iter()
+            .map(|u| u[0].background_gbps + u[1].background_gbps)
+            .sum()
+    }
+
+    /// Count of successful reserve operations (observability).
+    pub fn reservations_made(&self) -> u64 {
+        self.reservations_made
+    }
+
+    /// Residual capacity of a link in the direction leaving `from`, treating
+    /// unknown orientation as zero. Convenience for weight functions.
+    pub fn residual_from(&self, link: LinkId, from: NodeId) -> f64 {
+        let Ok(l) = self.topo.link(link) else {
+            return 0.0;
+        };
+        let Some(dir) = l.direction_from(from) else {
+            return 0.0;
+        };
+        self.residual_gbps(DirLink::new(link, dir)).unwrap_or(0.0)
+    }
+
+    /// The minimum residual capacity over both directions (conservative view
+    /// used by schedulers that reserve symmetric broadcast+upload trees).
+    pub fn residual_min_gbps(&self, link: LinkId) -> f64 {
+        let a = self
+            .residual_gbps(DirLink::new(link, Direction::AtoB))
+            .unwrap_or(0.0);
+        let b = self
+            .residual_gbps(DirLink::new(link, Direction::BtoA))
+            .unwrap_or(0.0);
+        a.min(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::builders;
+
+    fn state() -> NetworkState {
+        NetworkState::new(Arc::new(builders::linear(3, 1.0, 100.0)))
+    }
+
+    fn dl(l: u32) -> DirLink {
+        DirLink::new(LinkId(l), Direction::AtoB)
+    }
+
+    #[test]
+    fn fresh_state_is_idle() {
+        let s = state();
+        assert_eq!(s.total_reserved_gbps(), 0.0);
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 100.0);
+        assert_eq!(s.utilization(dl(0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut s = state();
+        s.reserve(dl(0), 40.0).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 60.0);
+        assert_eq!(s.total_reserved_gbps(), 40.0);
+        s.release(dl(0), 40.0).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut s = state();
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 80.0).unwrap();
+        assert_eq!(
+            s.residual_gbps(DirLink::new(LinkId(0), Direction::BtoA))
+                .unwrap(),
+            100.0
+        );
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let mut s = state();
+        s.reserve(dl(0), 90.0).unwrap();
+        let err = s.reserve(dl(0), 20.0).unwrap_err();
+        assert!(matches!(err, SimError::InsufficientCapacity { .. }));
+        // State unchanged by the failed attempt.
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn release_underflow_rejected() {
+        let mut s = state();
+        s.reserve(dl(0), 10.0).unwrap();
+        assert!(matches!(
+            s.release(dl(0), 20.0),
+            Err(SimError::ReleaseUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn down_link_has_zero_residual_and_rejects_reservations() {
+        let mut s = state();
+        s.set_down(LinkId(0), true).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 0.0);
+        assert_eq!(s.utilization(dl(0)).unwrap(), 1.0);
+        assert!(matches!(s.reserve(dl(0), 1.0), Err(SimError::LinkDown(_))));
+        s.set_down(LinkId(0), false).unwrap();
+        s.reserve(dl(0), 1.0).unwrap();
+    }
+
+    #[test]
+    fn background_traffic_counts_against_residual() {
+        let mut s = state();
+        s.add_background(dl(0), 30.0).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 70.0);
+        assert!((s.utilization(dl(0)).unwrap() - 0.3).abs() < 1e-9);
+        s.add_background(dl(0), -30.0).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn background_may_oversubscribe_but_clamps_metrics() {
+        let mut s = state();
+        s.add_background(dl(0), 150.0).unwrap();
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 0.0);
+        assert_eq!(s.utilization(dl(0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn reserve_path_is_atomic() {
+        let topo = Arc::new(builders::linear(4, 1.0, 100.0));
+        let mut s = NetworkState::new(Arc::clone(&topo));
+        // Fill the middle link so a path reservation must fail there.
+        s.reserve(DirLink::new(LinkId(1), Direction::AtoB), 95.0).unwrap();
+        let path = flexsched_topo::algo::shortest_path(
+            &topo,
+            NodeId(0),
+            NodeId(3),
+            flexsched_topo::algo::hop_weight,
+        )
+        .unwrap();
+        let err = s.reserve_path(&path, 10.0).unwrap_err();
+        assert!(matches!(err, SimError::InsufficientCapacity { .. }));
+        // First hop must have been rolled back.
+        assert_eq!(
+            s.residual_gbps(DirLink::new(LinkId(0), Direction::AtoB))
+                .unwrap(),
+            100.0
+        );
+    }
+
+    #[test]
+    fn reserve_path_uses_travel_direction() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let mut s = NetworkState::new(Arc::clone(&topo));
+        let forward = flexsched_topo::algo::shortest_path(
+            &topo,
+            NodeId(0),
+            NodeId(2),
+            flexsched_topo::algo::hop_weight,
+        )
+        .unwrap();
+        let backward = forward.reversed();
+        s.reserve_path(&forward, 60.0).unwrap();
+        // The reverse direction is still free.
+        s.reserve_path(&backward, 60.0).unwrap();
+        assert_eq!(s.total_reserved_gbps(), 240.0);
+        s.release_path(&forward, 60.0).unwrap();
+        s.release_path(&backward, 60.0).unwrap();
+        assert_eq!(s.total_reserved_gbps(), 0.0);
+    }
+
+    #[test]
+    fn residual_min_takes_worse_direction() {
+        let mut s = state();
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 70.0).unwrap();
+        assert_eq!(s.residual_min_gbps(LinkId(0)), 30.0);
+    }
+
+    #[test]
+    fn residual_from_resolves_orientation() {
+        let topo = Arc::new(builders::linear(2, 1.0, 100.0));
+        let mut s = NetworkState::new(Arc::clone(&topo));
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 25.0).unwrap();
+        assert_eq!(s.residual_from(LinkId(0), NodeId(0)), 75.0);
+        assert_eq!(s.residual_from(LinkId(0), NodeId(1)), 100.0);
+        assert_eq!(s.residual_from(LinkId(0), NodeId(9)), 0.0);
+    }
+}

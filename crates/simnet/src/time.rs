@@ -1,0 +1,157 @@
+//! Simulated time: a nanosecond counter from simulation start.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// `SimTime` is also used for durations (the arithmetic is identical); the
+/// zero value is both "simulation start" and "zero duration".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start / zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Value in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction (durations can't go negative).
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics on underflow in debug builds, like integer subtraction.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn float_views() {
+        let t = SimTime::from_ms(2) + SimTime::from_us(500);
+        assert!((t.as_ms_f64() - 2.5).abs() < 1e-12);
+        assert!((t.as_us_f64() - 2_500.0).abs() < 1e-9);
+        assert!((t.as_secs_f64() - 0.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(40);
+        assert_eq!(a + b, SimTime::from_ns(140));
+        assert_eq!(a - b, SimTime::from_ns(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(140));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(SimTime::from_ns(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5.000us");
+        assert_eq!(SimTime::from_ms(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_ns(1) < SimTime::from_us(1));
+        assert!(SimTime::ZERO < SimTime::from_ns(1));
+    }
+}

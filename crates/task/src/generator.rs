@@ -1,0 +1,220 @@
+//! Seeded workload generation: "We generate 30 AI tasks to evaluate the
+//! proposed scheduling policy".
+
+use crate::task::{AiTask, TaskId};
+use flexsched_compute::ModelProfile;
+use flexsched_topo::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of tasks (the paper uses 30).
+    pub num_tasks: usize,
+    /// Local models per task. The evaluation sweeps this from a few up
+    /// to 15.
+    pub locals_per_task: usize,
+    /// Indices into [`ModelProfile::catalog`] to draw models from.
+    pub model_mix: Vec<usize>,
+    /// Iterations per task, inclusive range.
+    pub iterations: (u32, u32),
+    /// Communication budget per procedure, ms, inclusive range.
+    pub comm_budget_ms: (f64, f64),
+    /// Mean inter-arrival gap between tasks, ns (exponential).
+    pub mean_interarrival_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_tasks: 30,
+            locals_per_task: 5,
+            // Small-to-mid models: the testbed trains edge-scale CV models
+            // (lenet / mobilenet); larger profiles are exercised by the
+            // transport and ablation scenarios.
+            model_mix: vec![0, 1, 1],
+            iterations: (3, 10),
+            comm_budget_ms: (10.0, 40.0),
+            mean_interarrival_ns: 2_000_000, // 2 ms
+            seed: 2024,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The Figure-3 sweep point with `n` local models per task: 30 tasks,
+    /// paper defaults otherwise.
+    pub fn paper_sweep(n: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            locals_per_task: n,
+            seed,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// Generate a deterministic workload over the topology's servers.
+///
+/// Every task gets a distinct global site and `locals_per_task` distinct
+/// local sites (wrapping around the server list if needed — a server may
+/// host local models of several tasks, like the dockerised testbed).
+///
+/// # Panics
+/// Panics if the topology has fewer than `locals_per_task + 1` servers or
+/// `model_mix` indexes outside the catalog.
+pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
+    let servers = topo.servers();
+    assert!(
+        servers.len() > cfg.locals_per_task,
+        "need at least {} servers, topology has {}",
+        cfg.locals_per_task + 1,
+        servers.len()
+    );
+    let catalog = ModelProfile::catalog();
+    // Two independent streams: task parameters (model, iterations, budget,
+    // arrival) are drawn separately from site choices, so sweeping
+    // `locals_per_task` changes only the sites — the Figure-3 sweep points
+    // are paired experiments over the same 30 task parameterisations.
+    let mut rng_params = StdRng::seed_from_u64(cfg.seed);
+    let mut rng_sites = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut tasks = Vec::with_capacity(cfg.num_tasks);
+    let mut arrival = 0u64;
+
+    for i in 0..cfg.num_tasks {
+        // Global site: uniform choice.
+        let global_site = servers[rng_sites.random_range(0..servers.len())];
+        // Local sites: sample without replacement, excluding the global.
+        let mut pool: Vec<NodeId> = servers.iter().copied().filter(|s| *s != global_site).collect();
+        let mut local_sites = Vec::with_capacity(cfg.locals_per_task);
+        for _ in 0..cfg.locals_per_task {
+            let idx = rng_sites.random_range(0..pool.len());
+            local_sites.push(pool.swap_remove(idx));
+        }
+        local_sites.sort();
+
+        let mut data_utility = BTreeMap::new();
+        for s in &local_sites {
+            data_utility.insert(*s, rng_sites.random_range(0.05..1.0));
+        }
+
+        let model_idx = cfg.model_mix[rng_params.random_range(0..cfg.model_mix.len())];
+        let model = catalog[model_idx].clone();
+        let iterations = rng_params.random_range(cfg.iterations.0..=cfg.iterations.1);
+        let comm_budget_ms = rng_params.random_range(cfg.comm_budget_ms.0..=cfg.comm_budget_ms.1);
+        let u: f64 = rng_params.random_range(f64::EPSILON..1.0);
+        arrival += (-u.ln() * cfg.mean_interarrival_ns as f64).round() as u64;
+
+        tasks.push(AiTask {
+            id: TaskId(i as u64),
+            model,
+            global_site,
+            local_sites,
+            data_utility,
+            iterations,
+            comm_budget_ms,
+            arrival_ns: arrival,
+        });
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::builders;
+
+    fn topo() -> Topology {
+        builders::metro(&builders::MetroParams::default())
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let tasks = generate_workload(&topo(), &WorkloadConfig::default());
+        assert_eq!(tasks.len(), 30);
+    }
+
+    #[test]
+    fn every_task_validates() {
+        let tasks = generate_workload(&topo(), &WorkloadConfig::default());
+        for t in &tasks {
+            t.validate().unwrap();
+            assert_eq!(t.num_locals(), 5);
+        }
+    }
+
+    #[test]
+    fn sites_are_servers() {
+        let topo = topo();
+        let servers: std::collections::BTreeSet<_> = topo.servers().into_iter().collect();
+        for t in generate_workload(&topo, &WorkloadConfig::default()) {
+            assert!(servers.contains(&t.global_site));
+            for s in &t.local_sites {
+                assert!(servers.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t1 = generate_workload(&topo(), &WorkloadConfig::default());
+        let t2 = generate_workload(&topo(), &WorkloadConfig::default());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn seeds_change_the_draw() {
+        let a = generate_workload(&topo(), &WorkloadConfig::default());
+        let b = generate_workload(
+            &topo(),
+            &WorkloadConfig {
+                seed: 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let tasks = generate_workload(&topo(), &WorkloadConfig::default());
+        for w in tasks.windows(2) {
+            assert!(w[1].arrival_ns > w[0].arrival_ns);
+        }
+    }
+
+    #[test]
+    fn paper_sweep_sets_local_count() {
+        let cfg = WorkloadConfig::paper_sweep(15, 7);
+        let topo = builders::metro(&builders::MetroParams {
+            servers_per_router: 4,
+            ..builders::MetroParams::default()
+        });
+        let tasks = generate_workload(&topo, &cfg);
+        assert!(tasks.iter().all(|t| t.num_locals() == 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_servers_panics() {
+        let small = builders::star(3, 1.0, 100.0); // 3 servers
+        let cfg = WorkloadConfig {
+            locals_per_task: 5,
+            ..WorkloadConfig::default()
+        };
+        let _ = generate_workload(&small, &cfg);
+    }
+
+    #[test]
+    fn utilities_are_in_range() {
+        for t in generate_workload(&topo(), &WorkloadConfig::default()) {
+            for (_, u) in &t.data_utility {
+                assert!(*u > 0.0 && *u < 1.0);
+            }
+            assert_eq!(t.data_utility.len(), t.local_sites.len());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph algorithms over [`crate::Topology`].
+//!
+//! All shortest-path style algorithms are generic over a *link weight
+//! function* `Fn(&Link) -> f64`. Weights must be non-negative and finite;
+//! `f64::INFINITY` marks a link as unusable (it is skipped), which is how the
+//! schedulers express "no residual capacity". Tie-breaks are deterministic
+//! (ascending link/node id), so equal-seed runs produce identical schedules.
+
+pub mod bellman_ford;
+pub mod dijkstra;
+pub mod mst;
+pub mod steiner;
+pub mod traversal;
+pub mod unionfind;
+pub mod yen;
+
+pub use bellman_ford::bellman_ford;
+pub use dijkstra::{shortest_path, shortest_path_tree, ShortestPathTree};
+pub use mst::{kruskal_mst, prim_mst, MstResult};
+pub use steiner::{steiner_tree, SteinerTree};
+pub use traversal::{bfs_order, connected_components, is_connected};
+pub use unionfind::UnionFind;
+pub use yen::k_shortest_paths;
+
+use crate::link::Link;
+
+/// Link weight equal to the hop count metric (every usable link costs 1).
+pub fn hop_weight(_l: &Link) -> f64 {
+    1.0
+}
+
+/// Link weight equal to the physical span length in km.
+pub fn length_weight(l: &Link) -> f64 {
+    l.length_km
+}
+
+/// Link weight equal to the propagation latency in nanoseconds.
+pub fn latency_weight(l: &Link) -> f64 {
+    l.propagation_ns() as f64
+}

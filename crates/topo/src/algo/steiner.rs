@@ -1,0 +1,573 @@
+//! MST-based Steiner tree: the algorithmic core of the paper's flexible
+//! scheduler.
+//!
+//! The poster describes the flexible scheduler as: build an auxiliary graph,
+//! weight its links by bandwidth consumption and latency, then "find MSTs
+//! between the global model and local models". Connecting a *subset* of
+//! vertices (the global model node and the selected local model nodes) with
+//! minimum total link weight is the Steiner tree problem; the classic
+//! MST-based approximation (Kou-Markowsky-Berman) is exactly "an MST between
+//! the terminals" over the metric closure:
+//!
+//! 1. compute all-terminal-pairs shortest paths (metric closure),
+//! 2. build an MST of the complete terminal graph,
+//! 3. expand each MST edge back into its physical shortest path,
+//! 4. take an MST of the resulting subgraph and prune non-terminal leaves.
+//!
+//! The result is rooted at the global-model node so that broadcast trees
+//! (root -> leaves) and upload trees (leaves -> root, with aggregation at
+//! branch points) fall out directly.
+
+use crate::algo::dijkstra::shortest_path_tree;
+use crate::algo::unionfind::UnionFind;
+use crate::error::TopoError;
+use crate::ids::{LinkId, NodeId};
+use crate::link::Link;
+use crate::path::Path;
+use crate::Result;
+use crate::Topology;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A tree connecting a root to a set of terminal nodes, possibly through
+/// intermediate (Steiner) nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// The root (global model node in scheduler use).
+    pub root: NodeId,
+    /// Terminals the tree was asked to span (excluding the root).
+    pub terminals: Vec<NodeId>,
+    /// All nodes in the tree, ascending.
+    pub nodes: Vec<NodeId>,
+    /// All links in the tree, ascending.
+    pub links: Vec<LinkId>,
+    /// `parent[n]` = next hop towards the root, for every non-root tree node.
+    parent: BTreeMap<NodeId, (NodeId, LinkId)>,
+    /// Total weight of the tree under the weight function it was built with.
+    pub total_weight: f64,
+}
+
+impl SteinerTree {
+    /// Parent (towards root) of a tree node, `None` for the root itself.
+    pub fn parent_of(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent.get(&n).copied()
+    }
+
+    /// Children map: for every tree node the set of nodes whose parent it is.
+    pub fn children(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut ch: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for n in &self.nodes {
+            ch.entry(*n).or_default();
+        }
+        for (&child, &(parent, _)) in &self.parent {
+            ch.entry(parent).or_default().push(child);
+        }
+        ch
+    }
+
+    /// Path from the root down to `n` (following tree edges).
+    ///
+    /// # Errors
+    /// [`TopoError::Disconnected`] if `n` is not in the tree.
+    pub fn path_from_root(&self, n: NodeId) -> Result<Path> {
+        if n == self.root {
+            return Ok(Path::trivial(n));
+        }
+        let mut nodes = vec![n];
+        let mut links = Vec::new();
+        let mut cur = n;
+        while let Some(&(p, l)) = self.parent.get(&cur) {
+            nodes.push(p);
+            links.push(l);
+            cur = p;
+            if cur == self.root {
+                nodes.reverse();
+                links.reverse();
+                return Path::new(nodes, links);
+            }
+        }
+        Err(TopoError::Disconnected {
+            from: self.root,
+            to: n,
+        })
+    }
+
+    /// Depth of node `n` (root = 0), or `None` if not in the tree.
+    pub fn depth(&self, n: NodeId) -> Option<usize> {
+        if n == self.root {
+            return Some(0);
+        }
+        let mut d = 0usize;
+        let mut cur = n;
+        while let Some(&(p, _)) = self.parent.get(&cur) {
+            d += 1;
+            cur = p;
+            if cur == self.root {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Nodes where aggregation would run during upload: every non-leaf,
+    /// non-root tree node with at least one child, plus the root. These are
+    /// "the middle and final nodes of the upload procedure" from the paper.
+    pub fn aggregation_points(&self) -> Vec<NodeId> {
+        let ch = self.children();
+        let mut pts: Vec<NodeId> = ch
+            .iter()
+            .filter(|(n, kids)| !kids.is_empty() && **n != self.root)
+            .map(|(n, _)| *n)
+            .collect();
+        pts.push(self.root);
+        pts.sort();
+        pts
+    }
+
+    /// Leaves of the tree (no children).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        let ch = self.children();
+        ch.iter()
+            .filter(|(_, kids)| kids.is_empty())
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Nodes in breadth-first order from the root.
+    pub fn bfs_from_root(&self) -> Vec<NodeId> {
+        let ch = self.children();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut q = VecDeque::from([self.root]);
+        while let Some(n) = q.pop_front() {
+            order.push(n);
+            if let Some(kids) = ch.get(&n) {
+                for k in kids {
+                    q.push_back(*k);
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether every terminal is reachable in the tree.
+    pub fn spans_all_terminals(&self) -> bool {
+        self.terminals.iter().all(|t| self.depth(*t).is_some())
+    }
+
+    /// Decompose the tree into edge-disjoint chains between *significant*
+    /// nodes (the root, every leaf, every branch node and every terminal).
+    ///
+    /// Each chain is returned oriented towards the root (child-significant
+    /// node first), and every tree link appears in exactly one chain — the
+    /// right granularity for grooming a multicast/aggregation tree without
+    /// double-counting shared segments.
+    pub fn chains(&self) -> Vec<Path> {
+        let ch = self.children();
+        let terminal_set: BTreeSet<NodeId> = self.terminals.iter().copied().collect();
+        let significant: BTreeSet<NodeId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| {
+                *n == self.root
+                    || terminal_set.contains(n)
+                    || ch.get(n).map(|k| k.len()).unwrap_or(0) != 1
+            })
+            .collect();
+        let mut chains = Vec::new();
+        for start in &significant {
+            if *start == self.root {
+                continue;
+            }
+            // Walk from this significant node up to the nearest significant
+            // ancestor.
+            let mut nodes = vec![*start];
+            let mut links = Vec::new();
+            let mut cur = *start;
+            while let Some(&(p, l)) = self.parent.get(&cur) {
+                nodes.push(p);
+                links.push(l);
+                cur = p;
+                if significant.contains(&cur) {
+                    break;
+                }
+            }
+            if !links.is_empty() {
+                chains.push(Path::new(nodes, links).expect("chain alternation holds"));
+            }
+        }
+        chains
+    }
+}
+
+/// Restrict the graph to `allowed` links, take its MST, and repeatedly prune
+/// non-terminal leaves. Returns the surviving tree links.
+fn prune_to_tree(
+    topo: &Topology,
+    terminals: &[NodeId],
+    allowed: BTreeSet<LinkId>,
+    weight: &impl Fn(&Link) -> f64,
+) -> Result<BTreeSet<LinkId>> {
+    let sub_mst = crate::algo::mst::kruskal_mst(topo, |l| {
+        if allowed.contains(&l.id) {
+            weight(l)
+        } else {
+            f64::INFINITY
+        }
+    })?;
+    let mut tree_links: BTreeSet<LinkId> = sub_mst.links.iter().copied().collect();
+    let keep: BTreeSet<NodeId> = terminals.iter().copied().collect();
+    loop {
+        let mut degree: BTreeMap<NodeId, Vec<LinkId>> = BTreeMap::new();
+        for l in &tree_links {
+            let link = topo.link(*l)?;
+            degree.entry(link.a).or_default().push(*l);
+            degree.entry(link.b).or_default().push(*l);
+        }
+        let prune: Vec<LinkId> = degree
+            .iter()
+            .filter(|(n, ls)| ls.len() == 1 && !keep.contains(n))
+            .map(|(_, ls)| ls[0])
+            .collect();
+        if prune.is_empty() {
+            break;
+        }
+        for l in prune {
+            tree_links.remove(&l);
+        }
+    }
+    Ok(tree_links)
+}
+
+/// Build an MST-based Steiner tree spanning `root` and `terminals` under the
+/// given link weight function (see module docs for the algorithm).
+///
+/// # Errors
+/// * [`TopoError::EmptyInput`] if `terminals` is empty,
+/// * [`TopoError::Disconnected`] if some terminal is unreachable from the
+///   root under finite weights.
+pub fn steiner_tree(
+    topo: &Topology,
+    root: NodeId,
+    terminals: &[NodeId],
+    weight: impl Fn(&Link) -> f64,
+) -> Result<SteinerTree> {
+    if terminals.is_empty() {
+        return Err(TopoError::EmptyInput("steiner terminals"));
+    }
+    topo.node(root)?;
+    let mut all: Vec<NodeId> = Vec::with_capacity(terminals.len() + 1);
+    all.push(root);
+    for t in terminals {
+        topo.node(*t)?;
+        if *t != root && !all.contains(t) {
+            all.push(*t);
+        }
+    }
+    if all.len() == 1 {
+        // All terminals equal the root: trivial tree.
+        return Ok(SteinerTree {
+            root,
+            terminals: terminals.to_vec(),
+            nodes: vec![root],
+            links: Vec::new(),
+            parent: BTreeMap::new(),
+            total_weight: 0.0,
+        });
+    }
+
+    // 1) Metric closure: shortest path trees from every terminal.
+    let mut spts = Vec::with_capacity(all.len());
+    for t in &all {
+        spts.push(shortest_path_tree(topo, *t, &weight)?);
+    }
+    for (i, t) in all.iter().enumerate().skip(1) {
+        if !spts[0].reachable(*t) {
+            return Err(TopoError::Disconnected { from: root, to: *t });
+        }
+        let _ = i;
+    }
+
+    // 2) MST over the complete terminal graph (Kruskal on closure edges).
+    let mut closure: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            closure.push((spts[i].cost_to(all[j]), i, j));
+        }
+    }
+    closure.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut uf = UnionFind::new(all.len());
+    let mut closure_edges: Vec<(usize, usize)> = Vec::new();
+    for (_, i, j) in &closure {
+        if uf.union(*i, *j) {
+            closure_edges.push((*i, *j));
+            if uf.components() == 1 {
+                break;
+            }
+        }
+    }
+
+    // 3) Expand closure edges into physical links (union of paths).
+    let mut sub_links: BTreeSet<LinkId> = BTreeSet::new();
+    for (i, j) in closure_edges {
+        let p = spts[i].path_to(all[j])?;
+        sub_links.extend(p.links.iter().copied());
+    }
+
+    // 4) MST of the expansion subgraph, then prune non-terminal leaves.
+    let kmb_links = prune_to_tree(topo, &all, sub_links, &weight)?;
+
+    // 5) Second candidate: the pruned union of root->terminal shortest
+    //    paths. KMB does not dominate it (nor vice versa); the scheduler
+    //    should never do worse than plain shortest-path sharing, so take
+    //    the lighter of the two.
+    let mut spt_union: BTreeSet<LinkId> = BTreeSet::new();
+    for t in all.iter().skip(1) {
+        spt_union.extend(spts[0].path_to(*t)?.links.iter().copied());
+    }
+    let spt_links = prune_to_tree(topo, &all, spt_union, &weight)?;
+
+    let weight_of = |links: &BTreeSet<LinkId>| -> f64 {
+        links
+            .iter()
+            .map(|l| weight(topo.link(*l).expect("tree link exists")))
+            .sum()
+    };
+    let tree_links = if weight_of(&kmb_links) <= weight_of(&spt_links) {
+        kmb_links
+    } else {
+        spt_links
+    };
+
+    // Root the tree: BFS from root over tree links.
+    let mut adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
+    for l in &tree_links {
+        let link = topo.link(*l)?;
+        adj.entry(link.a).or_default().push((link.b, *l));
+        adj.entry(link.b).or_default().push((link.a, *l));
+    }
+    let mut parent: BTreeMap<NodeId, (NodeId, LinkId)> = BTreeMap::new();
+    let mut visited: BTreeSet<NodeId> = BTreeSet::from([root]);
+    let mut q = VecDeque::from([root]);
+    while let Some(n) = q.pop_front() {
+        if let Some(nbrs) = adj.get(&n) {
+            for (nbr, l) in nbrs {
+                if visited.insert(*nbr) {
+                    parent.insert(*nbr, (n, *l));
+                    q.push_back(*nbr);
+                }
+            }
+        }
+    }
+    for t in &all {
+        if !visited.contains(t) {
+            return Err(TopoError::Disconnected { from: root, to: *t });
+        }
+    }
+
+    let total_weight = tree_links
+        .iter()
+        .map(|l| weight(topo.link(*l).expect("tree link exists")))
+        .sum();
+    Ok(SteinerTree {
+        root,
+        terminals: terminals.to_vec(),
+        nodes: visited.into_iter().collect(),
+        links: tree_links.into_iter().collect(),
+        parent,
+        total_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::length_weight;
+    use crate::builders;
+    use crate::node::NodeKind;
+
+    /// The Figure-1 style topology: a hub G with locals hanging off shared
+    /// transit routers, so sharing a path is cheaper than three end-to-end
+    /// disjoint routes.
+    fn fig1_like() -> (Topology, NodeId, [NodeId; 3]) {
+        let mut t = Topology::new();
+        let g = t.add_node(NodeKind::Server, "G");
+        let r1 = t.add_node(NodeKind::IpRouter, "r1");
+        let r2 = t.add_node(NodeKind::IpRouter, "r2");
+        let l1 = t.add_node(NodeKind::Server, "L1");
+        let l2 = t.add_node(NodeKind::Server, "L2");
+        let l3 = t.add_node(NodeKind::Server, "L3");
+        t.add_link(g, r1, 1.0, 100.0).unwrap();
+        t.add_link(r1, l1, 1.0, 100.0).unwrap();
+        t.add_link(g, r2, 1.0, 100.0).unwrap();
+        t.add_link(r2, l2, 1.0, 100.0).unwrap();
+        t.add_link(l2, l3, 1.0, 100.0).unwrap();
+        t.add_link(r2, l3, 3.0, 100.0).unwrap();
+        (t, g, [l1, l2, l3])
+    }
+
+    #[test]
+    fn spans_all_terminals() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        assert!(st.spans_all_terminals());
+        for l in ls {
+            assert!(st.depth(l).is_some());
+        }
+    }
+
+    #[test]
+    fn reuses_shared_segment_like_figure_1() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        // Flexible connectivity: G->r2->L2->L3 reuses L2 as a relay rather
+        // than the expensive direct r2->L3 link.
+        assert!(st.links.len() <= 5);
+        let p3 = st.path_from_root(ls[2]).unwrap();
+        assert!(p3.nodes.contains(&ls[1]), "L3 should be fed via L2: {p3}");
+    }
+
+    #[test]
+    fn tree_is_acyclic() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        assert_eq!(st.links.len(), st.nodes.len() - 1);
+    }
+
+    #[test]
+    fn aggregation_points_include_root_and_branches() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let pts = st.aggregation_points();
+        assert!(pts.contains(&g));
+        // L2 relays L3's traffic, so it must be an aggregation point.
+        assert!(pts.contains(&ls[1]));
+    }
+
+    #[test]
+    fn trivial_when_terminals_equal_root() {
+        let (t, g, _) = fig1_like();
+        let st = steiner_tree(&t, g, &[g], length_weight).unwrap();
+        assert_eq!(st.nodes, vec![g]);
+        assert!(st.links.is_empty());
+        assert_eq!(st.total_weight, 0.0);
+    }
+
+    #[test]
+    fn empty_terminals_rejected() {
+        let (t, g, _) = fig1_like();
+        assert!(matches!(
+            steiner_tree(&t, g, &[], length_weight),
+            Err(TopoError::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_terminal_errors() {
+        let (mut t, g, _) = fig1_like();
+        let island = t.add_node(NodeKind::Server, "island");
+        let err = steiner_tree(&t, g, &[island], length_weight).unwrap_err();
+        assert!(matches!(err, TopoError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn path_from_root_matches_depth() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        for l in ls {
+            let p = st.path_from_root(l).unwrap();
+            assert_eq!(p.hop_count(), st.depth(l).unwrap());
+            p.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn steiner_no_heavier_than_union_of_shortest_paths() {
+        // Upper bound: the union of per-terminal shortest paths is a valid
+        // Steiner solution, so the heuristic must not exceed its weight.
+        let t = builders::nsfnet();
+        let root = NodeId(0);
+        let terminals = [NodeId(5), NodeId(9), NodeId(12), NodeId(3)];
+        let st = steiner_tree(&t, root, &terminals, length_weight).unwrap();
+        let mut union_links = BTreeSet::new();
+        for t2 in terminals {
+            let p = crate::algo::shortest_path(&t, root, t2, length_weight).unwrap();
+            union_links.extend(p.links);
+        }
+        let union_weight: f64 = union_links
+            .iter()
+            .map(|l| t.link(*l).unwrap().length_km)
+            .sum();
+        assert!(
+            st.total_weight <= union_weight + 1e-9,
+            "steiner {} > union {}",
+            st.total_weight,
+            union_weight
+        );
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root_and_covers_tree() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let order = st.bfs_from_root();
+        assert_eq!(order[0], g);
+        assert_eq!(order.len(), st.nodes.len());
+    }
+
+    #[test]
+    fn leaves_are_terminals_after_pruning() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        for leaf in st.leaves() {
+            assert!(
+                leaf == g || ls.contains(&leaf),
+                "non-terminal leaf {leaf} survived pruning"
+            );
+        }
+    }
+
+    #[test]
+    fn chains_cover_every_link_exactly_once() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let chains = st.chains();
+        let mut covered: Vec<_> = chains.iter().flat_map(|c| c.links.clone()).collect();
+        covered.sort();
+        assert_eq!(covered, st.links, "chains must partition the tree links");
+        for c in &chains {
+            c.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn chains_end_at_significant_nodes() {
+        let t = builders::nsfnet();
+        let root = NodeId(0);
+        let terminals = [NodeId(5), NodeId(9), NodeId(12)];
+        let st = steiner_tree(&t, root, &terminals, length_weight).unwrap();
+        for c in st.chains() {
+            // Chain destination (towards root) is root, a branch, or terminal.
+            let dst = c.destination();
+            let ch = st.children();
+            let is_branch = ch.get(&dst).map(|k| k.len()).unwrap_or(0) > 1;
+            assert!(
+                dst == root || is_branch || terminals.contains(&dst),
+                "chain ends at insignificant node {dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_terminals_are_deduplicated() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &[ls[0], ls[0], ls[0]], length_weight).unwrap();
+        assert!(st.spans_all_terminals());
+        let p = st.path_from_root(ls[0]).unwrap();
+        assert_eq!(p.destination(), ls[0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Breadth-first traversal and connectivity queries.
+
+use crate::ids::NodeId;
+use crate::Result;
+use crate::Topology;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` in BFS order (including `start`).
+pub fn bfs_order(topo: &Topology, start: NodeId) -> Result<Vec<NodeId>> {
+    topo.node(start)?;
+    let mut visited = vec![false; topo.node_count()];
+    let mut order = Vec::new();
+    let mut q = VecDeque::from([start]);
+    visited[start.index()] = true;
+    while let Some(n) = q.pop_front() {
+        order.push(n);
+        for &(nbr, _) in topo.neighbors(n)? {
+            if !visited[nbr.index()] {
+                visited[nbr.index()] = true;
+                q.push_back(nbr);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Partition all nodes into connected components (each sorted ascending,
+/// components ordered by their smallest member).
+pub fn connected_components(topo: &Topology) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; topo.node_count()];
+    let mut comps = Vec::new();
+    for n in topo.node_ids() {
+        if seen[n.index()] {
+            continue;
+        }
+        let comp = bfs_order(topo, n).expect("node id from iterator is valid");
+        for c in &comp {
+            seen[c.index()] = true;
+        }
+        let mut comp = comp;
+        comp.sort();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether the topology is a single connected component (vacuously true for
+/// the empty topology).
+pub fn is_connected(topo: &Topology) -> bool {
+    connected_components(topo).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn bfs_covers_connected_graph() {
+        let t = builders::ring(6, 1.0, 10.0);
+        let order = bfs_order(&t, NodeId(0)).unwrap();
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn components_split_islands() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a");
+        let b = t.add_node(NodeKind::Server, "b");
+        let c = t.add_node(NodeKind::Server, "c");
+        let d = t.add_node(NodeKind::Server, "d");
+        t.add_link(a, b, 1.0, 1.0).unwrap();
+        t.add_link(c, d, 1.0, 1.0).unwrap();
+        let comps = connected_components(&t);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![a, b]);
+        assert_eq!(comps[1], vec![c, d]);
+        assert!(!is_connected(&t));
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        assert!(is_connected(&Topology::new()));
+    }
+
+    #[test]
+    fn builders_produce_connected_graphs() {
+        assert!(is_connected(&builders::nsfnet()));
+        assert!(is_connected(&builders::linear(5, 1.0, 10.0)));
+        assert!(is_connected(&builders::star(8, 1.0, 10.0)));
+        assert!(is_connected(&builders::random_connected(30, 0.1, 3, 10.0)));
+    }
+}

@@ -1,0 +1,403 @@
+//! Canonical topology builders used by the evaluation and tests.
+//!
+//! All builders are deterministic; the random builder takes an explicit seed.
+//! Capacities are per-direction Gbit/s; lengths are kilometres.
+
+use crate::graph::Topology;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A linear chain of `n` IP routers: `r0 - r1 - ... - r(n-1)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn linear(n: usize, hop_km: f64, capacity_gbps: f64) -> Topology {
+    assert!(n > 0, "linear topology needs at least one node");
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| t.add_node(NodeKind::IpRouter, format!("r{i}")))
+        .collect();
+    for w in ids.windows(2) {
+        t.add_link(w[0], w[1], hop_km, capacity_gbps)
+            .expect("chain endpoints exist");
+    }
+    t
+}
+
+/// A ring of `n` IP routers.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn ring(n: usize, hop_km: f64, capacity_gbps: f64) -> Topology {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| t.add_node(NodeKind::IpRouter, format!("r{i}")))
+        .collect();
+    for i in 0..n {
+        t.add_link(ids[i], ids[(i + 1) % n], hop_km, capacity_gbps)
+            .expect("ring endpoints exist");
+    }
+    t
+}
+
+/// A star: one central IP router with `leaves` servers attached.
+///
+/// # Panics
+/// Panics if `leaves == 0`.
+pub fn star(leaves: usize, spoke_km: f64, capacity_gbps: f64) -> Topology {
+    assert!(leaves > 0, "star needs at least one leaf");
+    let mut t = Topology::new();
+    let hub = t.add_node(NodeKind::IpRouter, "hub");
+    for i in 0..leaves {
+        let s = t.add_node(NodeKind::Server, format!("s{i}"));
+        t.add_link(hub, s, spoke_km, capacity_gbps)
+            .expect("star endpoints exist");
+    }
+    t
+}
+
+/// The 14-node NSFNET reference backbone (router nodes, span lengths scaled
+/// to metro-ish kilometres at 1/20 of the classic continental distances so
+/// latencies remain in the paper's low-millisecond regime).
+pub fn nsfnet() -> Topology {
+    let mut t = Topology::new();
+    let n: Vec<NodeId> = (0..14)
+        .map(|i| t.add_node(NodeKind::IpRouter, format!("nsf{i}")))
+        .collect();
+    // Classic NSFNET 14-node 21-link adjacency with representative lengths.
+    let edges: &[(usize, usize, f64)] = &[
+        (0, 1, 54.0),
+        (0, 2, 54.0),
+        (0, 7, 144.0),
+        (1, 2, 36.0),
+        (1, 3, 54.0),
+        (2, 5, 96.0),
+        (3, 4, 36.0),
+        (3, 10, 96.0),
+        (4, 5, 48.0),
+        (4, 6, 36.0),
+        (5, 9, 84.0),
+        (5, 13, 90.0),
+        (6, 7, 36.0),
+        (7, 8, 54.0),
+        (8, 9, 36.0),
+        (8, 11, 30.0),
+        (8, 12, 30.0),
+        (10, 11, 36.0),
+        (10, 12, 42.0),
+        (11, 13, 30.0),
+        (12, 13, 30.0),
+    ];
+    for &(a, b, km) in edges {
+        t.add_wdm_link(n[a], n[b], km, 800.0, 8)
+            .expect("nsfnet endpoints exist");
+    }
+    t
+}
+
+/// Parameters for the metro aggregation network that mirrors the paper's
+/// ROADM + IP-router testbed (Figure 2).
+#[derive(Debug, Clone)]
+pub struct MetroParams {
+    /// Number of ROADM nodes on the metro core ring.
+    pub core_roadms: usize,
+    /// Core ring span length between adjacent ROADMs, km.
+    pub core_span_km: f64,
+    /// Wavelengths per core fiber.
+    pub core_wavelengths: u16,
+    /// Per-wavelength rate, Gbit/s.
+    pub wavelength_gbps: f64,
+    /// Servers attached to each ROADM's co-located IP router.
+    pub servers_per_router: usize,
+    /// Access link length router->server, km.
+    pub access_km: f64,
+    /// Access link capacity, Gbit/s.
+    pub access_gbps: f64,
+    /// Number of chord (express) fibers across the ring for path diversity.
+    pub chords: usize,
+}
+
+impl Default for MetroParams {
+    fn default() -> Self {
+        MetroParams {
+            core_roadms: 6,
+            core_span_km: 10.0,
+            core_wavelengths: 8,
+            wavelength_gbps: 100.0,
+            servers_per_router: 4,
+            access_km: 1.0,
+            access_gbps: 100.0,
+            chords: 2,
+        }
+    }
+}
+
+/// Build the metro testbed topology:
+///
+/// * `core_roadms` ROADMs in a WDM ring (plus optional chords),
+/// * one IP router co-located with each ROADM (short grey link),
+/// * `servers_per_router` servers per router.
+///
+/// Node ordering: ROADMs first, then routers, then servers, so id ranges are
+/// easy to reason about in tests.
+///
+/// # Panics
+/// Panics if `core_roadms < 3` or `servers_per_router == 0`.
+pub fn metro(p: &MetroParams) -> Topology {
+    assert!(p.core_roadms >= 3, "metro core needs at least 3 ROADMs");
+    assert!(p.servers_per_router > 0, "need at least one server per router");
+    let mut t = Topology::new();
+    let core_capacity = p.wavelength_gbps * f64::from(p.core_wavelengths);
+
+    let roadms: Vec<NodeId> = (0..p.core_roadms)
+        .map(|i| t.add_node(NodeKind::Roadm, format!("roadm{i}")))
+        .collect();
+    let routers: Vec<NodeId> = (0..p.core_roadms)
+        .map(|i| t.add_node(NodeKind::IpRouter, format!("router{i}")))
+        .collect();
+
+    // Core ring.
+    for i in 0..p.core_roadms {
+        t.add_wdm_link(
+            roadms[i],
+            roadms[(i + 1) % p.core_roadms],
+            p.core_span_km,
+            core_capacity,
+            p.core_wavelengths,
+        )
+        .expect("ring endpoints exist");
+    }
+    // Express chords: connect node i to i + n/2 (then rotate) for diversity.
+    let half = p.core_roadms / 2;
+    for c in 0..p.chords.min(half) {
+        let a = c;
+        let b = (c + half) % p.core_roadms;
+        if a != b && t.find_link(roadms[a], roadms[b]).is_none() {
+            t.add_wdm_link(
+                roadms[a],
+                roadms[b],
+                p.core_span_km * half as f64 * 0.8,
+                core_capacity,
+                p.core_wavelengths,
+            )
+            .expect("chord endpoints exist");
+        }
+    }
+    // Router <-> ROADM add/drop attachment: carries the full WDM grid (the
+    // router's transponder bank feeds every add/drop port).
+    for i in 0..p.core_roadms {
+        t.add_wdm_link(
+            routers[i],
+            roadms[i],
+            0.1,
+            core_capacity,
+            p.core_wavelengths,
+        )
+        .expect("attachment endpoints exist");
+    }
+    // Servers.
+    for i in 0..p.core_roadms {
+        for s in 0..p.servers_per_router {
+            let srv = t.add_node(NodeKind::Server, format!("server{i}_{s}"));
+            t.add_link(routers[i], srv, p.access_km, p.access_gbps)
+                .expect("access endpoints exist");
+        }
+    }
+    t
+}
+
+/// Build a two-tier spine-leaf fabric (all-optical if `optical` is true:
+/// spine and leaf switches are ROADMs, else IP routers).
+///
+/// Every leaf connects to every spine; `servers_per_leaf` servers hang off
+/// each leaf. Node ordering: spines, leaves, then servers.
+///
+/// # Panics
+/// Panics if any dimension is zero.
+pub fn spine_leaf(
+    spines: usize,
+    leaves: usize,
+    servers_per_leaf: usize,
+    optical: bool,
+    link_gbps: f64,
+) -> Topology {
+    assert!(spines > 0 && leaves > 0 && servers_per_leaf > 0);
+    let kind = if optical {
+        NodeKind::Roadm
+    } else {
+        NodeKind::IpRouter
+    };
+    let mut t = Topology::new();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|i| t.add_node(kind, format!("spine{i}")))
+        .collect();
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|i| t.add_node(kind, format!("leaf{i}")))
+        .collect();
+    for l in &leaf_ids {
+        for s in &spine_ids {
+            t.add_wdm_link(*l, *s, 0.3, link_gbps, 4)
+                .expect("fabric endpoints exist");
+        }
+    }
+    for (i, l) in leaf_ids.iter().enumerate() {
+        for s in 0..servers_per_leaf {
+            let srv = t.add_node(NodeKind::Server, format!("srv{i}_{s}"));
+            t.add_link(*l, srv, 0.05, link_gbps).expect("server link");
+        }
+    }
+    t
+}
+
+/// A seeded Erdos-Renyi G(n, p) graph over IP routers, patched to be
+/// connected by chaining component representatives. Every fourth node is a
+/// server so placement logic has hosts to use.
+///
+/// # Panics
+/// Panics if `n == 0` or `p` is not within `[0, 1]`.
+pub fn random_connected(n: usize, p: f64, seed: u64, capacity_gbps: f64) -> Topology {
+    assert!(n > 0, "random topology needs nodes");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let kind = if i % 4 == 3 {
+                NodeKind::Server
+            } else {
+                NodeKind::IpRouter
+            };
+            t.add_node(kind, format!("x{i}"))
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_range(0.0..1.0) < p {
+                let km = rng.random_range(1.0..20.0);
+                t.add_link(ids[i], ids[j], km, capacity_gbps)
+                    .expect("random endpoints exist");
+            }
+        }
+    }
+    // Patch connectivity: link the smallest member of each component to the
+    // smallest member of the first component.
+    let comps = crate::algo::connected_components(&t);
+    if comps.len() > 1 {
+        let anchor = comps[0][0];
+        for comp in &comps[1..] {
+            let km = rng.random_range(1.0..20.0);
+            t.add_link(anchor, comp[0], km, capacity_gbps)
+                .expect("patch endpoints exist");
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+
+    #[test]
+    fn linear_has_n_minus_1_links() {
+        let t = linear(5, 2.0, 100.0);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 4);
+    }
+
+    #[test]
+    fn ring_is_2_regular() {
+        let t = ring(7, 2.0, 100.0);
+        assert_eq!(t.link_count(), 7);
+        for n in t.node_ids() {
+            assert_eq!(t.degree(n).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn star_attaches_all_leaves_to_hub() {
+        let t = star(6, 1.0, 40.0);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.degree(NodeId(0)).unwrap(), 6);
+        assert_eq!(t.servers().len(), 6);
+    }
+
+    #[test]
+    fn nsfnet_shape() {
+        let t = nsfnet();
+        assert_eq!(t.node_count(), 14);
+        assert_eq!(t.link_count(), 21);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn metro_default_shape() {
+        let p = MetroParams::default();
+        let t = metro(&p);
+        assert_eq!(
+            t.node_count(),
+            p.core_roadms * (2 + p.servers_per_router)
+        );
+        assert!(is_connected(&t));
+        assert_eq!(t.servers().len(), p.core_roadms * p.servers_per_router);
+        // ROADMs come first in id order.
+        for i in 0..p.core_roadms {
+            assert_eq!(t.node(NodeId(i as u32)).unwrap().kind, NodeKind::Roadm);
+        }
+    }
+
+    #[test]
+    fn metro_core_links_are_wdm() {
+        let t = metro(&MetroParams::default());
+        let core = t
+            .links()
+            .iter()
+            .filter(|l| l.wavelengths > 1)
+            .count();
+        assert!(core >= 6, "expected WDM core links, got {core}");
+    }
+
+    #[test]
+    fn spine_leaf_full_bipartite() {
+        let t = spine_leaf(2, 4, 3, true, 400.0);
+        // 2 spines + 4 leaves + 12 servers.
+        assert_eq!(t.node_count(), 18);
+        // 8 fabric links + 12 server links.
+        assert_eq!(t.link_count(), 20);
+        assert!(is_connected(&t));
+        assert_eq!(t.nodes_of_kind(NodeKind::Roadm).len(), 6);
+    }
+
+    #[test]
+    fn spine_leaf_electrical_variant() {
+        let t = spine_leaf(2, 2, 1, false, 100.0);
+        assert_eq!(t.nodes_of_kind(NodeKind::Roadm).len(), 0);
+        assert_eq!(t.nodes_of_kind(NodeKind::IpRouter).len(), 4);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let t1 = random_connected(40, 0.05, 42, 100.0);
+        let t2 = random_connected(40, 0.05, 42, 100.0);
+        assert!(is_connected(&t1));
+        assert_eq!(t1.link_count(), t2.link_count());
+        assert_eq!(t1.total_length_km(), t2.total_length_km());
+    }
+
+    #[test]
+    fn random_different_seeds_differ() {
+        let t1 = random_connected(40, 0.1, 1, 100.0);
+        let t2 = random_connected(40, 0.1, 2, 100.0);
+        // Overwhelmingly likely to differ in at least total length.
+        assert!((t1.total_length_km() - t2.total_length_km()).abs() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_too_small_panics() {
+        let _ = ring(2, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed identifiers for topology elements.
+//!
+//! Plain `u32` indices wrapped in newtypes so a node index can never be used
+//! where a link index is expected. Identifiers are dense: they are assigned
+//! sequentially by [`crate::Topology`] starting from zero, which lets
+//! algorithms use them directly as `Vec` indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (ROADM, IP router or server) inside a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected link inside a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The identifier as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(v: u32) -> Self {
+        LinkId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(LinkId(42).index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(9));
+    }
+
+    #[test]
+    fn from_u32_conversions() {
+        let n: NodeId = 5u32.into();
+        let l: LinkId = 6u32.into();
+        assert_eq!(n, NodeId(5));
+        assert_eq!(l, LinkId(6));
+    }
+}

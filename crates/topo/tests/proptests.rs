@@ -1,0 +1,155 @@
+//! Property-based tests for the topology substrate.
+
+use flexsched_topo::algo::{
+    bellman_ford, hop_weight, is_connected, k_shortest_paths, kruskal_mst, length_weight,
+    prim_mst, shortest_path, shortest_path_tree, steiner_tree, UnionFind,
+};
+use flexsched_topo::builders;
+use flexsched_topo::NodeId;
+use proptest::prelude::*;
+
+fn graph_params() -> impl Strategy<Value = (usize, f64, u64)> {
+    (4usize..40, 0.05f64..0.5, 0u64..1_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra and Bellman-Ford must agree on all distances.
+    #[test]
+    fn dijkstra_matches_bellman_ford((n, p, seed) in graph_params()) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let spt = shortest_path_tree(&t, NodeId(0), length_weight).unwrap();
+        let bf = bellman_ford(&t, NodeId(0), length_weight).unwrap();
+        for i in 0..t.node_count() {
+            prop_assert!((spt.dist[i] - bf[i]).abs() < 1e-6,
+                "node {i}: dijkstra={} bf={}", spt.dist[i], bf[i]);
+        }
+    }
+
+    /// Kruskal and Prim must find spanning trees of equal total weight.
+    #[test]
+    fn kruskal_prim_same_weight((n, p, seed) in graph_params()) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let k = kruskal_mst(&t, length_weight).unwrap();
+        let pr = prim_mst(&t, length_weight).unwrap();
+        prop_assert!((k.total_weight - pr.total_weight).abs() < 1e-6);
+        prop_assert_eq!(k.links.len(), pr.links.len());
+    }
+
+    /// A spanning tree of a connected graph has exactly n-1 edges and no cycle.
+    #[test]
+    fn mst_edge_count_and_acyclicity((n, p, seed) in graph_params()) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        prop_assume!(is_connected(&t));
+        let mst = kruskal_mst(&t, length_weight).unwrap();
+        prop_assert_eq!(mst.links.len(), t.node_count() - 1);
+        let mut uf = UnionFind::new(t.node_count());
+        for l in &mst.links {
+            let link = t.link(*l).unwrap();
+            prop_assert!(uf.union(link.a.index(), link.b.index()), "cycle in MST");
+        }
+    }
+
+    /// Any path found by Dijkstra validates structurally and its hop latency
+    /// is consistent with per-hop recomputation.
+    #[test]
+    fn dijkstra_paths_validate((n, p, seed) in graph_params(), target in 1usize..40) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let to = NodeId((target % n) as u32);
+        let path = shortest_path(&t, NodeId(0), to, hop_weight).unwrap();
+        path.validate(&t).unwrap();
+        prop_assert!(path.is_node_simple());
+        prop_assert_eq!(path.source(), NodeId(0));
+        prop_assert_eq!(path.destination(), to);
+    }
+
+    /// The Steiner heuristic spans all terminals, is acyclic, and never costs
+    /// more than the union of per-terminal shortest paths.
+    #[test]
+    fn steiner_is_bounded_by_shortest_path_union(
+        (n, p, seed) in graph_params(),
+        picks in proptest::collection::vec(0usize..1_000, 1..6),
+    ) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let terminals: Vec<NodeId> = picks
+            .iter()
+            .map(|i| NodeId((i % n) as u32))
+            .filter(|x| *x != NodeId(0))
+            .collect();
+        prop_assume!(!terminals.is_empty());
+        let st = steiner_tree(&t, NodeId(0), &terminals, length_weight).unwrap();
+        prop_assert!(st.spans_all_terminals());
+        prop_assert_eq!(st.links.len(), st.nodes.len() - 1);
+
+        let mut union_links = std::collections::BTreeSet::new();
+        for term in &terminals {
+            let path = shortest_path(&t, NodeId(0), *term, length_weight).unwrap();
+            union_links.extend(path.links);
+        }
+        let union_weight: f64 = union_links
+            .iter()
+            .map(|l| t.link(*l).unwrap().length_km)
+            .sum();
+        prop_assert!(st.total_weight <= union_weight + 1e-6,
+            "steiner {} > union {}", st.total_weight, union_weight);
+    }
+
+    /// Union-find: union makes connected, and component count decreases by
+    /// exactly the number of successful unions.
+    #[test]
+    fn unionfind_component_accounting(
+        n in 2usize..100,
+        ops in proptest::collection::vec((0usize..100, 0usize..100), 0..200),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            if uf.union(a, b) {
+                merges += 1;
+            }
+            prop_assert!(uf.connected(a, b));
+        }
+        prop_assert_eq!(uf.components(), n - merges);
+    }
+
+    /// Yen's paths come out sorted by cost and pairwise distinct.
+    #[test]
+    fn yen_sorted_and_distinct((n, p, seed) in graph_params(), k in 1usize..6) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let to = NodeId((n - 1) as u32);
+        let paths = k_shortest_paths(&t, NodeId(0), to, k, length_weight).unwrap();
+        prop_assert!(!paths.is_empty());
+        let mut prev = 0.0;
+        for path in &paths {
+            let cost: f64 = path
+                .links
+                .iter()
+                .map(|l| t.link(*l).unwrap().length_km)
+                .sum();
+            prop_assert!(cost + 1e-9 >= prev);
+            prev = cost;
+            path.validate(&t).unwrap();
+            prop_assert!(path.is_node_simple());
+        }
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Path reversal preserves validity and swaps endpoints.
+    #[test]
+    fn path_reverse_round_trip((n, p, seed) in graph_params()) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let to = NodeId((n / 2) as u32);
+        let path = shortest_path(&t, NodeId(0), to, length_weight).unwrap();
+        let rev = path.reversed();
+        rev.validate(&t).unwrap();
+        prop_assert_eq!(rev.source(), path.destination());
+        prop_assert_eq!(rev.destination(), path.source());
+        prop_assert_eq!(rev.reversed(), path);
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's evaluation workload: 30 AI tasks on the metro testbed,
+//! both schedulers, printed as the Figure-3 series.
+//!
+//! ```text
+//! cargo run --release --example federated_metro
+//! ```
+
+use flexsched::orchestrator::{Testbed, TestbedConfig};
+use flexsched::sched::{FixedSpff, FlexibleMst, Scheduler};
+use flexsched::task::WorkloadConfig;
+
+fn run(n_locals: usize, scheduler: Box<dyn Scheduler>) -> (f64, f64) {
+    let cfg = TestbedConfig {
+        workload: WorkloadConfig {
+            num_tasks: 30,
+            locals_per_task: n_locals,
+            mean_interarrival_ns: 150_000_000,
+            ..WorkloadConfig::default()
+        },
+        ..TestbedConfig::default()
+    };
+    let s = Testbed::new(cfg, scheduler).run().expect("scenario completes");
+    (s.mean_iteration_ms, s.sum_task_bandwidth_gbps)
+}
+
+fn main() {
+    println!("30 AI tasks per point, metro testbed (cf. Figures 3a/3b):\n");
+    println!(
+        "{:>7} | {:>11} {:>11} | {:>13} {:>13}",
+        "locals", "fixed ms", "flex ms", "fixed Gbps", "flex Gbps"
+    );
+    println!("{}", "-".repeat(65));
+    for n in [3, 6, 9, 12, 15] {
+        let (fixed_ms, fixed_bw) = run(n, Box::new(FixedSpff));
+        let (flex_ms, flex_bw) = run(n, Box::new(FlexibleMst::paper()));
+        println!(
+            "{:>7} | {:>11.2} {:>11.2} | {:>13.0} {:>13.0}",
+            n, fixed_ms, flex_ms, fixed_bw, flex_bw
+        );
+    }
+    println!(
+        "\nThe flexible scheduler finishes iterations faster and holds less \
+         bandwidth,\nwith both gaps widening as local models are added — the \
+         qualitative result\nof the poster's evaluation."
+    );
+}

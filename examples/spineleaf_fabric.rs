@@ -1,0 +1,72 @@
+//! Open challenge #3: an all-optical spine-leaf fabric with collaborative
+//! OCS (wavelength circuits) and OTS (timeslot) management.
+//!
+//! ```text
+//! cargo run --release --example spineleaf_fabric
+//! ```
+
+use flexsched::optical::{spineleaf, OpticalState, TimeslotTable};
+use flexsched::topo::builders;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(builders::spine_leaf(4, 6, 2, true, 400.0));
+    let mut state = OpticalState::new(Arc::clone(&topo));
+    let mut slots = TimeslotTable::new(10);
+    let leaves = spineleaf::leaves(&state);
+    let spines = spineleaf::spines(&state);
+    println!(
+        "all-optical fabric: {} spines x {} leaves, 4 wavelengths/fiber, 10 timeslots/wavelength",
+        spines.len(),
+        leaves.len()
+    );
+
+    // A mix of elephant circuits (80 G) and mice (8 G) between leaf pairs.
+    let demands: Vec<(usize, usize, f64)> = (0..18)
+        .map(|i| {
+            (
+                i % leaves.len(),
+                (i + 1 + i / leaves.len()) % leaves.len(),
+                if i % 3 == 0 { 80.0 } else { 8.0 },
+            )
+        })
+        .collect();
+
+    println!("\nestablishing {} leaf-to-leaf demands (OCS threshold 50%):", demands.len());
+    for (a, b, gbps) in &demands {
+        let (from, to) = (leaves[*a], leaves[*b]);
+        if from == to {
+            continue;
+        }
+        match spineleaf::establish_circuit(&mut state, &mut slots, from, to, *gbps, 0.5) {
+            Ok(c) => println!(
+                "  {from}->{to} {gbps:>5.0}G via spine {} on {} as {:?}",
+                c.spine, c.lightpath, c.grain
+            ),
+            Err(e) => println!("  {from}->{to} {gbps:>5.0}G REJECTED: {e}"),
+        }
+    }
+
+    let stats = spineleaf::fabric_stats(&state);
+    println!(
+        "\nfabric state: {} lightpaths, {:.0}% of wavelength slots in use",
+        stats.lightpaths,
+        stats.wavelength_utilization * 100.0
+    );
+    println!(
+        "mean server-server hops: {:.2} (spine-leaf) vs {:.2} (6-node metro ring)",
+        spineleaf::mean_server_hops(&state),
+        spineleaf::mean_server_hops(&OpticalState::new(Arc::new(builders::metro(
+            &builders::MetroParams {
+                core_roadms: 6,
+                servers_per_router: 2,
+                chords: 0,
+                ..builders::MetroParams::default()
+            }
+        ))))
+    );
+    println!(
+        "\nSmall demands share wavelengths through timeslots (OTS); elephants get\n\
+         whole wavelengths (OCS) — the collaborative management the poster asks for."
+    );
+}

@@ -1,0 +1,27 @@
+//! # flexsched — flexible scheduling of network and computing resources for
+//! distributed AI tasks
+//!
+//! Facade crate re-exporting every subsystem of the reproduction of the
+//! SIGCOMM 2024 poster *"Flexible Scheduling of Network and Computing
+//! Resources for Distributed AI Tasks"* (Wang et al., arXiv:2407.04845).
+//!
+//! * [`topo`] — topology model and graph algorithms (Dijkstra, Yen, MST,
+//!   Steiner trees),
+//! * [`simnet`] — discrete-event flow-level network simulator, transports,
+//!   background traffic, fault injection,
+//! * [`optical`] — ROADM/wavelength layer: RWA, grooming, OCS/OTS timeslots,
+//! * [`compute`] — servers, containers, placement, training-latency model,
+//! * [`task`] — distributed AI task model and workload generation,
+//! * [`sched`] — the paper's contribution: fixed SPFF baseline and the
+//!   flexible MST scheduler with multi-aggregation,
+//! * [`orchestrator`] — the Figure-2 control plane and end-to-end testbed.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use flexsched_compute as compute;
+pub use flexsched_optical as optical;
+pub use flexsched_orchestrator as orchestrator;
+pub use flexsched_sched as sched;
+pub use flexsched_simnet as simnet;
+pub use flexsched_task as task;
+pub use flexsched_topo as topo;

@@ -1,0 +1,141 @@
+//! Cross-crate integration: scheduler output driving the optical layer,
+//! the SDN controller, the control-plane codec and the threaded bus.
+
+use flexsched::compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched::optical::{GroomingManager, OpticalState, WavelengthPolicy};
+use flexsched::orchestrator::{ControllerHandle, ControlMessage, Database, SdnController};
+use flexsched::sched::{FlexibleMst, RoutingPlan, SchedContext, Scheduler};
+use flexsched::simnet::NetworkState;
+use flexsched::task::{AiTask, TaskId};
+use flexsched::topo::builders;
+use std::sync::Arc;
+
+fn rig() -> (Arc<flexsched::topo::Topology>, NetworkState, AiTask) {
+    let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+    let state = NetworkState::new(Arc::clone(&topo));
+    let servers = topo.servers();
+    let task = AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..9].to_vec(),
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    };
+    (topo, state, task)
+}
+
+/// A flexible schedule's tree chains groom onto wavelengths, sharing
+/// lightpaths between broadcast and upload where endpoints coincide.
+#[test]
+fn schedule_grooms_onto_wavelengths() {
+    let (topo, state, task) = rig();
+    let schedule = {
+        let ctx = SchedContext::new(&state);
+        FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap()
+    };
+    let mut optical = OpticalState::new(Arc::clone(&topo));
+    let mut groom = GroomingManager::new();
+    let mut demands = Vec::new();
+    for plan in [&schedule.broadcast, &schedule.upload] {
+        if let RoutingPlan::Tree { tree, .. } = plan {
+            for chain in tree.chains() {
+                demands.push(
+                    groom
+                        .groom(&mut optical, &chain, schedule.demand_gbps, WavelengthPolicy::FirstFit)
+                        .expect("idle WDM metro fits one task"),
+                );
+            }
+        }
+    }
+    assert!(optical.lightpath_count() > 0);
+    assert!(
+        groom.reuse_hits() > 0,
+        "upload must reuse the broadcast tree's lightpaths"
+    );
+    for d in demands {
+        groom.release(&mut optical, d).unwrap();
+    }
+    assert_eq!(optical.lightpath_count(), 0);
+}
+
+/// SDN rule compilation matches the schedule's own accounting, and rules
+/// round-trip through the binary codec.
+#[test]
+fn flow_rules_round_trip_through_codec() {
+    let (topo, mut state, task) = rig();
+    let schedule = {
+        let ctx = SchedContext::new(&state);
+        FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap()
+    };
+    let rules = SdnController::compile(&schedule, &state).unwrap();
+    let total: f64 = rules.iter().map(|r| r.rate_gbps).sum();
+    assert!((total - schedule.total_bandwidth_gbps(&topo).unwrap()).abs() < 1e-6);
+
+    let msg = ControlMessage::InstallRules(rules.clone());
+    let mut encoded = msg.encode();
+    let decoded = ControlMessage::decode(&mut encoded).unwrap();
+    assert_eq!(msg, decoded);
+
+    // And they install/remove cleanly.
+    let mut sdn = SdnController::new();
+    sdn.install(&schedule, &mut state).unwrap();
+    sdn.remove_task(schedule.task, &mut state).unwrap();
+    assert!(state.total_reserved_gbps().abs() < 1e-9);
+}
+
+/// The threaded controller applies schedule rules sent over the bus.
+#[test]
+fn bus_installs_schedule_rules() {
+    let (topo, state, task) = rig();
+    let schedule = {
+        let ctx = SchedContext::new(&state);
+        FlexibleMst::paper()
+            .schedule(&task, &task.local_sites, &ctx)
+            .unwrap()
+    };
+    let rules = SdnController::compile(&schedule, &state).unwrap();
+    let db = Database::new(
+        state,
+        OpticalState::new(Arc::clone(&topo)),
+        ClusterManager::from_topology(&topo, ServerSpec::default()),
+    );
+    let ctl = ControllerHandle::spawn(db.clone());
+    ctl.send(&ControlMessage::InstallRules(rules)).unwrap();
+    assert!(
+        (db.total_reserved_gbps() - schedule.total_bandwidth_gbps(&topo).unwrap()).abs() < 1e-6
+    );
+    let processed = ctl.shutdown();
+    assert!(processed >= 1);
+}
+
+/// Soft failures shrink the flexible scheduler's options but it still
+/// schedules around them.
+#[test]
+fn soft_failures_are_routed_around() {
+    use flexsched::optical::softfail::{apply, SoftFailure};
+    let (topo, state, task) = rig();
+    let mut optical = OpticalState::new(Arc::clone(&topo));
+    // Impair most wavelengths of the first core ring span.
+    let span = topo.find_link(flexsched::topo::NodeId(0), flexsched::topo::NodeId(1)).unwrap();
+    apply(
+        &mut optical,
+        SoftFailure {
+            link: span,
+            severity: 7,
+        },
+    )
+    .unwrap();
+    let ctx = SchedContext::new(&state).with_optical(&optical);
+    // One wavelength still free -> scheduling must still succeed.
+    let s = FlexibleMst::paper()
+        .schedule(&task, &task.local_sites, &ctx)
+        .unwrap();
+    assert!(s.total_bandwidth_gbps(&topo).unwrap() > 0.0);
+}
