@@ -12,16 +12,12 @@ fn bench_fig3(c: &mut Criterion) {
     g.sample_size(10);
     for policy in [Policy::Fixed, Policy::Flexible] {
         for n in [3usize, 15] {
-            g.bench_with_input(
-                BenchmarkId::new(policy.label(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        let s = fig3_point(black_box(policy), n, 10, 2024);
-                        black_box(s.mean_iteration_ms)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(policy.label(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let s = fig3_point(black_box(policy), n, 10, 2024);
+                    black_box(s.mean_iteration_ms)
+                })
+            });
         }
     }
     g.finish();

@@ -1,0 +1,129 @@
+//! Scheduler throughput: how many `FlexibleMst::schedule` decisions per
+//! second the control plane sustains, at metro scale (the paper's testbed)
+//! and on a spine-leaf fabric, from 5 to 50 local models per task.
+//!
+//! Also measures the preserved pre-refactor implementation
+//! (`flexsched_bench::baseline`) on the same inputs, and prints the
+//! speedup, so the flat-index/scratch-reuse refactor has a pinned,
+//! reproducible before/after. `scripts/bench_snapshot.sh` writes the
+//! results to `BENCH_1.json` for the repo's performance trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsched_bench::baseline::baseline_flexible_schedule;
+use flexsched_compute::ModelProfile;
+use flexsched_sched::{FlexibleMst, SchedContext, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{builders, Topology};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn make_task(topo: &Topology, n: usize) -> AiTask {
+    let servers = topo.servers();
+    assert!(
+        n < servers.len(),
+        "scenario needs {n} locals, has {}",
+        servers.len() - 1
+    );
+    AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..=n].to_vec(),
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    }
+}
+
+struct Scenario {
+    label: &'static str,
+    topo: Arc<Topology>,
+    locals: &'static [usize],
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "metro",
+            topo: Arc::new(builders::metro(&builders::MetroParams::default())),
+            locals: &[5, 10, 15],
+        },
+        Scenario {
+            label: "spineleaf",
+            topo: Arc::new(builders::spine_leaf(4, 13, 4, false, 400.0)),
+            locals: &[25, 50],
+        },
+    ]
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_throughput");
+    for s in scenarios() {
+        let state = NetworkState::new(Arc::clone(&s.topo));
+        // One context per decision loop, exactly as the orchestrator holds
+        // it: the scratch pool warms up on the first decision and is reused
+        // by every subsequent one.
+        let ctx = SchedContext::new(&state);
+        for &n in s.locals {
+            let task = make_task(&s.topo, n);
+            g.bench_with_input(
+                BenchmarkId::new(format!("flexible-mst/{}", s.label), n),
+                &task,
+                |b, task| {
+                    b.iter(|| {
+                        black_box(
+                            FlexibleMst::paper()
+                                .schedule(black_box(task), &task.local_sites, &ctx)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("baseline-prerefactor/{}", s.label), n),
+                &task,
+                |b, task| {
+                    b.iter(|| {
+                        black_box(
+                            baseline_flexible_schedule(
+                                black_box(task),
+                                &task.local_sites,
+                                &state,
+                                None,
+                                ctx.min_rate_gbps,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Print per-point speedup and tasks/sec once everything is measured.
+fn summarize(_c: &mut Criterion) {
+    let results = criterion::results_snapshot();
+    println!("\n== scheduler throughput summary ==");
+    for r in &results {
+        if let Some(rest) = r.name.strip_prefix("flexible-mst/") {
+            let tasks_per_sec = 1e9 / r.median_ns;
+            let baseline = results
+                .iter()
+                .find(|b| b.name == format!("baseline-prerefactor/{rest}"));
+            match baseline {
+                Some(b) => println!(
+                    "{rest:<16} {tasks_per_sec:>10.0} tasks/s   speedup vs pre-refactor: {:.2}x",
+                    b.median_ns / r.median_ns
+                ),
+                None => println!("{rest:<16} {tasks_per_sec:>10.0} tasks/s"),
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_throughput, summarize);
+criterion_main!(benches);

@@ -40,7 +40,10 @@ fn write_csv(name: &str, contents: &str) {
 /// Figure 3a: total latency (training + communication) vs #local models.
 fn fig3a() {
     println!("== Figure 3a: mean per-iteration latency vs number of local models ==");
-    println!("{:>8} {:>14} {:>14} {:>8}", "locals", "fixed (ms)", "flexible (ms)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "locals", "fixed (ms)", "flexible (ms)", "ratio"
+    );
     let mut csv = String::from("locals,fixed_ms,flexible_ms\n");
     let mut last_ratio = 0.0;
     for n in FIG3_SWEEP {
@@ -119,7 +122,10 @@ fn ablation_selection() {
         ("all", SelectionStrategy::All),
         ("top-50%-utility", SelectionStrategy::TopKUtility(0.5)),
         ("random-50%", SelectionStrategy::RandomK(0.5, SEED)),
-        ("bandwidth-aware-50%", SelectionStrategy::BandwidthAware(0.5)),
+        (
+            "bandwidth-aware-50%",
+            SelectionStrategy::BandwidthAware(0.5),
+        ),
     ];
     for (name, s) in strategies {
         let summary = selection_point(s, 15, SEED);
@@ -167,7 +173,9 @@ fn ablation_reschedule() {
             s.mean_iteration_ms, s.reschedules, s.blocked
         );
     }
-    println!("  shape check: migrations only happen when predicted saving beats the interruption cost");
+    println!(
+        "  shape check: migrations only happen when predicted saving beats the interruption cost"
+    );
     write_csv("ablation_reschedule.csv", &csv);
 }
 
@@ -185,7 +193,10 @@ fn ablation_transport() {
             let cpu_us = t.cpu_time_for(1_000_000).as_us_f64();
             println!(
                 "{:>8} {:>12.3} {:>14.1} {:>16}",
-                t.name, s.mean_iteration_ms, cpu_us, p.label()
+                t.name,
+                s.mean_iteration_ms,
+                cpu_us,
+                p.label()
             );
             let _ = writeln!(csv, "{},{},{:.6}", t.name, p.label(), s.mean_iteration_ms);
         }
@@ -250,12 +261,7 @@ fn ablation_spineleaf() {
                 continue;
             }
             match spineleaf::establish_circuit(
-                &mut state,
-                &mut slots,
-                leaves[*a],
-                leaves[*b],
-                *gbps,
-                threshold,
+                &mut state, &mut slots, leaves[*a], leaves[*b], *gbps, threshold,
             ) {
                 Ok(_) => ok += 1,
                 Err(_) => rejected += 1,
@@ -311,7 +317,9 @@ fn ablation_aggregation() {
             with.sum_task_bandwidth_gbps, without.sum_task_bandwidth_gbps
         );
     }
-    println!("  shape check: without aggregation the upload tree degenerates towards linear bandwidth");
+    println!(
+        "  shape check: without aggregation the upload tree degenerates towards linear bandwidth"
+    );
     write_csv("ablation_aggregation.csv", &csv);
 }
 

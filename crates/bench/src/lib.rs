@@ -3,6 +3,8 @@
 //! Shared scenario builders used by the `figures` binary (which reprints
 //! every evaluation artifact of the paper) and the Criterion benches.
 
+pub mod baseline;
+
 use flexsched_orchestrator::{RunSummary, Testbed, TestbedConfig};
 use flexsched_sched::{FixedSpff, FlexibleMst, ReschedulePolicy, Scheduler, SelectionStrategy};
 use flexsched_simnet::{SimTime, Transport};
@@ -80,11 +82,7 @@ pub fn selection_point(strategy: SelectionStrategy, n_locals: usize, seed: u64) 
 }
 
 /// Run a rescheduling scenario under faults and churn (A2).
-pub fn reschedule_point(
-    policy: Policy,
-    with_rescheduling: bool,
-    seed: u64,
-) -> RunSummary {
+pub fn reschedule_point(policy: Policy, with_rescheduling: bool, seed: u64) -> RunSummary {
     let mut cfg = TestbedConfig {
         fault_count: 12,
         fault_seed: seed,

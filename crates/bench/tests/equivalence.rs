@@ -1,0 +1,213 @@
+//! Equivalence proof for the flat-index hot-path refactor: the rebuilt
+//! `FlexibleMst` must produce *identical* schedules — same tree links and
+//! nodes, same per-edge copies, same rates — as the preserved pre-refactor
+//! implementation in `flexsched_bench::baseline`, on random metro and
+//! spine-leaf scenarios, including under load (schedules applied between
+//! decisions, exercising the residual cache) and with an optical layer
+//! attached (exercising the bitset wavelength feasibility path).
+
+use flexsched_bench::baseline::baseline_flexible_schedule;
+use flexsched_compute::ModelProfile;
+use flexsched_optical::{OpticalState, WavelengthPolicy};
+use flexsched_sched::{FlexibleMst, RoutingPlan, SchedContext, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{algo, builders, NodeId, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn scenario_topology(pick: u8) -> Arc<Topology> {
+    Arc::new(match pick % 4 {
+        0 => builders::metro(&builders::MetroParams::default()),
+        1 => builders::metro(&builders::MetroParams {
+            core_roadms: 8,
+            servers_per_router: 3,
+            chords: 3,
+            ..builders::MetroParams::default()
+        }),
+        2 => builders::spine_leaf(3, 6, 3, true, 400.0),
+        _ => builders::spine_leaf(4, 8, 4, false, 400.0),
+    })
+}
+
+fn make_task(topo: &Topology, n_locals: usize, seed: u64) -> AiTask {
+    let servers = topo.servers();
+    let g = servers[(seed as usize) % servers.len()];
+    let mut locals = Vec::new();
+    let mut i = seed as usize + 1;
+    while locals.len() < n_locals.min(servers.len() - 1) {
+        let cand = servers[i % servers.len()];
+        if cand != g && !locals.contains(&cand) {
+            locals.push(cand);
+        }
+        i += 1;
+    }
+    locals.sort();
+    AiTask {
+        id: TaskId(seed),
+        model: ModelProfile::mobilenet(),
+        global_site: g,
+        local_sites: locals,
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    }
+}
+
+/// Compare one refactored schedule against the baseline on the same state.
+fn assert_schedules_match(
+    task: &AiTask,
+    ctx: &SchedContext<'_>,
+    optical: Option<&OpticalState>,
+) -> Result<Option<flexsched_sched::Schedule>, TestCaseError> {
+    let new = FlexibleMst::paper().schedule(task, &task.local_sites, ctx);
+    let old = baseline_flexible_schedule(
+        task,
+        &task.local_sites,
+        ctx.state,
+        optical,
+        ctx.min_rate_gbps,
+    );
+    match (&new, &old) {
+        (Ok(s), Some(b)) => {
+            let (
+                RoutingPlan::Tree {
+                    tree: bt,
+                    rate_gbps: brate,
+                    ..
+                },
+                RoutingPlan::Tree {
+                    tree: ut,
+                    rate_gbps: urate,
+                    copies,
+                },
+            ) = (&s.broadcast, &s.upload)
+            else {
+                return Err(TestCaseError::Fail("flexible must produce trees".into()));
+            };
+            prop_assert_eq!(&bt.links, &b.broadcast.links, "broadcast links diverged");
+            prop_assert_eq!(&bt.nodes, &b.broadcast.nodes, "broadcast nodes diverged");
+            prop_assert_eq!(&ut.links, &b.upload.links, "upload links diverged");
+            prop_assert_eq!(&ut.nodes, &b.upload.nodes, "upload nodes diverged");
+            prop_assert_eq!(copies, &b.copies, "upload copies diverged");
+            prop_assert_eq!(*brate, b.rate_gbps, "broadcast rate diverged");
+            prop_assert_eq!(*urate, b.rate_gbps, "upload rate diverged");
+            // Parent pointers agree with the baseline BTreeMap everywhere.
+            for n in ctx.state.topo().node_ids() {
+                prop_assert_eq!(ut.parent_of(n), b.upload.parent.get(&n).copied());
+                prop_assert_eq!(bt.parent_of(n), b.broadcast.parent.get(&n).copied());
+            }
+            Ok(Some(new.unwrap()))
+        }
+        (Err(_), None) => Ok(None),
+        (Ok(_), None) => Err(TestCaseError::Fail(
+            "refactored scheduler succeeded where baseline failed".into(),
+        )),
+        (Err(e), Some(_)) => Err(TestCaseError::Fail(format!(
+            "refactored scheduler failed where baseline succeeded: {e:?}"
+        ))),
+    }
+}
+
+use proptest::test_runner::TestCaseError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Idle network: every decision the refactored scheduler makes is
+    /// link-for-link identical to the pre-refactor implementation.
+    #[test]
+    fn schedules_identical_on_idle_network(
+        pick in 0u8..4,
+        n in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let topo = scenario_topology(pick);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let task = make_task(&topo, n, seed);
+        let ctx = SchedContext::new(&state);
+        assert_schedules_match(&task, &ctx, None)?;
+    }
+
+    /// Loaded network: tasks are scheduled and applied back-to-back, so the
+    /// residual-min cache is exercised across mutations; every decision must
+    /// still match the baseline, which recomputes residuals from scratch.
+    #[test]
+    fn schedules_identical_under_sequential_load(
+        pick in 0u8..4,
+        seeds in proptest::collection::vec((1usize..12, 0u64..500), 1..6),
+    ) {
+        let topo = scenario_topology(pick);
+        let mut state = NetworkState::new(Arc::clone(&topo));
+        for (n, seed) in seeds {
+            let task = make_task(&topo, n, seed);
+            let applied = {
+                let ctx = SchedContext::new(&state);
+                assert_schedules_match(&task, &ctx, None)?
+            };
+            if let Some(s) = applied {
+                // Apply if capacity allows; keep going either way.
+                let _ = s.apply(&mut state);
+            }
+        }
+    }
+
+    /// Optical layer attached: the bitset wavelength-feasibility path in
+    /// the auxiliary weight must agree with the scalar probing baseline.
+    #[test]
+    fn schedules_identical_with_optical_layer(
+        pick in 0u8..2, // metro variants (WDM core)
+        n in 1usize..12,
+        seed in 0u64..500,
+        lightpaths in proptest::collection::vec((0usize..100, 0usize..100), 0..6),
+    ) {
+        let topo = scenario_topology(pick);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let mut optical = OpticalState::new(Arc::clone(&topo));
+        let servers = topo.servers();
+        for (i, j) in lightpaths {
+            let a = servers[i % servers.len()];
+            let b = servers[j % servers.len()];
+            if a == b { continue; }
+            let p = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+            let _ = optical.establish_route(&p, WavelengthPolicy::FirstFit);
+        }
+        let task = make_task(&topo, n, seed);
+        let ctx = SchedContext::new(&state).with_optical(&optical);
+        assert_schedules_match(&task, &ctx, Some(&optical))?;
+    }
+
+    /// The no-aggregation ablation also stays identical (copies logic).
+    #[test]
+    fn upload_copies_identical_across_aggregation_settings(
+        pick in 0u8..4,
+        n in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        use flexsched_bench::baseline::{baseline_steiner_tree, baseline_upload_copies,
+                                        baseline_auxiliary_weight};
+        use std::collections::BTreeSet;
+
+        let topo = scenario_topology(pick);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let task = make_task(&topo, n, seed);
+        let demand = task.demand_gbps();
+        let no_reuse = BTreeSet::new();
+        let Some(bt) = baseline_steiner_tree(&topo, task.global_site, &task.local_sites, |l| {
+            baseline_auxiliary_weight(&state, None, demand, &no_reuse, l)
+        }) else { return Err(TestCaseError::Reject("unschedulable".into())) };
+        let nt = algo::steiner_tree(&topo, task.global_site, &task.local_sites, |l| {
+            flexsched_sched::weights::auxiliary_weight(&state, None, demand, &no_reuse, l)
+        }).unwrap();
+        prop_assert_eq!(&nt.links, &bt.links);
+        let selected: BTreeSet<NodeId> = task.local_sites.iter().copied().collect();
+        for aggregation in [true, false] {
+            let new_copies = flexsched_sched::flexible::upload_copies(
+                &nt, &topo, &selected, aggregation,
+            ).unwrap();
+            let old_copies = baseline_upload_copies(&bt, &topo, &selected, aggregation);
+            prop_assert_eq!(new_copies, old_copies, "aggregation={}", aggregation);
+        }
+    }
+}

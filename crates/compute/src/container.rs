@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a placed container.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(pub u64);
 
 impl fmt::Display for ContainerId {

@@ -50,8 +50,12 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ComputeError::UnknownServer(NodeId(1)).to_string().contains("n1"));
-        assert!(ComputeError::ServerFull(NodeId(2)).to_string().contains("n2"));
+        assert!(ComputeError::UnknownServer(NodeId(1))
+            .to_string()
+            .contains("n1"));
+        assert!(ComputeError::ServerFull(NodeId(2))
+            .to_string()
+            .contains("n2"));
         let e = ComputeError::NoCapacity {
             gpus: 1.0,
             cpu_cores: 4.0,

@@ -175,7 +175,10 @@ impl ClusterManager {
 
     /// All containers of one task.
     pub fn task_containers(&self, task: u64) -> Vec<&Container> {
-        self.containers.values().filter(|c| c.task == task).collect()
+        self.containers
+            .values()
+            .filter(|c| c.task == task)
+            .collect()
     }
 
     /// Containers resident on a server (used for interference modelling).
@@ -264,12 +267,30 @@ mod tests {
         let mut m = ClusterManager::new();
         m.register_server(NodeId(0), ServerSpec::default()); // 2 GPUs
         let req = ResourceRequest::local_model();
-        m.place(0, ModelRole::Local, ModelProfile::lenet(), req, PlacementPolicy::FirstFit)
-            .unwrap();
-        m.place(0, ModelRole::Local, ModelProfile::lenet(), req, PlacementPolicy::FirstFit)
-            .unwrap();
+        m.place(
+            0,
+            ModelRole::Local,
+            ModelProfile::lenet(),
+            req,
+            PlacementPolicy::FirstFit,
+        )
+        .unwrap();
+        m.place(
+            0,
+            ModelRole::Local,
+            ModelProfile::lenet(),
+            req,
+            PlacementPolicy::FirstFit,
+        )
+        .unwrap();
         let err = m
-            .place(0, ModelRole::Local, ModelProfile::lenet(), req, PlacementPolicy::FirstFit)
+            .place(
+                0,
+                ModelRole::Local,
+                ModelProfile::lenet(),
+                req,
+                PlacementPolicy::FirstFit,
+            )
             .unwrap_err();
         assert!(matches!(err, ComputeError::NoCapacity { .. }));
     }
@@ -280,7 +301,13 @@ mod tests {
         m.register_server(NodeId(0), ServerSpec::default());
         let req = ResourceRequest::local_model();
         let id = m
-            .place(0, ModelRole::Local, ModelProfile::lenet(), req, PlacementPolicy::FirstFit)
+            .place(
+                0,
+                ModelRole::Local,
+                ModelProfile::lenet(),
+                req,
+                PlacementPolicy::FirstFit,
+            )
             .unwrap();
         assert_eq!(m.container_count(), 1);
         m.remove(id).unwrap();

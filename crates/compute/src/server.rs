@@ -174,7 +174,10 @@ mod tests {
             gpus: 2.0,
             mem_gib: 10.0,
         });
-        assert!((s.load() - 1.0).abs() < 1e-9, "GPU-bound load must dominate");
+        assert!(
+            (s.load() - 1.0).abs() < 1e-9,
+            "GPU-bound load must dominate"
+        );
     }
 
     #[test]

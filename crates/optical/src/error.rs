@@ -11,9 +11,15 @@ pub enum OpticalError {
     /// No wavelength satisfies the continuity constraint along the path.
     NoFreeWavelength,
     /// The requested wavelength is already occupied on a link.
-    WavelengthBusy { link: LinkId, wavelength: WavelengthId },
+    WavelengthBusy {
+        link: LinkId,
+        wavelength: WavelengthId,
+    },
     /// The wavelength index exceeds the link's WDM grid.
-    WavelengthOutOfRange { link: LinkId, wavelength: WavelengthId },
+    WavelengthOutOfRange {
+        link: LinkId,
+        wavelength: WavelengthId,
+    },
     /// Unknown lightpath id.
     UnknownLightpath(LightpathId),
     /// Lightpath has insufficient residual capacity for a grooming request.
@@ -86,6 +92,8 @@ mod tests {
         };
         assert!(e.to_string().contains("l2"));
         assert!(e.to_string().contains('5'));
-        assert!(OpticalError::NoFreeWavelength.to_string().contains("wavelength"));
+        assert!(OpticalError::NoFreeWavelength
+            .to_string()
+            .contains("wavelength"));
     }
 }

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an established lightpath.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LightpathId(pub u64);
 
 impl fmt::Display for LightpathId {

@@ -32,14 +32,52 @@ pub enum WavelengthPolicy {
     LeastUsed,
 }
 
+/// Number of wavelengths per occupancy word.
+const WORD_BITS: usize = 64;
+
+/// Words needed to cover a grid of `grid` wavelengths.
+#[inline]
+fn words_for(grid: u16) -> usize {
+    (grid as usize).div_ceil(WORD_BITS)
+}
+
+/// Mask of the valid bits of word `word` for a grid of `grid` wavelengths.
+#[inline]
+fn grid_word_mask(grid: u16, word: usize) -> u64 {
+    let lo = word * WORD_BITS;
+    let hi = (grid as usize).min(lo + WORD_BITS);
+    if hi <= lo {
+        0
+    } else if hi - lo == WORD_BITS {
+        u64::MAX
+    } else {
+        (1u64 << (hi - lo)) - 1
+    }
+}
+
 /// Wavelength occupancy and lightpath registry.
+///
+/// Occupancy and impairment are tracked twice: as per-slot holder ids
+/// (`occupancy`, the registry the invariants are audited against) and as
+/// per-link `u64` bitmask words (`busy`, bit set = occupied or impaired)
+/// that the continuity intersection ANDs across hops — one word operation
+/// covers 64 wavelengths, which is what makes
+/// [`free_wavelengths_on_path`](OpticalState::free_wavelengths_on_path)
+/// cheap enough to sit inside the scheduler's per-link weight function.
+/// Per-wavelength usage counters are maintained incrementally so the
+/// `MostUsed`/`LeastUsed` policies no longer scan every link per query.
 #[derive(Debug, Clone)]
 pub struct OpticalState {
     topo: Arc<Topology>,
     /// `occupancy[link][w]` = holder of wavelength `w` on that fiber.
     occupancy: Vec<Vec<Option<LightpathId>>>,
-    /// `impaired[link][w]` = wavelength degraded by a soft failure.
-    impaired: Vec<Vec<bool>>,
+    /// `occupied[link]` = bitmask words, bit `w` set iff `w` is occupied.
+    occupied: Vec<Vec<u64>>,
+    /// `impaired[link]` = bitmask words, bit `w` set iff `w` is degraded by
+    /// a soft failure.
+    impaired: Vec<Vec<u64>>,
+    /// `usage[w]` = number of (link, w) slots currently occupied.
+    usage: Vec<u32>,
     lightpaths: BTreeMap<LightpathId, Lightpath>,
     next_id: u64,
 }
@@ -52,15 +90,24 @@ impl OpticalState {
             .iter()
             .map(|l| vec![None; l.wavelengths.max(1) as usize])
             .collect();
-        let impaired = topo
+        let occupied: Vec<Vec<u64>> = topo
             .links()
             .iter()
-            .map(|l| vec![false; l.wavelengths.max(1) as usize])
+            .map(|l| vec![0; words_for(l.wavelengths.max(1))])
             .collect();
+        let impaired = occupied.clone();
+        let max_grid = topo
+            .links()
+            .iter()
+            .map(|l| l.wavelengths.max(1))
+            .max()
+            .unwrap_or(1);
         OpticalState {
             topo,
             occupancy,
+            occupied,
             impaired,
+            usage: vec![0; max_grid as usize],
             lightpaths: BTreeMap::new(),
             next_id: 0,
         }
@@ -69,6 +116,11 @@ impl OpticalState {
     /// The underlying topology.
     pub fn topo(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Grid size of `link`, or an error for unknown links.
+    fn grid_of(&self, link: LinkId) -> Result<u16> {
+        Ok(self.topo.link(link)?.wavelengths.max(1))
     }
 
     /// Whether `w` is free (unoccupied and unimpaired) on `link`.
@@ -83,61 +135,104 @@ impl OpticalState {
                 wavelength: w,
             });
         }
-        Ok(slots[w.index()].is_none() && !self.impaired[link.index()][w.index()])
+        let (word, bit) = (w.index() / WORD_BITS, w.index() % WORD_BITS);
+        let busy =
+            (self.occupied[link.index()][word] | self.impaired[link.index()][word]) >> bit & 1;
+        Ok(busy == 0)
     }
 
-    /// Wavelengths free on *every* hop of `path` (continuity intersection),
-    /// ascending. Bounded by the smallest grid among the path's links.
-    pub fn free_wavelengths_on_path(&self, path: &Path) -> Result<Vec<WavelengthId>> {
+    /// Whether any wavelength is free on `link` — O(grid/64) words, used by
+    /// the scheduler's per-link weight function.
+    pub fn has_free_wavelength(&self, link: LinkId) -> Result<bool> {
+        let grid = self.grid_of(link)?;
+        let occ = &self.occupied[link.index()];
+        let imp = &self.impaired[link.index()];
+        Ok((0..words_for(grid)).any(|i| !(occ[i] | imp[i]) & grid_word_mask(grid, i) != 0))
+    }
+
+    /// Free-wavelength bitmask words for `path` (continuity intersection):
+    /// bit `w` of word `i` is set iff wavelength `64 * i + w` is free on
+    /// every hop. Truncated to the smallest grid among the path's links;
+    /// empty for trivial paths.
+    pub fn free_mask_on_path(&self, path: &Path) -> Result<Vec<u64>> {
         if path.links.is_empty() {
             return Ok(Vec::new());
         }
         let mut grid = u16::MAX;
         for l in &path.links {
-            grid = grid.min(self.topo.link(*l)?.wavelengths.max(1));
+            grid = grid.min(self.grid_of(*l)?);
         }
-        let mut free = Vec::new();
-        'w: for w in 0..grid {
-            let wid = WavelengthId(w);
-            for l in &path.links {
-                if !self.is_free(*l, wid)? {
-                    continue 'w;
-                }
+        let words = words_for(grid);
+        let mut mask: Vec<u64> = (0..words).map(|i| grid_word_mask(grid, i)).collect();
+        for l in &path.links {
+            let occ = &self.occupied[l.index()];
+            let imp = &self.impaired[l.index()];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m &= !(occ[i] | imp[i]);
             }
-            free.push(wid);
+        }
+        Ok(mask)
+    }
+
+    /// Wavelengths free on *every* hop of `path` (continuity intersection),
+    /// ascending. Bounded by the smallest grid among the path's links.
+    pub fn free_wavelengths_on_path(&self, path: &Path) -> Result<Vec<WavelengthId>> {
+        let mask = self.free_mask_on_path(path)?;
+        let mut free = Vec::new();
+        for (i, mut word) in mask.into_iter().enumerate() {
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                free.push(WavelengthId((i * WORD_BITS + bit) as u16));
+                word &= word - 1;
+            }
         }
         Ok(free)
     }
 
-    /// Times wavelength `w` is occupied across the network.
+    /// Times wavelength `w` is occupied across the network (incrementally
+    /// maintained counter).
     pub fn usage_count(&self, w: WavelengthId) -> usize {
-        self.occupancy
-            .iter()
-            .filter(|slots| slots.get(w.index()).is_some_and(|s| s.is_some()))
-            .count()
+        self.usage.get(w.index()).copied().unwrap_or(0) as usize
     }
 
     /// Pick a wavelength for `path` under `policy`.
     ///
     /// # Errors
     /// [`OpticalError::NoFreeWavelength`] if the continuity set is empty.
-    pub fn choose_wavelength(
-        &self,
-        path: &Path,
-        policy: WavelengthPolicy,
-    ) -> Result<WavelengthId> {
-        let free = self.free_wavelengths_on_path(path)?;
+    pub fn choose_wavelength(&self, path: &Path, policy: WavelengthPolicy) -> Result<WavelengthId> {
+        let mask = self.free_mask_on_path(path)?;
+        let set_bits = |i: usize, mut word: u64, out: &mut Vec<WavelengthId>| {
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(WavelengthId((i * WORD_BITS + bit) as u16));
+                word &= word - 1;
+            }
+        };
         let chosen = match policy {
-            WavelengthPolicy::FirstFit => free.first().copied(),
-            WavelengthPolicy::LastFit => free.last().copied(),
-            WavelengthPolicy::MostUsed => free
-                .iter()
-                .max_by_key(|w| (self.usage_count(**w), std::cmp::Reverse(w.0)))
-                .copied(),
-            WavelengthPolicy::LeastUsed => free
-                .iter()
-                .min_by_key(|w| (self.usage_count(**w), w.0))
-                .copied(),
+            WavelengthPolicy::FirstFit => mask.iter().enumerate().find_map(|(i, w)| {
+                (*w != 0)
+                    .then(|| WavelengthId((i * WORD_BITS + w.trailing_zeros() as usize) as u16))
+            }),
+            WavelengthPolicy::LastFit => mask.iter().enumerate().rev().find_map(|(i, w)| {
+                (*w != 0).then(|| {
+                    WavelengthId((i * WORD_BITS + (63 - w.leading_zeros() as usize)) as u16)
+                })
+            }),
+            WavelengthPolicy::MostUsed | WavelengthPolicy::LeastUsed => {
+                let mut free = Vec::new();
+                for (i, word) in mask.iter().enumerate() {
+                    set_bits(i, *word, &mut free);
+                }
+                if policy == WavelengthPolicy::MostUsed {
+                    free.iter()
+                        .max_by_key(|w| (self.usage_count(**w), std::cmp::Reverse(w.0)))
+                        .copied()
+                } else {
+                    free.iter()
+                        .min_by_key(|w| (self.usage_count(**w), w.0))
+                        .copied()
+                }
+            }
         };
         chosen.ok_or(OpticalError::NoFreeWavelength)
     }
@@ -158,6 +253,8 @@ impl OpticalState {
         let mut capacity = f64::INFINITY;
         for l in &path.links {
             self.occupancy[l.index()][w.index()] = Some(id);
+            self.occupied[l.index()][w.index() / WORD_BITS] |= 1 << (w.index() % WORD_BITS);
+            self.usage[w.index()] += 1;
             capacity = capacity.min(self.topo.link(*l)?.channel_gbps());
         }
         if !capacity.is_finite() {
@@ -212,8 +309,11 @@ impl OpticalState {
             .lightpaths
             .remove(&id)
             .ok_or(OpticalError::UnknownLightpath(id))?;
+        let w = lp.wavelength.index();
         for l in &lp.path.links {
-            self.occupancy[l.index()][lp.wavelength.index()] = None;
+            self.occupancy[l.index()][w] = None;
+            self.occupied[l.index()][w / WORD_BITS] &= !(1 << (w % WORD_BITS));
+            self.usage[w] -= 1;
         }
         Ok(lp)
     }
@@ -265,17 +365,20 @@ impl OpticalState {
     /// Mark a wavelength on a link impaired (soft failure) or restored.
     /// Existing lightpaths keep their assignment; new ones avoid it.
     pub fn set_impaired(&mut self, link: LinkId, w: WavelengthId, impaired: bool) -> Result<()> {
-        let slots = self
-            .impaired
-            .get_mut(link.index())
-            .ok_or(flexsched_topo::TopoError::UnknownLink(link))?;
-        if w.index() >= slots.len() {
+        let grid = self.grid_of(link)?;
+        if w.0 >= grid {
             return Err(OpticalError::WavelengthOutOfRange {
                 link,
                 wavelength: w,
             });
         }
-        slots[w.index()] = impaired;
+        let bit = 1u64 << (w.index() % WORD_BITS);
+        let word = &mut self.impaired[link.index()][w.index() / WORD_BITS];
+        if impaired {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
         Ok(())
     }
 
@@ -312,8 +415,11 @@ pub fn split_at_electrical(topo: &Topology, path: &Path) -> Result<Vec<Path>> {
         let cuts = is_last || !topo.node(next)?.kind.is_optical();
         if cuts {
             segments.push(
-                Path::new(std::mem::take(&mut seg_nodes), std::mem::take(&mut seg_links))
-                    .expect("segment alternation is maintained"),
+                Path::new(
+                    std::mem::take(&mut seg_nodes),
+                    std::mem::take(&mut seg_links),
+                )
+                .expect("segment alternation is maintained"),
             );
             seg_nodes = vec![next];
         }
@@ -436,9 +542,13 @@ mod tests {
         let hop2 = Path::new(vec![p.nodes[1], p.nodes[2]], vec![p.links[1]]).unwrap();
         s.establish_on(hop2, WavelengthId(1)).unwrap();
         let hop1 = Path::new(vec![p.nodes[0], p.nodes[1]], vec![p.links[0]]).unwrap();
-        let packed = s.choose_wavelength(&hop1, WavelengthPolicy::MostUsed).unwrap();
+        let packed = s
+            .choose_wavelength(&hop1, WavelengthPolicy::MostUsed)
+            .unwrap();
         assert_eq!(packed, WavelengthId(1));
-        let spread = s.choose_wavelength(&hop1, WavelengthPolicy::LeastUsed).unwrap();
+        let spread = s
+            .choose_wavelength(&hop1, WavelengthPolicy::LeastUsed)
+            .unwrap();
         assert_eq!(spread, WavelengthId(0));
     }
 
@@ -477,12 +587,17 @@ mod tests {
         // Exhaust the second hop so multi-segment establishment fails.
         let hop2 = Path::new(vec![p.nodes[1], p.nodes[2]], vec![p.links[1]]).unwrap();
         for _ in 0..4 {
-            s.establish(hop2.clone(), WavelengthPolicy::FirstFit).unwrap();
+            s.establish(hop2.clone(), WavelengthPolicy::FirstFit)
+                .unwrap();
         }
         let before = s.lightpath_count();
         // A route over both hops has no continuity wavelength (hop2 full).
         assert!(s.establish_route(&p, WavelengthPolicy::FirstFit).is_err());
-        assert_eq!(s.lightpath_count(), before, "rollback must tear down partials");
+        assert_eq!(
+            s.lightpath_count(),
+            before,
+            "rollback must tear down partials"
+        );
     }
 
     #[test]

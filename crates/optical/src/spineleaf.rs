@@ -41,7 +41,9 @@ pub fn spines(state: &OpticalState) -> Vec<NodeId> {
                 .map(|nbrs| {
                     !nbrs.is_empty()
                         && nbrs.iter().all(|(nbr, _)| {
-                            topo.node(*nbr).map(|m| m.kind != NodeKind::Server).unwrap_or(false)
+                            topo.node(*nbr)
+                                .map(|m| m.kind != NodeKind::Server)
+                                .unwrap_or(false)
                         })
                 })
                 .unwrap_or(false)
@@ -61,7 +63,9 @@ pub fn leaves(state: &OpticalState) -> Vec<NodeId> {
             topo.neighbors(n.id)
                 .map(|nbrs| {
                     nbrs.iter().any(|(nbr, _)| {
-                        topo.node(*nbr).map(|m| m.kind == NodeKind::Server).unwrap_or(false)
+                        topo.node(*nbr)
+                            .map(|m| m.kind == NodeKind::Server)
+                            .unwrap_or(false)
                     })
                 })
                 .unwrap_or(false)
@@ -105,7 +109,13 @@ pub fn establish_circuit(
         let channel = path
             .links
             .iter()
-            .map(|l| state.topo().link(*l).map(|x| x.channel_gbps()).unwrap_or(0.0))
+            .map(|l| {
+                state
+                    .topo()
+                    .link(*l)
+                    .map(|x| x.channel_gbps())
+                    .unwrap_or(0.0)
+            })
             .fold(f64::INFINITY, f64::min);
         let grain = ocs_or_ots(demand_gbps, channel, slots.slots_per_frame(), ocs_threshold);
         let CircuitGrain::Timeslots(n) = grain else {
@@ -145,7 +155,13 @@ pub fn establish_circuit(
         let channel = path
             .links
             .iter()
-            .map(|l| state.topo().link(*l).map(|x| x.channel_gbps()).unwrap_or(0.0))
+            .map(|l| {
+                state
+                    .topo()
+                    .link(*l)
+                    .map(|x| x.channel_gbps())
+                    .unwrap_or(0.0)
+            })
             .fold(f64::INFINITY, f64::min);
         let grain = ocs_or_ots(demand_gbps, channel, slots.slots_per_frame(), ocs_threshold);
         match state.establish(path, WavelengthPolicy::FirstFit) {
@@ -231,8 +247,7 @@ pub fn mean_server_hops(state: &OpticalState) -> f64 {
     let mut total = 0usize;
     let mut pairs = 0usize;
     for (i, a) in servers.iter().enumerate() {
-        let spt = algo::shortest_path_tree(topo, *a, algo::hop_weight)
-            .expect("server id valid");
+        let spt = algo::shortest_path_tree(topo, *a, algo::hop_weight).expect("server id valid");
         for b in &servers[i + 1..] {
             if spt.reachable(*b) {
                 total += spt.cost_to(*b) as usize;

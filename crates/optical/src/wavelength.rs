@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a wavelength within a fiber's WDM grid (0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WavelengthId(pub u16);
 
 impl WavelengthId {

@@ -1,9 +1,7 @@
 //! Property-based tests for the optical layer.
 
-use flexsched_optical::{
-    GroomingManager, OpticalState, TimeslotTable, WavelengthPolicy,
-};
-use flexsched_topo::{algo, builders, NodeId};
+use flexsched_optical::{GroomingManager, OpticalState, TimeslotTable, WavelengthPolicy};
+use flexsched_topo::{algo, builders};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -155,6 +153,197 @@ fn sanity_establish_route_on_spine_leaf() {
     let servers = topo.servers();
     let mut state = OpticalState::new(Arc::clone(&topo));
     let path = algo::shortest_path(&topo, servers[0], servers[7], algo::hop_weight).unwrap();
-    let ids = state.establish_route(&path, WavelengthPolicy::FirstFit).unwrap();
+    let ids = state
+        .establish_route(&path, WavelengthPolicy::FirstFit)
+        .unwrap();
     assert!(!ids.is_empty());
+}
+
+/// A topology mix matching the paper's scenarios: metro rings of varying
+/// size and spine-leaf fabrics of varying radix.
+fn scenario_topology(pick: u8) -> Arc<flexsched_topo::Topology> {
+    Arc::new(match pick % 4 {
+        0 => builders::metro(&builders::MetroParams::default()),
+        1 => builders::metro(&builders::MetroParams {
+            core_roadms: 8,
+            core_wavelengths: 4,
+            servers_per_router: 2,
+            chords: 3,
+            ..builders::MetroParams::default()
+        }),
+        2 => builders::spine_leaf(2, 4, 2, true, 400.0),
+        _ => builders::spine_leaf(3, 5, 3, true, 800.0),
+    })
+}
+
+/// The scalar reference implementation of the continuity intersection: one
+/// `is_free` probe per (wavelength, hop), exactly the pre-bitset loop.
+fn scalar_free_wavelengths(
+    state: &OpticalState,
+    path: &flexsched_topo::Path,
+) -> Vec<flexsched_optical::WavelengthId> {
+    use flexsched_optical::WavelengthId;
+    if path.links.is_empty() {
+        return Vec::new();
+    }
+    let mut grid = u16::MAX;
+    for l in &path.links {
+        grid = grid.min(state.topo().link(*l).unwrap().wavelengths.max(1));
+    }
+    (0..grid)
+        .map(WavelengthId)
+        .filter(|w| path.links.iter().all(|l| state.is_free(*l, *w).unwrap()))
+        .collect()
+}
+
+/// Reference usage count derived from the lightpath registry alone.
+fn registry_usage_count(state: &OpticalState, w: flexsched_optical::WavelengthId) -> usize {
+    state
+        .lightpaths()
+        .filter(|lp| lp.wavelength == w)
+        .map(|lp| lp.path.links.len())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The word-parallel bitset continuity intersection must agree with the
+    /// scalar per-wavelength reference on every reachable server pair, under
+    /// any interleaving of establishments, teardowns and impairments, on
+    /// metro and spine-leaf topologies alike.
+    #[test]
+    fn bitset_free_wavelengths_match_scalar_reference(
+        topo_pick in 0u8..4,
+        ops in proptest::collection::vec((0u8..3, 0u8..4, 0usize..100, 0u16..8), 1..50),
+        probes in proptest::collection::vec((0usize..100, 0usize..100), 1..8),
+    ) {
+        let topo = scenario_topology(topo_pick);
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        let mut live: Vec<flexsched_optical::LightpathId> = Vec::new();
+
+        for (op, pol, pick, w) in ops {
+            match op {
+                0 => {
+                    let a = servers[pick % servers.len()];
+                    let b = servers[(pick / 7 + 1) % servers.len()];
+                    if a == b { continue; }
+                    let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+                    if let Ok(ids) = state.establish_route(&path, policy_from(pol)) {
+                        live.extend(ids);
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let id = live.swap_remove(pick % live.len());
+                    state.teardown(id).unwrap();
+                }
+                _ => {
+                    let link = flexsched_topo::LinkId((pick % topo.link_count()) as u32);
+                    let grid = topo.link(link).unwrap().wavelengths.max(1);
+                    let wid = flexsched_optical::WavelengthId(w % grid);
+                    state.set_impaired(link, wid, pick % 2 == 0).unwrap();
+                }
+            }
+        }
+
+        for (i, j) in probes {
+            let a = servers[i % servers.len()];
+            let b = servers[j % servers.len()];
+            if a == b { continue; }
+            let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+            prop_assert_eq!(
+                state.free_wavelengths_on_path(&path).unwrap(),
+                scalar_free_wavelengths(&state, &path),
+                "bitset and scalar disagree on {}", path
+            );
+        }
+    }
+
+    /// The incrementally-maintained per-wavelength usage counters must match
+    /// a from-scratch count over the lightpath registry at all times.
+    #[test]
+    fn usage_counters_match_registry(
+        topo_pick in 0u8..4,
+        ops in proptest::collection::vec((0u8..2, 0u8..4, 0usize..100), 1..60),
+    ) {
+        let topo = scenario_topology(topo_pick);
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        let mut live: Vec<flexsched_optical::LightpathId> = Vec::new();
+        let max_grid = topo.links().iter().map(|l| l.wavelengths.max(1)).max().unwrap();
+
+        for (op, pol, pick) in ops {
+            if op == 0 || live.is_empty() {
+                let a = servers[pick % servers.len()];
+                let b = servers[(pick / 5 + 1) % servers.len()];
+                if a == b { continue; }
+                let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+                if let Ok(ids) = state.establish_route(&path, policy_from(pol)) {
+                    live.extend(ids);
+                }
+            } else {
+                let id = live.swap_remove(pick % live.len());
+                state.teardown(id).unwrap();
+            }
+            for w in 0..max_grid {
+                let wid = flexsched_optical::WavelengthId(w);
+                prop_assert_eq!(
+                    state.usage_count(wid),
+                    registry_usage_count(&state, wid),
+                    "usage counter drifted for {}", wid
+                );
+            }
+        }
+    }
+
+    /// choose_wavelength must pick exactly what the policy dictates over the
+    /// scalar free set: first/last index, most/least used with low-index
+    /// tie-breaks.
+    #[test]
+    fn choose_wavelength_matches_scalar_policy_semantics(
+        topo_pick in 0u8..4,
+        ops in proptest::collection::vec((0u8..4, 0usize..100), 1..30),
+        probe in 0usize..100,
+        probe2 in 0usize..100,
+    ) {
+        let topo = scenario_topology(topo_pick);
+        let servers = topo.servers();
+        let mut state = OpticalState::new(Arc::clone(&topo));
+        for (pol, pick) in ops {
+            let a = servers[pick % servers.len()];
+            let b = servers[(pick / 3 + 1) % servers.len()];
+            if a == b { continue; }
+            let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+            let _ = state.establish_route(&path, policy_from(pol));
+        }
+        let a = servers[probe % servers.len()];
+        let b = servers[probe2 % servers.len()];
+        prop_assume!(a != b);
+        let path = algo::shortest_path(&topo, a, b, algo::latency_weight).unwrap();
+        let free = scalar_free_wavelengths(&state, &path);
+        for pol in [
+            WavelengthPolicy::FirstFit,
+            WavelengthPolicy::LastFit,
+            WavelengthPolicy::MostUsed,
+            WavelengthPolicy::LeastUsed,
+        ] {
+            let expected = match pol {
+                WavelengthPolicy::FirstFit => free.first().copied(),
+                WavelengthPolicy::LastFit => free.last().copied(),
+                WavelengthPolicy::MostUsed => free
+                    .iter()
+                    .max_by_key(|w| (registry_usage_count(&state, **w), std::cmp::Reverse(w.0)))
+                    .copied(),
+                WavelengthPolicy::LeastUsed => free
+                    .iter()
+                    .min_by_key(|w| (registry_usage_count(&state, **w), w.0))
+                    .copied(),
+            };
+            match expected {
+                Some(w) => prop_assert_eq!(state.choose_wavelength(&path, pol).unwrap(), w),
+                None => prop_assert!(state.choose_wavelength(&path, pol).is_err()),
+            }
+        }
+    }
 }

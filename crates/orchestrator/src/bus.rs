@@ -37,8 +37,8 @@ impl ControllerHandle {
                 let mut processed = 0u64;
                 while let Ok(req) = rx.recv() {
                     let mut frame = req.frame;
-                    let outcome = ControlMessage::decode(&mut frame)
-                        .and_then(|msg| apply(&db, msg));
+                    let outcome =
+                        ControlMessage::decode(&mut frame).and_then(|msg| apply(&db, msg));
                     processed += 1;
                     let _ = req.reply.send(outcome);
                 }
@@ -158,12 +158,14 @@ mod tests {
     fn install_rules_reserve_bandwidth() {
         let db = db();
         let ctl = ControllerHandle::spawn(db.clone());
-        ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
-            task: flexsched_task::TaskId(1),
-            link: LinkId(2),
-            dir: Direction::BtoA,
-            rate_gbps: 11.0,
-        }]))
+        ctl.send(&ControlMessage::InstallRules(vec![
+            crate::messages::FlowRule {
+                task: flexsched_task::TaskId(1),
+                link: LinkId(2),
+                dir: Direction::BtoA,
+                rate_gbps: 11.0,
+            },
+        ]))
         .unwrap();
         assert!((db.total_reserved_gbps() - 11.0).abs() < 1e-9);
         ctl.shutdown();
@@ -177,12 +179,14 @@ mod tests {
         for i in 0..8u64 {
             let ctl = Arc::clone(&ctl);
             handles.push(std::thread::spawn(move || {
-                ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
-                    task: flexsched_task::TaskId(i),
-                    link: LinkId(0),
-                    dir: Direction::AtoB,
-                    rate_gbps: 1.0,
-                }]))
+                ctl.send(&ControlMessage::InstallRules(vec![
+                    crate::messages::FlowRule {
+                        task: flexsched_task::TaskId(i),
+                        link: LinkId(0),
+                        dir: Direction::AtoB,
+                        rate_gbps: 1.0,
+                    },
+                ]))
                 .unwrap();
             }));
         }
@@ -196,12 +200,14 @@ mod tests {
     fn oversubscribing_rule_is_rejected_not_crashing() {
         let db = db();
         let ctl = ControllerHandle::spawn(db.clone());
-        let err = ctl.send(&ControlMessage::InstallRules(vec![crate::messages::FlowRule {
-            task: flexsched_task::TaskId(0),
-            link: LinkId(0),
-            dir: Direction::AtoB,
-            rate_gbps: 1e9,
-        }]));
+        let err = ctl.send(&ControlMessage::InstallRules(vec![
+            crate::messages::FlowRule {
+                task: flexsched_task::TaskId(0),
+                link: LinkId(0),
+                dir: Direction::AtoB,
+                rate_gbps: 1e9,
+            },
+        ]));
         assert!(err.is_err());
         assert_eq!(db.total_reserved_gbps(), 0.0);
         ctl.shutdown();

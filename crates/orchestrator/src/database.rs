@@ -60,10 +60,7 @@ impl Database {
     }
 
     /// Run `f` with read access to (network, optical, cluster).
-    pub fn read<R>(
-        &self,
-        f: impl FnOnce(&NetworkState, &OpticalState, &ClusterManager) -> R,
-    ) -> R {
+    pub fn read<R>(&self, f: impl FnOnce(&NetworkState, &OpticalState, &ClusterManager) -> R) -> R {
         let g = self.inner.read();
         f(&g.network, &g.optical, &g.cluster)
     }
@@ -124,10 +121,7 @@ impl Database {
 
     /// Store (replace) a task's active schedule.
     pub fn store_schedule(&self, schedule: Schedule) {
-        self.inner
-            .write()
-            .schedules
-            .insert(schedule.task, schedule);
+        self.inner.write().schedules.insert(schedule.task, schedule);
     }
 
     /// Remove a task's schedule, returning it.

@@ -76,8 +76,12 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(OrchError::UnknownTask(TaskId(3)).to_string().contains("task3"));
-        assert!(OrchError::Codec("short buffer").to_string().contains("short"));
+        assert!(OrchError::UnknownTask(TaskId(3))
+            .to_string()
+            .contains("task3"));
+        assert!(OrchError::Codec("short buffer")
+            .to_string()
+            .contains("short"));
         assert!(OrchError::ControllerDown.to_string().contains("down"));
     }
 

@@ -47,8 +47,7 @@ impl AiTaskManager {
         global_req: ResourceRequest,
         local_req: ResourceRequest,
     ) -> Result<()> {
-        task.validate()
-            .map_err(crate::OrchError::Scheduling)?;
+        task.validate().map_err(crate::OrchError::Scheduling)?;
         let placed = db.write(|_, _, cluster| -> Result<Vec<ContainerId>> {
             let mut ids = Vec::with_capacity(task.local_sites.len() + 1);
             ids.push(cluster.place_on(

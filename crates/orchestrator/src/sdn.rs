@@ -115,10 +115,7 @@ mod tests {
     fn compile_covers_every_reservation() {
         let (state, s) = rig();
         let rules = SdnController::compile(&s, &state).unwrap();
-        assert_eq!(
-            rules.len(),
-            s.reservations(state.topo()).unwrap().len()
-        );
+        assert_eq!(rules.len(), s.reservations(state.topo()).unwrap().len());
         assert!(rules.iter().all(|r| r.task == s.task));
     }
 

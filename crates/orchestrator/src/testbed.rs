@@ -137,6 +137,9 @@ pub struct Testbed {
     traffic: Option<TrafficGenerator>,
     faults: FaultSchedule,
     scheduler: Box<dyn Scheduler>,
+    /// Warm Dijkstra/Steiner scratch reused across scheduling decisions
+    /// (moved into each decision's `SchedContext` and recovered after).
+    scratch: flexsched_topo::algo::ScratchPool,
     tasks: Vec<AiTask>,
     active: BTreeMap<TaskId, ActiveTask>,
     reports: Vec<TaskReport>,
@@ -181,6 +184,7 @@ impl Testbed {
             traffic,
             faults,
             scheduler,
+            scratch: flexsched_topo::algo::ScratchPool::new(),
             tasks,
             active: BTreeMap::new(),
             reports: Vec::new(),
@@ -215,12 +219,17 @@ impl Testbed {
         if selected.is_empty() {
             return Ok(false);
         }
-        // Compute the schedule under a read view.
+        // Compute the schedule under a read view, threading the warm
+        // scratch pool through so buffers persist across decisions.
         let schedule = {
-            let outcome = self.db.read(|net, opt, _| {
-                let ctx = SchedContext::new(net).with_optical(opt);
-                self.scheduler.schedule(&task, &selected, &ctx)
+            let pool = std::mem::take(&mut self.scratch);
+            let scheduler = &self.scheduler;
+            let (outcome, pool) = self.db.read(|net, opt, _| {
+                let ctx = SchedContext::new(net).with_optical(opt).with_scratch(pool);
+                let outcome = scheduler.schedule(&task, &selected, &ctx);
+                (outcome, ctx.into_scratch())
             });
+            self.scratch = pool;
             match outcome {
                 Ok(s) => s,
                 Err(flexsched_sched::SchedError::Blocked { .. })
@@ -240,9 +249,12 @@ impl Testbed {
                 // schedule, mirroring a grey-spectrum fallback).
                 let mut groomed = Vec::new();
                 for chain in schedule_chains(&schedule) {
-                    if let Ok(d) =
-                        groom.groom(opt, &chain, schedule.demand_gbps, WavelengthPolicy::FirstFit)
-                    {
+                    if let Ok(d) = groom.groom(
+                        opt,
+                        &chain,
+                        schedule.demand_gbps,
+                        WavelengthPolicy::FirstFit,
+                    ) {
                         groomed.push(d);
                     }
                 }
@@ -300,9 +312,9 @@ impl Testbed {
                 (a.task.clone(), a.report_idx)
             };
             let transport = &self.cfg.transport;
-            let fresh = self
-                .db
-                .read(|net, _, cluster| evaluate_schedule(&task, &schedule, net, cluster, transport));
+            let fresh = self.db.read(|net, _, cluster| {
+                evaluate_schedule(&task, &schedule, net, cluster, transport)
+            });
             if let (Ok(mut fresh), Some(slot)) = (fresh, self.reports.get_mut(idx)) {
                 fresh.reschedules = slot.reschedules;
                 *slot = fresh;
@@ -431,9 +443,7 @@ impl Testbed {
                 }
                 Ev::TrafficArrive => {
                     if let Some(gen) = self.traffic.as_mut() {
-                        let flow = self
-                            .db
-                            .write(|net, _, _| gen.spawn_flow(net))?;
+                        let flow = self.db.write(|net, _, _| gen.spawn_flow(net))?;
                         let dur = gen.sample_duration();
                         queue.schedule(now + dur, Ev::TrafficDepart(flow.id));
                         let gap = gen.sample_interarrival();
@@ -447,8 +457,7 @@ impl Testbed {
                 }
                 Ev::FaultTick => {
                     let faults = &mut self.faults;
-                    self.db
-                        .write(|net, _, _| faults.apply_due(now, net))?;
+                    self.db.write(|net, _, _| faults.apply_due(now, net))?;
                     if let Some(next) = self.faults.events().first() {
                         queue.schedule(next.at.max(now), Ev::FaultTick);
                     }
@@ -551,7 +560,9 @@ mod tests {
 
     #[test]
     fn flexible_beats_fixed_on_both_metrics_at_15_locals() {
-        let fixed = Testbed::new(quick_cfg(15), Box::new(FixedSpff)).run().unwrap();
+        let fixed = Testbed::new(quick_cfg(15), Box::new(FixedSpff))
+            .run()
+            .unwrap();
         let flex = Testbed::new(quick_cfg(15), Box::new(FlexibleMst::paper()))
             .run()
             .unwrap();
@@ -584,7 +595,9 @@ mod tests {
 
     #[test]
     fn background_traffic_slows_tasks_down() {
-        let calm = Testbed::new(quick_cfg(8), Box::new(FixedSpff)).run().unwrap();
+        let calm = Testbed::new(quick_cfg(8), Box::new(FixedSpff))
+            .run()
+            .unwrap();
         let mut cfg = quick_cfg(8);
         cfg.traffic = Some(TrafficConfig {
             mean_rate_gbps: 20.0,
@@ -606,7 +619,9 @@ mod tests {
         let mut cfg = quick_cfg(5);
         cfg.fault_count = 4;
         cfg.reschedule = Some(ReschedulePolicy::default());
-        let s = Testbed::new(cfg, Box::new(FlexibleMst::paper())).run().unwrap();
+        let s = Testbed::new(cfg, Box::new(FlexibleMst::paper()))
+            .run()
+            .unwrap();
         assert_eq!(s.reports.len(), 8);
     }
 

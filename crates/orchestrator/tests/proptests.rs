@@ -11,27 +11,34 @@ fn arb_dir() -> impl Strategy<Value = Direction> {
 }
 
 fn arb_rule() -> impl Strategy<Value = FlowRule> {
-    (any::<u64>(), any::<u32>(), arb_dir(), 0.0f64..1_000.0).prop_map(
-        |(task, link, dir, rate)| FlowRule {
+    (any::<u64>(), any::<u32>(), arb_dir(), 0.0f64..1_000.0).prop_map(|(task, link, dir, rate)| {
+        FlowRule {
             task: TaskId(task),
             link: LinkId(link),
             dir,
             rate_gbps: rate,
-        },
-    )
+        }
+    })
 }
 
 fn arb_message() -> impl Strategy<Value = ControlMessage> {
     prop_oneof![
-        (any::<u32>(), arb_dir(), 0.0f64..1e4, 0.0f64..1e4, any::<bool>()).prop_map(
-            |(link, dir, reserved, background, down)| ControlMessage::LinkStateReport {
-                link: LinkId(link),
-                dir,
-                reserved_gbps: reserved,
-                background_gbps: background,
-                down,
-            }
-        ),
+        (
+            any::<u32>(),
+            arb_dir(),
+            0.0f64..1e4,
+            0.0f64..1e4,
+            any::<bool>()
+        )
+            .prop_map(|(link, dir, reserved, background, down)| {
+                ControlMessage::LinkStateReport {
+                    link: LinkId(link),
+                    dir,
+                    reserved_gbps: reserved,
+                    background_gbps: background,
+                    down,
+                }
+            }),
         proptest::collection::vec(arb_rule(), 0..20).prop_map(ControlMessage::InstallRules),
         any::<u64>().prop_map(|t| ControlMessage::RemoveTaskRules(TaskId(t))),
         any::<u64>().prop_map(|t| ControlMessage::TaskAdmitted(TaskId(t))),

@@ -2,6 +2,8 @@
 
 use flexsched_optical::OpticalState;
 use flexsched_simnet::NetworkState;
+use flexsched_topo::algo::ScratchPool;
+use std::cell::RefCell;
 
 /// The observable world for a scheduling decision — the orchestrator
 /// database's view of "networking conditions".
@@ -17,6 +19,12 @@ pub struct SchedContext<'a> {
     /// How many alternate (k-shortest) paths the fixed scheduler probes
     /// before declaring a local unreachable.
     pub k_paths: usize,
+    /// Reusable Dijkstra scratch for the schedulers' shortest-path and
+    /// Steiner-tree constructions. A context that schedules many tasks
+    /// (the orchestrator keeps one per decision loop) amortises the
+    /// allocation of every `dist`/`parent`/`visited` array away. Interior
+    /// mutability because scheduling is logically read-only (`&ctx`).
+    pub scratch: RefCell<ScratchPool>,
 }
 
 impl<'a> SchedContext<'a> {
@@ -27,6 +35,7 @@ impl<'a> SchedContext<'a> {
             optical: None,
             min_rate_gbps: 0.5,
             k_paths: 3,
+            scratch: RefCell::new(ScratchPool::new()),
         }
     }
 
@@ -34,6 +43,21 @@ impl<'a> SchedContext<'a> {
     pub fn with_optical(mut self, optical: &'a OpticalState) -> Self {
         self.optical = Some(optical);
         self
+    }
+
+    /// Seed the context with an already-warm scratch pool. Long-lived
+    /// decision loops (the orchestrator's testbed) move their pool in
+    /// before each decision and take it back with
+    /// [`into_scratch`](SchedContext::into_scratch) after, so buffers
+    /// persist across tasks.
+    pub fn with_scratch(mut self, pool: ScratchPool) -> Self {
+        self.scratch = RefCell::new(pool);
+        self
+    }
+
+    /// Recover the scratch pool (to keep it warm for the next decision).
+    pub fn into_scratch(self) -> ScratchPool {
+        self.scratch.into_inner()
     }
 
     /// Override the rate floor.

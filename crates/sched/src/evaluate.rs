@@ -32,11 +32,15 @@ pub fn evaluate_schedule(
     let training_ns = training_latency_ns(task, schedule, cluster);
     let broadcast_ns = broadcast_latency_ns(task, schedule, state, transport)?;
     let (mut upload_ns, aggregation_ns) = upload_latency_ns(task, schedule, state, transport)?;
-    let bandwidth_gbps = schedule.total_bandwidth_gbps(state.topo())?;
+
+    // One reservations walk serves both the bandwidth sum and the outage
+    // scan (it used to be recomputed for each).
+    let reservations = schedule.reservations(state.topo())?;
+    let bandwidth_gbps = reservations.iter().map(|(_, r)| r).sum();
 
     // Charge outage penalties for every distinct down link in the footprint.
     let mut down_links = std::collections::BTreeSet::new();
-    for (dl, _) in schedule.reservations(state.topo())? {
+    for (dl, _) in &reservations {
         if state.is_down(dl.link) {
             down_links.insert(dl.link);
         }
@@ -65,11 +69,13 @@ fn training_latency_ns(task: &AiTask, schedule: &Schedule, cluster: &ClusterMana
         .selected_locals
         .iter()
         .map(|site| {
+            // Borrow the spec — no per-local clone inside the straggler-max
+            // loop.
             let (spec, colocated) = match cluster.server(*site) {
-                Ok(s) => (s.spec.clone(), s.containers.max(1)),
-                Err(_) => (default_spec.clone(), 1),
+                Ok(s) => (&s.spec, s.containers.max(1)),
+                Err(_) => (&default_spec, 1),
             };
-            training::training_iteration_ns(&task.model, &spec, colocated)
+            training::training_iteration_ns(&task.model, spec, colocated)
         })
         .max()
         .unwrap_or(0)
@@ -168,15 +174,12 @@ fn upload_latency_ns(
             // serialization is charged once per chain, not once per hop.
             let selected: std::collections::BTreeSet<NodeId> =
                 schedule.selected_locals.iter().copied().collect();
-            let children = tree.children();
             let significant: std::collections::BTreeSet<NodeId> = tree
                 .nodes
                 .iter()
                 .copied()
                 .filter(|n| {
-                    *n == tree.root
-                        || selected.contains(n)
-                        || children.get(n).map(|k| k.len()).unwrap_or(0) >= 2
+                    *n == tree.root || selected.contains(n) || tree.children_of(*n).len() >= 2
                 })
                 .collect();
 
@@ -324,18 +327,14 @@ mod tests {
         (state, cluster, task)
     }
 
-    fn evaluate_with(
-        sched: &dyn Scheduler,
-        locals: usize,
-    ) -> (TaskReport, f64) {
+    fn evaluate_with(sched: &dyn Scheduler, locals: usize) -> (TaskReport, f64) {
         let (mut state, cluster, task) = rig(locals);
         let s = {
             let ctx = SchedContext::new(&state);
             sched.schedule(&task, &task.local_sites, &ctx).unwrap()
         };
         s.apply(&mut state).unwrap();
-        let report =
-            evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
+        let report = evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
         let bw = s.total_bandwidth_gbps(state.topo()).unwrap();
         (report, bw)
     }
@@ -402,7 +401,7 @@ mod tests {
 
     #[test]
     fn aggregation_ablation_increases_upload_bandwidth_not_latency_floor() {
-        let (with_agg, bw_with) = evaluate_with(&FlexibleMst::paper(), 10);
+        let (_with_agg, bw_with) = evaluate_with(&FlexibleMst::paper(), 10);
         let (no_agg, bw_without) = evaluate_with(&FlexibleMst::without_aggregation(), 10);
         assert!(bw_without > bw_with);
         // Without aggregation the root still collapses everything at once.

@@ -31,12 +31,7 @@ impl FixedSpff {
     /// Probe the k-shortest candidates for one local and return the first
     /// that is wavelength-feasible (or the first candidate when no optical
     /// view is attached).
-    fn route_one(
-        &self,
-        task: &AiTask,
-        local: NodeId,
-        ctx: &SchedContext<'_>,
-    ) -> Result<Path> {
+    fn route_one(&self, task: &AiTask, local: NodeId, ctx: &SchedContext<'_>) -> Result<Path> {
         let candidates = algo::k_shortest_paths(
             ctx.state.topo(),
             task.global_site,
@@ -161,9 +156,7 @@ impl Scheduler for FixedSpff {
             if rate < ctx.min_rate_gbps.min(demand) {
                 return Err(SchedError::Blocked {
                     task: task.id,
-                    reason: format!(
-                        "fair-share rate {rate:.3} Gbps to {local} below floor"
-                    ),
+                    reason: format!("fair-share rate {rate:.3} Gbps to {local} below floor"),
                 });
             }
             broadcast.insert(
@@ -316,13 +309,11 @@ mod tests {
         let (mut state, task) = task_on_metro(3);
         // Saturate the global site's access link in both directions.
         let topo = state.topo_arc();
-        let access = topo
-            .neighbors(task.global_site)
-            .unwrap()
-            .first()
-            .unwrap()
-            .1;
-        for dir in [flexsched_topo::Direction::AtoB, flexsched_topo::Direction::BtoA] {
+        let access = topo.neighbors(task.global_site).unwrap().first().unwrap().1;
+        for dir in [
+            flexsched_topo::Direction::AtoB,
+            flexsched_topo::Direction::BtoA,
+        ] {
             state
                 .add_background(DirLink::new(access, dir), 1_000.0)
                 .unwrap();
@@ -332,7 +323,10 @@ mod tests {
             .schedule(&task, &task.local_sites, &ctx)
             .unwrap_err();
         assert!(
-            matches!(err, SchedError::Blocked { .. } | SchedError::Unreachable { .. }),
+            matches!(
+                err,
+                SchedError::Blocked { .. } | SchedError::Unreachable { .. }
+            ),
             "{err}"
         );
     }

@@ -14,7 +14,7 @@ use crate::schedule::{RoutingPlan, Schedule};
 use crate::weights::auxiliary_weight;
 use crate::{Result, Scheduler};
 use flexsched_task::AiTask;
-use flexsched_topo::algo::{steiner_tree, SteinerTree};
+use flexsched_topo::algo::{steiner_tree_in, SteinerTree};
 use flexsched_topo::{LinkId, NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -69,24 +69,28 @@ pub fn upload_copies(
     aggregation: bool,
 ) -> Result<BTreeMap<NodeId, u32>> {
     let order = tree.bfs_from_root();
-    let mut carried: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let children = tree.children();
+    // Bottom-up accumulation over a flat id-indexed array; the (small)
+    // BTreeMap is only materialised at the end because `RoutingPlan` stores
+    // copies keyed by node.
+    let n_slots = topo.node_count();
+    let mut carried: Vec<u32> = vec![0; n_slots];
     for n in order.iter().rev() {
         let mut c: u32 = selected.contains(n) as u32;
-        if let Some(kids) = children.get(n) {
-            for k in kids {
-                c += carried.get(k).copied().unwrap_or(0);
-            }
+        for k in tree.children_of(*n) {
+            c += carried[k.index()];
         }
         let can_agg = topo.node(*n)?.kind.can_aggregate();
         if aggregation && can_agg && c > 1 {
             c = 1;
         }
-        carried.insert(*n, c);
+        carried[n.index()] = c;
     }
     // The map keyed by child node = copies on its parent edge; drop the root.
-    carried.remove(&tree.root);
-    Ok(carried)
+    Ok(order
+        .into_iter()
+        .filter(|n| *n != tree.root)
+        .map(|n| (n, carried[n.index()]))
+        .collect())
 }
 
 /// Smallest `residual / copies` over the tree's edges: the feasible uniform
@@ -98,12 +102,10 @@ fn feasible_rate(
     demand: f64,
 ) -> f64 {
     let mut rate = demand;
-    for n in &tree.nodes {
-        if let Some((_, l)) = tree.parent_of(*n) {
-            let c = f64::from(copies.get(n).copied().unwrap_or(1).max(1));
-            let residual = ctx.state.residual_min_gbps(l);
-            rate = rate.min(residual / c);
-        }
+    for (child, _, l) in tree.edges() {
+        let c = f64::from(copies.get(&child).copied().unwrap_or(1).max(1));
+        let residual = ctx.state.residual_min_gbps(l);
+        rate = rate.min(residual / c);
     }
     rate
 }
@@ -129,33 +131,42 @@ impl Scheduler for FlexibleMst {
         let topo = ctx.state.topo();
         let demand = task.demand_gbps();
 
-        // Broadcast auxiliary graph: nothing reused yet.
-        let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
-        let broadcast_tree = steiner_tree(topo, task.global_site, selected, |l| {
-            auxiliary_weight(ctx.state, ctx.optical, demand, &no_reuse, l)
-        })
-        .map_err(|e| match e {
+        let map_err = |e| match e {
             flexsched_topo::TopoError::Disconnected { to, .. } => SchedError::Unreachable {
                 task: task.id,
                 site: to,
             },
             other => SchedError::Topo(other),
-        })?;
+        };
+
+        // Both Steiner constructions draw their Dijkstra state from the
+        // context's scratch pool, so back-to-back scheduling decisions
+        // reuse the same buffers.
+        let scratch = &mut *ctx.scratch.borrow_mut();
+
+        // Broadcast auxiliary graph: nothing reused yet.
+        let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
+        let broadcast_tree = steiner_tree_in(
+            topo,
+            task.global_site,
+            selected,
+            |l| auxiliary_weight(ctx.state, ctx.optical, demand, &no_reuse, l),
+            scratch,
+        )
+        .map_err(map_err)?;
 
         // Upload auxiliary graph: the task already passes through the
         // broadcast tree's links, so they carry the reuse discount.
         let upload_tree = if self.separate_trees {
             let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
-            steiner_tree(topo, task.global_site, selected, |l| {
-                auxiliary_weight(ctx.state, ctx.optical, demand, &reused, l)
-            })
-            .map_err(|e| match e {
-                flexsched_topo::TopoError::Disconnected { to, .. } => SchedError::Unreachable {
-                    task: task.id,
-                    site: to,
-                },
-                other => SchedError::Topo(other),
-            })?
+            steiner_tree_in(
+                topo,
+                task.global_site,
+                selected,
+                |l| auxiliary_weight(ctx.state, ctx.optical, demand, &reused, l),
+                scratch,
+            )
+            .map_err(map_err)?
         } else {
             broadcast_tree.clone()
         };
@@ -269,7 +280,10 @@ mod tests {
                 .unwrap()
         };
         let (b3, b6, b12, b15) = (bw(3), bw(6), bw(12), bw(15));
-        assert!(b6 - b3 > b15 - b12, "growth must flatten: {b3} {b6} {b12} {b15}");
+        assert!(
+            b6 - b3 > b15 - b12,
+            "growth must flatten: {b3} {b6} {b12} {b15}"
+        );
     }
 
     #[test]
@@ -282,11 +296,8 @@ mod tests {
         if let RoutingPlan::Tree { tree, copies, .. } = &s.upload {
             // The edge into the root (global server) carries exactly one
             // aggregated update: its child is an aggregating router.
-            let root_children: Vec<_> = tree
-                .children()
-                .get(&tree.root)
-                .cloned()
-                .unwrap_or_default();
+            let root_children: Vec<_> =
+                tree.children().get(&tree.root).cloned().unwrap_or_default();
             let _ = root_children;
             for (n, c) in copies {
                 let kind = state.topo().node(*n).unwrap().kind;

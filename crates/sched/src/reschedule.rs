@@ -64,6 +64,7 @@ pub enum RescheduleVerdict {
 /// candidate is computed against a hypothetical state where the task's own
 /// reservations are released (so it does not compete with itself), and
 /// never mutates the real state.
+#[allow(clippy::too_many_arguments)]
 pub fn consider(
     policy: &ReschedulePolicy,
     scheduler: &dyn Scheduler,

@@ -42,11 +42,7 @@ impl RoutingPlan {
     /// Directed reservations this plan needs: `(link, direction, rate)`
     /// triples. `towards_root` selects the upload orientation for trees and
     /// is ignored for path plans (paths are already stored directed).
-    pub fn reservations(
-        &self,
-        topo: &Topology,
-        towards_root: bool,
-    ) -> Result<Vec<(DirLink, f64)>> {
+    pub fn reservations(&self, topo: &Topology, towards_root: bool) -> Result<Vec<(DirLink, f64)>> {
         let mut out = Vec::new();
         match self {
             RoutingPlan::Paths(map) => {
@@ -134,11 +130,7 @@ impl Schedule {
 
     /// Total bandwidth held by this schedule (both procedures), Gbit/s·link.
     pub fn total_bandwidth_gbps(&self, topo: &Topology) -> Result<f64> {
-        Ok(self
-            .reservations(topo)?
-            .iter()
-            .map(|(_, r)| r)
-            .sum())
+        Ok(self.reservations(topo)?.iter().map(|(_, r)| r).sum())
     }
 
     /// Reserve every directed hop on the network state. All-or-nothing: on
@@ -220,8 +212,20 @@ mod tests {
         for l in locals {
             let down = shortest_path(topo, g, l, hop_weight).unwrap();
             let upp = down.reversed();
-            bcast.insert(l, RatedPath { path: down, rate_gbps: rate });
-            up.insert(l, RatedPath { path: upp, rate_gbps: rate });
+            bcast.insert(
+                l,
+                RatedPath {
+                    path: down,
+                    rate_gbps: rate,
+                },
+            );
+            up.insert(
+                l,
+                RatedPath {
+                    path: upp,
+                    rate_gbps: rate,
+                },
+            );
         }
         Schedule {
             task: TaskId(0),
@@ -280,8 +284,7 @@ mod tests {
         let fixed = fixed_schedule(&topo, 10.0);
         let tree = tree_schedule(&topo, 10.0);
         assert!(
-            tree.total_bandwidth_gbps(&topo).unwrap()
-                < fixed.total_bandwidth_gbps(&topo).unwrap()
+            tree.total_bandwidth_gbps(&topo).unwrap() < fixed.total_bandwidth_gbps(&topo).unwrap()
         );
     }
 
@@ -322,7 +325,10 @@ mod tests {
         let tree = tree_schedule(&topo, 1.0);
         let pts = tree.aggregation_points(&topo);
         assert!(pts.contains(&NodeId(1)), "root aggregates");
-        assert!(pts.contains(&NodeId(0)), "hub is a branch aggregation point");
+        assert!(
+            pts.contains(&NodeId(0)),
+            "hub is a branch aggregation point"
+        );
     }
 
     #[test]

@@ -36,9 +36,11 @@ impl SelectionStrategy {
         let keep = |frac: f64| ((n as f64 * frac).ceil() as usize).clamp(1, n);
         let mut chosen = match self {
             SelectionStrategy::All => task.local_sites.clone(),
-            SelectionStrategy::TopKUtility(frac) => {
-                task.sites_by_utility().into_iter().take(keep(*frac)).collect()
-            }
+            SelectionStrategy::TopKUtility(frac) => task
+                .sites_by_utility()
+                .into_iter()
+                .take(keep(*frac))
+                .collect(),
             SelectionStrategy::RandomK(frac, seed) => {
                 let mut rng = StdRng::seed_from_u64(*seed ^ task.id.0);
                 let mut pool = task.local_sites.clone();
@@ -51,19 +53,13 @@ impl SelectionStrategy {
             }
             SelectionStrategy::BandwidthAware(frac) => {
                 // Score = utility / (1 + hops from global site).
-                let spt = algo::shortest_path_tree(
-                    state.topo(),
-                    task.global_site,
-                    algo::hop_weight,
-                );
+                let spt =
+                    algo::shortest_path_tree(state.topo(), task.global_site, algo::hop_weight);
                 let mut scored: Vec<(f64, NodeId)> = task
                     .local_sites
                     .iter()
                     .map(|s| {
-                        let hops = spt
-                            .as_ref()
-                            .map(|t| t.cost_to(*s))
-                            .unwrap_or(f64::INFINITY);
+                        let hops = spt.as_ref().map(|t| t.cost_to(*s)).unwrap_or(f64::INFINITY);
                         let score = task.utility_of(*s) / (1.0 + hops);
                         (score, *s)
                     })
@@ -73,7 +69,11 @@ impl SelectionStrategy {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(na.cmp(nb))
                 });
-                scored.into_iter().take(keep(*frac)).map(|(_, s)| s).collect()
+                scored
+                    .into_iter()
+                    .take(keep(*frac))
+                    .map(|(_, s)| s)
+                    .collect()
             }
         };
         chosen.sort();

@@ -53,15 +53,12 @@ pub fn auxiliary_weight(
     // groomable capacity for this demand. Reused links already carry one.
     if let Some(opt) = optical {
         if !reused.contains(&link.id) {
-            let grid = link.wavelengths.max(1);
-            let any_free = (0..grid).any(|w| {
-                opt.is_free(link.id, flexsched_optical::WavelengthId(w))
-                    .unwrap_or(false)
-            });
+            // One bitmask word scan instead of a per-wavelength is_free loop:
+            // this runs for every link on every Dijkstra edge visit.
+            let any_free = opt.has_free_wavelength(link.id).unwrap_or(false);
             let groomable = !any_free
                 && opt.lightpaths().any(|lp| {
-                    lp.path.links.contains(&link.id)
-                        && lp.residual_gbps() + 1e-9 >= demand_gbps
+                    lp.path.links.contains(&link.id) && lp.residual_gbps() + 1e-9 >= demand_gbps
                 });
             if !any_free && !groomable {
                 return f64::INFINITY;
@@ -188,22 +185,15 @@ mod tests {
         let topo = Arc::new(topo);
         let state = NetworkState::new(Arc::clone(&topo));
         let mut opt = OpticalState::new(Arc::clone(&topo));
-        let p = flexsched_topo::algo::shortest_path(
-            &topo,
-            a,
-            b,
-            flexsched_topo::algo::hop_weight,
-        )
-        .unwrap();
+        let p = flexsched_topo::algo::shortest_path(&topo, a, b, flexsched_topo::algo::hop_weight)
+            .unwrap();
         opt.establish(p, WavelengthPolicy::FirstFit).unwrap();
         let l = state.topo().link(LinkId(0)).unwrap().clone();
         // Demand exceeding the occupied lightpath's residual: unusable.
-        let fresh =
-            auxiliary_weight(&state, Some(&opt), 500.0, &BTreeSet::new(), &l);
+        let fresh = auxiliary_weight(&state, Some(&opt), 500.0, &BTreeSet::new(), &l);
         assert_eq!(fresh, f64::INFINITY, "no free wavelength -> unusable");
         // A small demand fits the established lightpath's residual: usable.
-        let groomed =
-            auxiliary_weight(&state, Some(&opt), 1.0, &BTreeSet::new(), &l);
+        let groomed = auxiliary_weight(&state, Some(&opt), 1.0, &BTreeSet::new(), &l);
         assert!(groomed.is_finite(), "groomable lightpath keeps link usable");
         let mut reused = BTreeSet::new();
         reused.insert(LinkId(0));

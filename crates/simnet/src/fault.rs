@@ -150,20 +150,8 @@ mod tests {
     #[test]
     fn random_schedule_is_deterministic_per_seed() {
         let topo = builders::nsfnet();
-        let a = FaultSchedule::random(
-            &topo,
-            5,
-            SimTime::from_secs(1),
-            SimTime::from_ms(10),
-            42,
-        );
-        let b = FaultSchedule::random(
-            &topo,
-            5,
-            SimTime::from_secs(1),
-            SimTime::from_ms(10),
-            42,
-        );
+        let a = FaultSchedule::random(&topo, 5, SimTime::from_secs(1), SimTime::from_ms(10), 42);
+        let b = FaultSchedule::random(&topo, 5, SimTime::from_secs(1), SimTime::from_ms(10), 42);
         assert_eq!(a.events(), b.events());
         assert_eq!(a.events().len(), 10);
     }
@@ -171,13 +159,7 @@ mod tests {
     #[test]
     fn random_schedule_respects_horizon_start() {
         let topo = builders::nsfnet();
-        let s = FaultSchedule::random(
-            &topo,
-            20,
-            SimTime::from_ms(100),
-            SimTime::from_ms(1),
-            3,
-        );
+        let s = FaultSchedule::random(&topo, 20, SimTime::from_ms(100), SimTime::from_ms(1), 3);
         for e in s.events() {
             if e.down {
                 assert!(e.at < SimTime::from_ms(100));

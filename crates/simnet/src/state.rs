@@ -51,6 +51,12 @@ pub struct NetworkState {
     /// usage[link][dir as usize]
     usage: Vec<[LinkUsage; 2]>,
     down: Vec<bool>,
+    /// Cached `residual_min_gbps` per link, refreshed whenever a mutation
+    /// dirties that link (reserve/release/background/up-down). Schedulers
+    /// read this once per auxiliary-graph edge visit and once per tree edge
+    /// when rating feasibility, so it must be a plain array load rather
+    /// than a both-directions recomputation.
+    residual_min: Vec<f64>,
     /// Monotone counter of reservation operations (for observability).
     reservations_made: u64,
 }
@@ -66,12 +72,31 @@ impl NetworkState {
     /// Fresh state: nothing reserved, nothing down.
     pub fn new(topo: Arc<Topology>) -> Self {
         let n = topo.link_count();
+        let residual_min = topo
+            .links()
+            .iter()
+            .map(|l| l.capacity_gbps.max(0.0))
+            .collect();
         NetworkState {
             topo,
             usage: vec![[LinkUsage::default(); 2]; n],
             down: vec![false; n],
+            residual_min,
             reservations_made: 0,
         }
+    }
+
+    /// Recompute the cached min-direction residual after `link` changed.
+    fn refresh_residual_min(&mut self, link: LinkId) {
+        let i = link.index();
+        self.residual_min[i] = if self.down[i] {
+            0.0
+        } else {
+            let cap = self.topo.link(link).map(|l| l.capacity_gbps).unwrap_or(0.0);
+            let a = (cap - self.usage[i][0].occupied_gbps()).max(0.0);
+            let b = (cap - self.usage[i][1].occupied_gbps()).max(0.0);
+            a.min(b)
+        };
     }
 
     /// The underlying topology.
@@ -102,6 +127,7 @@ impl NetworkState {
     pub fn set_down(&mut self, link: LinkId, down: bool) -> Result<()> {
         self.check(link)?;
         self.down[link.index()] = down;
+        self.refresh_residual_min(link);
         Ok(())
     }
 
@@ -159,6 +185,7 @@ impl NetworkState {
         }
         self.usage[dl.link.index()][dir_index(dl.dir)].reserved_gbps += gbps;
         self.reservations_made += 1;
+        self.refresh_residual_min(dl.link);
         Ok(())
     }
 
@@ -176,6 +203,7 @@ impl NetworkState {
             });
         }
         *slot = (*slot - gbps).max(0.0);
+        self.refresh_residual_min(dl.link);
         Ok(())
     }
 
@@ -186,6 +214,7 @@ impl NetworkState {
         self.check(dl.link)?;
         let slot = &mut self.usage[dl.link.index()][dir_index(dl.dir)].background_gbps;
         *slot = (*slot + gbps).max(0.0);
+        self.refresh_residual_min(dl.link);
         Ok(())
     }
 
@@ -205,7 +234,8 @@ impl NetworkState {
                 Ok(()) => done.push(dl),
                 Err(e) => {
                     for d in done {
-                        self.release(d, gbps).expect("rollback of fresh reservation");
+                        self.release(d, gbps)
+                            .expect("rollback of fresh reservation");
                     }
                     return Err(e);
                 }
@@ -264,14 +294,12 @@ impl NetworkState {
 
     /// The minimum residual capacity over both directions (conservative view
     /// used by schedulers that reserve symmetric broadcast+upload trees).
+    /// Served from the per-link cache maintained by reserve/release/
+    /// background/up-down mutations — an O(1) array read on the scheduler's
+    /// hottest query.
+    #[inline]
     pub fn residual_min_gbps(&self, link: LinkId) -> f64 {
-        let a = self
-            .residual_gbps(DirLink::new(link, Direction::AtoB))
-            .unwrap_or(0.0);
-        let b = self
-            .residual_gbps(DirLink::new(link, Direction::BtoA))
-            .unwrap_or(0.0);
-        a.min(b)
+        self.residual_min.get(link.index()).copied().unwrap_or(0.0)
     }
 }
 
@@ -309,7 +337,8 @@ mod tests {
     #[test]
     fn directions_are_independent() {
         let mut s = state();
-        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 80.0).unwrap();
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 80.0)
+            .unwrap();
         assert_eq!(
             s.residual_gbps(DirLink::new(LinkId(0), Direction::BtoA))
                 .unwrap(),
@@ -371,7 +400,8 @@ mod tests {
         let topo = Arc::new(builders::linear(4, 1.0, 100.0));
         let mut s = NetworkState::new(Arc::clone(&topo));
         // Fill the middle link so a path reservation must fail there.
-        s.reserve(DirLink::new(LinkId(1), Direction::AtoB), 95.0).unwrap();
+        s.reserve(DirLink::new(LinkId(1), Direction::AtoB), 95.0)
+            .unwrap();
         let path = flexsched_topo::algo::shortest_path(
             &topo,
             NodeId(0),
@@ -413,15 +443,42 @@ mod tests {
     #[test]
     fn residual_min_takes_worse_direction() {
         let mut s = state();
-        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 70.0).unwrap();
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 70.0)
+            .unwrap();
         assert_eq!(s.residual_min_gbps(LinkId(0)), 30.0);
+    }
+
+    #[test]
+    fn residual_min_cache_tracks_every_mutation_kind() {
+        let mut s = state();
+        let l = LinkId(0);
+        let recompute = |s: &NetworkState| {
+            let a = s.residual_gbps(DirLink::new(l, Direction::AtoB)).unwrap();
+            let b = s.residual_gbps(DirLink::new(l, Direction::BtoA)).unwrap();
+            a.min(b)
+        };
+        assert_eq!(s.residual_min_gbps(l), recompute(&s));
+        s.reserve(DirLink::new(l, Direction::AtoB), 12.5).unwrap();
+        assert_eq!(s.residual_min_gbps(l), recompute(&s));
+        s.add_background(DirLink::new(l, Direction::BtoA), 40.0)
+            .unwrap();
+        assert_eq!(s.residual_min_gbps(l), recompute(&s));
+        s.set_down(l, true).unwrap();
+        assert_eq!(s.residual_min_gbps(l), 0.0);
+        s.set_down(l, false).unwrap();
+        assert_eq!(s.residual_min_gbps(l), recompute(&s));
+        s.release(DirLink::new(l, Direction::AtoB), 12.5).unwrap();
+        assert_eq!(s.residual_min_gbps(l), recompute(&s));
+        // Unknown links report zero, as before.
+        assert_eq!(s.residual_min_gbps(LinkId(99)), 0.0);
     }
 
     #[test]
     fn residual_from_resolves_orientation() {
         let topo = Arc::new(builders::linear(2, 1.0, 100.0));
         let mut s = NetworkState::new(Arc::clone(&topo));
-        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 25.0).unwrap();
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 25.0)
+            .unwrap();
         assert_eq!(s.residual_from(LinkId(0), NodeId(0)), 75.0);
         assert_eq!(s.residual_from(LinkId(0), NodeId(1)), 100.0);
         assert_eq!(s.residual_from(LinkId(0), NodeId(9)), 0.0);

@@ -244,8 +244,7 @@ mod tests {
     fn rdma_loses_over_long_haul() {
         // 2000 km span: RTT 20 ms, RDMA window-collapses.
         let topo = Arc::new(builders::linear(2, 2_000.0, 100.0));
-        let path =
-            algo::shortest_path(&topo, NodeId(0), NodeId(1), algo::hop_weight).unwrap();
+        let path = algo::shortest_path(&topo, NodeId(0), NodeId(1), algo::hop_weight).unwrap();
         let state = NetworkState::new(topo);
         let mk = |tr: &Transport| {
             transfer_time_ns(
@@ -283,7 +282,10 @@ mod tests {
         )
         .unwrap();
         assert!(got >= t.setup);
-        assert!(got.as_ms_f64() < 2.0, "loopback should be sub-ms-ish: {got}");
+        assert!(
+            got.as_ms_f64() < 2.0,
+            "loopback should be sub-ms-ish: {got}"
+        );
     }
 
     #[test]

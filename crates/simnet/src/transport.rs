@@ -135,8 +135,8 @@ impl Transport {
         let wire_rate = reserved_gbps
             .min(self.cpu_ceiling_gbps())
             .min(self.window_ceiling_gbps(rtt));
-        let payload_frac = f64::from(self.mss_bytes)
-            / f64::from(self.mss_bytes + self.header_bytes);
+        let payload_frac =
+            f64::from(self.mss_bytes) / f64::from(self.mss_bytes + self.header_bytes);
         wire_rate * payload_frac / self.retx_factor()
     }
 
@@ -185,7 +185,10 @@ mod tests {
         let r = Transport::rdma();
         let short = r.effective_goodput_gbps(100.0, SimTime::from_us(10));
         let long = r.effective_goodput_gbps(100.0, SimTime::from_ms(20));
-        assert!(short > 50.0, "metro RDMA should run near line rate: {short}");
+        assert!(
+            short > 50.0,
+            "metro RDMA should run near line rate: {short}"
+        );
         assert!(long < 10.0, "long-haul RDMA should collapse: {long}");
     }
 

@@ -1,8 +1,7 @@
 //! Property-based tests for the simulator substrate.
 
 use flexsched_simnet::{
-    transfer::TransferSpec, transfer_time_ns, DirLink, EventQueue, NetworkState, SimTime,
-    Transport,
+    transfer::TransferSpec, transfer_time_ns, DirLink, EventQueue, NetworkState, SimTime, Transport,
 };
 use flexsched_topo::{algo, builders, Direction, LinkId, NodeId};
 use proptest::prelude::*;

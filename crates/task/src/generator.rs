@@ -88,7 +88,11 @@ pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
         // Global site: uniform choice.
         let global_site = servers[rng_sites.random_range(0..servers.len())];
         // Local sites: sample without replacement, excluding the global.
-        let mut pool: Vec<NodeId> = servers.iter().copied().filter(|s| *s != global_site).collect();
+        let mut pool: Vec<NodeId> = servers
+            .iter()
+            .copied()
+            .filter(|s| *s != global_site)
+            .collect();
         let mut local_sites = Vec::with_capacity(cfg.locals_per_task);
         for _ in 0..cfg.locals_per_task {
             let idx = rng_sites.random_range(0..pool.len());
@@ -211,7 +215,7 @@ mod tests {
     #[test]
     fn utilities_are_in_range() {
         for t in generate_workload(&topo(), &WorkloadConfig::default()) {
-            for (_, u) in &t.data_utility {
+            for u in t.data_utility.values() {
                 assert!(*u > 0.0 && *u < 1.0);
             }
             assert_eq!(t.data_utility.len(), t.local_sites.len());

@@ -64,8 +64,7 @@ pub fn aggregate(reports: &[TaskReport]) -> (f64, f64) {
     if reports.is_empty() {
         return (0.0, 0.0);
     }
-    let mean_ms =
-        reports.iter().map(TaskReport::iteration_ms).sum::<f64>() / reports.len() as f64;
+    let mean_ms = reports.iter().map(TaskReport::iteration_ms).sum::<f64>() / reports.len() as f64;
     let bw = reports.iter().map(|r| r.bandwidth_gbps).sum::<f64>();
     (mean_ms, bw)
 }
@@ -112,10 +111,7 @@ mod tests {
 
     #[test]
     fn aggregate_means_latency_and_sums_bandwidth() {
-        let (ms, bw) = aggregate(&[
-            report(1_000_000, 0, 0),
-            report(3_000_000, 0, 0),
-        ]);
+        let (ms, bw) = aggregate(&[report(1_000_000, 0, 0), report(3_000_000, 0, 0)]);
         assert!((ms - 2.0).abs() < 1e-12);
         assert!((bw - 20.0).abs() < 1e-12);
     }

@@ -7,9 +7,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of an AI task.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -135,10 +133,7 @@ mod tests {
     #[test]
     fn sites_by_utility_sorts_descending() {
         let t = task();
-        assert_eq!(
-            t.sites_by_utility(),
-            vec![NodeId(1), NodeId(3), NodeId(2)]
-        );
+        assert_eq!(t.sites_by_utility(), vec![NodeId(1), NodeId(3), NodeId(2)]);
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Dijkstra shortest paths with deterministic tie-breaking.
 
+use crate::algo::scratch::DijkstraScratch;
 use crate::error::TopoError;
 use crate::ids::{LinkId, NodeId};
 use crate::link::Link;
 use crate::path::Path;
 use crate::Result;
 use crate::Topology;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// The result of a single-source shortest-path computation.
 #[derive(Debug, Clone)]
@@ -25,9 +24,7 @@ pub struct ShortestPathTree {
 impl ShortestPathTree {
     /// Whether `n` is reachable from the source.
     pub fn reachable(&self, n: NodeId) -> bool {
-        self.dist
-            .get(n.index())
-            .is_some_and(|d| d.is_finite())
+        self.dist.get(n.index()).is_some_and(|d| d.is_finite())
     }
 
     /// Cost of the cheapest path to `n` (infinite if unreachable).
@@ -60,89 +57,22 @@ impl ShortestPathTree {
     }
 }
 
-/// Priority-queue entry ordered by (cost asc, node id asc) for determinism.
-#[derive(PartialEq)]
-struct QueueEntry {
-    cost: f64,
-    node: NodeId,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so the smallest cost pops first.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Run Dijkstra from `source` under the given link weight function.
 ///
 /// Weights must be non-negative; `f64::INFINITY` marks a link unusable and
 /// NaN or negative weights produce [`TopoError::BadWeight`].
+///
+/// This allocates a fresh result; hot paths that run many searches should
+/// reuse a [`DijkstraScratch`] (see [`crate::algo::scratch`]) instead —
+/// both run the identical algorithm.
 pub fn shortest_path_tree(
     topo: &Topology,
     source: NodeId,
     weight: impl Fn(&Link) -> f64,
 ) -> Result<ShortestPathTree> {
-    topo.node(source)?;
-    let n = topo.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(QueueEntry {
-        cost: 0.0,
-        node: source,
-    });
-
-    while let Some(QueueEntry { cost, node }) = heap.pop() {
-        if settled[node.index()] {
-            continue;
-        }
-        settled[node.index()] = true;
-        for &(nbr, link_id) in topo.neighbors(node)? {
-            if settled[nbr.index()] {
-                continue;
-            }
-            let link = topo.link(link_id)?;
-            let w = weight(link);
-            if w.is_infinite() {
-                continue; // unusable link
-            }
-            if w.is_nan() || w < 0.0 {
-                return Err(TopoError::BadWeight {
-                    link: link_id,
-                    weight: w,
-                });
-            }
-            let cand = cost + w;
-            let slot = &mut dist[nbr.index()];
-            let better = cand < *slot
-                || (cand == *slot
-                    && parent[nbr.index()].is_some_and(|(_, l)| link_id < l));
-            if better {
-                *slot = cand;
-                parent[nbr.index()] = Some((node, link_id));
-                heap.push(QueueEntry {
-                    cost: cand,
-                    node: nbr,
-                });
-            }
-        }
-    }
-
+    let mut scratch = DijkstraScratch::new();
+    scratch.run(topo, source, weight)?;
+    let (dist, parent) = scratch.export(topo.node_count());
     Ok(ShortestPathTree {
         source,
         dist,

@@ -9,6 +9,7 @@
 pub mod bellman_ford;
 pub mod dijkstra;
 pub mod mst;
+pub mod scratch;
 pub mod steiner;
 pub mod traversal;
 pub mod unionfind;
@@ -17,7 +18,8 @@ pub mod yen;
 pub use bellman_ford::bellman_ford;
 pub use dijkstra::{shortest_path, shortest_path_tree, ShortestPathTree};
 pub use mst::{kruskal_mst, prim_mst, MstResult};
-pub use steiner::{steiner_tree, SteinerTree};
+pub use scratch::{DijkstraScratch, ScratchPool};
+pub use steiner::{steiner_tree, steiner_tree_in, SteinerTree};
 pub use traversal::{bfs_order, connected_components, is_connected};
 pub use unionfind::UnionFind;
 pub use yen::k_shortest_paths;

@@ -1,0 +1,523 @@
+//! Reusable, generation-stamped Dijkstra state.
+//!
+//! The flexible scheduler re-solves Steiner trees for every arriving task,
+//! and each Steiner construction runs one Dijkstra per terminal — so at
+//! metro scale the allocator was being hit with fresh `dist`/`parent`/
+//! `visited` vectors hundreds of times per scheduling decision. A
+//! [`DijkstraScratch`] keeps those arrays alive between runs and resets
+//! them in O(1) by bumping a generation counter: a slot's contents are
+//! valid only when its stamp equals the current generation, so no clearing
+//! pass is needed. A [`ScratchPool`] recycles scratches across calls that
+//! need several simultaneously live shortest-path trees (the Steiner metric
+//! closure holds one per terminal).
+//!
+//! The search itself is exactly the algorithm in [`crate::algo::dijkstra`]
+//! — same tie-breaking (cost ascending, then node id; equal-cost parent
+//! replaced only by a lower link id), same error behaviour — which the
+//! equivalence tests below and the proptests in `tests/proptests.rs` pin
+//! down. [`crate::algo::shortest_path_tree`] is implemented on top of this
+//! type, so there is a single Dijkstra implementation in the crate.
+
+use crate::error::TopoError;
+use crate::ids::{LinkId, NodeId};
+use crate::link::Link;
+use crate::path::Path;
+use crate::Result;
+use crate::Topology;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority-queue entry ordered by (cost asc, node id asc) for determinism.
+///
+/// The cost is stored as its IEEE-754 bit pattern: path costs are always
+/// non-negative (negative weights are rejected, and `x + 0.0` can never
+/// produce `-0.0` from non-negative addends), and for non-negative floats
+/// the bit patterns order exactly like the values — so the heap compares
+/// integers instead of calling `partial_cmp`.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct QueueEntry {
+    pub(crate) cost_bits: u64,
+    pub(crate) node: NodeId,
+}
+
+impl QueueEntry {
+    #[inline]
+    fn new(cost: f64, node: NodeId) -> Self {
+        QueueEntry {
+            cost_bits: cost.to_bits(),
+            node,
+        }
+    }
+
+    #[inline]
+    fn cost(&self) -> f64 {
+        f64::from_bits(self.cost_bits)
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest cost pops first.
+        other
+            .cost_bits
+            .cmp(&self.cost_bits)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable single-source shortest-path state.
+///
+/// After [`DijkstraScratch::run`], the scratch *is* the shortest-path tree:
+/// query it with [`cost_to`](DijkstraScratch::cost_to) /
+/// [`parent_of`](DijkstraScratch::parent_of) /
+/// [`path_to`](DijkstraScratch::path_to). Running again invalidates the
+/// previous results in O(1) (generation bump) and reuses every allocation.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<(NodeId, LinkId)>>,
+    /// Slot `i` of `dist`/`parent` is valid iff `touched[i] == generation`.
+    touched: Vec<u32>,
+    /// Node `i` is settled iff `settled[i] == generation`.
+    settled: Vec<u32>,
+    /// Node `i` is an early-exit target iff `target[i] == generation`.
+    target: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<QueueEntry>,
+    source: Option<NodeId>,
+}
+
+impl DijkstraScratch {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The source of the last completed run, if any.
+    pub fn source(&self) -> Option<NodeId> {
+        self.source
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, None);
+            self.touched.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.target.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            // Generation wrap: invalidate every stamp once, then restart.
+            self.touched.fill(0);
+            self.settled.fill(0);
+            self.target.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+        self.source = None;
+    }
+
+    #[inline]
+    fn is_settled(&self, n: NodeId) -> bool {
+        self.settled[n.index()] == self.generation
+    }
+
+    #[inline]
+    fn dist_of(&self, n: NodeId) -> f64 {
+        if self.touched[n.index()] == self.generation {
+            self.dist[n.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn parent_slot(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        if self.touched[n.index()] == self.generation {
+            self.parent[n.index()]
+        } else {
+            None
+        }
+    }
+
+    /// Run Dijkstra from `source` under `weight`, reusing the buffers.
+    ///
+    /// Semantics match [`crate::algo::shortest_path_tree`]: weights must be
+    /// non-negative (`f64::INFINITY` disables a link), NaN or negative
+    /// weights yield [`TopoError::BadWeight`], tie-breaks are by ascending
+    /// link id so equal-cost runs are deterministic.
+    pub fn run(
+        &mut self,
+        topo: &Topology,
+        source: NodeId,
+        weight: impl Fn(&Link) -> f64,
+    ) -> Result<()> {
+        self.run_core(topo, source, |id| Ok(weight(topo.link(id)?)), None)
+    }
+
+    /// Like [`run`](DijkstraScratch::run), but with per-link weights
+    /// precomputed into an id-indexed slice (one weight evaluation per link
+    /// instead of one per edge visit) and optional early exit: when
+    /// `targets` is given the search stops as soon as every target is
+    /// settled. Settled distances and parents are final in Dijkstra, so
+    /// costs and reconstructed paths to the targets are identical to a full
+    /// run — only unreached non-target state differs.
+    pub fn run_with_weights(
+        &mut self,
+        topo: &Topology,
+        source: NodeId,
+        weights: &[f64],
+        targets: Option<&[NodeId]>,
+    ) -> Result<()> {
+        self.run_core(
+            topo,
+            source,
+            |id| Ok(weights.get(id.index()).copied().unwrap_or(f64::INFINITY)),
+            targets,
+        )
+    }
+
+    fn run_core(
+        &mut self,
+        topo: &Topology,
+        source: NodeId,
+        weight_of: impl Fn(LinkId) -> Result<f64>,
+        targets: Option<&[NodeId]>,
+    ) -> Result<()> {
+        topo.node(source)?;
+        self.begin(topo.node_count());
+        let generation = self.generation;
+        let mut remaining = 0usize;
+        if let Some(targets) = targets {
+            for t in targets {
+                topo.node(*t)?;
+                if self.target[t.index()] != generation {
+                    self.target[t.index()] = generation;
+                    remaining += 1;
+                }
+            }
+        }
+        self.dist[source.index()] = 0.0;
+        self.parent[source.index()] = None;
+        self.touched[source.index()] = generation;
+        self.heap.push(QueueEntry::new(0.0, source));
+
+        while let Some(entry) = self.heap.pop() {
+            let (cost, node) = (entry.cost(), entry.node);
+            if self.is_settled(node) {
+                continue;
+            }
+            self.settled[node.index()] = generation;
+            if targets.is_some() && self.target[node.index()] == generation {
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            for &(nbr, link_id) in topo.neighbors(node)? {
+                if self.is_settled(nbr) {
+                    continue;
+                }
+                let w = weight_of(link_id)?;
+                if w.is_infinite() {
+                    continue; // unusable link
+                }
+                if w.is_nan() || w < 0.0 {
+                    return Err(TopoError::BadWeight {
+                        link: link_id,
+                        weight: w,
+                    });
+                }
+                let cand = cost + w;
+                let cur = self.dist_of(nbr);
+                let better = cand < cur
+                    || (cand == cur && self.parent_slot(nbr).is_some_and(|(_, l)| link_id < l));
+                if better {
+                    let i = nbr.index();
+                    self.dist[i] = cand;
+                    self.parent[i] = Some((node, link_id));
+                    self.touched[i] = generation;
+                    self.heap.push(QueueEntry::new(cand, nbr));
+                }
+            }
+        }
+
+        self.source = Some(source);
+        Ok(())
+    }
+
+    /// Whether `n` is reachable from the last run's source.
+    pub fn reachable(&self, n: NodeId) -> bool {
+        n.index() < self.touched.len() && self.dist_of(n).is_finite()
+    }
+
+    /// Cost of the cheapest path to `n` (infinite if unreachable).
+    pub fn cost_to(&self, n: NodeId) -> f64 {
+        if n.index() < self.touched.len() {
+            self.dist_of(n)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Previous hop on the cheapest path to `n` (`None` for the source and
+    /// unreachable nodes).
+    pub fn parent_of(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        if n.index() < self.touched.len() {
+            self.parent_slot(n)
+        } else {
+            None
+        }
+    }
+
+    /// Reconstruct the cheapest path from the source to `to`.
+    ///
+    /// # Errors
+    /// [`TopoError::Disconnected`] if `to` is unreachable.
+    pub fn path_to(&self, to: NodeId) -> Result<Path> {
+        let source = self.source.unwrap_or(to);
+        if !self.reachable(to) {
+            return Err(TopoError::Disconnected { from: source, to });
+        }
+        let mut nodes = vec![to];
+        let mut links = Vec::new();
+        let mut cur = to;
+        while let Some((prev, link)) = self.parent_slot(cur) {
+            nodes.push(prev);
+            links.push(link);
+            cur = prev;
+        }
+        nodes.reverse();
+        links.reverse();
+        Path::new(nodes, links)
+    }
+
+    /// Append the links of the cheapest source→`to` path onto `out`
+    /// (allocation-free alternative to [`path_to`](DijkstraScratch::path_to)
+    /// when only the link set matters; link order is `to`→source).
+    ///
+    /// # Errors
+    /// [`TopoError::Disconnected`] if `to` is unreachable.
+    pub fn append_path_links(&self, to: NodeId, out: &mut Vec<LinkId>) -> Result<()> {
+        if !self.reachable(to) {
+            return Err(TopoError::Disconnected {
+                from: self.source.unwrap_or(to),
+                to,
+            });
+        }
+        let mut cur = to;
+        while let Some((prev, link)) = self.parent_slot(cur) {
+            out.push(link);
+            cur = prev;
+        }
+        Ok(())
+    }
+
+    /// Copy the results out as a standalone [`ShortestPathTree`]
+    /// (`dist`/`parent` vectors of length `n`).
+    ///
+    /// [`ShortestPathTree`]: crate::algo::dijkstra::ShortestPathTree
+    pub(crate) fn export(&self, n: usize) -> (Vec<f64>, Vec<Option<(NodeId, LinkId)>>) {
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent = vec![None; n];
+        for i in 0..n.min(self.touched.len()) {
+            if self.touched[i] == self.generation {
+                dist[i] = self.dist[i];
+                parent[i] = self.parent[i];
+            }
+        }
+        (dist, parent)
+    }
+}
+
+/// Reusable flat work buffers for one Steiner-tree construction: closure
+/// edges, subgraph link sets, Kruskal/prune state and rooting adjacency.
+/// Everything here is cleared-and-refilled per use; pooling them removes
+/// dozens of small allocations from every scheduling decision.
+#[derive(Debug, Default)]
+pub struct SteinerBufs {
+    /// Closure edges packed as `cost_bits << 64 | i << 32 | j`: for the
+    /// non-negative costs Dijkstra produces, ascending `u128` order is
+    /// exactly ascending `(cost, i, j)` order, so the sort is a native
+    /// integer sort.
+    pub(crate) closure: Vec<u128>,
+    pub(crate) closure_edges: Vec<(usize, usize)>,
+    pub(crate) sub_links: Vec<LinkId>,
+    pub(crate) spt_union: Vec<LinkId>,
+    pub(crate) adj: Vec<(NodeId, LinkId)>,
+    pub(crate) visited: Vec<bool>,
+    pub(crate) prune: PruneBufs,
+}
+
+/// Work buffers for the subgraph-MST + leaf-pruning step (also reused by
+/// the rooting BFS once pruning is done).
+#[derive(Debug, Default)]
+pub(crate) struct PruneBufs {
+    pub(crate) edges: Vec<(f64, LinkId)>,
+    pub(crate) uf: crate::algo::unionfind::UnionFind,
+    pub(crate) mst_links: Vec<LinkId>,
+    pub(crate) degree: Vec<u32>,
+    pub(crate) starts: Vec<u32>,
+    pub(crate) cursor: Vec<u32>,
+    pub(crate) incident: Vec<u32>,
+    pub(crate) keep_mask: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) queue: Vec<NodeId>,
+}
+
+/// A recycling pool of [`DijkstraScratch`]es, per-link weight caches and
+/// [`SteinerBufs`].
+///
+/// Callers that need several simultaneously live shortest-path trees (the
+/// Steiner metric closure keeps one per terminal) take scratches out, use
+/// them, and give them back; steady-state scheduling then allocates
+/// nothing. The pool is deliberately dumb — LIFO free lists — so taking
+/// and returning is branch-light.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<DijkstraScratch>,
+    weight_buffers: Vec<Vec<f64>>,
+    steiner_bufs: Vec<SteinerBufs>,
+}
+
+impl ScratchPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of idle scratches currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Take a scratch (reused if available, fresh otherwise).
+    pub fn take(&mut self) -> DijkstraScratch {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool for reuse.
+    pub fn give_back(&mut self, scratch: DijkstraScratch) {
+        self.free.push(scratch);
+    }
+
+    /// Take an empty per-link weight buffer (capacity reused).
+    pub fn take_weights(&mut self) -> Vec<f64> {
+        self.weight_buffers.pop().unwrap_or_default()
+    }
+
+    /// Return a weight buffer for reuse.
+    pub fn give_back_weights(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        self.weight_buffers.push(buf);
+    }
+
+    /// Take a Steiner work-buffer set (contents unspecified; every user
+    /// clears what it fills).
+    pub fn take_steiner_bufs(&mut self) -> SteinerBufs {
+        self.steiner_bufs.pop().unwrap_or_default()
+    }
+
+    /// Return a Steiner work-buffer set for reuse.
+    pub fn give_back_steiner_bufs(&mut self, bufs: SteinerBufs) {
+        self.steiner_bufs.push(bufs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::shortest_path_tree;
+    use crate::algo::{hop_weight, length_weight};
+    use crate::builders;
+
+    #[test]
+    fn matches_fresh_dijkstra_across_reuses() {
+        let mut scratch = DijkstraScratch::new();
+        for seed in 0..4 {
+            let t = builders::random_connected(30, 0.15, seed, 100.0);
+            for src in [NodeId(0), NodeId(5), NodeId(29)] {
+                scratch.run(&t, src, length_weight).unwrap();
+                let fresh = shortest_path_tree(&t, src, length_weight).unwrap();
+                for n in t.node_ids() {
+                    assert_eq!(
+                        scratch.reachable(n),
+                        fresh.reachable(n),
+                        "seed {seed} src {src} node {n}"
+                    );
+                    if fresh.reachable(n) {
+                        assert_eq!(scratch.cost_to(n), fresh.cost_to(n));
+                        assert_eq!(scratch.parent_of(n), fresh.parent[n.index()]);
+                        assert_eq!(scratch.path_to(n).unwrap(), fresh.path_to(n).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_results_do_not_leak_across_runs() {
+        let big = builders::ring(10, 1.0, 100.0);
+        let small = builders::linear(3, 1.0, 100.0);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&big, NodeId(0), hop_weight).unwrap();
+        assert!(scratch.reachable(NodeId(9)));
+        scratch.run(&small, NodeId(0), hop_weight).unwrap();
+        // Node 9 was reachable in the ring; in the 3-node line it must not be.
+        assert!(!scratch.reachable(NodeId(9)));
+        assert_eq!(scratch.cost_to(NodeId(9)), f64::INFINITY);
+        assert_eq!(scratch.parent_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn bad_weight_is_rejected() {
+        let t = builders::linear(3, 1.0, 100.0);
+        let mut scratch = DijkstraScratch::new();
+        assert!(matches!(
+            scratch.run(&t, NodeId(0), |_| -1.0),
+            Err(TopoError::BadWeight { .. })
+        ));
+        // The scratch stays usable afterwards.
+        scratch.run(&t, NodeId(0), hop_weight).unwrap();
+        assert!(scratch.reachable(NodeId(2)));
+    }
+
+    #[test]
+    fn unknown_source_errors() {
+        let t = builders::linear(3, 1.0, 100.0);
+        let mut scratch = DijkstraScratch::new();
+        assert!(scratch.run(&t, NodeId(99), hop_weight).is_err());
+    }
+
+    #[test]
+    fn pool_recycles_scratches() {
+        let mut pool = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        let a = pool.take();
+        let b = pool.take();
+        pool.give_back(a);
+        pool.give_back(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.take();
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn generation_wrap_resets_cleanly() {
+        let t = builders::linear(4, 1.0, 100.0);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&t, NodeId(0), hop_weight).unwrap();
+        // Force the wrap path.
+        scratch.generation = u32::MAX;
+        scratch.run(&t, NodeId(1), hop_weight).unwrap();
+        assert_eq!(scratch.cost_to(NodeId(3)), 2.0);
+        assert_eq!(scratch.cost_to(NodeId(0)), 1.0);
+    }
+}

@@ -17,19 +17,32 @@
 //! The result is rooted at the global-model node so that broadcast trees
 //! (root -> leaves) and upload trees (leaves -> root, with aggregation at
 //! branch points) fall out directly.
+//!
+//! This is the scheduler's hot path — it runs twice per
+//! `FlexibleMst::schedule`, once per arriving task per procedure — so the
+//! whole construction works on flat, index-addressed state: the metric
+//! closure reuses pooled [`DijkstraScratch`]es (one Dijkstra per terminal,
+//! no per-call `dist`/`parent` allocations via [`steiner_tree_in`]), the
+//! subgraph MST/prune steps use dense degree/adjacency arrays, and the
+//! resulting [`SteinerTree`] stores its parent pointers and children lists
+//! as id-indexed arrays computed once at construction.
 
-use crate::algo::dijkstra::shortest_path_tree;
-use crate::algo::unionfind::UnionFind;
+use crate::algo::scratch::{DijkstraScratch, ScratchPool};
 use crate::error::TopoError;
 use crate::ids::{LinkId, NodeId};
 use crate::link::Link;
 use crate::path::Path;
 use crate::Result;
 use crate::Topology;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeMap;
 
 /// A tree connecting a root to a set of terminal nodes, possibly through
 /// intermediate (Steiner) nodes.
+///
+/// Parent pointers and children lists are flat arrays indexed by the dense
+/// [`NodeId`]s, computed once at construction, so the per-edge queries the
+/// schedulers hammer ([`parent_of`](SteinerTree::parent_of),
+/// [`children_of`](SteinerTree::children_of)) are O(1) array reads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SteinerTree {
     /// The root (global model node in scheduler use).
@@ -40,28 +53,94 @@ pub struct SteinerTree {
     pub nodes: Vec<NodeId>,
     /// All links in the tree, ascending.
     pub links: Vec<LinkId>,
-    /// `parent[n]` = next hop towards the root, for every non-root tree node.
-    parent: BTreeMap<NodeId, (NodeId, LinkId)>,
+    /// `parent[n]` = next hop towards the root; `None` for the root and for
+    /// nodes outside the tree. Indexed by node id over the whole topology.
+    parent: Vec<Option<(NodeId, LinkId)>>,
+    /// CSR children index: node `n`'s children are
+    /// `child_list[child_start[n] .. child_start[n + 1]]`, ascending.
+    child_start: Vec<u32>,
+    child_list: Vec<NodeId>,
     /// Total weight of the tree under the weight function it was built with.
     pub total_weight: f64,
 }
 
 impl SteinerTree {
-    /// Parent (towards root) of a tree node, `None` for the root itself.
-    pub fn parent_of(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
-        self.parent.get(&n).copied()
+    /// Assemble the flat representation from rooted parent pointers.
+    /// `parent` must be indexed by node id over the whole topology; `nodes`
+    /// must be the ascending list of tree nodes.
+    fn assemble(
+        root: NodeId,
+        terminals: Vec<NodeId>,
+        nodes: Vec<NodeId>,
+        links: Vec<LinkId>,
+        parent: Vec<Option<(NodeId, LinkId)>>,
+        total_weight: f64,
+    ) -> Self {
+        let n = parent.len();
+        let mut child_start = vec![0u32; n + 1];
+        for node in &nodes {
+            if let Some((p, _)) = parent[node.index()] {
+                child_start[p.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_start[i + 1] += child_start[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut child_list = vec![NodeId(0); child_start[n] as usize];
+        // `nodes` ascends, so each parent's children land in ascending order.
+        for node in &nodes {
+            if let Some((p, _)) = parent[node.index()] {
+                child_list[cursor[p.index()] as usize] = *node;
+                cursor[p.index()] += 1;
+            }
+        }
+        SteinerTree {
+            root,
+            terminals,
+            nodes,
+            links,
+            parent,
+            child_start,
+            child_list,
+            total_weight,
+        }
     }
 
-    /// Children map: for every tree node the set of nodes whose parent it is.
+    /// Parent (towards root) of a tree node, `None` for the root itself.
+    #[inline]
+    pub fn parent_of(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent.get(n.index()).copied().flatten()
+    }
+
+    /// Children of `n`, ascending (`&[]` for leaves and non-tree nodes).
+    #[inline]
+    pub fn children_of(&self, n: NodeId) -> &[NodeId] {
+        let i = n.index();
+        if i + 1 < self.child_start.len() {
+            &self.child_list[self.child_start[i] as usize..self.child_start[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Directed tree edges as `(child, parent, link)` triples, ascending by
+    /// child id — the shape the schedulers iterate when rating or reserving
+    /// every edge.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkId)> + '_ {
+        self.nodes
+            .iter()
+            .filter_map(|n| self.parent_of(*n).map(|(p, l)| (*n, p, l)))
+    }
+
+    /// Children map: for every tree node the nodes whose parent it is.
+    /// Compatibility view over [`children_of`](SteinerTree::children_of);
+    /// hot paths should use the flat accessor directly.
     pub fn children(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
-        let mut ch: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for n in &self.nodes {
-            ch.entry(*n).or_default();
-        }
-        for (&child, &(parent, _)) in &self.parent {
-            ch.entry(parent).or_default().push(child);
-        }
-        ch
+        self.nodes
+            .iter()
+            .map(|n| (*n, self.children_of(*n).to_vec()))
+            .collect()
     }
 
     /// Path from the root down to `n` (following tree edges).
@@ -75,7 +154,7 @@ impl SteinerTree {
         let mut nodes = vec![n];
         let mut links = Vec::new();
         let mut cur = n;
-        while let Some(&(p, l)) = self.parent.get(&cur) {
+        while let Some((p, l)) = self.parent_of(cur) {
             nodes.push(p);
             links.push(l);
             cur = p;
@@ -98,7 +177,7 @@ impl SteinerTree {
         }
         let mut d = 0usize;
         let mut cur = n;
-        while let Some(&(p, _)) = self.parent.get(&cur) {
+        while let Some((p, _)) = self.parent_of(cur) {
             d += 1;
             cur = p;
             if cur == self.root {
@@ -112,11 +191,11 @@ impl SteinerTree {
     /// non-root tree node with at least one child, plus the root. These are
     /// "the middle and final nodes of the upload procedure" from the paper.
     pub fn aggregation_points(&self) -> Vec<NodeId> {
-        let ch = self.children();
-        let mut pts: Vec<NodeId> = ch
+        let mut pts: Vec<NodeId> = self
+            .nodes
             .iter()
-            .filter(|(n, kids)| !kids.is_empty() && **n != self.root)
-            .map(|(n, _)| *n)
+            .copied()
+            .filter(|n| !self.children_of(*n).is_empty() && *n != self.root)
             .collect();
         pts.push(self.root);
         pts.sort();
@@ -125,25 +204,22 @@ impl SteinerTree {
 
     /// Leaves of the tree (no children).
     pub fn leaves(&self) -> Vec<NodeId> {
-        let ch = self.children();
-        ch.iter()
-            .filter(|(_, kids)| kids.is_empty())
-            .map(|(n, _)| *n)
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| self.children_of(*n).is_empty())
             .collect()
     }
 
     /// Nodes in breadth-first order from the root.
     pub fn bfs_from_root(&self) -> Vec<NodeId> {
-        let ch = self.children();
         let mut order = Vec::with_capacity(self.nodes.len());
-        let mut q = VecDeque::from([self.root]);
-        while let Some(n) = q.pop_front() {
-            order.push(n);
-            if let Some(kids) = ch.get(&n) {
-                for k in kids {
-                    q.push_back(*k);
-                }
-            }
+        order.push(self.root);
+        let mut head = 0;
+        while head < order.len() {
+            let n = order[head];
+            head += 1;
+            order.extend_from_slice(self.children_of(n));
         }
         order
     }
@@ -161,33 +237,24 @@ impl SteinerTree {
     /// right granularity for grooming a multicast/aggregation tree without
     /// double-counting shared segments.
     pub fn chains(&self) -> Vec<Path> {
-        let ch = self.children();
-        let terminal_set: BTreeSet<NodeId> = self.terminals.iter().copied().collect();
-        let significant: BTreeSet<NodeId> = self
-            .nodes
-            .iter()
-            .copied()
-            .filter(|n| {
-                *n == self.root
-                    || terminal_set.contains(n)
-                    || ch.get(n).map(|k| k.len()).unwrap_or(0) != 1
-            })
-            .collect();
+        let is_terminal = |n: NodeId| self.terminals.contains(&n);
+        let is_significant =
+            |n: NodeId| n == self.root || is_terminal(n) || self.children_of(n).len() != 1;
         let mut chains = Vec::new();
-        for start in &significant {
-            if *start == self.root {
+        for start in self.nodes.iter().copied().filter(|n| is_significant(*n)) {
+            if start == self.root {
                 continue;
             }
             // Walk from this significant node up to the nearest significant
             // ancestor.
-            let mut nodes = vec![*start];
+            let mut nodes = vec![start];
             let mut links = Vec::new();
-            let mut cur = *start;
-            while let Some(&(p, l)) = self.parent.get(&cur) {
+            let mut cur = start;
+            while let Some((p, l)) = self.parent_of(cur) {
                 nodes.push(p);
                 links.push(l);
                 cur = p;
-                if significant.contains(&cur) {
+                if is_significant(cur) {
                     break;
                 }
             }
@@ -199,47 +266,131 @@ impl SteinerTree {
     }
 }
 
-/// Restrict the graph to `allowed` links, take its MST, and repeatedly prune
-/// non-terminal leaves. Returns the surviving tree links.
+/// Kruskal MST of the subgraph spanned by `allowed`, then repeatedly prune
+/// leaves that are not in `keep`. Returns the surviving links ascending.
+///
+/// Equivalent to running `kruskal_mst` with infinite weight outside
+/// `allowed` (same (weight, id) edge ordering, same union-find), but only
+/// touches the O(|allowed|) subgraph instead of sorting every topology
+/// link, and draws every work array from the pooled `bufs`.
 fn prune_to_tree(
     topo: &Topology,
-    terminals: &[NodeId],
-    allowed: BTreeSet<LinkId>,
-    weight: &impl Fn(&Link) -> f64,
-) -> Result<BTreeSet<LinkId>> {
-    let sub_mst = crate::algo::mst::kruskal_mst(topo, |l| {
-        if allowed.contains(&l.id) {
-            weight(l)
-        } else {
-            f64::INFINITY
+    keep: &[NodeId],
+    allowed: &[LinkId],
+    weights: &[f64],
+    bufs: &mut crate::algo::scratch::PruneBufs,
+) -> Result<Vec<LinkId>> {
+    // Kruskal over the allowed links only, sorted by (weight, id).
+    let edges = &mut bufs.edges;
+    edges.clear();
+    for id in allowed {
+        let w = weights[id.index()];
+        if w.is_infinite() {
+            continue;
         }
-    })?;
-    let mut tree_links: BTreeSet<LinkId> = sub_mst.links.iter().copied().collect();
-    let keep: BTreeSet<NodeId> = terminals.iter().copied().collect();
-    loop {
-        let mut degree: BTreeMap<NodeId, Vec<LinkId>> = BTreeMap::new();
-        for l in &tree_links {
-            let link = topo.link(*l)?;
-            degree.entry(link.a).or_default().push(*l);
-            degree.entry(link.b).or_default().push(*l);
+        if w.is_nan() || w < 0.0 {
+            return Err(TopoError::BadWeight {
+                link: *id,
+                weight: w,
+            });
         }
-        let prune: Vec<LinkId> = degree
-            .iter()
-            .filter(|(n, ls)| ls.len() == 1 && !keep.contains(n))
-            .map(|(_, ls)| ls[0])
-            .collect();
-        if prune.is_empty() {
-            break;
-        }
-        for l in prune {
-            tree_links.remove(&l);
+        edges.push((w, *id));
+    }
+    // (weight, id) pairs are distinct in id: total order, unstable is fine.
+    edges.sort_unstable_by(|(wa, la), (wb, lb)| {
+        wa.partial_cmp(wb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(la.cmp(lb))
+    });
+    let n = topo.node_count();
+    bufs.uf.reset(n);
+    let tree_links = &mut bufs.mst_links;
+    tree_links.clear();
+    for (_, id) in edges.iter() {
+        let l = topo.link(*id)?;
+        if bufs.uf.union(l.a.index(), l.b.index()) {
+            tree_links.push(*id);
         }
     }
-    Ok(tree_links)
+    tree_links.sort_unstable();
+
+    // Iterative leaf pruning on flat degree/incidence arrays: peel degree-1
+    // nodes that are not terminals until none remain.
+    let degree = &mut bufs.degree;
+    degree.clear();
+    degree.resize(n, 0);
+    let incident_start = &mut bufs.starts;
+    incident_start.clear();
+    incident_start.resize(n + 1, 0);
+    for id in tree_links.iter() {
+        let l = topo.link(*id)?;
+        incident_start[l.a.index() + 1] += 1;
+        incident_start[l.b.index() + 1] += 1;
+        degree[l.a.index()] += 1;
+        degree[l.b.index()] += 1;
+    }
+    for i in 0..n {
+        incident_start[i + 1] += incident_start[i];
+    }
+    let cursor = &mut bufs.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(incident_start);
+    let incident = &mut bufs.incident;
+    incident.clear();
+    incident.resize(incident_start[n] as usize, 0);
+    for (pos, id) in tree_links.iter().enumerate() {
+        let l = topo.link(*id)?;
+        for endpoint in [l.a, l.b] {
+            incident[cursor[endpoint.index()] as usize] = pos as u32;
+            cursor[endpoint.index()] += 1;
+        }
+    }
+    let keep_mask = &mut bufs.keep_mask;
+    keep_mask.clear();
+    keep_mask.resize(n, false);
+    for k in keep {
+        keep_mask[k.index()] = true;
+    }
+    let alive = &mut bufs.alive;
+    alive.clear();
+    alive.resize(tree_links.len(), true);
+    let queue = &mut bufs.queue;
+    queue.clear();
+    queue.extend(
+        (0..n as u32)
+            .map(NodeId)
+            .filter(|x| degree[x.index()] == 1 && !keep_mask[x.index()]),
+    );
+    while let Some(leaf) = queue.pop() {
+        if degree[leaf.index()] != 1 {
+            continue; // became isolated (or re-queued stale entry)
+        }
+        let range =
+            incident_start[leaf.index()] as usize..incident_start[leaf.index() + 1] as usize;
+        let Some(&pos) = incident[range].iter().find(|&&p| alive[p as usize]) else {
+            continue;
+        };
+        alive[pos as usize] = false;
+        let l = topo.link(tree_links[pos as usize])?;
+        for endpoint in [l.a, l.b] {
+            degree[endpoint.index()] -= 1;
+            if degree[endpoint.index()] == 1 && !keep_mask[endpoint.index()] {
+                queue.push(endpoint);
+            }
+        }
+    }
+    Ok(tree_links
+        .iter()
+        .zip(alive.iter())
+        .filter_map(|(id, a)| a.then_some(*id))
+        .collect())
 }
 
 /// Build an MST-based Steiner tree spanning `root` and `terminals` under the
 /// given link weight function (see module docs for the algorithm).
+///
+/// Allocates its own scratch; schedulers that build trees in a loop should
+/// use [`steiner_tree_in`] with a persistent [`ScratchPool`].
 ///
 /// # Errors
 /// * [`TopoError::EmptyInput`] if `terminals` is empty,
@@ -251,10 +402,52 @@ pub fn steiner_tree(
     terminals: &[NodeId],
     weight: impl Fn(&Link) -> f64,
 ) -> Result<SteinerTree> {
+    let mut pool = ScratchPool::new();
+    steiner_tree_in(topo, root, terminals, weight, &mut pool)
+}
+
+/// [`steiner_tree`] with pooled Dijkstra scratch: the metric closure's
+/// per-terminal searches reuse `pool`'s buffers instead of allocating, so a
+/// scheduler that keeps one pool per thread allocates no shortest-path
+/// state in steady operation.
+pub fn steiner_tree_in(
+    topo: &Topology,
+    root: NodeId,
+    terminals: &[NodeId],
+    weight: impl Fn(&Link) -> f64,
+    pool: &mut ScratchPool,
+) -> Result<SteinerTree> {
+    let mut spts: Vec<DijkstraScratch> = Vec::new();
+    // One weight evaluation per link for the whole construction — the
+    // auxiliary weight is by far the most expensive per-edge quantity the
+    // searches would otherwise recompute on every visit.
+    let mut weights = pool.take_weights();
+    weights.extend(topo.links().iter().map(&weight));
+    let mut bufs = pool.take_steiner_bufs();
+    let result = steiner_tree_inner(topo, root, terminals, &weights, pool, &mut spts, &mut bufs);
+    pool.give_back_steiner_bufs(bufs);
+    pool.give_back_weights(weights);
+    for s in spts {
+        pool.give_back(s);
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn steiner_tree_inner(
+    topo: &Topology,
+    root: NodeId,
+    terminals: &[NodeId],
+    weights: &[f64],
+    pool: &mut ScratchPool,
+    spts: &mut Vec<DijkstraScratch>,
+    bufs: &mut crate::algo::scratch::SteinerBufs,
+) -> Result<SteinerTree> {
     if terminals.is_empty() {
         return Err(TopoError::EmptyInput("steiner terminals"));
     }
     topo.node(root)?;
+    let n = topo.node_count();
     let mut all: Vec<NodeId> = Vec::with_capacity(terminals.len() + 1);
     all.push(root);
     for t in terminals {
@@ -265,46 +458,56 @@ pub fn steiner_tree(
     }
     if all.len() == 1 {
         // All terminals equal the root: trivial tree.
-        return Ok(SteinerTree {
+        return Ok(SteinerTree::assemble(
             root,
-            terminals: terminals.to_vec(),
-            nodes: vec![root],
-            links: Vec::new(),
-            parent: BTreeMap::new(),
-            total_weight: 0.0,
-        });
+            terminals.to_vec(),
+            vec![root],
+            Vec::new(),
+            vec![None; n],
+            0.0,
+        ));
     }
 
-    // 1) Metric closure: shortest path trees from every terminal.
-    let mut spts = Vec::with_capacity(all.len());
-    for t in &all {
-        spts.push(shortest_path_tree(topo, *t, &weight)?);
+    // 1) Metric closure: shortest path trees from every terminal, computed
+    //    into pooled scratches over the precomputed weights. spts[i] is
+    //    only ever queried for terminals j > i (closure pairs are (i, j)
+    //    with i < j, expansion reads spts[i], and the root's tree also
+    //    serves the reachability check and the shortest-path-union
+    //    candidate), so search i stops once `all[i..]` is settled and the
+    //    last terminal's search is skipped entirely.
+    for (i, t) in all.iter().enumerate().take(all.len() - 1) {
+        let mut scratch = pool.take();
+        scratch.run_with_weights(topo, *t, weights, Some(&all[i..]))?;
+        spts.push(scratch);
     }
-    for (i, t) in all.iter().enumerate().skip(1) {
+    for t in all.iter().skip(1) {
         if !spts[0].reachable(*t) {
             return Err(TopoError::Disconnected { from: root, to: *t });
         }
-        let _ = i;
     }
 
     // 2) MST over the complete terminal graph (Kruskal on closure edges).
-    let mut closure: Vec<(f64, usize, usize)> = Vec::new();
-    for i in 0..all.len() {
-        for j in (i + 1)..all.len() {
-            closure.push((spts[i].cost_to(all[j]), i, j));
+    // Entries are packed as `cost_bits << 64 | i << 32 | j`; costs are
+    // non-negative, so ascending integer order is ascending (cost, i, j)
+    // order — the exact ordering the unpacked sort used.
+    let closure = &mut bufs.closure;
+    closure.clear();
+    for (i, spt) in spts.iter().enumerate() {
+        for (j, t) in all.iter().enumerate().skip(i + 1) {
+            let cost = spt.cost_to(*t);
+            closure.push(((cost.to_bits() as u128) << 64) | ((i as u128) << 32) | j as u128);
         }
     }
-    closure.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
-    let mut uf = UnionFind::new(all.len());
-    let mut closure_edges: Vec<(usize, usize)> = Vec::new();
-    for (_, i, j) in &closure {
-        if uf.union(*i, *j) {
-            closure_edges.push((*i, *j));
+    closure.sort_unstable();
+    let uf = &mut bufs.prune.uf;
+    uf.reset(all.len());
+    let closure_edges = &mut bufs.closure_edges;
+    closure_edges.clear();
+    for packed in closure.iter() {
+        let i = ((packed >> 32) & 0xFFFF_FFFF) as usize;
+        let j = (packed & 0xFFFF_FFFF) as usize;
+        if uf.union(i, j) {
+            closure_edges.push((i, j));
             if uf.components() == 1 {
                 break;
             }
@@ -312,75 +515,108 @@ pub fn steiner_tree(
     }
 
     // 3) Expand closure edges into physical links (union of paths).
-    let mut sub_links: BTreeSet<LinkId> = BTreeSet::new();
-    for (i, j) in closure_edges {
-        let p = spts[i].path_to(all[j])?;
-        sub_links.extend(p.links.iter().copied());
+    let sub_links = &mut bufs.sub_links;
+    sub_links.clear();
+    for (i, j) in closure_edges.iter() {
+        spts[*i].append_path_links(all[*j], sub_links)?;
     }
+    sub_links.sort_unstable();
+    sub_links.dedup();
 
     // 4) MST of the expansion subgraph, then prune non-terminal leaves.
-    let kmb_links = prune_to_tree(topo, &all, sub_links, &weight)?;
+    let kmb_links = prune_to_tree(topo, &all, sub_links, weights, &mut bufs.prune)?;
 
     // 5) Second candidate: the pruned union of root->terminal shortest
     //    paths. KMB does not dominate it (nor vice versa); the scheduler
     //    should never do worse than plain shortest-path sharing, so take
     //    the lighter of the two.
-    let mut spt_union: BTreeSet<LinkId> = BTreeSet::new();
+    let spt_union = &mut bufs.spt_union;
+    spt_union.clear();
     for t in all.iter().skip(1) {
-        spt_union.extend(spts[0].path_to(*t)?.links.iter().copied());
+        spts[0].append_path_links(*t, spt_union)?;
     }
-    let spt_links = prune_to_tree(topo, &all, spt_union, &weight)?;
-
-    let weight_of = |links: &BTreeSet<LinkId>| -> f64 {
-        links
-            .iter()
-            .map(|l| weight(topo.link(*l).expect("tree link exists")))
-            .sum()
+    spt_union.sort_unstable();
+    spt_union.dedup();
+    // Identical candidate subgraphs prune identically; skip the rerun.
+    let spt_links = if spt_union == sub_links {
+        kmb_links.clone()
+    } else {
+        prune_to_tree(topo, &all, spt_union, weights, &mut bufs.prune)?
     };
+
+    let weight_of = |links: &[LinkId]| -> f64 { links.iter().map(|l| weights[l.index()]).sum() };
     let tree_links = if weight_of(&kmb_links) <= weight_of(&spt_links) {
         kmb_links
     } else {
         spt_links
     };
 
-    // Root the tree: BFS from root over tree links.
-    let mut adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
+    // Root the tree: BFS from root over a CSR adjacency of the tree links
+    // (adjacency/cursor/queue arrays reused from the pooled buffers).
+    let adj_start = &mut bufs.prune.starts;
+    adj_start.clear();
+    adj_start.resize(n + 1, 0);
     for l in &tree_links {
         let link = topo.link(*l)?;
-        adj.entry(link.a).or_default().push((link.b, *l));
-        adj.entry(link.b).or_default().push((link.a, *l));
+        adj_start[link.a.index() + 1] += 1;
+        adj_start[link.b.index() + 1] += 1;
     }
-    let mut parent: BTreeMap<NodeId, (NodeId, LinkId)> = BTreeMap::new();
-    let mut visited: BTreeSet<NodeId> = BTreeSet::from([root]);
-    let mut q = VecDeque::from([root]);
-    while let Some(n) = q.pop_front() {
-        if let Some(nbrs) = adj.get(&n) {
-            for (nbr, l) in nbrs {
-                if visited.insert(*nbr) {
-                    parent.insert(*nbr, (n, *l));
-                    q.push_back(*nbr);
-                }
+    for i in 0..n {
+        adj_start[i + 1] += adj_start[i];
+    }
+    let cursor = &mut bufs.prune.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(adj_start);
+    let adj = &mut bufs.adj;
+    adj.clear();
+    adj.resize(adj_start[n] as usize, (NodeId(0), LinkId(0)));
+    for l in &tree_links {
+        let link = topo.link(*l)?;
+        adj[cursor[link.a.index()] as usize] = (link.b, *l);
+        cursor[link.a.index()] += 1;
+        adj[cursor[link.b.index()] as usize] = (link.a, *l);
+        cursor[link.b.index()] += 1;
+    }
+    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let visited = &mut bufs.visited;
+    visited.clear();
+    visited.resize(n, false);
+    visited[root.index()] = true;
+    let queue = &mut bufs.prune.queue;
+    queue.clear();
+    queue.push(root);
+    let mut head = 0;
+    while head < queue.len() {
+        let node = queue[head];
+        head += 1;
+        let range = adj_start[node.index()] as usize..adj_start[node.index() + 1] as usize;
+        for &(nbr, l) in &adj[range] {
+            if !visited[nbr.index()] {
+                visited[nbr.index()] = true;
+                parent[nbr.index()] = Some((node, l));
+                queue.push(nbr);
             }
         }
     }
     for t in &all {
-        if !visited.contains(t) {
+        if !visited[t.index()] {
             return Err(TopoError::Disconnected { from: root, to: *t });
         }
     }
 
-    let total_weight = tree_links
-        .iter()
-        .map(|l| weight(topo.link(*l).expect("tree link exists")))
-        .sum();
-    Ok(SteinerTree {
+    let total_weight = weight_of(&tree_links);
+    let nodes: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|x| visited[x.index()])
+        .collect();
+    Ok(SteinerTree::assemble(
         root,
-        terminals: terminals.to_vec(),
-        nodes: visited.into_iter().collect(),
-        links: tree_links.into_iter().collect(),
+        terminals.to_vec(),
+        nodes,
+        tree_links,
         parent,
         total_weight,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -389,6 +625,7 @@ mod tests {
     use crate::algo::length_weight;
     use crate::builders;
     use crate::node::NodeKind;
+    use std::collections::BTreeSet;
 
     /// The Figure-1 style topology: a hub G with locals hanging off shared
     /// transit routers, so sharing a path is cheaper than three end-to-end
@@ -553,8 +790,7 @@ mod tests {
         for c in st.chains() {
             // Chain destination (towards root) is root, a branch, or terminal.
             let dst = c.destination();
-            let ch = st.children();
-            let is_branch = ch.get(&dst).map(|k| k.len()).unwrap_or(0) > 1;
+            let is_branch = st.children_of(dst).len() > 1;
             assert!(
                 dst == root || is_branch || terminals.contains(&dst),
                 "chain ends at insignificant node {dst}"
@@ -569,5 +805,43 @@ mod tests {
         assert!(st.spans_all_terminals());
         let p = st.path_from_root(ls[0]).unwrap();
         assert_eq!(p.destination(), ls[0]);
+    }
+
+    #[test]
+    fn children_view_matches_flat_accessor() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let map = st.children();
+        assert_eq!(map.len(), st.nodes.len());
+        for (n, kids) in &map {
+            assert_eq!(kids.as_slice(), st.children_of(*n));
+        }
+        // Non-tree nodes report no children.
+        assert!(st.children_of(NodeId(9999)).is_empty());
+    }
+
+    #[test]
+    fn pooled_and_fresh_constructions_agree() {
+        let t = builders::nsfnet();
+        let mut pool = ScratchPool::new();
+        for root in [NodeId(0), NodeId(7)] {
+            for terms in [vec![NodeId(5)], vec![NodeId(9), NodeId(12), NodeId(3)]] {
+                let fresh = steiner_tree(&t, root, &terms, length_weight).unwrap();
+                let pooled = steiner_tree_in(&t, root, &terms, length_weight, &mut pool).unwrap();
+                assert_eq!(fresh, pooled);
+            }
+        }
+        assert!(pool.idle() > 0, "scratches must return to the pool");
+    }
+
+    #[test]
+    fn edges_iterate_child_parent_link_triples() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let edges: Vec<_> = st.edges().collect();
+        assert_eq!(edges.len(), st.links.len());
+        for (child, parent, link) in edges {
+            assert_eq!(st.parent_of(child), Some((parent, link)));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Disjoint-set (union-find) with path compression and union by rank.
 
 /// A classic disjoint-set forest over `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u8>,
@@ -16,6 +16,15 @@ impl UnionFind {
             rank: vec![0; n],
             components: n,
         }
+    }
+
+    /// Reset to `n` singleton sets, reusing the allocations.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.components = n;
     }
 
     /// Number of elements.
@@ -118,5 +127,17 @@ mod tests {
     fn len_and_is_empty() {
         assert!(UnionFind::new(0).is_empty());
         assert_eq!(UnionFind::new(7).len(), 7);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset(6);
+        assert_eq!(uf.len(), 6);
+        assert_eq!(uf.components(), 6);
+        assert!(!uf.connected(0, 1));
+        assert!(uf.union(4, 5));
     }
 }

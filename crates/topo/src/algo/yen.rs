@@ -54,8 +54,7 @@ pub fn k_shortest_paths(
                 }
             }
             // Nodes of the root path (except the spur) must not be revisited.
-            let banned_nodes: BTreeSet<NodeId> =
-                root_nodes[..spur_idx].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeId> = root_nodes[..spur_idx].iter().copied().collect();
 
             let spur = shortest_path(topo, spur_node, to, |l: &Link| {
                 if banned_links.contains(&l.id)
@@ -69,20 +68,15 @@ pub fn k_shortest_paths(
             });
             let Ok(spur_path) = spur else { continue };
 
-            let total = Path::new(
-                root_nodes.to_vec(),
-                root_links.to_vec(),
-            )
-            .expect("root prefix is consistent")
-            .join(&spur_path)
-            .expect("spur starts at root end");
+            let total = Path::new(root_nodes.to_vec(), root_links.to_vec())
+                .expect("root prefix is consistent")
+                .join(&spur_path)
+                .expect("spur starts at root end");
             if !total.is_node_simple() {
                 continue;
             }
             let cost = path_cost(topo, &total, &weight)?;
-            if !result.contains(&total)
-                && !candidates.iter().any(|(_, p)| *p == total)
-            {
+            if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
                 candidates.push((cost, total));
             }
         }

@@ -148,7 +148,10 @@ impl Default for MetroParams {
 /// Panics if `core_roadms < 3` or `servers_per_router == 0`.
 pub fn metro(p: &MetroParams) -> Topology {
     assert!(p.core_roadms >= 3, "metro core needs at least 3 ROADMs");
-    assert!(p.servers_per_router > 0, "need at least one server per router");
+    assert!(
+        p.servers_per_router > 0,
+        "need at least one server per router"
+    );
     let mut t = Topology::new();
     let core_capacity = p.wavelength_gbps * f64::from(p.core_wavelengths);
 
@@ -199,10 +202,10 @@ pub fn metro(p: &MetroParams) -> Topology {
         .expect("attachment endpoints exist");
     }
     // Servers.
-    for i in 0..p.core_roadms {
+    for (i, router) in routers.iter().enumerate() {
         for s in 0..p.servers_per_router {
             let srv = t.add_node(NodeKind::Server, format!("server{i}_{s}"));
-            t.add_link(routers[i], srv, p.access_km, p.access_gbps)
+            t.add_link(*router, srv, p.access_km, p.access_gbps)
                 .expect("access endpoints exist");
         }
     }
@@ -337,10 +340,7 @@ mod tests {
     fn metro_default_shape() {
         let p = MetroParams::default();
         let t = metro(&p);
-        assert_eq!(
-            t.node_count(),
-            p.core_roadms * (2 + p.servers_per_router)
-        );
+        assert_eq!(t.node_count(), p.core_roadms * (2 + p.servers_per_router));
         assert!(is_connected(&t));
         assert_eq!(t.servers().len(), p.core_roadms * p.servers_per_router);
         // ROADMs come first in id order.
@@ -352,11 +352,7 @@ mod tests {
     #[test]
     fn metro_core_links_are_wdm() {
         let t = metro(&MetroParams::default());
-        let core = t
-            .links()
-            .iter()
-            .filter(|l| l.wavelengths > 1)
-            .count();
+        let core = t.links().iter().filter(|l| l.wavelengths > 1).count();
         assert!(core >= 6, "expected WDM core links, got {core}");
     }
 

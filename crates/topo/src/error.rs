@@ -46,9 +46,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(TopoError::UnknownNode(NodeId(1)).to_string(), "unknown node n1");
-        assert_eq!(TopoError::UnknownLink(LinkId(2)).to_string(), "unknown link l2");
-        assert_eq!(TopoError::SelfLoop(NodeId(3)).to_string(), "self-loop on node n3");
+        assert_eq!(
+            TopoError::UnknownNode(NodeId(1)).to_string(),
+            "unknown node n1"
+        );
+        assert_eq!(
+            TopoError::UnknownLink(LinkId(2)).to_string(),
+            "unknown link l2"
+        );
+        assert_eq!(
+            TopoError::SelfLoop(NodeId(3)).to_string(),
+            "self-loop on node n3"
+        );
         assert_eq!(
             TopoError::Disconnected {
                 from: NodeId(0),
@@ -57,7 +66,9 @@ mod tests {
             .to_string(),
             "no path from n0 to n1"
         );
-        assert!(TopoError::EmptyInput("terminals").to_string().contains("terminals"));
+        assert!(TopoError::EmptyInput("terminals")
+            .to_string()
+            .contains("terminals"));
         assert!(TopoError::BadWeight {
             link: LinkId(0),
             weight: -1.0

@@ -61,7 +61,8 @@ impl Topology {
         self.check_node(a)?;
         self.check_node(b)?;
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(id, a, b, length_km, capacity_gbps));
+        self.links
+            .push(Link::new(id, a, b, length_km, capacity_gbps));
         self.adjacency[a.index()].push((b, id));
         self.adjacency[b.index()].push((a, id));
         Ok(id)
@@ -113,7 +114,9 @@ impl Topology {
 
     /// Mutable link access (used by builders to tune capacities).
     pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link> {
-        self.links.get_mut(id.index()).ok_or(TopoError::UnknownLink(id))
+        self.links
+            .get_mut(id.index())
+            .ok_or(TopoError::UnknownLink(id))
     }
 
     /// All nodes, in id order.

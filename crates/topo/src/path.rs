@@ -246,11 +246,7 @@ mod tests {
         let p = Path::new(n.clone(), l.clone()).unwrap();
         assert!(p.is_node_simple());
         assert!(p.is_link_simple());
-        let back_and_forth = Path::new(
-            vec![n[0], n[1], n[0]],
-            vec![l[0], l[0]],
-        )
-        .unwrap();
+        let back_and_forth = Path::new(vec![n[0], n[1], n[0]], vec![l[0], l[0]]).unwrap();
         assert!(!back_and_forth.is_node_simple());
         assert!(!back_and_forth.is_link_simple());
     }

@@ -1,8 +1,8 @@
 //! Property-based tests for the topology substrate.
 
 use flexsched_topo::algo::{
-    bellman_ford, hop_weight, is_connected, k_shortest_paths, kruskal_mst, length_weight,
-    prim_mst, shortest_path, shortest_path_tree, steiner_tree, UnionFind,
+    bellman_ford, hop_weight, is_connected, k_shortest_paths, kruskal_mst, length_weight, prim_mst,
+    shortest_path, shortest_path_tree, steiner_tree, UnionFind,
 };
 use flexsched_topo::builders;
 use flexsched_topo::NodeId;
@@ -21,9 +21,9 @@ proptest! {
         let t = builders::random_connected(n, p, seed, 100.0);
         let spt = shortest_path_tree(&t, NodeId(0), length_weight).unwrap();
         let bf = bellman_ford(&t, NodeId(0), length_weight).unwrap();
-        for i in 0..t.node_count() {
-            prop_assert!((spt.dist[i] - bf[i]).abs() < 1e-6,
-                "node {i}: dijkstra={} bf={}", spt.dist[i], bf[i]);
+        for (i, (d, b)) in spt.dist.iter().zip(&bf).enumerate() {
+            prop_assert!((d - b).abs() < 1e-6,
+                "node {i}: dijkstra={d} bf={b}");
         }
     }
 
@@ -151,5 +151,147 @@ proptest! {
         prop_assert_eq!(rev.source(), path.destination());
         prop_assert_eq!(rev.destination(), path.source());
         prop_assert_eq!(rev.reversed(), path);
+    }
+}
+
+/// Metro/spine-leaf topology mix for equivalence tests (the scenarios the
+/// schedulers actually run on), parameterised by a pick byte.
+fn scenario_topology(pick: u8) -> flexsched_topo::Topology {
+    match pick % 4 {
+        0 => builders::metro(&builders::MetroParams::default()),
+        1 => builders::metro(&builders::MetroParams {
+            core_roadms: 9,
+            servers_per_router: 3,
+            chords: 4,
+            ..builders::MetroParams::default()
+        }),
+        2 => builders::spine_leaf(2, 4, 3, true, 400.0),
+        _ => builders::spine_leaf(4, 6, 2, false, 100.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flat-array SteinerTree accessors (`parent_of`, `children`,
+    /// `children_of`) must reproduce the pre-refactor BTreeMap semantics: a
+    /// parent map built by BFS-rooting the tree's links and a children map
+    /// with one (possibly empty) entry per tree node, children ascending.
+    #[test]
+    fn steiner_flat_arrays_match_btreemap_reference(
+        pick in 0u8..4,
+        root_pick in 0usize..1_000,
+        picks in proptest::collection::vec(0usize..1_000, 1..8),
+    ) {
+        use std::collections::{BTreeMap, BTreeSet, VecDeque};
+        use flexsched_topo::LinkId;
+
+        let t = scenario_topology(pick);
+        let servers = t.servers();
+        let root = servers[root_pick % servers.len()];
+        let terminals: Vec<NodeId> = picks
+            .iter()
+            .map(|i| servers[i % servers.len()])
+            .filter(|x| *x != root)
+            .collect();
+        prop_assume!(!terminals.is_empty());
+        let st = steiner_tree(&t, root, &terminals, length_weight).unwrap();
+
+        // Reference rooting exactly as the seed implementation did it:
+        // BTreeMap adjacency over the tree links, BFS from the root.
+        let mut adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
+        for l in &st.links {
+            let link = t.link(*l).unwrap();
+            adj.entry(link.a).or_default().push((link.b, *l));
+            adj.entry(link.b).or_default().push((link.a, *l));
+        }
+        let mut parent_ref: BTreeMap<NodeId, (NodeId, LinkId)> = BTreeMap::new();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::from([root]);
+        let mut q = VecDeque::from([root]);
+        while let Some(n) = q.pop_front() {
+            if let Some(nbrs) = adj.get(&n) {
+                for (nbr, l) in nbrs {
+                    if visited.insert(*nbr) {
+                        parent_ref.insert(*nbr, (n, *l));
+                        q.push_back(*nbr);
+                    }
+                }
+            }
+        }
+
+        // Node set must be the visited set, ascending.
+        let nodes_ref: Vec<NodeId> = visited.iter().copied().collect();
+        prop_assert_eq!(&st.nodes, &nodes_ref);
+
+        // parent_of ≡ reference map on every node of the topology.
+        for n in t.node_ids() {
+            prop_assert_eq!(
+                st.parent_of(n),
+                parent_ref.get(&n).copied(),
+                "parent_of({}) diverged", n
+            );
+        }
+
+        // children ≡ reference map built the pre-refactor way.
+        let mut children_ref: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for n in &st.nodes {
+            children_ref.entry(*n).or_default();
+        }
+        for (child, (parent, _)) in &parent_ref {
+            children_ref.entry(*parent).or_default().push(*child);
+        }
+        prop_assert_eq!(st.children(), children_ref.clone());
+        for (n, kids) in &children_ref {
+            prop_assert_eq!(st.children_of(*n), kids.as_slice());
+        }
+    }
+
+    /// A pooled, reused scratch must produce the same Steiner trees as the
+    /// allocate-per-call entry point, across repeated builds on one pool.
+    #[test]
+    fn pooled_steiner_matches_fresh(
+        pick in 0u8..4,
+        rounds in proptest::collection::vec((0usize..1_000, 0usize..1_000), 1..6),
+    ) {
+        let t = scenario_topology(pick);
+        let servers = t.servers();
+        let mut pool = flexsched_topo::algo::ScratchPool::new();
+        for (root_pick, term_pick) in rounds {
+            let root = servers[root_pick % servers.len()];
+            let terminals: Vec<NodeId> = (0..4)
+                .map(|k| servers[(term_pick + k * 7) % servers.len()])
+                .filter(|x| *x != root)
+                .collect();
+            prop_assume!(!terminals.is_empty());
+            let fresh = steiner_tree(&t, root, &terminals, length_weight).unwrap();
+            let pooled = flexsched_topo::algo::steiner_tree_in(
+                &t, root, &terminals, length_weight, &mut pool,
+            ).unwrap();
+            prop_assert_eq!(fresh, pooled);
+        }
+    }
+
+    /// A reused DijkstraScratch must agree with a fresh shortest-path tree
+    /// on distances, parents and reconstructed paths.
+    #[test]
+    fn scratch_dijkstra_matches_fresh((n, p, seed) in graph_params(), srcs in proptest::collection::vec(0usize..1_000, 1..5)) {
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let mut scratch = flexsched_topo::algo::DijkstraScratch::new();
+        for s in srcs {
+            let src = NodeId((s % n) as u32);
+            scratch.run(&t, src, length_weight).unwrap();
+            let fresh = shortest_path_tree(&t, src, length_weight).unwrap();
+            for node in t.node_ids() {
+                prop_assert_eq!(scratch.reachable(node), fresh.reachable(node));
+                if fresh.reachable(node) {
+                    prop_assert_eq!(scratch.cost_to(node), fresh.cost_to(node));
+                    prop_assert_eq!(scratch.parent_of(node), fresh.parent[node.index()]);
+                    prop_assert_eq!(
+                        scratch.path_to(node).unwrap(),
+                        fresh.path_to(node).unwrap()
+                    );
+                }
+            }
+        }
     }
 }

@@ -19,7 +19,9 @@ fn run(n_locals: usize, scheduler: Box<dyn Scheduler>) -> (f64, f64) {
         },
         ..TestbedConfig::default()
     };
-    let s = Testbed::new(cfg, scheduler).run().expect("scenario completes");
+    let s = Testbed::new(cfg, scheduler)
+        .run()
+        .expect("scenario completes");
     (s.mean_iteration_ms, s.sum_task_bandwidth_gbps)
 }
 

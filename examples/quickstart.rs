@@ -5,9 +5,7 @@
 //! ```
 
 use flexsched::compute::{ClusterManager, ModelProfile, ServerSpec};
-use flexsched::sched::{
-    evaluate_schedule, FixedSpff, FlexibleMst, SchedContext, Scheduler,
-};
+use flexsched::sched::{evaluate_schedule, FixedSpff, FlexibleMst, SchedContext, Scheduler};
 use flexsched::simnet::{NetworkState, Transport};
 use flexsched::task::{AiTask, TaskId};
 use flexsched::topo::builders;
@@ -49,9 +47,8 @@ fn main() {
                 .expect("the idle metro network can fit one task")
         };
         schedule.apply(&mut state).expect("reservation fits");
-        let report =
-            evaluate_schedule(&task, &schedule, &state, &cluster, &Transport::tcp())
-                .expect("evaluation succeeds");
+        let report = evaluate_schedule(&task, &schedule, &state, &cluster, &Transport::tcp())
+            .expect("evaluation succeeds");
         println!(
             "{:>13}: iteration {:.2} ms (train {:.2} + bcast {:.2} + upload {:.2}), \
              bandwidth {:.0} Gbps over {} links, aggregation at {:?}",

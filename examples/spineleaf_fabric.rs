@@ -32,7 +32,10 @@ fn main() {
         })
         .collect();
 
-    println!("\nestablishing {} leaf-to-leaf demands (OCS threshold 50%):", demands.len());
+    println!(
+        "\nestablishing {} leaf-to-leaf demands (OCS threshold 50%):",
+        demands.len()
+    );
     for (a, b, gbps) in &demands {
         let (from, to) = (leaves[*a], leaves[*b]);
         if from == to {

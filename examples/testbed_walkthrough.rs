@@ -43,8 +43,14 @@ fn main() {
     println!("schedule retries   : {}", summary.retries);
     println!("reschedules        : {}", summary.reschedules);
     println!("mean iteration     : {:.2} ms", summary.mean_iteration_ms);
-    println!("peak reserved bw   : {:.0} Gbps", summary.peak_reserved_gbps);
-    println!("mean reserved bw   : {:.0} Gbps", summary.mean_reserved_gbps);
+    println!(
+        "peak reserved bw   : {:.0} Gbps",
+        summary.peak_reserved_gbps
+    );
+    println!(
+        "mean reserved bw   : {:.0} Gbps",
+        summary.mean_reserved_gbps
+    );
     println!(
         "wavelength grooming: {} reuses, {} new lightpaths",
         summary.groom_reuse_hits, summary.groom_new_lights

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Snapshot scheduler throughput into BENCH_<N>.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh [N]
+#   N defaults to 1. The snapshot file records, per scenario point, the
+#   median/mean ns per FlexibleMst::schedule decision for both the current
+#   implementation and the preserved pre-refactor baseline, so successive
+#   PRs accumulate a comparable performance trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+N="${1:-1}"
+OUT="$PWD/BENCH_${N}.json"
+FLEXSCHED_BENCH_JSON="$OUT" cargo bench -p flexsched-bench --bench sched_throughput
+echo "wrote $OUT"

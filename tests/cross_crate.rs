@@ -3,7 +3,7 @@
 
 use flexsched::compute::{ClusterManager, ModelProfile, ServerSpec};
 use flexsched::optical::{GroomingManager, OpticalState, WavelengthPolicy};
-use flexsched::orchestrator::{ControllerHandle, ControlMessage, Database, SdnController};
+use flexsched::orchestrator::{ControlMessage, ControllerHandle, Database, SdnController};
 use flexsched::sched::{FlexibleMst, RoutingPlan, SchedContext, Scheduler};
 use flexsched::simnet::NetworkState;
 use flexsched::task::{AiTask, TaskId};
@@ -46,7 +46,12 @@ fn schedule_grooms_onto_wavelengths() {
             for chain in tree.chains() {
                 demands.push(
                     groom
-                        .groom(&mut optical, &chain, schedule.demand_gbps, WavelengthPolicy::FirstFit)
+                        .groom(
+                            &mut optical,
+                            &chain,
+                            schedule.demand_gbps,
+                            WavelengthPolicy::FirstFit,
+                        )
                         .expect("idle WDM metro fits one task"),
                 );
             }
@@ -123,7 +128,9 @@ fn soft_failures_are_routed_around() {
     let (topo, state, task) = rig();
     let mut optical = OpticalState::new(Arc::clone(&topo));
     // Impair most wavelengths of the first core ring span.
-    let span = topo.find_link(flexsched::topo::NodeId(0), flexsched::topo::NodeId(1)).unwrap();
+    let span = topo
+        .find_link(flexsched::topo::NodeId(0), flexsched::topo::NodeId(1))
+        .unwrap();
     apply(
         &mut optical,
         SoftFailure {

@@ -28,7 +28,10 @@ fn figure_3a_shape_holds() {
         } else {
             Box::new(FixedSpff)
         };
-        Testbed::new(cfg(12, n), sched).run().unwrap().mean_iteration_ms
+        Testbed::new(cfg(12, n), sched)
+            .run()
+            .unwrap()
+            .mean_iteration_ms
     };
     let (fx3, fl3) = (run(3, false), run(3, true));
     let (fx15, fl15) = (run(15, false), run(15, true));
@@ -120,7 +123,9 @@ fn full_stack_scenario_with_selection_and_traffic() {
     });
     c.selection = SelectionStrategy::TopKUtility(0.6);
     c.max_retries = 2000;
-    let s = Testbed::new(c, Box::new(FlexibleMst::paper())).run().unwrap();
+    let s = Testbed::new(c, Box::new(FlexibleMst::paper()))
+        .run()
+        .unwrap();
     assert_eq!(s.reports.len(), 10);
     for r in &s.reports {
         assert!(

@@ -1,0 +1,275 @@
+//! Mini benchmark harness, API-compatible with the subset of `criterion`
+//! this workspace uses (the real crate is unavailable offline).
+//!
+//! It measures honestly — calibrated batch sizes, warmup, wall-clock
+//! samples, median/mean reporting — but performs no statistical regression
+//! analysis. Results print to stdout and, when the `FLEXSCHED_BENCH_JSON`
+//! environment variable names a file, are also appended as a JSON array so
+//! scripts can snapshot performance (see `scripts/bench_snapshot.sh`).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark group name ("" outside groups).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Things accepted as a benchmark label (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] runs the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<(f64, f64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: calibrate a batch size, warm up, then time
+    /// `samples` batches and record mean/median per-iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow the batch until one batch takes >= 2 ms (cap the
+        // calibration effort for very slow routines).
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Timed samples.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        *self.result = Some((mean, median, per_iter.len()));
+    }
+}
+
+fn run_one(group: &str, name: String, samples: usize, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut result = None;
+    let mut b = Bencher {
+        samples,
+        result: &mut result,
+    };
+    f(&mut b);
+    let (mean_ns, median_ns, n) = result.expect("benchmark closure must call Bencher::iter");
+    let full = if group.is_empty() {
+        name.clone()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!("bench {full:<60} median {median_ns:>14.1} ns/iter  (mean {mean_ns:.1}, {n} samples)");
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        group: group.to_string(),
+        name,
+        mean_ns,
+        median_ns,
+        samples: n,
+    });
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchLabel,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&self.name, id.into_label(), self.samples, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        run_one(&self.name, id.into_label(), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point; one per `criterion_group!` function call.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> usize {
+        if self.samples == 0 {
+            20
+        } else {
+            self.samples
+        }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.effective_samples();
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchLabel,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let samples = self.effective_samples();
+        run_one("", id.into_label(), samples, f);
+        self
+    }
+}
+
+/// Snapshot of everything measured so far in this process.
+pub fn results_snapshot() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// If `FLEXSCHED_BENCH_JSON` is set, write all results there as JSON.
+/// Called automatically by `criterion_main!`.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("FLEXSCHED_BENCH_JSON") else {
+        return;
+    };
+    let results = results_snapshot();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+            r.group, r.name, r.median_ns, r.mean_ns, r.samples, sep,
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
+    } else {
+        println!("bench results written to {path}");
+    }
+}
+
+/// Bundle benchmark functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main()` running the given group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_results() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let r = results_snapshot();
+        let rec = r.iter().find(|r| r.group == "stub").expect("recorded");
+        assert!(rec.mean_ns > 0.0);
+        assert_eq!(rec.samples, 3);
+    }
+}

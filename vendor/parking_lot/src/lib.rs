@@ -1,0 +1,71 @@
+//! `parking_lot` stand-in backed by `std::sync`.
+//!
+//! Same non-poisoning `read()`/`write()` API shape the workspace relies on;
+//! a poisoned std lock (a panic while held) propagates the panic rather
+//! than returning a `Result`, which matches parking_lot's behaviour closely
+//! enough for the orchestrator's usage.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock with parking_lot's panic-free guard API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Mutual-exclusion lock with parking_lot's panic-free guard API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trips() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_round_trips() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+}

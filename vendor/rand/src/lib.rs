@@ -1,0 +1,203 @@
+//! Deterministic PRNG stand-in for `rand`.
+//!
+//! Provides exactly the subset the workspace uses: a seedable 64-bit
+//! generator (`rngs::StdRng`, `SeedableRng::seed_from_u64`) and the
+//! [`RngExt::random_range`] sampling helper over half-open ranges of the
+//! numeric types that appear in builders, workload generators and fault
+//! injectors. The generator is SplitMix64-seeded xorshift*, which is plenty
+//! for simulation workloads and — crucially for this repo — fully
+//! deterministic across platforms, matching the repo-wide "explicit seeds,
+//! reproducible runs" contract.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator constructor (API-compatible subset of rand's trait).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// The workspace's standard generator: xorshift64* over a
+    /// SplitMix64-scrambled seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scramble so nearby seeds diverge; never zero.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng { state: z | 1 }
+        }
+    }
+}
+
+/// Types [`RngExt::random_range`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                lo + r
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Inclusive upper bounds for [`RangeInclusive`] sampling.
+pub trait SampleUniformInclusive: SampleUniform {
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniformInclusive for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty inclusive range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                lo + r
+            }
+        }
+    )*};
+}
+
+impl_sample_inclusive_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniformInclusive for f64 {
+    #[inline]
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "random_range: empty inclusive range");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniformInclusive> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Sampling helpers over [`rngs::StdRng`].
+pub trait RngExt {
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}

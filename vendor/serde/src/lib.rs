@@ -1,0 +1,20 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to keep
+//! them serialisation-ready, but never links a data-format crate (the build
+//! environment is offline). This stub keeps the derive syntax compiling:
+//! the traits are empty markers with blanket implementations, and the
+//! derive macros (re-exported from the vendored `serde_derive`) expand to
+//! nothing. Swapping the real serde back in is a one-line Cargo change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}

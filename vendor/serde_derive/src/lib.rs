@@ -1,0 +1,21 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! marker (no data-format crate is linked), and the vendored `serde` stub
+//! provides blanket implementations of its marker traits — so these derives
+//! can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
