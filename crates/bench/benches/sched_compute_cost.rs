@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexsched_compute::ModelProfile;
-use flexsched_sched::{FixedSpff, FlexibleMst, SchedContext, Scheduler};
+use flexsched_sched::{FixedSpff, FlexibleMst, NetworkSnapshot, Scheduler};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId};
 use flexsched_topo::builders;
@@ -34,15 +34,23 @@ fn bench_schedule_cost(c: &mut Criterion) {
     for n in [3usize, 9, 15] {
         let task = make_task(&topo, n);
         g.bench_with_input(BenchmarkId::new("fixed-spff", n), &task, |b, task| {
-            let ctx = SchedContext::new(&state);
-            b.iter(|| black_box(FixedSpff.schedule(task, &task.local_sites, &ctx).unwrap()))
+            let snap = NetworkSnapshot::capture(&state);
+            let mut pool = flexsched_topo::algo::ScratchPool::new();
+            b.iter(|| {
+                black_box(
+                    FixedSpff
+                        .propose(task, &task.local_sites, &snap, &mut pool)
+                        .unwrap(),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("flexible-mst", n), &task, |b, task| {
-            let ctx = SchedContext::new(&state);
+            let snap = NetworkSnapshot::capture(&state);
+            let mut pool = flexsched_topo::algo::ScratchPool::new();
             b.iter(|| {
                 black_box(
                     FlexibleMst::paper()
-                        .schedule(task, &task.local_sites, &ctx)
+                        .propose(task, &task.local_sites, &snap, &mut pool)
                         .unwrap(),
                 )
             })

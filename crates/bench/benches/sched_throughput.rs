@@ -1,20 +1,36 @@
-//! Scheduler throughput: how many `FlexibleMst::schedule` decisions per
-//! second the control plane sustains, at metro scale (the paper's testbed)
-//! and on a spine-leaf fabric, from 5 to 50 local models per task.
+//! Scheduler throughput: how many scheduling decisions per second the
+//! control plane sustains, at metro scale (the paper's testbed) and on a
+//! spine-leaf fabric, from 5 to 50 local models per task.
 //!
-//! Also measures the preserved pre-refactor implementation
-//! (`flexsched_bench::baseline`) on the same inputs, and prints the
-//! speedup, so the flat-index/scratch-reuse refactor has a pinned,
-//! reproducible before/after. `scripts/bench_snapshot.sh` writes the
-//! results to `BENCH_1.json` for the repo's performance trajectory.
+//! Three families of points:
+//!
+//! * `flexible-mst/*` — one `FlexibleMst::propose` per iteration against a
+//!   warm snapshot + scratch pool: the single-core decision rate. Names
+//!   match BENCH_1, so successive snapshots are directly comparable (the
+//!   propose stage must hold single-core parity with the pre-pipeline
+//!   `schedule` entry point).
+//! * `baseline-prerefactor/*` — the preserved pre-refactor implementation
+//!   (`flexsched_bench::baseline`) on the same inputs, for the pinned
+//!   speedup trajectory.
+//! * `batch/*` — the end-to-end snapshot → propose → commit pipeline over a
+//!   whole batch of metro-15 tasks, sequential (`w1`) versus parallel
+//!   speculation across worker threads (`w4`). The summary prints
+//!   aggregate decisions/sec for both; on a multi-core host the parallel
+//!   point scales with workers (speculation is embarrassingly parallel and
+//!   the serial commit loop only revalidates claims).
+//!
+//! `scripts/bench_snapshot.sh N` writes the results to `BENCH_N.json` for
+//! the repo's performance trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexsched_bench::baseline::baseline_flexible_schedule;
-use flexsched_compute::ModelProfile;
-use flexsched_sched::{FlexibleMst, SchedContext, Scheduler};
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_orchestrator::{BatchScheduler, Committer, Database};
+use flexsched_sched::{FlexibleMst, NetworkSnapshot, Scheduler};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId};
-use flexsched_topo::{builders, Topology};
+use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::{builders, NodeId, Topology};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -62,10 +78,11 @@ fn bench_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("sched_throughput");
     for s in scenarios() {
         let state = NetworkState::new(Arc::clone(&s.topo));
-        // One context per decision loop, exactly as the orchestrator holds
-        // it: the scratch pool warms up on the first decision and is reused
-        // by every subsequent one.
-        let ctx = SchedContext::new(&state);
+        // One snapshot and one scratch pool per decision loop, exactly as
+        // the orchestrator holds them: the pool warms up on the first
+        // decision and is reused by every subsequent one.
+        let snap = NetworkSnapshot::capture(&state);
+        let mut pool = ScratchPool::new();
         for &n in s.locals {
             let task = make_task(&s.topo, n);
             g.bench_with_input(
@@ -75,7 +92,7 @@ fn bench_throughput(c: &mut Criterion) {
                     b.iter(|| {
                         black_box(
                             FlexibleMst::paper()
-                                .schedule(black_box(task), &task.local_sites, &ctx)
+                                .propose(black_box(task), &task.local_sites, &snap, &mut pool)
                                 .unwrap(),
                         )
                     })
@@ -92,13 +109,114 @@ fn bench_throughput(c: &mut Criterion) {
                                 &task.local_sites,
                                 &state,
                                 None,
-                                ctx.min_rate_gbps,
+                                snap.min_rate_gbps,
                             )
                             .unwrap(),
                         )
                     })
                 },
             );
+        }
+    }
+    g.finish();
+}
+
+/// `(decisions, committed)` per batch for each batch point, recorded
+/// outside the timing loop so the summary can turn batch medians into
+/// aggregate decisions/sec and committed tasks/sec.
+static BATCH_STATS: std::sync::Mutex<Vec<(String, u64, usize)>> = std::sync::Mutex::new(Vec::new());
+
+/// A batch of `n_tasks` tasks with `locals` locals each, placed at
+/// `stride`-spaced servers; modest demand (100 ms budget) so the whole
+/// batch fits the fabric simultaneously. Stride 1 yields the contended
+/// regime (consecutive tasks share access links, so speculation conflicts
+/// and the commit loop recomputes); a stride wide enough to separate tasks
+/// into disjoint server groups yields the speculation-friendly regime.
+fn make_batch(
+    db: &Database,
+    n_tasks: usize,
+    locals: usize,
+    stride: usize,
+) -> Vec<(AiTask, Vec<NodeId>)> {
+    let servers = db.read(|net, _, _| net.topo().servers());
+    (0..n_tasks)
+        .map(|i| {
+            let base = i * stride;
+            let g = servers[base % servers.len()];
+            let sel: Vec<NodeId> = (1..=locals)
+                .map(|k| servers[(base + k) % servers.len()])
+                .filter(|s| *s != g)
+                .collect();
+            let task = AiTask {
+                id: TaskId(i as u64),
+                model: ModelProfile::lenet(),
+                global_site: g,
+                local_sites: sel.clone(),
+                data_utility: Default::default(),
+                iterations: 1,
+                comm_budget_ms: 100.0,
+                arrival_ns: i as u64,
+            };
+            (task, sel)
+        })
+        .collect()
+}
+
+fn batch_db() -> Database {
+    let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+    Database::new(
+        NetworkState::new(Arc::clone(&topo)),
+        flexsched_optical::OpticalState::new(Arc::clone(&topo)),
+        ClusterManager::from_topology(&topo, ServerSpec::default()),
+    )
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_throughput");
+    let scheduler = FlexibleMst::paper();
+
+    // Two regimes: the paper's contended metro-15 operating point (16
+    // tasks whose trees overlap on the core, so most speculations conflict
+    // and the commit loop recomputes them), and a disjoint 6-task batch
+    // (one 2-local task per router group, fully independent footprints, so
+    // speculation commits as-is — the regime where parallel fan-out pays).
+    let regimes: [(&str, usize, usize, usize); 2] = [("metro15", 16, 15, 1), ("disjoint", 6, 2, 4)];
+    for (label, n_tasks, locals, stride) in regimes {
+        for (mode, workers) in [("seq", 1usize), ("par", 4)] {
+            let db = batch_db();
+            let batch = make_batch(&db, n_tasks, locals, stride);
+            let mut committer = Committer::new();
+            let mut bs = BatchScheduler::new(workers);
+            let name = format!("batch-{mode}/{label}/w{workers}");
+            // Record the per-batch decision/commit counts (deterministic,
+            // so one un-timed run suffices) for the summary.
+            {
+                let report = if mode == "seq" {
+                    bs.run_sequential(&db, &mut committer, &scheduler, &batch)
+                        .unwrap()
+                } else {
+                    bs.run(&db, &mut committer, &scheduler, &batch).unwrap()
+                };
+                assert!(report.blocked.is_empty(), "batch must fit the fabric");
+                BATCH_STATS.lock().unwrap().push((
+                    name.clone(),
+                    report.decisions,
+                    report.committed.len(),
+                ));
+                bs.release_all(&db, &mut committer, &report).unwrap();
+            }
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let report = if mode == "seq" {
+                        bs.run_sequential(&db, &mut committer, &scheduler, &batch)
+                            .unwrap()
+                    } else {
+                        bs.run(&db, &mut committer, &scheduler, &batch).unwrap()
+                    };
+                    bs.release_all(&db, &mut committer, &report).unwrap();
+                    black_box(report.decisions)
+                })
+            });
         }
     }
     g.finish();
@@ -123,7 +241,30 @@ fn summarize(_c: &mut Criterion) {
             }
         }
     }
+    // Batch points: decisions = speculations + recomputes (the aggregate
+    // scheduling work), committed = tasks that landed. Both are printed so
+    // the seq/par comparison is explicit about which metric moves.
+    let stats = BATCH_STATS.lock().unwrap();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for r in &results {
+        if !r.name.starts_with("batch-") {
+            continue;
+        }
+        let Some((_, decisions, committed)) = stats.iter().find(|(n, _, _)| *n == r.name) else {
+            continue;
+        };
+        let secs = r.median_ns / 1e9;
+        println!(
+            "{:<24} {:>10.0} decisions/s  {:>10.0} committed tasks/s  \
+             ({decisions} decisions, {committed} committed per batch, {cores} host cores)",
+            r.name,
+            *decisions as f64 / secs,
+            *committed as f64 / secs,
+        );
+    }
 }
 
-criterion_group!(benches, bench_throughput, summarize);
+criterion_group!(benches, bench_throughput, bench_batch, summarize);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 use flexsched_bench::baseline::baseline_flexible_schedule;
 use flexsched_compute::ModelProfile;
 use flexsched_optical::{OpticalState, WavelengthPolicy};
-use flexsched_sched::{FlexibleMst, RoutingPlan, SchedContext, Scheduler};
+use flexsched_sched::{FlexibleMst, NetworkSnapshot, RoutingPlan, Scheduler};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId};
 use flexsched_topo::{algo, builders, NodeId, Topology};
@@ -56,19 +56,19 @@ fn make_task(topo: &Topology, n_locals: usize, seed: u64) -> AiTask {
 }
 
 /// Compare one refactored schedule against the baseline on the same state.
+/// `FlexibleMst::paper()` pins the poster's binary wavelength feasibility,
+/// which is exactly what the preserved pre-refactor baseline implements.
 fn assert_schedules_match(
     task: &AiTask,
-    ctx: &SchedContext<'_>,
+    state: &NetworkState,
+    snap: &NetworkSnapshot,
     optical: Option<&OpticalState>,
 ) -> Result<Option<flexsched_sched::Schedule>, TestCaseError> {
-    let new = FlexibleMst::paper().schedule(task, &task.local_sites, ctx);
-    let old = baseline_flexible_schedule(
-        task,
-        &task.local_sites,
-        ctx.state,
-        optical,
-        ctx.min_rate_gbps,
-    );
+    let new = FlexibleMst::paper()
+        .propose_once(task, &task.local_sites, snap)
+        .map(|p| p.schedule);
+    let old =
+        baseline_flexible_schedule(task, &task.local_sites, state, optical, snap.min_rate_gbps);
     match (&new, &old) {
         (Ok(s), Some(b)) => {
             let (
@@ -94,7 +94,7 @@ fn assert_schedules_match(
             prop_assert_eq!(*brate, b.rate_gbps, "broadcast rate diverged");
             prop_assert_eq!(*urate, b.rate_gbps, "upload rate diverged");
             // Parent pointers agree with the baseline BTreeMap everywhere.
-            for n in ctx.state.topo().node_ids() {
+            for n in state.topo().node_ids() {
                 prop_assert_eq!(ut.parent_of(n), b.upload.parent.get(&n).copied());
                 prop_assert_eq!(bt.parent_of(n), b.broadcast.parent.get(&n).copied());
             }
@@ -126,8 +126,8 @@ proptest! {
         let topo = scenario_topology(pick);
         let state = NetworkState::new(Arc::clone(&topo));
         let task = make_task(&topo, n, seed);
-        let ctx = SchedContext::new(&state);
-        assert_schedules_match(&task, &ctx, None)?;
+        let snap = NetworkSnapshot::capture(&state);
+        assert_schedules_match(&task, &state, &snap, None)?;
     }
 
     /// Loaded network: tasks are scheduled and applied back-to-back, so the
@@ -143,8 +143,8 @@ proptest! {
         for (n, seed) in seeds {
             let task = make_task(&topo, n, seed);
             let applied = {
-                let ctx = SchedContext::new(&state);
-                assert_schedules_match(&task, &ctx, None)?
+                let snap = NetworkSnapshot::capture(&state);
+                assert_schedules_match(&task, &state, &snap, None)?
             };
             if let Some(s) = applied {
                 // Apply if capacity allows; keep going either way.
@@ -174,8 +174,8 @@ proptest! {
             let _ = optical.establish_route(&p, WavelengthPolicy::FirstFit);
         }
         let task = make_task(&topo, n, seed);
-        let ctx = SchedContext::new(&state).with_optical(&optical);
-        assert_schedules_match(&task, &ctx, Some(&optical))?;
+        let snap = NetworkSnapshot::capture(&state).with_optical(&optical);
+        assert_schedules_match(&task, &state, &snap, Some(&optical))?;
     }
 
     /// The no-aggregation ablation also stays identical (copies logic).
@@ -197,8 +197,9 @@ proptest! {
         let Some(bt) = baseline_steiner_tree(&topo, task.global_site, &task.local_sites, |l| {
             baseline_auxiliary_weight(&state, None, demand, &no_reuse, l)
         }) else { return Err(TestCaseError::Reject("unschedulable".into())) };
+        let snap = NetworkSnapshot::capture(&state);
         let nt = algo::steiner_tree(&topo, task.global_site, &task.local_sites, |l| {
-            flexsched_sched::weights::auxiliary_weight(&state, None, demand, &no_reuse, l)
+            flexsched_sched::weights::auxiliary_weight(&snap, demand, &no_reuse, l, 0.0)
         }).unwrap();
         prop_assert_eq!(&nt.links, &bt.links);
         let selected: BTreeSet<NodeId> = task.local_sites.iter().copied().collect();

@@ -17,6 +17,7 @@ pub mod error;
 pub mod groom;
 pub mod lightpath;
 pub mod rwa;
+pub mod snapshot;
 pub mod softfail;
 pub mod spineleaf;
 pub mod timeslot;
@@ -26,6 +27,7 @@ pub use error::OpticalError;
 pub use groom::GroomingManager;
 pub use lightpath::{Lightpath, LightpathId};
 pub use rwa::{split_at_electrical, OpticalState, WavelengthPolicy};
+pub use snapshot::{LightpathView, OpticalSnapshot};
 pub use timeslot::{SlotAllocation, TimeslotTable};
 pub use wavelength::WavelengthId;
 

@@ -33,17 +33,17 @@ pub enum WavelengthPolicy {
 }
 
 /// Number of wavelengths per occupancy word.
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 
 /// Words needed to cover a grid of `grid` wavelengths.
 #[inline]
-fn words_for(grid: u16) -> usize {
+pub(crate) fn words_for(grid: u16) -> usize {
     (grid as usize).div_ceil(WORD_BITS)
 }
 
 /// Mask of the valid bits of word `word` for a grid of `grid` wavelengths.
 #[inline]
-fn grid_word_mask(grid: u16, word: usize) -> u64 {
+pub(crate) fn grid_word_mask(grid: u16, word: usize) -> u64 {
     let lo = word * WORD_BITS;
     let hi = (grid as usize).min(lo + WORD_BITS);
     if hi <= lo {
@@ -80,6 +80,15 @@ pub struct OpticalState {
     usage: Vec<u32>,
     lightpaths: BTreeMap<LightpathId, Lightpath>,
     next_id: u64,
+    /// Global mutation stamp: increments whenever occupancy, impairment or
+    /// grooming changes anywhere.
+    version: u64,
+    /// Per-link mutation stamps: `link_version[l]` increments whenever link
+    /// `l`'s occupancy, impairment, or the groomable headroom of a
+    /// lightpath crossing it changes. Snapshots record these so the
+    /// committer can detect that a wavelength claim was speculated against
+    /// stale spectrum without invalidating claims on untouched fibers.
+    link_version: Vec<u64>,
 }
 
 impl OpticalState {
@@ -102,6 +111,7 @@ impl OpticalState {
             .map(|l| l.wavelengths.max(1))
             .max()
             .unwrap_or(1);
+        let n = topo.link_count();
         OpticalState {
             topo,
             occupancy,
@@ -110,12 +120,69 @@ impl OpticalState {
             usage: vec![0; max_grid as usize],
             lightpaths: BTreeMap::new(),
             next_id: 0,
+            version: 0,
+            link_version: vec![0; n],
         }
+    }
+
+    /// Stamp a spectrum mutation on `link` (per-link; callers bump the
+    /// global stamp once per operation).
+    #[inline]
+    fn touch(&mut self, link: LinkId) {
+        if let Some(v) = self.link_version.get_mut(link.index()) {
+            *v += 1;
+        }
+    }
+
+    /// Global mutation stamp: increments on every establish/teardown,
+    /// impairment change and grooming change.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Per-link spectrum mutation stamp (zero for unknown links).
+    #[inline]
+    pub fn link_version(&self, link: LinkId) -> u64 {
+        self.link_version.get(link.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether some established lightpath crossing `link` still has at
+    /// least `gbps` of groomable headroom — the grooming-feasibility
+    /// predicate shared by scheduling (via the snapshot's copy) and the
+    /// committer's claim validation.
+    pub fn groomable_across(&self, link: LinkId, gbps: f64) -> bool {
+        self.lightpaths
+            .values()
+            .any(|lp| lp.path.links.contains(&link) && lp.residual_gbps() + 1e-9 >= gbps)
+    }
+
+    /// Freeze the current occupancy into an immutable, `Send + Sync`
+    /// [`OpticalSnapshot`](crate::snapshot::OpticalSnapshot) for the
+    /// snapshot → propose → commit pipeline.
+    pub fn snapshot(&self) -> crate::snapshot::OpticalSnapshot {
+        crate::snapshot::OpticalSnapshot::capture(self)
+    }
+
+    /// Internal accessors for snapshot capture: per-link occupancy and
+    /// impairment words, the lightpath registry, and per-link stamps.
+    pub(crate) fn raw_parts(&self) -> RawOpticalState<'_> {
+        (
+            &self.occupied,
+            &self.impaired,
+            &self.lightpaths,
+            &self.link_version,
+        )
     }
 
     /// The underlying topology.
     pub fn topo(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Shared handle to the topology.
+    pub fn topo_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
     }
 
     /// Grid size of `link`, or an error for unknown links.
@@ -148,6 +215,18 @@ impl OpticalState {
         let occ = &self.occupied[link.index()];
         let imp = &self.impaired[link.index()];
         Ok((0..words_for(grid)).any(|i| !(occ[i] | imp[i]) & grid_word_mask(grid, i) != 0))
+    }
+
+    /// Number of free (unoccupied, unimpaired) wavelengths on `link` —
+    /// the continuity-set headroom the wavelength-aware tree weight folds
+    /// into the auxiliary graph. O(grid/64) popcounts.
+    pub fn free_wavelength_count(&self, link: LinkId) -> Result<u32> {
+        let grid = self.grid_of(link)?;
+        let occ = &self.occupied[link.index()];
+        let imp = &self.impaired[link.index()];
+        Ok((0..words_for(grid))
+            .map(|i| (!(occ[i] | imp[i]) & grid_word_mask(grid, i)).count_ones())
+            .sum())
     }
 
     /// Free-wavelength bitmask words for `path` (continuity intersection):
@@ -250,8 +329,10 @@ impl OpticalState {
         }
         let id = LightpathId(self.next_id);
         self.next_id += 1;
+        self.version += 1;
         let mut capacity = f64::INFINITY;
         for l in &path.links {
+            self.touch(*l);
             self.occupancy[l.index()][w.index()] = Some(id);
             self.occupied[l.index()][w.index() / WORD_BITS] |= 1 << (w.index() % WORD_BITS);
             self.usage[w.index()] += 1;
@@ -310,7 +391,9 @@ impl OpticalState {
             .remove(&id)
             .ok_or(OpticalError::UnknownLightpath(id))?;
         let w = lp.wavelength.index();
+        self.version += 1;
         for l in &lp.path.links {
+            self.touch(*l);
             self.occupancy[l.index()][w] = None;
             self.occupied[l.index()][w / WORD_BITS] &= !(1 << (w % WORD_BITS));
             self.usage[w] -= 1;
@@ -349,6 +432,11 @@ impl OpticalState {
             });
         }
         lp.groomed_gbps += gbps;
+        let links = lp.path.links.clone();
+        self.version += 1;
+        for l in links {
+            self.touch(l);
+        }
         Ok(())
     }
 
@@ -359,6 +447,11 @@ impl OpticalState {
             .get_mut(&id)
             .ok_or(OpticalError::UnknownLightpath(id))?;
         lp.groomed_gbps = (lp.groomed_gbps - gbps).max(0.0);
+        let links = lp.path.links.clone();
+        self.version += 1;
+        for l in links {
+            self.touch(l);
+        }
         Ok(())
     }
 
@@ -379,6 +472,8 @@ impl OpticalState {
         } else {
             *word &= !bit;
         }
+        self.version += 1;
+        self.touch(link);
         Ok(())
     }
 
@@ -397,6 +492,15 @@ impl OpticalState {
         used as f64 / total as f64
     }
 }
+
+/// Borrowed (occupied, impaired, lightpaths) state, as handed to snapshot
+/// capture.
+pub(crate) type RawOpticalState<'a> = (
+    &'a [Vec<u64>],
+    &'a [Vec<u64>],
+    &'a BTreeMap<LightpathId, Lightpath>,
+    &'a [u64],
+);
 
 /// Split `path` into maximal optical segments: cuts at every interior node
 /// that is electrical (router or server), where OEO regeneration occurs.

@@ -1,0 +1,548 @@
+//! The commit stage: claims in, reservations out — or a typed conflict.
+//!
+//! The [`Committer`] is the single gate through which proposals become
+//! state. It validates a [`Proposal`]'s [`flexsched_sched::ResourceClaims`]
+//! against the *live* database under one write lock and applies the schedule
+//! atomically: flow rules through the SDN controller, wavelengths through
+//! the grooming manager. A proposal whose claims no longer hold — another
+//! commit took the capacity, lit the wavelength, or simply moved the link's
+//! mutation stamp — is rejected with a typed [`Conflict`] and the state is
+//! left bit-identical, so the caller can re-speculate against a fresh
+//! snapshot and retry.
+//!
+//! This replaces the previously scattered mutation paths (`Schedule::apply`
+//! at call sites, direct SDN installs, ad-hoc grooming): schedulers are
+//! pure, and every reservation is reconciled here.
+
+use crate::database::Database;
+use crate::sdn::SdnController;
+use crate::Result;
+use flexsched_optical::{GroomingManager, OpticalState, WavelengthPolicy};
+use flexsched_sched::{Proposal, Schedule};
+use flexsched_simnet::NetworkState;
+use flexsched_task::TaskId;
+use flexsched_topo::{LinkId, NodeId, Path};
+use std::fmt;
+
+/// Why a proposal could not be committed. Each variant names the exact
+/// resource whose live state diverged from the snapshot the proposal
+/// speculated against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Conflict {
+    /// A claimed link went down since the snapshot.
+    LinkDown {
+        /// The link that is now down.
+        link: LinkId,
+    },
+    /// A claimed link's state moved on: either its residual no longer
+    /// covers the claim, or (in strict mode) its mutation stamp changed.
+    StaleLink {
+        /// The stale link.
+        link: LinkId,
+        /// Aggregate rate the proposal claimed on it, Gbit/s.
+        claimed_gbps: f64,
+        /// Residual actually available now, Gbit/s.
+        available_gbps: f64,
+    },
+    /// A claimed link is no longer wavelength-feasible: no free wavelength
+    /// and no groomable lightpath with enough headroom crosses it.
+    WavelengthTaken {
+        /// The spectrally exhausted link.
+        link: LinkId,
+    },
+    /// A claimed link's spectrum state moved on since the snapshot (strict
+    /// mode only): something was lit, torn down, impaired or groomed on it.
+    StaleOptical {
+        /// The link whose spectrum stamp changed.
+        link: LinkId,
+    },
+    /// The proposal's weakest flow sits below the rate floor it declared —
+    /// a malformed proposal, rejected before any resource check.
+    RateFloorViolated {
+        /// The weakest planned rate, Gbit/s.
+        rate_gbps: f64,
+        /// The declared floor, Gbit/s.
+        floor_gbps: f64,
+    },
+    /// A claimed server slot does not exist in the cluster.
+    MissingServer {
+        /// The node that is not a known server.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Conflict::LinkDown { link } => write!(f, "claimed link {link} is down"),
+            Conflict::StaleLink {
+                link,
+                claimed_gbps,
+                available_gbps,
+            } => write!(
+                f,
+                "stale claim on link {link}: {claimed_gbps:.3} Gbps claimed, \
+                 {available_gbps:.3} available"
+            ),
+            Conflict::WavelengthTaken { link } => {
+                write!(f, "no wavelength left on link {link}")
+            }
+            Conflict::StaleOptical { link } => {
+                write!(f, "spectrum state of claimed link {link} moved on")
+            }
+            Conflict::RateFloorViolated {
+                rate_gbps,
+                floor_gbps,
+            } => write!(
+                f,
+                "planned rate {rate_gbps:.3} Gbps below declared floor {floor_gbps:.3}"
+            ),
+            Conflict::MissingServer { node } => {
+                write!(f, "claimed server slot on unknown server {node}")
+            }
+        }
+    }
+}
+
+/// What a successful commit installed, and the handles to release it.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// The committed task.
+    pub task: TaskId,
+    /// Grooming-manager demand ids holding the task's wavelengths.
+    pub groomed: Vec<u64>,
+}
+
+/// Serial reconciler of proposals onto live state.
+///
+/// Owns the SDN controller (flow rules) and the grooming manager
+/// (wavelengths), so every mutation of the shared database's network and
+/// optical state funnels through [`commit`](Committer::commit) /
+/// [`release`](Committer::release) / [`migrate`](Committer::migrate).
+#[derive(Debug, Default)]
+pub struct Committer {
+    sdn: SdnController,
+    groom: GroomingManager,
+    commits: u64,
+    rejections: u64,
+}
+
+/// How strictly claim versions are checked at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strictness {
+    /// Claims must *fit* live state (capacity, wavelengths, servers).
+    Fit,
+    /// Claims must fit **and** every claimed link's mutation stamp must be
+    /// unchanged since the proposal's snapshot — the mode the parallel
+    /// batch scheduler uses to keep speculation equivalent to sequential
+    /// scheduling.
+    Current,
+}
+
+impl Committer {
+    /// A committer with nothing installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate `p`'s claims against live state; `Ok` means commit-able.
+    fn validate(
+        p: &Proposal,
+        net: &NetworkState,
+        opt: &OpticalState,
+        cluster: &flexsched_compute::ClusterManager,
+        strictness: Strictness,
+    ) -> std::result::Result<(), Conflict> {
+        // Malformed-proposal guard first: the weakest planned flow must
+        // clear the floor the proposal itself declared.
+        let weakest = p
+            .schedule
+            .broadcast
+            .min_rate_gbps()
+            .min(p.schedule.upload.min_rate_gbps());
+        if weakest + 1e-9 < p.claims.rate_floor_gbps {
+            return Err(Conflict::RateFloorViolated {
+                rate_gbps: weakest,
+                floor_gbps: p.claims.rate_floor_gbps,
+            });
+        }
+        for slot in &p.claims.server_slots {
+            if cluster.server(*slot).is_err() {
+                return Err(Conflict::MissingServer { node: *slot });
+            }
+        }
+        for c in &p.claims.links {
+            let link = c.link.link;
+            if net.is_down(link) {
+                return Err(Conflict::LinkDown { link });
+            }
+            let available = net.residual_gbps(c.link).map_err(|_| Conflict::StaleLink {
+                link,
+                claimed_gbps: c.gbps,
+                available_gbps: 0.0,
+            })?;
+            let stale_stamp =
+                strictness == Strictness::Current && net.link_version(link) != c.seen_version;
+            if stale_stamp || c.gbps > available + 1e-9 {
+                return Err(Conflict::StaleLink {
+                    link,
+                    claimed_gbps: c.gbps,
+                    available_gbps: available,
+                });
+            }
+        }
+        for w in &p.claims.wavelengths {
+            if strictness == Strictness::Current && opt.link_version(w.link) != w.seen_version {
+                return Err(Conflict::StaleOptical { link: w.link });
+            }
+            let free = opt.has_free_wavelength(w.link).unwrap_or(false);
+            if !free && !opt.groomable_across(w.link, w.demand_gbps) {
+                return Err(Conflict::WavelengthTaken { link: w.link });
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_inner(
+        &mut self,
+        db: &Database,
+        p: &Proposal,
+        strictness: Strictness,
+    ) -> Result<CommitReceipt> {
+        let sdn = &mut self.sdn;
+        let groom = &mut self.groom;
+        let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
+            Self::validate(p, net, opt, cluster, strictness).map_err(crate::OrchError::Rejected)?;
+            // Claims hold: install flow rules atomically, then groom the
+            // schedule's chains onto wavelengths (best-effort, per chain —
+            // wavelength shortage does not block the IP-layer schedule,
+            // mirroring a grey-spectrum fallback).
+            sdn.install(&p.schedule, net)?;
+            let mut groomed = Vec::new();
+            for chain in schedule_chains(&p.schedule) {
+                if let Ok(d) = groom.groom(
+                    opt,
+                    &chain,
+                    p.schedule.demand_gbps,
+                    WavelengthPolicy::FirstFit,
+                ) {
+                    groomed.push(d);
+                }
+            }
+            Ok(CommitReceipt {
+                task: p.schedule.task,
+                groomed,
+            })
+        });
+        match &outcome {
+            Ok(_) => self.commits += 1,
+            Err(_) => self.rejections += 1,
+        }
+        outcome
+    }
+
+    /// Validate `p`'s claims against live state and apply atomically.
+    ///
+    /// # Errors
+    /// [`crate::OrchError::Rejected`] with the precise [`Conflict`] when a
+    /// claim no longer fits; the database is left bit-identical in that
+    /// case (validation is read-only and runs before any mutation).
+    pub fn commit(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
+        self.commit_inner(db, p, Strictness::Fit)
+    }
+
+    /// Like [`commit`](Committer::commit), but additionally rejects the
+    /// proposal when any claimed link's mutation stamp (or, with
+    /// wavelength claims, the optical stamp) moved since the proposal's
+    /// snapshot — even if the claim would still fit. The parallel batch
+    /// scheduler commits speculated proposals through this gate so its
+    /// outcome stays equivalent to sequential scheduling: a proposal whose
+    /// inputs were touched by an earlier commit is recomputed, never
+    /// grandfathered in.
+    pub fn commit_if_current(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
+        self.commit_inner(db, p, Strictness::Current)
+    }
+
+    /// Release a committed task: remove its flow rules and free its
+    /// groomed wavelengths.
+    pub fn release(&mut self, db: &Database, task: TaskId, groomed: &[u64]) -> Result<()> {
+        let sdn = &mut self.sdn;
+        let groom = &mut self.groom;
+        db.write(|net, opt, _| -> Result<()> {
+            sdn.remove_task(task, net)?;
+            for d in groomed {
+                let _ = groom.release(opt, *d);
+            }
+            Ok(())
+        })
+    }
+
+    /// Atomically replace a running task's installed schedule with a new
+    /// proposal (the rescheduling migration path). The old rules come out,
+    /// the new claims are validated against the freed state and installed;
+    /// if they no longer fit, the old schedule is re-installed and the
+    /// conflict returned — the task keeps running either way.
+    pub fn migrate(
+        &mut self,
+        db: &Database,
+        old: &Schedule,
+        p: &Proposal,
+    ) -> Result<CommitReceipt> {
+        let sdn = &mut self.sdn;
+        let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
+            sdn.remove_task(old.task, net)?;
+            if let Err(c) = Self::validate(p, net, opt, cluster, Strictness::Fit) {
+                sdn.install(old, net)
+                    .expect("re-installing just-removed schedule cannot fail");
+                return Err(crate::OrchError::Rejected(c));
+            }
+            sdn.install(&p.schedule, net)?;
+            Ok(CommitReceipt {
+                task: p.schedule.task,
+                groomed: Vec::new(),
+            })
+        });
+        match &outcome {
+            Ok(_) => self.commits += 1,
+            Err(_) => self.rejections += 1,
+        }
+        outcome
+    }
+
+    /// Lifetime (commits, rejections) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.commits, self.rejections)
+    }
+
+    /// Grooming statistics: (lightpath reuse hits, new wavelengths lit).
+    pub fn groom_stats(&self) -> (u64, u64) {
+        (self.groom.reuse_hits(), self.groom.new_lights())
+    }
+
+    /// The SDN controller's view of installed rules (read-only).
+    pub fn sdn(&self) -> &SdnController {
+        &self.sdn
+    }
+}
+
+/// Decompose a schedule into groomable directed paths: per-local paths for
+/// path plans, significant-node chains for tree plans.
+fn schedule_chains(schedule: &Schedule) -> Vec<Path> {
+    let mut chains = Vec::new();
+    for plan in [&schedule.broadcast, &schedule.upload] {
+        match plan {
+            flexsched_sched::RoutingPlan::Paths(map) => {
+                chains.extend(map.values().map(|rp| rp.path.clone()));
+            }
+            flexsched_sched::RoutingPlan::Tree { tree, .. } => {
+                chains.extend(tree.chains());
+            }
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+    use flexsched_sched::{FlexibleMst, NetworkSnapshot, Scheduler};
+    use flexsched_task::AiTask;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    fn rig(locals: usize) -> (Database, AiTask) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let db = Database::new(
+            NetworkState::new(Arc::clone(&topo)),
+            OpticalState::new(Arc::clone(&topo)),
+            ClusterManager::from_topology(&topo, ServerSpec::default()),
+        );
+        let servers = topo.servers();
+        let task = AiTask {
+            id: flexsched_task::TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: servers[0],
+            local_sites: servers[1..=locals].to_vec(),
+            data_utility: Default::default(),
+            iterations: 3,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        (db, task)
+    }
+
+    fn propose(db: &Database, task: &AiTask) -> Proposal {
+        let snap = db.snapshot();
+        FlexibleMst::paper()
+            .propose_once(task, &task.local_sites, &snap)
+            .unwrap()
+    }
+
+    #[test]
+    fn commit_installs_and_release_round_trips() {
+        let (db, task) = rig(5);
+        let p = propose(&db, &task);
+        let mut committer = Committer::new();
+        let receipt = committer.commit(&db, &p).unwrap();
+        assert_eq!(receipt.task, task.id);
+        assert!(db.total_reserved_gbps() > 0.0);
+        committer
+            .release(&db, receipt.task, &receipt.groomed)
+            .unwrap();
+        assert!(db.total_reserved_gbps().abs() < 1e-9);
+        assert_eq!(committer.counters(), (1, 0));
+    }
+
+    #[test]
+    fn stale_capacity_is_rejected_without_mutation() {
+        let (db, task) = rig(5);
+        let p = propose(&db, &task);
+        // Take the capacity out from under the proposal.
+        let victim = p.claims.links[0].link;
+        db.write(|net, _, _| {
+            let res = net.residual_gbps(victim).unwrap();
+            net.add_background(victim, res).unwrap();
+        });
+        let before = db.read(|net, _, _| format!("{net:?}"));
+        let mut committer = Committer::new();
+        let err = committer.commit(&db, &p).unwrap_err();
+        assert!(
+            matches!(err, crate::OrchError::Rejected(Conflict::StaleLink { .. })),
+            "{err}"
+        );
+        let after = db.read(|net, _, _| format!("{net:?}"));
+        assert_eq!(before, after, "rejected commit must not touch state");
+        assert_eq!(committer.counters(), (0, 1));
+    }
+
+    #[test]
+    fn down_link_is_a_typed_conflict() {
+        let (db, task) = rig(4);
+        let p = propose(&db, &task);
+        let victim = p.claims.links[0].link.link;
+        db.write(|net, _, _| net.set_down(victim, true).unwrap());
+        let mut committer = Committer::new();
+        assert!(matches!(
+            committer.commit(&db, &p),
+            Err(crate::OrchError::Rejected(Conflict::LinkDown { link })) if link == victim
+        ));
+    }
+
+    #[test]
+    fn strict_mode_rejects_touched_links_even_when_they_fit() {
+        let (db, task) = rig(4);
+        let p = propose(&db, &task);
+        // A tiny reservation leaves plenty of room but moves the stamp.
+        let victim = p.claims.links[0].link;
+        db.write(|net, _, _| net.reserve(victim, 0.001).unwrap());
+        let mut committer = Committer::new();
+        // Fit-only commit succeeds...
+        let mut fit = Committer::new();
+        assert!(fit.commit(&db, &p).is_ok());
+        fit.release(&db, task.id, &[]).unwrap();
+        // ...but version changed again on release, so strict still rejects.
+        let err = committer.commit_if_current(&db, &p).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::OrchError::Rejected(Conflict::StaleLink { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_floor_violations_are_typed() {
+        let (db, task) = rig(3);
+        let mut p = propose(&db, &task);
+        p.claims.rate_floor_gbps = f64::INFINITY;
+        let mut committer = Committer::new();
+        assert!(matches!(
+            committer.commit(&db, &p),
+            Err(crate::OrchError::Rejected(
+                Conflict::RateFloorViolated { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn missing_server_slot_is_typed() {
+        let (db, task) = rig(3);
+        let mut p = propose(&db, &task);
+        p.claims.server_slots.push(flexsched_topo::NodeId(0)); // a ROADM
+        let mut committer = Committer::new();
+        assert!(matches!(
+            committer.commit(&db, &p),
+            Err(crate::OrchError::Rejected(Conflict::MissingServer { .. }))
+        ));
+    }
+
+    #[test]
+    fn wavelength_exhaustion_is_typed_and_mutation_free() {
+        use flexsched_optical::WavelengthPolicy;
+        let (db, task) = rig(8);
+        // Propose WITH an optical view so the proposal carries wavelength
+        // claims.
+        let p = {
+            let snap = db.snapshot();
+            FlexibleMst::paper()
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+        };
+        assert!(!p.claims.wavelengths.is_empty());
+        // Exhaust every wavelength on one claimed multi-wavelength link.
+        let victim = p
+            .claims
+            .wavelengths
+            .iter()
+            .map(|w| w.link)
+            .find(|l| db.read(|net, _, _| net.topo().link(*l).unwrap().wavelengths > 1))
+            .expect("metro schedules cross WDM spans");
+        db.write(|net, opt, _| {
+            let link = net.topo().link(victim).unwrap().clone();
+            let hop = Path::new(vec![link.a, link.b], vec![victim]).unwrap();
+            // Light every wavelength AND fill each lightpath to capacity so
+            // no groomable headroom is left across the victim.
+            while let Ok(id) = opt.establish(hop.clone(), WavelengthPolicy::FirstFit) {
+                let cap = opt.lightpath(id).unwrap().capacity_gbps;
+                opt.add_groomed(id, cap).unwrap();
+            }
+        });
+        let before = db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")));
+        let mut committer = Committer::new();
+        let err = committer.commit(&db, &p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::OrchError::Rejected(Conflict::WavelengthTaken { link }) if link == victim
+            ),
+            "{err}"
+        );
+        let after = db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")));
+        assert_eq!(before, after, "rejection must leave both layers intact");
+    }
+
+    #[test]
+    fn migrate_swaps_schedules_atomically() {
+        let (db, task) = rig(5);
+        let p1 = propose(&db, &task);
+        let mut committer = Committer::new();
+        let r1 = committer.commit(&db, &p1).unwrap();
+        let reserved_before = db.total_reserved_gbps();
+        // Re-propose against the freed hypothetical and migrate.
+        let p2 = {
+            let without = db.read(|net, _, _| {
+                let mut w = net.clone();
+                p1.schedule.release(&mut w).unwrap();
+                w
+            });
+            let snap = NetworkSnapshot::capture(&without);
+            FlexibleMst::paper()
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+        };
+        committer.migrate(&db, &p1.schedule, &p2).unwrap();
+        // Same task, same demand: the reserved totals match.
+        assert!((db.total_reserved_gbps() - reserved_before).abs() < 1e-6);
+        committer.release(&db, task.id, &r1.groomed).unwrap();
+        assert!(db.total_reserved_gbps().abs() < 1e-9);
+    }
+}

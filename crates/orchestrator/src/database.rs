@@ -8,7 +8,7 @@
 use crate::Result;
 use flexsched_compute::ClusterManager;
 use flexsched_optical::OpticalState;
-use flexsched_sched::Schedule;
+use flexsched_sched::{NetworkSnapshot, Schedule};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId, TaskReport};
 use parking_lot::RwLock;
@@ -63,6 +63,16 @@ impl Database {
     pub fn read<R>(&self, f: impl FnOnce(&NetworkState, &OpticalState, &ClusterManager) -> R) -> R {
         let g = self.inner.read();
         f(&g.network, &g.optical, &g.cluster)
+    }
+
+    /// Freeze a consistent point-in-time [`NetworkSnapshot`] of the network
+    /// and optical state under one read lock — the snapshot stage of the
+    /// snapshot → propose → commit pipeline. The result is `Send + Sync`;
+    /// worker threads speculate schedules against it while the live state
+    /// keeps serving commits.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        let g = self.inner.read();
+        NetworkSnapshot::capture(&g.network).with_optical(&g.optical)
     }
 
     /// Run `f` with write access to (network, optical, cluster).

@@ -8,6 +8,10 @@ use std::fmt;
 pub enum OrchError {
     /// A task id was not found in the database.
     UnknownTask(TaskId),
+    /// The committer rejected a proposal: its claims no longer hold against
+    /// live state. Carries the precise typed conflict so callers can decide
+    /// to re-speculate, back off or drop the task.
+    Rejected(crate::commit::Conflict),
     /// Scheduling failed (wraps the scheduler's error text).
     Scheduling(String),
     /// Codec failure: malformed control message.
@@ -30,6 +34,7 @@ impl fmt::Display for OrchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OrchError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            OrchError::Rejected(c) => write!(f, "proposal rejected: {c}"),
             OrchError::Scheduling(s) => write!(f, "scheduling failed: {s}"),
             OrchError::Codec(s) => write!(f, "codec error: {s}"),
             OrchError::ControllerDown => write!(f, "controller thread is down"),

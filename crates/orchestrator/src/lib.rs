@@ -7,20 +7,32 @@
 //! storing them into database." This crate reproduces that loop:
 //!
 //! * [`Database`] — the shared store of network conditions, tasks,
-//!   schedules and measurements (parking_lot-guarded, cheaply clonable),
+//!   schedules and measurements (parking_lot-guarded, cheaply clonable);
+//!   its [`Database::snapshot`] freezes the consistent view that the
+//!   snapshot → propose → commit pipeline speculates against,
+//! * [`Committer`] — the commit stage: validates each proposal's typed
+//!   resource claims against live state and atomically installs or rejects
+//!   it with a typed [`Conflict`]; every reservation, wavelength and
+//!   migration is reconciled here,
+//! * [`BatchScheduler`] — parallel batch scheduling: worker threads (one
+//!   scratch pool each) speculate proposals against one shared snapshot,
+//!   then a serial in-order commit loop reconciles them with bounded
+//!   retry-on-conflict,
 //! * [`messages`] — the binary control-plane codec (`bytes`-based) for
 //!   link-state reports and flow rules,
 //! * [`SdnController`] — turns schedules into flow rules and applies them
-//!   to the network state,
+//!   to the network state (driven by the committer),
 //! * [`AiTaskManager`] — task admission, retry and lifecycle,
 //! * [`bus`] — a crossbeam-channel controller thread, demonstrating the
 //!   report/configure loop across real threads,
 //! * [`Testbed`] — the end-to-end discrete-event harness that regenerates
-//!   the paper's evaluation: tasks arrive, get selected/placed/scheduled,
-//!   run their iterations under background traffic and faults, and emit
-//!   [`flexsched_task::TaskReport`]s.
+//!   the paper's evaluation: tasks arrive, get selected/placed, their
+//!   proposals committed, run their iterations under background traffic and
+//!   faults, and emit [`flexsched_task::TaskReport`]s.
 
+pub mod batch;
 pub mod bus;
+pub mod commit;
 pub mod database;
 pub mod error;
 pub mod managers;
@@ -28,7 +40,9 @@ pub mod messages;
 pub mod sdn;
 pub mod testbed;
 
+pub use batch::{BatchReport, BatchScheduler};
 pub use bus::ControllerHandle;
+pub use commit::{CommitReceipt, Committer, Conflict};
 pub use database::Database;
 pub use error::OrchError;
 pub use managers::AiTaskManager;

@@ -83,7 +83,7 @@ impl SdnController {
 mod tests {
     use super::*;
     use flexsched_compute::ModelProfile;
-    use flexsched_sched::{FlexibleMst, SchedContext, Scheduler};
+    use flexsched_sched::{FlexibleMst, NetworkSnapshot, Scheduler};
     use flexsched_task::AiTask;
     use flexsched_topo::builders;
     use std::sync::Arc;
@@ -103,10 +103,11 @@ mod tests {
             arrival_ns: 0,
         };
         let s = {
-            let ctx = SchedContext::new(&state);
+            let snap = NetworkSnapshot::capture(&state);
             FlexibleMst::paper()
-                .schedule(&task, &task.local_sites, &ctx)
+                .propose_once(&task, &task.local_sites, &snap)
                 .unwrap()
+                .schedule
         };
         (state, s)
     }

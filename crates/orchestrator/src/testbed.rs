@@ -1,28 +1,27 @@
 //! The end-to-end testbed: Figure 2 as a discrete-event scenario.
 //!
 //! Tasks arrive over time (AI task manager), get their containers placed
-//! (computing manager), their routing computed by the configured policy,
-//! their flow rules installed (SDN controller) and their wavelengths
-//! groomed (optical layer), all against live background traffic and
-//! optional link faults. Every task produces a
-//! [`flexsched_task::TaskReport`]; the run summary aggregates the
-//! Figure 3a/3b metrics.
+//! (computing manager), their routing *proposed* by the configured policy
+//! against a database snapshot, and their proposals *committed* — claims
+//! validated, flow rules installed, wavelengths groomed — by the
+//! [`Committer`], all against live background traffic and optional link
+//! faults. Every task produces a [`flexsched_task::TaskReport`]; the run
+//! summary aggregates the Figure 3a/3b metrics.
 
+use crate::commit::Committer;
 use crate::database::{Database, TaskPhase};
 use crate::managers::AiTaskManager;
-use crate::sdn::SdnController;
-use crate::Result;
+use crate::{OrchError, Result};
 use flexsched_compute::{ClusterManager, ServerSpec};
-use flexsched_optical::{GroomingManager, OpticalState, WavelengthPolicy};
+use flexsched_optical::OpticalState;
 use flexsched_sched::{
-    evaluate_schedule, reschedule, ReschedulePolicy, SchedContext, Scheduler, SelectionStrategy,
+    evaluate_schedule, reschedule, NetworkSnapshot, ReschedulePolicy, Scheduler, SelectionStrategy,
 };
 use flexsched_simnet::fault::FaultSchedule;
 use flexsched_simnet::traffic::{TrafficConfig, TrafficGenerator};
 use flexsched_simnet::{EventQueue, NetworkState, SimTime, Transport};
 use flexsched_task::{generate_workload, AiTask, TaskId, TaskReport, WorkloadConfig};
 use flexsched_topo::builders::{metro, MetroParams};
-use flexsched_topo::Path;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -131,14 +130,13 @@ struct ActiveTask {
 pub struct Testbed {
     cfg: TestbedConfig,
     db: Database,
-    sdn: SdnController,
+    committer: Committer,
     mgr: AiTaskManager,
-    groom: GroomingManager,
     traffic: Option<TrafficGenerator>,
     faults: FaultSchedule,
     scheduler: Box<dyn Scheduler>,
     /// Warm Dijkstra/Steiner scratch reused across scheduling decisions
-    /// (moved into each decision's `SchedContext` and recovered after).
+    /// (handed to each decision's `propose` call as `&mut`).
     scratch: flexsched_topo::algo::ScratchPool,
     tasks: Vec<AiTask>,
     active: BTreeMap<TaskId, ActiveTask>,
@@ -178,9 +176,8 @@ impl Testbed {
         Testbed {
             cfg,
             db,
-            sdn: SdnController::new(),
+            committer: Committer::new(),
             mgr: AiTaskManager::new(),
-            groom: GroomingManager::new(),
             traffic,
             faults,
             scheduler,
@@ -210,58 +207,49 @@ impl Testbed {
         self.last_sample = now;
     }
 
-    /// Attempt to schedule and start a task; returns false when blocked.
+    /// Attempt to schedule and start a task via the snapshot → propose →
+    /// commit pipeline; returns false when blocked.
     fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Ev>) -> Result<bool> {
         let task = self.tasks[idx].clone();
-        let selected = self
-            .db
-            .read(|net, _, _| self.cfg.selection.select(&task, net));
+        // Snapshot stage: selection and the frozen world view come from one
+        // read lock, so they are mutually consistent.
+        let (selected, snap) = self.db.read(|net, opt, _| {
+            (
+                self.cfg.selection.select(&task, net),
+                NetworkSnapshot::capture(net).with_optical(opt),
+            )
+        });
         if selected.is_empty() {
             return Ok(false);
         }
-        // Compute the schedule under a read view, threading the warm
-        // scratch pool through so buffers persist across decisions.
-        let schedule = {
-            let pool = std::mem::take(&mut self.scratch);
-            let scheduler = &self.scheduler;
-            let (outcome, pool) = self.db.read(|net, opt, _| {
-                let ctx = SchedContext::new(net).with_optical(opt).with_scratch(pool);
-                let outcome = scheduler.schedule(&task, &selected, &ctx);
-                (outcome, ctx.into_scratch())
-            });
-            self.scratch = pool;
-            match outcome {
-                Ok(s) => s,
-                Err(flexsched_sched::SchedError::Blocked { .. })
-                | Err(flexsched_sched::SchedError::Unreachable { .. }) => return Ok(false),
-                Err(e) => return Err(e.into()),
-            }
+        // Propose stage: a pure decision against the snapshot, reusing the
+        // warm scratch pool across tasks.
+        let proposal = match self
+            .scheduler
+            .propose(&task, &selected, &snap, &mut self.scratch)
+        {
+            Ok(p) => p,
+            Err(flexsched_sched::SchedError::Blocked { .. })
+            | Err(flexsched_sched::SchedError::Unreachable { .. }) => return Ok(false),
+            Err(e) => return Err(e.into()),
         };
-        // Commit: flow rules, wavelengths, evaluation.
-        let (report, groomed) = {
-            let sdn = &mut self.sdn;
-            let groom = &mut self.groom;
+        // Commit stage: claims validated against live state, flow rules and
+        // wavelengths installed atomically. A typed conflict means another
+        // actor took the resources between snapshot and commit — back off
+        // and retry like any other blocked task.
+        let receipt = match self.committer.commit(&self.db, &proposal) {
+            Ok(r) => r,
+            Err(OrchError::Rejected(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let schedule = proposal.schedule;
+        let report = {
             let transport = &self.cfg.transport;
-            self.db.write(|net, opt, cluster| -> Result<_> {
-                sdn.install(&schedule, net)?;
-                // Groom the schedule's paths onto wavelengths (best-effort:
-                // per-chain; wavelength shortage does not block the IP-layer
-                // schedule, mirroring a grey-spectrum fallback).
-                let mut groomed = Vec::new();
-                for chain in schedule_chains(&schedule) {
-                    if let Ok(d) = groom.groom(
-                        opt,
-                        &chain,
-                        schedule.demand_gbps,
-                        WavelengthPolicy::FirstFit,
-                    ) {
-                        groomed.push(d);
-                    }
-                }
-                let report = evaluate_schedule(&task, &schedule, net, cluster, transport)?;
-                Ok((report, groomed))
+            self.db.read(|net, _, cluster| {
+                evaluate_schedule(&task, &schedule, net, cluster, transport)
             })?
         };
+        let groomed = receipt.groomed;
         self.db.store_schedule(schedule);
         self.db.set_phase(task.id, TaskPhase::Running)?;
         let total = SimTime::from_ns(report.total_ns());
@@ -285,15 +273,8 @@ impl Testbed {
             return Ok(());
         };
         if let Some(schedule) = self.db.take_schedule(id) {
-            let sdn = &mut self.sdn;
-            let groom = &mut self.groom;
-            self.db.write(|net, opt, _| -> Result<()> {
-                sdn.remove_task(schedule.task, net)?;
-                for d in &active.groomed {
-                    let _ = groom.release(opt, *d);
-                }
-                Ok(())
-            })?;
+            self.committer
+                .release(&self.db, schedule.task, &active.groomed)?;
         }
         self.mgr.complete(&self.db, id)?;
         Ok(())
@@ -337,6 +318,7 @@ impl Testbed {
                 (a.task.clone(), a.remaining_iterations)
             };
             let scheduler = &*self.scheduler;
+            let scratch = &mut self.scratch;
             let verdict = self.db.read(|net, _, cluster| {
                 reschedule::consider(
                     &policy,
@@ -347,18 +329,20 @@ impl Testbed {
                     net,
                     cluster,
                     &self.cfg.transport,
+                    scratch,
                 )
             });
             match verdict {
-                Ok(reschedule::RescheduleVerdict::Migrate { new_schedule, .. }) => {
-                    let sdn = &mut self.sdn;
-                    let applied = self.db.write(|net, _, _| -> Result<()> {
-                        sdn.remove_task(id, net)?;
-                        sdn.install(&new_schedule, net)?;
-                        Ok(())
-                    });
-                    if applied.is_ok() {
-                        self.db.store_schedule(*new_schedule);
+                Ok(reschedule::RescheduleVerdict::Migrate { new_proposal, .. }) => {
+                    // Migration is a commit like any other: old rules out,
+                    // new claims validated and installed atomically; a
+                    // conflict keeps the task on its current schedule.
+                    if self
+                        .committer
+                        .migrate(&self.db, &schedule, &new_proposal)
+                        .is_ok()
+                    {
+                        self.db.store_schedule(new_proposal.schedule);
                         self.reschedules += 1;
                         if let Some(r) = self.reports.get_mut(self.active[&id].report_idx) {
                             r.reschedules += 1;
@@ -488,6 +472,7 @@ impl Testbed {
         };
         let (mean_iteration_ms, sum_task_bandwidth_gbps) =
             flexsched_task::report::aggregate(&self.reports);
+        let (groom_reuse_hits, groom_new_lights) = self.committer.groom_stats();
         Ok(RunSummary {
             scheduler: self.scheduler.name().to_string(),
             blocked: self.blocked,
@@ -497,30 +482,13 @@ impl Testbed {
             mean_reserved_gbps,
             sum_task_bandwidth_gbps,
             mean_iteration_ms,
-            groom_reuse_hits: self.groom.reuse_hits(),
-            groom_new_lights: self.groom.new_lights(),
+            groom_reuse_hits,
+            groom_new_lights,
             duration,
             events: queue.processed(),
             reports: self.reports,
         })
     }
-}
-
-/// Decompose a schedule into groomable directed paths: per-local paths for
-/// path plans, significant-node chains for tree plans.
-fn schedule_chains(schedule: &flexsched_sched::Schedule) -> Vec<Path> {
-    let mut chains = Vec::new();
-    for plan in [&schedule.broadcast, &schedule.upload] {
-        match plan {
-            flexsched_sched::RoutingPlan::Paths(map) => {
-                chains.extend(map.values().map(|rp| rp.path.clone()));
-            }
-            flexsched_sched::RoutingPlan::Tree { tree, .. } => {
-                chains.extend(tree.chains());
-            }
-        }
-    }
-    chains
 }
 
 #[cfg(test)]

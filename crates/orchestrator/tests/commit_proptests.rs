@@ -1,0 +1,227 @@
+//! Property tests for the snapshot → propose → commit semantics.
+//!
+//! Two pillars of the pipeline's contract:
+//!
+//! * **Batch ≡ sequential.** Parallel batch scheduling — speculation across
+//!   worker threads against one shared snapshot, serial in-order commit
+//!   with bounded retry-on-conflict — produces a committed claim-set (and
+//!   blocked set) identical to scheduling the same arrival order
+//!   sequentially, one snapshot/propose/commit at a time.
+//! * **Rejection is mutation-free.** A proposal the committer rejects —
+//!   stale capacity, a downed link, exhausted spectrum — leaves both the
+//!   `NetworkState` and the `OpticalState` bit-identical: no partial
+//!   application, no moved version stamps.
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_optical::{OpticalState, WavelengthPolicy};
+use flexsched_orchestrator::{BatchScheduler, Committer, Conflict, Database, OrchError};
+use flexsched_sched::{FixedSpff, FlexibleMst, Scheduler};
+use flexsched_simnet::{DirLink, NetworkState};
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{builders, NodeId, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn scenario_topology(pick: u8) -> Arc<Topology> {
+    Arc::new(match pick % 3 {
+        0 => builders::metro(&builders::MetroParams::default()),
+        1 => builders::metro(&builders::MetroParams {
+            core_roadms: 8,
+            servers_per_router: 3,
+            chords: 3,
+            ..builders::MetroParams::default()
+        }),
+        _ => builders::spine_leaf(3, 6, 3, true, 400.0),
+    })
+}
+
+fn fresh_db(topo: &Arc<Topology>) -> Database {
+    Database::new(
+        NetworkState::new(Arc::clone(topo)),
+        OpticalState::new(Arc::clone(topo)),
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+/// A batch of tasks with seeded (global, locals) placement and a
+/// communication budget that controls contention: tight budgets mean heavy
+/// demand, overlap and conflicts; loose budgets mostly commit speculated.
+fn make_batch(topo: &Topology, specs: &[(usize, u64, u8)]) -> Vec<(AiTask, Vec<NodeId>)> {
+    let servers = topo.servers();
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (n_locals, seed, budget))| {
+            let g = servers[(*seed as usize) % servers.len()];
+            let mut locals = Vec::new();
+            let mut k = *seed as usize + 1;
+            while locals.len() < (*n_locals).min(servers.len() - 1) {
+                let cand = servers[k % servers.len()];
+                if cand != g && !locals.contains(&cand) {
+                    locals.push(cand);
+                }
+                k += 1;
+            }
+            locals.sort();
+            let task = AiTask {
+                id: TaskId(i as u64),
+                model: ModelProfile::mobilenet(),
+                global_site: g,
+                local_sites: locals.clone(),
+                data_utility: Default::default(),
+                iterations: 1,
+                comm_budget_ms: 10.0 + f64::from(*budget),
+                arrival_ns: i as u64,
+            };
+            (task, locals)
+        })
+        .collect()
+}
+
+/// Committed (task → sorted directed reservations) pairs plus blocked ids:
+/// the observable claim-set of a batch outcome.
+fn claim_sets(
+    db: &Database,
+    report: &flexsched_orchestrator::BatchReport,
+) -> Vec<(TaskId, Vec<(DirLink, u64)>)> {
+    report
+        .committed
+        .iter()
+        .map(|r| {
+            let s = db.schedule(r.task).expect("committed schedule stored");
+            let topo = db.read(|net, _, _| net.topo_arc());
+            let mut res: Vec<(DirLink, u64)> = s
+                .reservations(&topo)
+                .unwrap()
+                .into_iter()
+                .map(|(dl, rate)| (dl, rate.to_bits()))
+                .collect();
+            res.sort();
+            (r.task, res)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Pillar 1: the parallel batch produces claim-sets bit-identical to
+    /// the sequential baseline on the same arrival order, for both
+    /// schedulers, across contention levels and worker counts.
+    #[test]
+    fn batch_parallel_equals_sequential(
+        pick in 0u8..3,
+        workers in 2usize..5,
+        flexible in proptest::bool::ANY,
+        specs in proptest::collection::vec(
+            (1usize..10, 0u64..300, 0u8..120), 2..7),
+    ) {
+        let topo = scenario_topology(pick);
+        let batch = make_batch(&topo, &specs);
+        let scheduler: Box<dyn Scheduler> = if flexible {
+            Box::new(FlexibleMst::paper())
+        } else {
+            Box::new(FixedSpff)
+        };
+
+        let par_db = fresh_db(&topo);
+        let seq_db = fresh_db(&topo);
+        let mut par_committer = Committer::new();
+        let mut seq_committer = Committer::new();
+        let mut par = BatchScheduler::new(workers);
+        let mut seq = BatchScheduler::new(1);
+        let par_report = par
+            .run(&par_db, &mut par_committer, &*scheduler, &batch)
+            .unwrap();
+        let seq_report = seq
+            .run_sequential(&seq_db, &mut seq_committer, &*scheduler, &batch)
+            .unwrap();
+
+        prop_assert_eq!(&par_report.blocked, &seq_report.blocked,
+            "blocked sets diverged");
+        prop_assert_eq!(
+            claim_sets(&par_db, &par_report),
+            claim_sets(&seq_db, &seq_report),
+            "committed claim-sets diverged"
+        );
+        let par_reserved = par_db.total_reserved_gbps();
+        let seq_reserved = seq_db.total_reserved_gbps();
+        prop_assert!((par_reserved - seq_reserved).abs() < 1e-9,
+            "reserved totals diverged: {} vs {}", par_reserved, seq_reserved);
+        prop_assert_eq!(
+            par_report.committed.len() as u64 + par_report.blocked.len() as u64,
+            batch.len() as u64
+        );
+
+        // Teardown must drain both worlds completely.
+        par.release_all(&par_db, &mut par_committer, &par_report).unwrap();
+        seq.release_all(&seq_db, &mut seq_committer, &seq_report).unwrap();
+        prop_assert!(par_db.total_reserved_gbps().abs() < 1e-9);
+        prop_assert!(seq_db.total_reserved_gbps().abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pillar 2: any rejected proposal leaves network and optical state
+    /// bit-identical, whatever invalidated it.
+    #[test]
+    fn rejected_proposal_leaves_state_bit_identical(
+        pick in 0u8..3,
+        n_locals in 2usize..10,
+        seed in 0u64..300,
+        sabotage in 0u8..3,
+        claim_idx in 0usize..64,
+    ) {
+        let topo = scenario_topology(pick);
+        let db = fresh_db(&topo);
+        let batch = make_batch(&topo, &[(n_locals, seed, 0)]);
+        let (task, selected) = &batch[0];
+        let snap = db.snapshot();
+        let Ok(proposal) = FlexibleMst::paper().propose_once(task, selected, &snap) else {
+            // Nothing schedulable here; nothing to reject.
+            return Ok(());
+        };
+
+        // Invalidate one claimed resource behind the proposal's back.
+        let victim = proposal.claims.links[claim_idx % proposal.claims.links.len()].link;
+        match sabotage {
+            0 => db.write(|net, _, _| {
+                let res = net.residual_gbps(victim).unwrap();
+                net.add_background(victim, (res - 1e-6).max(0.0)).unwrap();
+            }),
+            1 => db.write(|net, _, _| net.set_down(victim.link, true).unwrap()),
+            _ => db.write(|net, opt, _| {
+                // Exhaust and fill every wavelength of the victim link.
+                let link = net.topo().link(victim.link).unwrap().clone();
+                let hop = flexsched_topo::Path::new(vec![link.a, link.b], vec![victim.link])
+                    .unwrap();
+                while let Ok(id) = opt.establish(hop.clone(), WavelengthPolicy::FirstFit) {
+                    let cap = opt.lightpath(id).unwrap().capacity_gbps;
+                    opt.add_groomed(id, cap).unwrap();
+                }
+            }),
+        }
+
+        let before = db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")));
+        let mut committer = Committer::new();
+        // Strict mode: the sabotage moved the victim's stamp (or spectrum),
+        // so the commit MUST be rejected with a typed conflict.
+        let err = committer.commit_if_current(&db, &proposal).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            OrchError::Rejected(
+                Conflict::StaleLink { .. }
+                    | Conflict::LinkDown { .. }
+                    | Conflict::WavelengthTaken { .. }
+                    | Conflict::StaleOptical { .. }
+            )
+        ), "unexpected rejection: {err}");
+        let after = db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")));
+        prop_assert_eq!(before.0, after.0, "NetworkState changed on rejection");
+        prop_assert_eq!(before.1, after.1, "OpticalState changed on rejection");
+        let (commits, rejections) = committer.counters();
+        prop_assert_eq!((commits, rejections), (0, 1));
+    }
+}

@@ -278,9 +278,9 @@ const PIPELINE_CHUNKS: u64 = 16;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::SchedContext;
     use crate::fixed::FixedSpff;
     use crate::flexible::FlexibleMst;
+    use crate::snapshot::NetworkSnapshot;
     use crate::Scheduler;
     use flexsched_compute::{ModelProfile, PlacementPolicy};
     use flexsched_task::TaskId;
@@ -330,8 +330,11 @@ mod tests {
     fn evaluate_with(sched: &dyn Scheduler, locals: usize) -> (TaskReport, f64) {
         let (mut state, cluster, task) = rig(locals);
         let s = {
-            let ctx = SchedContext::new(&state);
-            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
+            let snap = NetworkSnapshot::capture(&state);
+            sched
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+                .schedule
         };
         s.apply(&mut state).unwrap();
         let report = evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
@@ -411,8 +414,11 @@ mod tests {
     #[test]
     fn training_reflects_colocation() {
         let (state, cluster, task) = rig(5);
-        let ctx = SchedContext::new(&state);
-        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let snap = NetworkSnapshot::capture(&state);
+        let s = FixedSpff
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule;
         let with_containers = training_latency_ns(&task, &s, &cluster);
         let empty_cluster = ClusterManager::new();
         let bare = training_latency_ns(&task, &s, &empty_cluster);

@@ -11,15 +11,21 @@
 //! demand, scaled down by fair sharing where this task's own flows collide
 //! on a link (the incast at the global site's access link — the effect that
 //! costs the baseline its latency at high local-model counts).
+//!
+//! The scheduler is a pure function of [`NetworkSnapshot`] + task: it reads
+//! the frozen residuals and wavelength occupancy and returns a [`Proposal`]
+//! whose claims the orchestrator's committer validates against live state.
 
-use crate::context::SchedContext;
 use crate::error::SchedError;
+use crate::proposal::Proposal;
 use crate::schedule::{RatedPath, RoutingPlan, Schedule};
+use crate::snapshot::NetworkSnapshot;
 use crate::weights::spff_weight;
 use crate::{Result, Scheduler};
 use flexsched_optical::split_at_electrical;
-use flexsched_simnet::DirLink;
+use flexsched_simnet::{DirLink, NetSnapshot};
 use flexsched_task::AiTask;
+use flexsched_topo::algo::ScratchPool;
 use flexsched_topo::{algo, NodeId, Path};
 use std::collections::BTreeMap;
 
@@ -29,15 +35,15 @@ pub struct FixedSpff;
 
 impl FixedSpff {
     /// Probe the k-shortest candidates for one local and return the first
-    /// that is wavelength-feasible (or the first candidate when no optical
-    /// view is attached).
-    fn route_one(&self, task: &AiTask, local: NodeId, ctx: &SchedContext<'_>) -> Result<Path> {
+    /// that is wavelength-feasible (or the first candidate when the
+    /// snapshot carries no optical view).
+    fn route_one(&self, task: &AiTask, local: NodeId, snap: &NetworkSnapshot) -> Result<Path> {
         let candidates = algo::k_shortest_paths(
-            ctx.state.topo(),
+            snap.topo(),
             task.global_site,
             local,
-            ctx.k_paths.max(1),
-            |l| spff_weight(ctx.state, l),
+            snap.k_paths.max(1),
+            |l| spff_weight(snap, l),
         )
         .map_err(|_| SchedError::Unreachable {
             task: task.id,
@@ -45,24 +51,16 @@ impl FixedSpff {
         })?;
         let demand = task.demand_gbps();
         for cand in candidates {
-            if let Some(opt) = ctx.optical {
+            if let Some(opt) = snap.optical() {
                 // A segment is feasible with a free wavelength (first fit
                 // will light it) or an existing same-endpoint lightpath with
                 // groomable residual capacity.
-                let feasible = split_at_electrical(ctx.state.topo(), &cand)
+                let feasible = split_at_electrical(snap.topo(), &cand)
                     .map_err(SchedError::from)?
                     .iter()
                     .all(|seg| {
-                        let fresh = opt
-                            .free_wavelengths_on_path(seg)
-                            .map(|ws| !ws.is_empty())
-                            .unwrap_or(false);
-                        fresh
-                            || opt.lightpaths().any(|lp| {
-                                lp.source() == seg.source()
-                                    && lp.destination() == seg.destination()
-                                    && lp.residual_gbps() + 1e-9 >= demand
-                            })
+                        opt.path_has_free_wavelength(seg).unwrap_or(false)
+                            || opt.groomable_between(seg.source(), seg.destination(), demand)
                     });
                 if !feasible {
                     continue;
@@ -82,11 +80,11 @@ impl FixedSpff {
 /// where `collisions` counts how many of *these* flows use the same
 /// directed hop.
 fn fair_share_rates(
-    ctx: &SchedContext<'_>,
+    net: &NetSnapshot,
     paths: &BTreeMap<NodeId, Path>,
     demand: f64,
 ) -> Result<BTreeMap<NodeId, f64>> {
-    let topo = ctx.state.topo();
+    let topo = net.topo();
     let mut multiplicity: BTreeMap<DirLink, f64> = BTreeMap::new();
     for p in paths.values() {
         for (i, l) in p.links.iter().enumerate() {
@@ -107,7 +105,7 @@ fn fair_share_rates(
                 .ok_or(flexsched_topo::TopoError::UnknownLink(*l))?;
             let dl = DirLink::new(*l, dir);
             let m = multiplicity[&dl];
-            let residual = ctx.state.residual_gbps(dl).map_err(SchedError::from)?;
+            let residual = net.residual_gbps(dl).map_err(SchedError::from)?;
             rate = rate.min(residual / m);
         }
         rates.insert(*local, rate);
@@ -120,12 +118,13 @@ impl Scheduler for FixedSpff {
         "fixed-spff"
     }
 
-    fn schedule(
+    fn propose(
         &self,
         task: &AiTask,
         selected: &[NodeId],
-        ctx: &SchedContext<'_>,
-    ) -> Result<Schedule> {
+        snap: &NetworkSnapshot,
+        _scratch: &mut ScratchPool,
+    ) -> Result<Proposal> {
         if selected.is_empty() {
             return Err(SchedError::NothingSelected(task.id));
         }
@@ -135,14 +134,14 @@ impl Scheduler for FixedSpff {
         let mut down_paths: BTreeMap<NodeId, Path> = BTreeMap::new();
         let mut up_paths: BTreeMap<NodeId, Path> = BTreeMap::new();
         for local in selected {
-            let down = self.route_one(task, *local, ctx)?;
+            let down = self.route_one(task, *local, snap)?;
             up_paths.insert(*local, down.reversed());
             down_paths.insert(*local, down);
         }
 
         // Fair-share rates per direction.
-        let down_rates = fair_share_rates(ctx, &down_paths, demand)?;
-        let up_rates = fair_share_rates(ctx, &up_paths, demand)?;
+        let down_rates = fair_share_rates(snap.net(), &down_paths, demand)?;
+        let up_rates = fair_share_rates(snap.net(), &up_paths, demand)?;
 
         // A task runs both procedures over the same circuit: use the
         // symmetric (min) rate so the reservation is honest in both
@@ -153,7 +152,7 @@ impl Scheduler for FixedSpff {
             let rate = down_rates[local].min(up_rates[local]);
             // Floor only bites when congestion (not a small demand) is the
             // reason the rate is low.
-            if rate < ctx.min_rate_gbps.min(demand) {
+            if rate < snap.min_rate_gbps.min(demand) {
                 return Err(SchedError::Blocked {
                     task: task.id,
                     reason: format!("fair-share rate {rate:.3} Gbps to {local} below floor"),
@@ -175,15 +174,18 @@ impl Scheduler for FixedSpff {
             );
         }
 
-        Ok(Schedule {
-            task: task.id,
-            scheduler: self.name().into(),
-            global_site: task.global_site,
-            selected_locals: selected.to_vec(),
-            demand_gbps: demand,
-            broadcast: RoutingPlan::Paths(broadcast),
-            upload: RoutingPlan::Paths(upload),
-        })
+        Proposal::assemble(
+            Schedule {
+                task: task.id,
+                scheduler: self.name().into(),
+                global_site: task.global_site,
+                selected_locals: selected.to_vec(),
+                demand_gbps: demand,
+                broadcast: RoutingPlan::Paths(broadcast),
+                upload: RoutingPlan::Paths(upload),
+            },
+            snap,
+        )
     }
 }
 
@@ -213,11 +215,18 @@ mod tests {
         (state, task)
     }
 
+    fn schedule_on(state: &NetworkState, task: &AiTask) -> Schedule {
+        let snap = NetworkSnapshot::capture(state);
+        FixedSpff
+            .propose_once(task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule
+    }
+
     #[test]
     fn schedules_every_selected_local() {
         let (state, task) = task_on_metro(5);
-        let ctx = SchedContext::new(&state);
-        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let s = schedule_on(&state, &task);
         match &s.broadcast {
             RoutingPlan::Paths(m) => assert_eq!(m.len(), 5),
             _ => panic!("fixed must produce per-local paths"),
@@ -228,8 +237,7 @@ mod tests {
     #[test]
     fn paths_run_between_the_right_endpoints() {
         let (state, task) = task_on_metro(4);
-        let ctx = SchedContext::new(&state);
-        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let s = schedule_on(&state, &task);
         if let (RoutingPlan::Paths(down), RoutingPlan::Paths(up)) = (&s.broadcast, &s.upload) {
             for (local, rp) in down {
                 assert_eq!(rp.path.source(), task.global_site);
@@ -247,10 +255,7 @@ mod tests {
     #[test]
     fn schedule_applies_cleanly() {
         let (mut state, task) = task_on_metro(6);
-        let s = {
-            let ctx = SchedContext::new(&state);
-            FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap()
-        };
+        let s = schedule_on(&state, &task);
         s.apply(&mut state).unwrap();
         assert!(state.total_reserved_gbps() > 0.0);
         s.release(&mut state).unwrap();
@@ -258,17 +263,20 @@ mod tests {
     }
 
     #[test]
+    fn proposing_mutates_nothing() {
+        let (state, task) = task_on_metro(6);
+        let version_before = state.version();
+        let _ = schedule_on(&state, &task);
+        assert_eq!(state.version(), version_before, "proposing must not mutate");
+        assert!(state.total_reserved_gbps().abs() < 1e-12);
+    }
+
+    #[test]
     fn incast_compresses_rates_as_locals_grow() {
         let (state_small, task_small) = task_on_metro(2);
         let (state_big, task_big) = task_on_metro(15);
-        let ctx_s = SchedContext::new(&state_small);
-        let ctx_b = SchedContext::new(&state_big);
-        let small = FixedSpff
-            .schedule(&task_small, &task_small.local_sites, &ctx_s)
-            .unwrap();
-        let big = FixedSpff
-            .schedule(&task_big, &task_big.local_sites, &ctx_b)
-            .unwrap();
+        let small = schedule_on(&state_small, &task_small);
+        let big = schedule_on(&state_big, &task_big);
         // Per-flow rate shrinks when 15 flows share the global access link.
         assert!(
             big.broadcast.min_rate_gbps() < small.broadcast.min_rate_gbps(),
@@ -283,8 +291,7 @@ mod tests {
         let mut prev = 0.0;
         for n in [3, 6, 9, 12] {
             let (state, task) = task_on_metro(n);
-            let ctx = SchedContext::new(&state);
-            let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+            let s = schedule_on(&state, &task);
             let bw = s.total_bandwidth_gbps(state.topo()).unwrap();
             assert!(bw > prev, "bandwidth must grow with locals");
             prev = bw;
@@ -297,8 +304,7 @@ mod tests {
         // Cut the first metro core ring span; routing must still succeed
         // thanks to the ring + chords.
         state.set_down(flexsched_topo::LinkId(0), true).unwrap();
-        let ctx = SchedContext::new(&state);
-        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let s = schedule_on(&state, &task);
         for (dl, _) in s.reservations(state.topo()).unwrap() {
             assert_ne!(dl.link, flexsched_topo::LinkId(0));
         }
@@ -318,9 +324,9 @@ mod tests {
                 .add_background(DirLink::new(access, dir), 1_000.0)
                 .unwrap();
         }
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         let err = FixedSpff
-            .schedule(&task, &task.local_sites, &ctx)
+            .propose_once(&task, &task.local_sites, &snap)
             .unwrap_err();
         assert!(
             matches!(
@@ -334,9 +340,9 @@ mod tests {
     #[test]
     fn empty_selection_is_rejected() {
         let (state, task) = task_on_metro(3);
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         assert!(matches!(
-            FixedSpff.schedule(&task, &[], &ctx),
+            FixedSpff.propose_once(&task, &[], &snap),
             Err(SchedError::NothingSelected(_))
         ));
     }
@@ -376,8 +382,13 @@ mod tests {
             comm_budget_ms: 10.0,
             arrival_ns: 0,
         };
-        let ctx = SchedContext::new(&state).with_optical(&opt).with_k_paths(8);
-        let s = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let snap = NetworkSnapshot::capture(&state)
+            .with_optical(&opt)
+            .with_k_paths(8);
+        let s = FixedSpff
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule;
         if let RoutingPlan::Paths(m) = &s.broadcast {
             let chosen = &m[&servers[4]].path;
             assert_ne!(chosen, &direct, "must divert off the exhausted route");

@@ -7,29 +7,41 @@
 //! the link), and then find MSTs between the global model and local models.
 //! The links of MSTs are considered as routing paths, and the aggregation
 //! operations happen in the middle and final nodes of upload procedure."
+//!
+//! The scheduler is a pure function of [`NetworkSnapshot`] + task; both
+//! Steiner constructions draw their Dijkstra state from the caller's
+//! [`ScratchPool`], so a worker thread that proposes many schedules
+//! allocates nothing in steady state.
 
-use crate::context::SchedContext;
 use crate::error::SchedError;
+use crate::proposal::Proposal;
 use crate::schedule::{RoutingPlan, Schedule};
-use crate::weights::auxiliary_weight;
+use crate::snapshot::NetworkSnapshot;
+use crate::weights::{auxiliary_weight, GAMMA_WAVELENGTH};
 use crate::{Result, Scheduler};
 use flexsched_task::AiTask;
-use flexsched_topo::algo::{steiner_tree_in, SteinerTree};
+use flexsched_topo::algo::{steiner_tree_in, ScratchPool, SteinerTree};
 use flexsched_topo::{LinkId, NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The proposed MST-based flexible scheduler.
 #[derive(Debug, Clone)]
 pub struct FlexibleMst {
     /// Build a separate upload tree with a reuse discount on the broadcast
     /// tree's links (paper behaviour). When `false` the broadcast tree is
-    /// reused verbatim for upload.
+    /// reused verbatim for upload (one `Arc`-shared tree, zero copies).
     pub separate_trees: bool,
     /// Enable in-network aggregation at capable tree nodes. Disabling it is
     /// the ablation that shows where the bandwidth saving comes from: the
     /// tree still shares segments, but every edge must carry one update per
     /// descendant local model.
     pub aggregation: bool,
+    /// Weight of the wavelength-headroom term: how strongly trees prefer
+    /// fibers whose continuity set still has free wavelengths (see
+    /// [`auxiliary_weight`]). Zero reproduces the poster's binary
+    /// feasibility; the default steers trees toward spectral headroom.
+    pub wavelength_headroom: f64,
 }
 
 impl Default for FlexibleMst {
@@ -37,22 +49,33 @@ impl Default for FlexibleMst {
         FlexibleMst {
             separate_trees: true,
             aggregation: true,
+            wavelength_headroom: GAMMA_WAVELENGTH,
         }
     }
 }
 
 impl FlexibleMst {
-    /// The scheduler exactly as evaluated in the poster.
+    /// The scheduler exactly as evaluated in the poster: binary wavelength
+    /// feasibility (no headroom steering).
     pub fn paper() -> Self {
-        Self::default()
+        FlexibleMst {
+            wavelength_headroom: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Ablation: tree routing without in-network aggregation.
     pub fn without_aggregation() -> Self {
         FlexibleMst {
-            separate_trees: true,
             aggregation: false,
+            ..Self::paper()
         }
+    }
+
+    /// Override the wavelength-headroom weight.
+    pub fn with_wavelength_headroom(mut self, gamma: f64) -> Self {
+        self.wavelength_headroom = gamma;
+        self
     }
 }
 
@@ -96,7 +119,7 @@ pub fn upload_copies(
 /// Smallest `residual / copies` over the tree's edges: the feasible uniform
 /// per-update rate.
 fn feasible_rate(
-    ctx: &SchedContext<'_>,
+    snap: &NetworkSnapshot,
     tree: &SteinerTree,
     copies: &BTreeMap<NodeId, u32>,
     demand: f64,
@@ -104,7 +127,7 @@ fn feasible_rate(
     let mut rate = demand;
     for (child, _, l) in tree.edges() {
         let c = f64::from(copies.get(&child).copied().unwrap_or(1).max(1));
-        let residual = ctx.state.residual_min_gbps(l);
+        let residual = snap.net().residual_min_gbps(l);
         rate = rate.min(residual / c);
     }
     rate
@@ -119,16 +142,17 @@ impl Scheduler for FlexibleMst {
         }
     }
 
-    fn schedule(
+    fn propose(
         &self,
         task: &AiTask,
         selected: &[NodeId],
-        ctx: &SchedContext<'_>,
-    ) -> Result<Schedule> {
+        snap: &NetworkSnapshot,
+        scratch: &mut ScratchPool,
+    ) -> Result<Proposal> {
         if selected.is_empty() {
             return Err(SchedError::NothingSelected(task.id));
         }
-        let topo = ctx.state.topo();
+        let topo = snap.topo();
         let demand = task.demand_gbps();
 
         let map_err = |e| match e {
@@ -139,71 +163,75 @@ impl Scheduler for FlexibleMst {
             other => SchedError::Topo(other),
         };
 
-        // Both Steiner constructions draw their Dijkstra state from the
-        // context's scratch pool, so back-to-back scheduling decisions
-        // reuse the same buffers.
-        let scratch = &mut *ctx.scratch.borrow_mut();
-
         // Broadcast auxiliary graph: nothing reused yet.
         let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
-        let broadcast_tree = steiner_tree_in(
-            topo,
-            task.global_site,
-            selected,
-            |l| auxiliary_weight(ctx.state, ctx.optical, demand, &no_reuse, l),
-            scratch,
-        )
-        .map_err(map_err)?;
-
-        // Upload auxiliary graph: the task already passes through the
-        // broadcast tree's links, so they carry the reuse discount.
-        let upload_tree = if self.separate_trees {
-            let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
+        let broadcast_tree = Arc::new(
             steiner_tree_in(
                 topo,
                 task.global_site,
                 selected,
-                |l| auxiliary_weight(ctx.state, ctx.optical, demand, &reused, l),
+                |l| auxiliary_weight(snap, demand, &no_reuse, l, self.wavelength_headroom),
                 scratch,
             )
-            .map_err(map_err)?
+            .map_err(map_err)?,
+        );
+
+        // Upload auxiliary graph: the task already passes through the
+        // broadcast tree's links, so they carry the reuse discount. When
+        // trees are shared, the broadcast tree is reused by `Arc` handle —
+        // no copy of its flat arrays.
+        let upload_tree = if self.separate_trees {
+            let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
+            Arc::new(
+                steiner_tree_in(
+                    topo,
+                    task.global_site,
+                    selected,
+                    |l| auxiliary_weight(snap, demand, &reused, l, self.wavelength_headroom),
+                    scratch,
+                )
+                .map_err(map_err)?,
+            )
         } else {
-            broadcast_tree.clone()
+            Arc::clone(&broadcast_tree)
         };
 
         let selected_set: BTreeSet<NodeId> = selected.iter().copied().collect();
         let up_copies = upload_copies(&upload_tree, topo, &selected_set, self.aggregation)?;
         let bcast_copies: BTreeMap<NodeId, u32> = BTreeMap::new(); // multicast: 1 everywhere
 
-        let bcast_rate = feasible_rate(ctx, &broadcast_tree, &bcast_copies, demand);
-        let up_rate = feasible_rate(ctx, &upload_tree, &up_copies, demand);
+        let bcast_rate = feasible_rate(snap, &broadcast_tree, &bcast_copies, demand);
+        let up_rate = feasible_rate(snap, &upload_tree, &up_copies, demand);
         let rate = bcast_rate.min(up_rate);
         // The floor guards against uselessly slow *congested* rates; tasks
         // whose own demand is tiny are fine at their full demand.
-        if rate < ctx.min_rate_gbps.min(demand) {
+        if rate < snap.min_rate_gbps.min(demand) {
             return Err(SchedError::Blocked {
                 task: task.id,
                 reason: format!("feasible tree rate {rate:.3} Gbps below floor"),
             });
         }
 
-        Ok(Schedule {
-            task: task.id,
-            scheduler: self.name().into(),
-            global_site: task.global_site,
-            selected_locals: selected.to_vec(),
-            demand_gbps: demand,
-            broadcast: RoutingPlan::Tree {
-                tree: broadcast_tree,
-                rate_gbps: rate,
-                copies: bcast_copies,
+        Proposal::assemble(
+            Schedule {
+                task: task.id,
+                scheduler: self.name().into(),
+                global_site: task.global_site,
+                selected_locals: selected.to_vec(),
+                demand_gbps: demand,
+                broadcast: RoutingPlan::Tree {
+                    tree: broadcast_tree,
+                    rate_gbps: rate,
+                    copies: bcast_copies,
+                },
+                upload: RoutingPlan::Tree {
+                    tree: upload_tree,
+                    rate_gbps: rate,
+                    copies: up_copies,
+                },
             },
-            upload: RoutingPlan::Tree {
-                tree: upload_tree,
-                rate_gbps: rate,
-                copies: up_copies,
-            },
-        })
+            snap,
+        )
     }
 }
 
@@ -233,13 +261,18 @@ mod tests {
         (state, task)
     }
 
+    fn schedule_with(sched: &FlexibleMst, state: &NetworkState, task: &AiTask) -> Schedule {
+        let snap = NetworkSnapshot::capture(state);
+        sched
+            .propose_once(task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule
+    }
+
     #[test]
     fn produces_tree_plans_spanning_all_locals() {
         let (state, task) = task_on_metro(6);
-        let ctx = SchedContext::new(&state);
-        let s = FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
+        let s = schedule_with(&FlexibleMst::paper(), &state, &task);
         match (&s.broadcast, &s.upload) {
             (RoutingPlan::Tree { tree: b, .. }, RoutingPlan::Tree { tree: u, .. }) => {
                 assert!(b.spans_all_terminals());
@@ -255,11 +288,12 @@ mod tests {
         use crate::fixed::FixedSpff;
         for n in [5, 10, 15] {
             let (state, task) = task_on_metro(n);
-            let ctx = SchedContext::new(&state);
-            let flex = FlexibleMst::paper()
-                .schedule(&task, &task.local_sites, &ctx)
-                .unwrap();
-            let fixed = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
+            let snap = NetworkSnapshot::capture(&state);
+            let flex = schedule_with(&FlexibleMst::paper(), &state, &task);
+            let fixed = FixedSpff
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+                .schedule;
             let bf = flex.total_bandwidth_gbps(state.topo()).unwrap();
             let bx = fixed.total_bandwidth_gbps(state.topo()).unwrap();
             assert!(bf < bx, "n={n}: flexible {bf} !< fixed {bx}");
@@ -272,10 +306,7 @@ mod tests {
         // smaller than from 3->6.
         let bw = |n: usize| {
             let (state, task) = task_on_metro(n);
-            let ctx = SchedContext::new(&state);
-            FlexibleMst::paper()
-                .schedule(&task, &task.local_sites, &ctx)
-                .unwrap()
+            schedule_with(&FlexibleMst::paper(), &state, &task)
                 .total_bandwidth_gbps(state.topo())
                 .unwrap()
         };
@@ -289,16 +320,8 @@ mod tests {
     #[test]
     fn upload_copies_collapse_at_routers() {
         let (state, task) = task_on_metro(8);
-        let ctx = SchedContext::new(&state);
-        let s = FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
-        if let RoutingPlan::Tree { tree, copies, .. } = &s.upload {
-            // The edge into the root (global server) carries exactly one
-            // aggregated update: its child is an aggregating router.
-            let root_children: Vec<_> =
-                tree.children().get(&tree.root).cloned().unwrap_or_default();
-            let _ = root_children;
+        let s = schedule_with(&FlexibleMst::paper(), &state, &task);
+        if let RoutingPlan::Tree { copies, .. } = &s.upload {
             for (n, c) in copies {
                 let kind = state.topo().node(*n).unwrap().kind;
                 if kind.can_aggregate() {
@@ -313,13 +336,8 @@ mod tests {
     #[test]
     fn no_aggregation_ablation_costs_more_bandwidth() {
         let (state, task) = task_on_metro(10);
-        let ctx = SchedContext::new(&state);
-        let with = FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
-        let without = FlexibleMst::without_aggregation()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
+        let with = schedule_with(&FlexibleMst::paper(), &state, &task);
+        let without = schedule_with(&FlexibleMst::without_aggregation(), &state, &task);
         let bw = with.total_bandwidth_gbps(state.topo()).unwrap();
         let bwo = without.total_bandwidth_gbps(state.topo()).unwrap();
         assert!(bwo > bw, "no-agg {bwo} !> agg {bw}");
@@ -329,12 +347,7 @@ mod tests {
     #[test]
     fn schedule_applies_and_releases() {
         let (mut state, task) = task_on_metro(10);
-        let s = {
-            let ctx = SchedContext::new(&state);
-            FlexibleMst::paper()
-                .schedule(&task, &task.local_sites, &ctx)
-                .unwrap()
-        };
+        let s = schedule_with(&FlexibleMst::paper(), &state, &task);
         s.apply(&mut state).unwrap();
         assert!(state.total_reserved_gbps() > 0.0);
         s.release(&mut state).unwrap();
@@ -342,30 +355,39 @@ mod tests {
     }
 
     #[test]
+    fn proposing_mutates_nothing() {
+        let (state, task) = task_on_metro(8);
+        let version = state.version();
+        let _ = schedule_with(&FlexibleMst::paper(), &state, &task);
+        assert_eq!(state.version(), version);
+        assert!(state.total_reserved_gbps().abs() < 1e-12);
+    }
+
+    #[test]
     fn aggregation_points_are_middle_and_final_nodes() {
         let (state, task) = task_on_metro(10);
-        let ctx = SchedContext::new(&state);
-        let s = FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
+        let s = schedule_with(&FlexibleMst::paper(), &state, &task);
         let pts = s.aggregation_points(state.topo());
         assert!(pts.contains(&task.global_site), "final node aggregates");
         assert!(pts.len() > 1, "middle nodes must aggregate too");
     }
 
     #[test]
-    fn shared_trees_when_configured() {
+    fn shared_trees_share_one_allocation() {
         let (state, task) = task_on_metro(5);
-        let ctx = SchedContext::new(&state);
         let sched = FlexibleMst {
             separate_trees: false,
-            aggregation: true,
+            ..FlexibleMst::paper()
         };
-        let s = sched.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let s = schedule_with(&sched, &state, &task);
         if let (RoutingPlan::Tree { tree: b, .. }, RoutingPlan::Tree { tree: u, .. }) =
             (&s.broadcast, &s.upload)
         {
             assert_eq!(b.links, u.links);
+            assert!(
+                Arc::ptr_eq(b, u),
+                "shared mode must Arc-share the tree, not copy it"
+            );
         }
     }
 
@@ -373,10 +395,7 @@ mod tests {
     fn routes_around_down_links() {
         let (mut state, task) = task_on_metro(5);
         state.set_down(flexsched_topo::LinkId(0), true).unwrap();
-        let ctx = SchedContext::new(&state);
-        let s = FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
-            .unwrap();
+        let s = schedule_with(&FlexibleMst::paper(), &state, &task);
         for (dl, _) in s.reservations(state.topo()).unwrap() {
             assert_ne!(dl.link, flexsched_topo::LinkId(0));
         }
@@ -385,10 +404,65 @@ mod tests {
     #[test]
     fn empty_selection_rejected() {
         let (state, task) = task_on_metro(3);
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         assert!(matches!(
-            FlexibleMst::paper().schedule(&task, &[], &ctx),
+            FlexibleMst::paper().propose_once(&task, &[], &snap),
             Err(SchedError::NothingSelected(_))
         ));
+    }
+
+    #[test]
+    fn headroom_steers_trees_toward_free_spectrum() {
+        use flexsched_optical::{OpticalState, WavelengthPolicy};
+        use flexsched_topo::{NodeKind, Path, Topology};
+        // G - r - (two parallel WDM fibers) - r2 - L: identical spans, but
+        // one fiber has 3 of its 4 wavelengths lit. With headroom steering
+        // the tree must pick the empty fiber; the paper's binary weight is
+        // free to pick either (it takes the lower link id).
+        let mut t = Topology::new();
+        let g = t.add_node(NodeKind::Server, "G");
+        let r1 = t.add_node(NodeKind::IpRouter, "r1");
+        let o1 = t.add_node(NodeKind::Roadm, "o1");
+        let o2 = t.add_node(NodeKind::Roadm, "o2");
+        let r2 = t.add_node(NodeKind::IpRouter, "r2");
+        let l = t.add_node(NodeKind::Server, "L");
+        t.add_link(g, r1, 0.1, 400.0).unwrap();
+        t.add_wdm_link(r1, o1, 0.1, 400.0, 4).unwrap();
+        let crowded = t.add_wdm_link(o1, o2, 10.0, 400.0, 4).unwrap();
+        let empty = t.add_wdm_link(o1, o2, 10.0, 400.0, 4).unwrap();
+        t.add_wdm_link(o2, r2, 0.1, 400.0, 4).unwrap();
+        t.add_link(r2, l, 0.1, 400.0).unwrap();
+        let topo = Arc::new(t);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let mut opt = OpticalState::new(Arc::clone(&topo));
+        let hop = Path::new(vec![o1, o2], vec![crowded]).unwrap();
+        for _ in 0..3 {
+            opt.establish(hop.clone(), WavelengthPolicy::FirstFit)
+                .unwrap();
+        }
+        let task = AiTask {
+            id: TaskId(0),
+            model: ModelProfile::mobilenet(),
+            global_site: g,
+            local_sites: vec![l],
+            data_utility: Default::default(),
+            iterations: 1,
+            comm_budget_ms: 10.0,
+            arrival_ns: 0,
+        };
+        let snap = NetworkSnapshot::capture(&state).with_optical(&opt);
+        let aware = FlexibleMst::default()
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule;
+        if let RoutingPlan::Tree { tree, .. } = &aware.broadcast {
+            assert!(
+                tree.links.contains(&empty) && !tree.links.contains(&crowded),
+                "headroom-aware tree must take the empty fiber: {:?}",
+                tree.links
+            );
+        } else {
+            panic!("expected tree plan");
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! * [`FixedSpff`] — the baseline: a **fixed** set of end-to-end paths
 //!   between the global model and every local model, found by **s**hortest
 //!   **p**ath routing with **f**irst-**f**it wavelength assignment (SPFF,
-//!   the paper's ref [15] baseline). Model updates are aggregated only at
+//!   the paper's ref \[15\] baseline). Model updates are aggregated only at
 //!   the global-model node.
 //! * [`FlexibleMst`] — the proposal: build auxiliary graphs for the
 //!   broadcast and upload procedures, weight each link by **bandwidth
@@ -14,53 +14,93 @@
 //!   models**, route along the tree, and **aggregate at the middle and
 //!   final nodes** of the upload procedure.
 //!
+//! ## The snapshot → propose → commit pipeline
+//!
+//! Scheduling is a three-stage pipeline:
+//!
+//! 1. **Snapshot** — the orchestrator freezes its view of the world into an
+//!    immutable, `Send + Sync` [`NetworkSnapshot`] (frozen residuals and
+//!    wavelength occupancy over an `Arc`-shared topology).
+//! 2. **Propose** — a [`Scheduler`] is a *pure function* of snapshot +
+//!    task: it returns a [`Proposal`] (the [`Schedule`] plus a typed
+//!    [`ResourceClaims`] manifest of per-link rate, wavelength and server
+//!    claims) and mutates nothing. Any number of worker threads can
+//!    speculate proposals against one shared snapshot.
+//! 3. **Commit** — the orchestrator's committer validates the claims
+//!    against *live* state and atomically applies the schedule, or rejects
+//!    the proposal with a typed conflict so the caller can re-speculate.
+//!
 //! Supporting machinery:
 //!
-//! * [`Schedule`] / [`RoutingPlan`] — the output: rated paths or a rated
-//!   tree for each procedure, with apply/release onto the network state,
+//! * [`Schedule`] / [`RoutingPlan`] — the routing output: rated paths or a
+//!   rated (`Arc`-shared) tree for each procedure,
 //! * [`evaluate`] — per-iteration latency/bandwidth evaluation producing
 //!   the [`flexsched_task::TaskReport`]s behind Figures 3a/3b,
 //! * [`selection`] — local-model selection strategies (open challenge #1),
 //! * [`reschedule`] — the re-scheduling trade-off policy (interruption vs
 //!   bandwidth/latency saving, also open challenge #1).
 
-pub mod context;
 pub mod error;
 pub mod evaluate;
 pub mod fixed;
 pub mod flexible;
+pub mod proposal;
 pub mod reschedule;
 pub mod schedule;
 pub mod selection;
+pub mod snapshot;
 pub mod weights;
 
-pub use context::SchedContext;
 pub use error::SchedError;
 pub use evaluate::evaluate_schedule;
 pub use fixed::FixedSpff;
 pub use flexible::FlexibleMst;
+pub use proposal::{LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
 pub use reschedule::{ReschedulePolicy, RescheduleVerdict};
 pub use schedule::{RatedPath, RoutingPlan, Schedule};
 pub use selection::SelectionStrategy;
+pub use snapshot::NetworkSnapshot;
 
 use flexsched_task::AiTask;
+use flexsched_topo::algo::ScratchPool;
 use flexsched_topo::NodeId;
 
 /// Convenience result alias for scheduling operations.
 pub type Result<T> = std::result::Result<T, SchedError>;
 
-/// A scheduling policy: compute routing for one task against a read-only
-/// view of the network. Mutation (reserving bandwidth, lighting
-/// wavelengths) is the orchestrator's job via [`Schedule::apply`].
-pub trait Scheduler {
+/// A scheduling policy: a pure function of an immutable [`NetworkSnapshot`]
+/// and a task, producing a [`Proposal`] and mutating nothing. All state
+/// changes flow through the orchestrator's committer, which validates the
+/// proposal's claims against live state.
+///
+/// `Send + Sync` is part of the contract: the parallel batch scheduler
+/// shares one policy across worker threads, each speculating against the
+/// same snapshot with its own [`ScratchPool`].
+pub trait Scheduler: Send + Sync {
     /// Stable policy name used in reports.
     fn name(&self) -> &'static str;
 
-    /// Produce a schedule for `task` over the already-selected local sites.
-    fn schedule(
+    /// Propose a schedule for `task` over the already-selected local sites,
+    /// speculating against `snapshot`. `scratch` provides reusable
+    /// Dijkstra/Steiner buffers; a long-lived decision loop (or one worker
+    /// thread) keeps one pool so steady-state proposing allocates nothing.
+    fn propose(
         &self,
         task: &AiTask,
         selected: &[NodeId],
-        ctx: &SchedContext<'_>,
-    ) -> Result<Schedule>;
+        snapshot: &NetworkSnapshot,
+        scratch: &mut ScratchPool,
+    ) -> Result<Proposal>;
+
+    /// [`propose`](Scheduler::propose) with a throwaway scratch pool — a
+    /// convenience for tests, examples and one-shot callers.
+    fn propose_once(
+        &self,
+        task: &AiTask,
+        selected: &[NodeId],
+        snapshot: &NetworkSnapshot,
+    ) -> Result<Proposal> {
+        let mut scratch = ScratchPool::new();
+        self.propose(task, selected, snapshot, &mut scratch)
+    }
 }

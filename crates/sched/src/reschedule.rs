@@ -10,13 +10,15 @@
 //! predicted latency saving over the task's remaining iterations outweighs
 //! the interruption cost by a configurable factor.
 
-use crate::context::SchedContext;
 use crate::evaluate::evaluate_schedule;
+use crate::proposal::Proposal;
 use crate::schedule::Schedule;
+use crate::snapshot::NetworkSnapshot;
 use crate::{Result, Scheduler};
 use flexsched_compute::ClusterManager;
 use flexsched_simnet::{NetworkState, Transport};
 use flexsched_task::AiTask;
+use flexsched_topo::algo::ScratchPool;
 
 /// Rescheduling decision knobs.
 #[derive(Debug, Clone)]
@@ -48,8 +50,9 @@ pub enum RescheduleVerdict {
     },
     /// Migrate to the new schedule.
     Migrate {
-        /// The replacement schedule (not yet applied).
-        new_schedule: Box<Schedule>,
+        /// The replacement proposal (claims not yet validated or applied —
+        /// the orchestrator's committer does that).
+        new_proposal: Box<Proposal>,
         /// Predicted latency saving over remaining iterations, ns.
         predicted_saving_ns: i64,
         /// Bandwidth change (new - old), Gbit/s·link (negative = saving).
@@ -61,9 +64,11 @@ pub enum RescheduleVerdict {
 /// `remaining_iterations` left) under fresh network conditions.
 ///
 /// `state` must be the live network state *with `current` applied*. The
-/// candidate is computed against a hypothetical state where the task's own
-/// reservations are released (so it does not compete with itself), and
-/// never mutates the real state.
+/// candidate is proposed against a snapshot of a hypothetical state where
+/// the task's own reservations are released (so it does not compete with
+/// itself); the live state is never mutated — the only `apply` here runs on
+/// a private clone to price the candidate. A `Migrate` verdict hands back a
+/// [`Proposal`] for the orchestrator's committer to validate and install.
 #[allow(clippy::too_many_arguments)]
 pub fn consider(
     policy: &ReschedulePolicy,
@@ -74,6 +79,7 @@ pub fn consider(
     state: &NetworkState,
     cluster: &ClusterManager,
     transport: &Transport,
+    scratch: &mut ScratchPool,
 ) -> Result<RescheduleVerdict> {
     // Current cost under today's conditions.
     let current_report = evaluate_schedule(task, current, state, cluster, transport)?;
@@ -82,13 +88,18 @@ pub fn consider(
     let mut without_us = state.clone();
     current.release(&mut without_us)?;
     let candidate = {
-        let ctx = SchedContext::new(&without_us);
-        scheduler.schedule(task, &current.selected_locals, &ctx)?
+        let snap = NetworkSnapshot::capture(&without_us);
+        scheduler.propose(task, &current.selected_locals, &snap, scratch)?
     };
     let mut with_candidate = without_us.clone();
-    candidate.apply(&mut with_candidate)?;
-    let candidate_report =
-        evaluate_schedule(task, &candidate, &with_candidate, cluster, transport)?;
+    candidate.schedule.apply(&mut with_candidate)?;
+    let candidate_report = evaluate_schedule(
+        task,
+        &candidate.schedule,
+        &with_candidate,
+        cluster,
+        transport,
+    )?;
 
     let per_iter_saving =
         current_report.iteration_ns() as i64 - candidate_report.iteration_ns() as i64;
@@ -96,10 +107,10 @@ pub fn consider(
     let cost = (policy.interruption_ns as f64 * policy.threshold) as i64;
 
     if total_saving > cost {
-        let bandwidth_delta_gbps = candidate.total_bandwidth_gbps(state.topo())?
+        let bandwidth_delta_gbps = candidate.schedule.total_bandwidth_gbps(state.topo())?
             - current.total_bandwidth_gbps(state.topo())?;
         Ok(RescheduleVerdict::Migrate {
-            new_schedule: Box::new(candidate),
+            new_proposal: Box::new(candidate),
             predicted_saving_ns: total_saving,
             bandwidth_delta_gbps,
         })
@@ -139,14 +150,19 @@ mod tests {
         (state, cluster, task)
     }
 
+    fn schedule_with(sched: &dyn Scheduler, state: &NetworkState, task: &AiTask) -> Schedule {
+        let snap = NetworkSnapshot::capture(state);
+        sched
+            .propose_once(task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule
+    }
+
     #[test]
     fn stable_network_keeps_schedule() {
         let (mut state, cluster, task) = rig();
         let sched = FlexibleMst::paper();
-        let current = {
-            let ctx = SchedContext::new(&state);
-            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
-        };
+        let current = schedule_with(&sched, &state, &task);
         current.apply(&mut state).unwrap();
         let verdict = consider(
             &ReschedulePolicy::default(),
@@ -157,6 +173,7 @@ mod tests {
             &state,
             &cluster,
             &Transport::tcp(),
+            &mut ScratchPool::new(),
         )
         .unwrap();
         assert!(
@@ -169,10 +186,7 @@ mod tests {
     fn link_failure_triggers_migration() {
         let (mut state, cluster, task) = rig();
         let sched = FixedSpff;
-        let current = {
-            let ctx = SchedContext::new(&state);
-            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
-        };
+        let current = schedule_with(&sched, &state, &task);
         current.apply(&mut state).unwrap();
 
         // Cut a core ring span (ROADM-to-ROADM) the schedule uses: the
@@ -204,18 +218,21 @@ mod tests {
             &state,
             &cluster,
             &Transport::tcp(),
+            &mut ScratchPool::new(),
         )
         .unwrap();
         match verdict {
             RescheduleVerdict::Migrate {
                 predicted_saving_ns,
-                new_schedule,
+                new_proposal,
                 ..
             } => {
                 assert!(predicted_saving_ns > 0);
-                for (dl, _) in new_schedule.reservations(state.topo()).unwrap() {
+                for (dl, _) in new_proposal.schedule.reservations(state.topo()).unwrap() {
                     assert_ne!(dl.link, core.link, "candidate must avoid the cut link");
                 }
+                // The migration hands the committer validated claims too.
+                assert!(!new_proposal.claims.links.is_empty());
             }
             RescheduleVerdict::Keep { rejected_saving_ns } => {
                 panic!("expected migration, saving was {rejected_saving_ns}")
@@ -227,10 +244,7 @@ mod tests {
     fn high_threshold_suppresses_migration() {
         let (mut state, cluster, task) = rig();
         let sched = FixedSpff;
-        let current = {
-            let ctx = SchedContext::new(&state);
-            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
-        };
+        let current = schedule_with(&sched, &state, &task);
         current.apply(&mut state).unwrap();
         let (dl0, _) = current.reservations(state.topo()).unwrap()[0];
         let residual = state.residual_gbps(dl0).unwrap();
@@ -248,6 +262,7 @@ mod tests {
             &state,
             &cluster,
             &Transport::tcp(),
+            &mut ScratchPool::new(),
         )
         .unwrap();
         assert!(matches!(verdict, RescheduleVerdict::Keep { .. }));
@@ -257,12 +272,10 @@ mod tests {
     fn consider_does_not_mutate_live_state() {
         let (mut state, cluster, task) = rig();
         let sched = FlexibleMst::paper();
-        let current = {
-            let ctx = SchedContext::new(&state);
-            sched.schedule(&task, &task.local_sites, &ctx).unwrap()
-        };
+        let current = schedule_with(&sched, &state, &task);
         current.apply(&mut state).unwrap();
         let before = state.total_reserved_gbps();
+        let version_before = state.version();
         let _ = consider(
             &ReschedulePolicy::default(),
             &sched,
@@ -272,9 +285,11 @@ mod tests {
             &state,
             &cluster,
             &Transport::tcp(),
+            &mut ScratchPool::new(),
         )
         .unwrap();
         assert_eq!(state.total_reserved_gbps(), before);
+        assert_eq!(state.version(), version_before, "live state must not move");
         let _ = DirLink::new(flexsched_topo::LinkId(0), Direction::AtoB);
     }
 }

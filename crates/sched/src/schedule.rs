@@ -6,6 +6,7 @@ use flexsched_task::TaskId;
 use flexsched_topo::algo::SteinerTree;
 use flexsched_topo::{NodeId, Path, Topology};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A path with the rate reserved on it.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +26,13 @@ pub enum RoutingPlan {
     /// A shared tree (flexible scheduler). Broadcast flows root→leaves,
     /// upload flows leaves→root with aggregation at branch nodes.
     Tree {
-        /// The routing tree rooted at the global site.
-        tree: SteinerTree,
+        /// The routing tree rooted at the global site. `Arc`-shared: a
+        /// `SteinerTree` carries O(topology-node-count) parent/children
+        /// arrays, and long-lived schedules are cloned on every database
+        /// read — sharing the tree makes those clones (and the
+        /// broadcast-reuses-upload case) pointer bumps instead of array
+        /// copies.
+        tree: Arc<SteinerTree>,
         /// Base rate reserved per model-update stream, Gbit/s.
         rate_gbps: f64,
         /// Model-update copies carried on each node's parent edge. Broadcast
@@ -135,6 +141,11 @@ impl Schedule {
 
     /// Reserve every directed hop on the network state. All-or-nothing: on
     /// failure, already-applied reservations are rolled back.
+    ///
+    /// This is the *mechanism* of the commit stage, not a policy entry
+    /// point: live state is only ever mutated by the orchestrator's
+    /// committer after claim validation. Schedulers never call this;
+    /// rescheduling calls it on private hypothetical clones only.
     pub fn apply(&self, state: &mut NetworkState) -> Result<()> {
         let reservations = self.reservations(state.topo())?;
         let mut done: Vec<(DirLink, f64)> = Vec::with_capacity(reservations.len());
@@ -238,11 +249,13 @@ mod tests {
         }
     }
 
-    /// Build a tree-style schedule on the same star.
+    /// Build a tree-style schedule on the same star. Broadcast and upload
+    /// share one `Arc`'d tree, as the flexible scheduler's shared-tree mode
+    /// does.
     fn tree_schedule(topo: &Topology, rate: f64) -> Schedule {
         let g = NodeId(1);
         let locals = vec![NodeId(2), NodeId(3), NodeId(4)];
-        let tree = steiner_tree(topo, g, &locals, hop_weight).unwrap();
+        let tree = Arc::new(steiner_tree(topo, g, &locals, hop_weight).unwrap());
         Schedule {
             task: TaskId(1),
             scheduler: "flex-test".into(),
@@ -250,7 +263,7 @@ mod tests {
             selected_locals: locals,
             demand_gbps: rate,
             broadcast: RoutingPlan::Tree {
-                tree: tree.clone(),
+                tree: Arc::clone(&tree),
                 rate_gbps: rate,
                 copies: BTreeMap::new(),
             },

@@ -1,0 +1,155 @@
+//! The observable world of a scheduling decision: an immutable snapshot.
+//!
+//! [`NetworkSnapshot`] is stage one of the **snapshot → propose → commit**
+//! pipeline. It bundles a frozen IP-layer view
+//! ([`flexsched_simnet::NetSnapshot`]), an optional frozen optical view
+//! ([`flexsched_optical::OpticalSnapshot`]) and the scheduling knobs (rate
+//! floor, candidate-path count) into one `Send + Sync` value. Schedulers
+//! are pure functions of snapshot + task: they may read everything here and
+//! mutate nothing — all state changes flow through the orchestrator's
+//! committer, which validates each proposal's claims against *live* state.
+//!
+//! Because the snapshot is immutable and `Arc`-shares its topology, any
+//! number of worker threads can speculate schedules against the same
+//! snapshot concurrently (the parallel batch scheduler does exactly this).
+
+use flexsched_optical::{OpticalSnapshot, OpticalState};
+use flexsched_simnet::{NetSnapshot, NetworkState};
+use flexsched_topo::Topology;
+
+/// Everything a scheduling policy may observe, frozen at one instant.
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    /// Frozen IP-layer link loads (residuals, down set, mutation stamps).
+    net: NetSnapshot,
+    /// Frozen optical-layer occupancy, when the scenario models wavelengths.
+    optical: Option<OpticalSnapshot>,
+    /// Minimum useful per-flow rate, Gbit/s; candidate routes whose
+    /// obtainable rate falls below this are treated as infeasible.
+    pub min_rate_gbps: f64,
+    /// How many alternate (k-shortest) paths the fixed scheduler probes
+    /// before declaring a local unreachable.
+    pub k_paths: usize,
+}
+
+impl NetworkSnapshot {
+    /// Freeze `state` with default knobs (0.5 Gbit/s floor, 3 candidate
+    /// paths), no optical view.
+    pub fn capture(state: &NetworkState) -> Self {
+        NetworkSnapshot {
+            net: state.snapshot(),
+            optical: None,
+            min_rate_gbps: 0.5,
+            k_paths: 3,
+        }
+    }
+
+    /// Attach a frozen optical-layer view.
+    ///
+    /// Capture both layers under one database read lock when the scenario
+    /// is threaded, so the two views are mutually consistent.
+    pub fn with_optical(mut self, optical: &OpticalState) -> Self {
+        self.optical = Some(optical.snapshot());
+        self
+    }
+
+    /// Override the rate floor.
+    pub fn with_min_rate(mut self, gbps: f64) -> Self {
+        self.min_rate_gbps = gbps;
+        self
+    }
+
+    /// Override the candidate path count.
+    pub fn with_k_paths(mut self, k: usize) -> Self {
+        self.k_paths = k;
+        self
+    }
+
+    /// The frozen IP-layer view.
+    #[inline]
+    pub fn net(&self) -> &NetSnapshot {
+        &self.net
+    }
+
+    /// The frozen optical-layer view, if one was attached.
+    #[inline]
+    pub fn optical(&self) -> Option<&OpticalSnapshot> {
+        self.optical.as_ref()
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        self.net.topo()
+    }
+
+    /// Global IP-layer mutation stamp this snapshot was taken at.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.net.version()
+    }
+
+    /// Optical mutation stamp this snapshot was taken at (`None` when no
+    /// optical view is attached).
+    pub fn optical_version(&self) -> Option<u64> {
+        self.optical.as_ref().map(OpticalSnapshot::version)
+    }
+}
+
+// The whole point of the snapshot stage: decisions may fan out across
+// threads. Regressing this bound breaks the parallel batch scheduler at
+// compile time, so pin it here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NetworkSnapshot>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::builders;
+    use std::sync::Arc;
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let optical = OpticalState::new(topo);
+        let snap = NetworkSnapshot::capture(&state)
+            .with_optical(&optical)
+            .with_min_rate(2.0)
+            .with_k_paths(5);
+        assert!(snap.optical().is_some());
+        assert_eq!(snap.min_rate_gbps, 2.0);
+        assert_eq!(snap.k_paths, 5);
+        assert_eq!(snap.optical_version(), Some(optical.version()));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let state = NetworkState::new(topo);
+        let snap = NetworkSnapshot::capture(&state);
+        assert!(snap.optical().is_none());
+        assert!(snap.optical_version().is_none());
+        assert_eq!(snap.min_rate_gbps, 0.5);
+        assert_eq!(snap.k_paths, 3);
+        assert_eq!(snap.version(), state.version());
+    }
+
+    #[test]
+    fn snapshot_is_shareable_across_threads() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let state = NetworkState::new(topo);
+        let snap = Arc::new(NetworkSnapshot::capture(&state));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let snap = Arc::clone(&snap);
+                std::thread::spawn(move || snap.net().residual_min_gbps(flexsched_topo::LinkId(0)))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100.0);
+        }
+    }
+}

@@ -11,11 +11,18 @@
 //! * the **latency term** charges the hop's propagation + switching delay,
 //!   normalised to a metro-scale hop, plus a congestion-dependent queuing
 //!   estimate,
+//! * the **wavelength-headroom term** (when an optical view is attached)
+//!   charges spectral scarcity: links whose continuity set has few free
+//!   wavelengths cost more, so trees prefer fibers with headroom instead of
+//!   treating feasibility as a binary cliff,
 //! * unusable links (down, no residual, or — when an optical view is
-//!   attached — no free wavelength) weigh `f64::INFINITY`.
+//!   attached — no free wavelength and no groomable lightpath) weigh
+//!   `f64::INFINITY`.
+//!
+//! All inputs come from the immutable [`NetworkSnapshot`]: weight
+//! evaluation is read-only and thread-safe by construction.
 
-use flexsched_optical::OpticalState;
-use flexsched_simnet::NetworkState;
+use crate::snapshot::NetworkSnapshot;
 use flexsched_topo::{Link, LinkId};
 use std::collections::BTreeSet;
 
@@ -25,6 +32,13 @@ pub const ALPHA_BANDWIDTH: f64 = 1.0;
 /// Relative importance of the latency term.
 pub const BETA_LATENCY: f64 = 1.0;
 
+/// Default relative importance of the wavelength-headroom term: a fully
+/// spectrally-loaded fiber costs this much extra weight versus an empty
+/// one. Comparable to a fraction of a typical latency/bandwidth term, so
+/// headroom steers ties and near-ties without overriding genuinely shorter
+/// or emptier routes.
+pub const GAMMA_WAVELENGTH: f64 = 0.25;
+
 /// Latency normalisation: one "unit" of latency cost per this many ns
 /// (a 10 km metro hop plus router transit ≈ 52 µs).
 const LATENCY_UNIT_NS: f64 = 52_000.0;
@@ -33,36 +47,38 @@ const LATENCY_UNIT_NS: f64 = 52_000.0;
 ///
 /// `reused` is the set of links already carrying this task (e.g. by the
 /// other procedure's tree, or by the previous schedule during
-/// rescheduling); their bandwidth term is zero.
+/// rescheduling); their bandwidth term is zero. `wavelength_headroom`
+/// scales the spectral-scarcity term (zero reproduces the poster's binary
+/// feasibility exactly; [`GAMMA_WAVELENGTH`] is the recommended default).
 pub fn auxiliary_weight(
-    state: &NetworkState,
-    optical: Option<&OpticalState>,
+    snap: &NetworkSnapshot,
     demand_gbps: f64,
     reused: &BTreeSet<LinkId>,
     link: &Link,
+    wavelength_headroom: f64,
 ) -> f64 {
-    if state.is_down(link.id) {
+    let net = snap.net();
+    if net.is_down(link.id) {
         return f64::INFINITY;
     }
-    let residual = state.residual_min_gbps(link.id);
+    let residual = net.residual_min_gbps(link.id);
     if residual <= 0.0 {
         return f64::INFINITY;
     }
-    // Wavelength feasibility: a link is usable if a new lightpath can be
-    // lit on it *or* an established lightpath crossing it still has
-    // groomable capacity for this demand. Reused links already carry one.
-    if let Some(opt) = optical {
+    // Wavelength feasibility and headroom: a link is usable if a new
+    // lightpath can be lit on it *or* an established lightpath crossing it
+    // still has groomable capacity for this demand. Reused links already
+    // carry one. The free-wavelength count (one popcount pass over the
+    // bitset RWA words) doubles as the continuity-set headroom.
+    let mut headroom_term = 0.0;
+    if let Some(opt) = snap.optical() {
         if !reused.contains(&link.id) {
-            // One bitmask word scan instead of a per-wavelength is_free loop:
-            // this runs for every link on every Dijkstra edge visit.
-            let any_free = opt.has_free_wavelength(link.id).unwrap_or(false);
-            let groomable = !any_free
-                && opt.lightpaths().any(|lp| {
-                    lp.path.links.contains(&link.id) && lp.residual_gbps() + 1e-9 >= demand_gbps
-                });
-            if !any_free && !groomable {
+            let free = opt.free_wavelength_count(link.id).unwrap_or(0);
+            if free == 0 && !opt.groomable_across(link.id, demand_gbps) {
                 return f64::INFINITY;
             }
+            let grid = f64::from(link.wavelengths.max(1));
+            headroom_term = wavelength_headroom * (1.0 - f64::from(free) / grid);
         }
     }
 
@@ -83,15 +99,16 @@ pub fn auxiliary_weight(
     .min(100.0);
     let latency_term = latency_ns / LATENCY_UNIT_NS + 0.1 * queue_penalty;
 
-    ALPHA_BANDWIDTH * bandwidth_term + BETA_LATENCY * latency_term
+    ALPHA_BANDWIDTH * bandwidth_term + BETA_LATENCY * latency_term + headroom_term
 }
 
 /// Weight used by the fixed SPFF baseline: pure latency shortest path,
 /// infinite when the link is down or has no residual capacity at all. The
 /// baseline deliberately ignores bandwidth consumption — that is what makes
 /// it "fixed".
-pub fn spff_weight(state: &NetworkState, link: &Link) -> f64 {
-    if state.is_down(link.id) || state.residual_min_gbps(link.id) <= 0.0 {
+pub fn spff_weight(snap: &NetworkSnapshot, link: &Link) -> f64 {
+    let net = snap.net();
+    if net.is_down(link.id) || net.residual_min_gbps(link.id) <= 0.0 {
         return f64::INFINITY;
     }
     link.propagation_ns() as f64 + 1.0
@@ -100,7 +117,7 @@ pub fn spff_weight(state: &NetworkState, link: &Link) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexsched_simnet::DirLink;
+    use flexsched_simnet::{DirLink, NetworkState};
     use flexsched_topo::{builders, Direction};
     use std::sync::Arc;
 
@@ -112,6 +129,10 @@ mod tests {
         state.topo().link(LinkId(0)).unwrap().clone()
     }
 
+    fn snap(state: &NetworkState) -> NetworkSnapshot {
+        NetworkSnapshot::capture(state)
+    }
+
     #[test]
     fn reused_links_have_no_bandwidth_cost() {
         let state = rig();
@@ -119,8 +140,9 @@ mod tests {
         let empty = BTreeSet::new();
         let mut reused = BTreeSet::new();
         reused.insert(LinkId(0));
-        let fresh = auxiliary_weight(&state, None, 50.0, &empty, &l);
-        let cheap = auxiliary_weight(&state, None, 50.0, &reused, &l);
+        let s = snap(&state);
+        let fresh = auxiliary_weight(&s, 50.0, &empty, &l, 0.0);
+        let cheap = auxiliary_weight(&s, 50.0, &reused, &l, 0.0);
         assert!(cheap < fresh, "reuse discount missing: {cheap} !< {fresh}");
     }
 
@@ -129,11 +151,11 @@ mod tests {
         let mut state = rig();
         let l = link0(&state);
         let empty = BTreeSet::new();
-        let idle = auxiliary_weight(&state, None, 20.0, &empty, &l);
+        let idle = auxiliary_weight(&snap(&state), 20.0, &empty, &l, 0.0);
         state
             .add_background(DirLink::new(LinkId(0), Direction::AtoB), 70.0)
             .unwrap();
-        let busy = auxiliary_weight(&state, None, 20.0, &empty, &l);
+        let busy = auxiliary_weight(&snap(&state), 20.0, &empty, &l, 0.0);
         assert!(busy > idle);
     }
 
@@ -145,7 +167,7 @@ mod tests {
             .add_background(DirLink::new(LinkId(0), Direction::AtoB), 100.0)
             .unwrap();
         assert_eq!(
-            auxiliary_weight(&state, None, 1.0, &BTreeSet::new(), &l),
+            auxiliary_weight(&snap(&state), 1.0, &BTreeSet::new(), &l, 0.0),
             f64::INFINITY
         );
     }
@@ -155,11 +177,12 @@ mod tests {
         let mut state = rig();
         let l = link0(&state);
         state.set_down(LinkId(0), true).unwrap();
+        let s = snap(&state);
         assert_eq!(
-            auxiliary_weight(&state, None, 1.0, &BTreeSet::new(), &l),
+            auxiliary_weight(&s, 1.0, &BTreeSet::new(), &l, 0.0),
             f64::INFINITY
         );
-        assert_eq!(spff_weight(&state, &l), f64::INFINITY);
+        assert_eq!(spff_weight(&s, &l), f64::INFINITY);
     }
 
     #[test]
@@ -170,8 +193,9 @@ mod tests {
         let short = topo.add_link(a, b, 1.0, 10.0).unwrap();
         let long = topo.add_link(a, b, 50.0, 400.0).unwrap();
         let state = NetworkState::new(Arc::new(topo));
-        let ws = spff_weight(&state, state.topo().link(short).unwrap());
-        let wl = spff_weight(&state, state.topo().link(long).unwrap());
+        let s = snap(&state);
+        let ws = spff_weight(&s, state.topo().link(short).unwrap());
+        let wl = spff_weight(&s, state.topo().link(long).unwrap());
         assert!(ws < wl, "capacity must not matter to SPFF: {ws} {wl}");
     }
 
@@ -189,15 +213,59 @@ mod tests {
             .unwrap();
         opt.establish(p, WavelengthPolicy::FirstFit).unwrap();
         let l = state.topo().link(LinkId(0)).unwrap().clone();
+        let s = NetworkSnapshot::capture(&state).with_optical(&opt);
         // Demand exceeding the occupied lightpath's residual: unusable.
-        let fresh = auxiliary_weight(&state, Some(&opt), 500.0, &BTreeSet::new(), &l);
+        let fresh = auxiliary_weight(&s, 500.0, &BTreeSet::new(), &l, 0.0);
         assert_eq!(fresh, f64::INFINITY, "no free wavelength -> unusable");
         // A small demand fits the established lightpath's residual: usable.
-        let groomed = auxiliary_weight(&state, Some(&opt), 1.0, &BTreeSet::new(), &l);
+        let groomed = auxiliary_weight(&s, 1.0, &BTreeSet::new(), &l, 0.0);
         assert!(groomed.is_finite(), "groomable lightpath keeps link usable");
         let mut reused = BTreeSet::new();
         reused.insert(LinkId(0));
-        let re = auxiliary_weight(&state, Some(&opt), 1.0, &reused, &l);
+        let re = auxiliary_weight(&s, 1.0, &reused, &l, 0.0);
         assert!(re.is_finite(), "reused link keeps its lightpath");
+    }
+
+    #[test]
+    fn wavelength_headroom_prices_spectral_scarcity() {
+        use flexsched_optical::{OpticalState, WavelengthPolicy};
+        // Two parallel 4-wavelength fibers; one gets 3 of 4 slots occupied.
+        let mut topo = flexsched_topo::Topology::new();
+        let a = topo.add_node(flexsched_topo::NodeKind::Roadm, "a");
+        let b = topo.add_node(flexsched_topo::NodeKind::Roadm, "b");
+        let crowded = topo.add_wdm_link(a, b, 10.0, 400.0, 4).unwrap();
+        let empty = topo.add_wdm_link(a, b, 10.0, 400.0, 4).unwrap();
+        let topo = Arc::new(topo);
+        let state = NetworkState::new(Arc::clone(&topo));
+        let mut opt = OpticalState::new(Arc::clone(&topo));
+        let hop = flexsched_topo::Path::new(vec![a, b], vec![crowded]).unwrap();
+        for _ in 0..3 {
+            opt.establish(hop.clone(), WavelengthPolicy::FirstFit)
+                .unwrap();
+        }
+        let s = NetworkSnapshot::capture(&state).with_optical(&opt);
+        let none = BTreeSet::new();
+        let lc = state.topo().link(crowded).unwrap().clone();
+        let le = state.topo().link(empty).unwrap().clone();
+        // Binary feasibility (gamma 0): both usable, same weight.
+        let wc0 = auxiliary_weight(&s, 1.0, &none, &lc, 0.0);
+        let we0 = auxiliary_weight(&s, 1.0, &none, &le, 0.0);
+        assert!((wc0 - we0).abs() < 1e-12, "gamma=0 must ignore headroom");
+        // Headroom-aware: the crowded fiber costs more.
+        let wc = auxiliary_weight(&s, 1.0, &none, &lc, GAMMA_WAVELENGTH);
+        let we = auxiliary_weight(&s, 1.0, &none, &le, GAMMA_WAVELENGTH);
+        assert!(wc > we, "crowded {wc} !> empty {we}");
+        // 3/4 occupied vs 0/4: the difference is gamma * 3/4.
+        assert!((wc - we - GAMMA_WAVELENGTH * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headroom_ignored_without_optical_view() {
+        let state = rig();
+        let l = link0(&state);
+        let s = snap(&state);
+        let a = auxiliary_weight(&s, 1.0, &BTreeSet::new(), &l, 0.0);
+        let b = auxiliary_weight(&s, 1.0, &BTreeSet::new(), &l, GAMMA_WAVELENGTH);
+        assert_eq!(a, b);
     }
 }

@@ -2,7 +2,7 @@
 
 use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
 use flexsched_sched::{
-    evaluate_schedule, FixedSpff, FlexibleMst, RoutingPlan, SchedContext, Scheduler,
+    evaluate_schedule, FixedSpff, FlexibleMst, NetworkSnapshot, RoutingPlan, Scheduler,
 };
 use flexsched_simnet::{NetworkState, Transport};
 use flexsched_task::{AiTask, TaskId};
@@ -45,9 +45,9 @@ proptest! {
         let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
         let state = NetworkState::new(Arc::clone(&topo));
         let task = make_task(&topo, n, seed);
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         for sched in [&FixedSpff as &dyn Scheduler, &FlexibleMst::paper()] {
-            let s = sched.schedule(&task, &task.local_sites, &ctx).unwrap();
+            let s = sched.propose_once(&task, &task.local_sites, &snap).unwrap().schedule;
             match &s.broadcast {
                 RoutingPlan::Paths(m) => {
                     for local in &task.local_sites {
@@ -75,9 +75,9 @@ proptest! {
         let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
         let state = NetworkState::new(Arc::clone(&topo));
         let task = make_task(&topo, n, seed);
-        let ctx = SchedContext::new(&state);
-        let fixed = FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap();
-        let flex = FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap();
+        let snap = NetworkSnapshot::capture(&state);
+        let fixed = FixedSpff.propose_once(&task, &task.local_sites, &snap).unwrap().schedule;
+        let flex = FlexibleMst::paper().propose_once(&task, &task.local_sites, &snap).unwrap().schedule;
         let bx = fixed.total_bandwidth_gbps(&topo).unwrap();
         let bf = flex.total_bandwidth_gbps(&topo).unwrap();
         prop_assert!(bf <= bx + 1e-6, "flexible {bf} > fixed {bx} at n={n}");
@@ -91,11 +91,11 @@ proptest! {
         let mut state = NetworkState::new(Arc::clone(&topo));
         let task = make_task(&topo, n, seed);
         let s = {
-            let ctx = SchedContext::new(&state);
+            let snap = NetworkSnapshot::capture(&state);
             if flex {
-                FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap()
+                FlexibleMst::paper().propose_once(&task, &task.local_sites, &snap).unwrap().schedule
             } else {
-                FixedSpff.schedule(&task, &task.local_sites, &ctx).unwrap()
+                FixedSpff.propose_once(&task, &task.local_sites, &snap).unwrap().schedule
             }
         };
         s.apply(&mut state).unwrap();
@@ -115,8 +115,8 @@ proptest! {
         let cluster = ClusterManager::from_topology(&topo, ServerSpec::default());
         let task = make_task(&topo, n, seed);
         let s = {
-            let ctx = SchedContext::new(&state);
-            FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx).unwrap()
+            let snap = NetworkSnapshot::capture(&state);
+            FlexibleMst::paper().propose_once(&task, &task.local_sites, &snap).unwrap().schedule
         };
         s.apply(&mut state).unwrap();
         let a = evaluate_schedule(&task, &s, &state, &cluster, &Transport::tcp()).unwrap();
@@ -139,10 +139,11 @@ proptest! {
         for (i, seed) in seeds.iter().enumerate() {
             let task = make_task(&topo, 4 + (i % 8), *seed);
             let res = {
-                let ctx = SchedContext::new(&state);
-                FlexibleMst::paper().schedule(&task, &task.local_sites, &ctx)
+                let snap = NetworkSnapshot::capture(&state);
+                FlexibleMst::paper().propose_once(&task, &task.local_sites, &snap)
             };
-            if let Ok(s) = res {
+            if let Ok(p) = res {
+                let s = p.schedule;
                 // apply may legitimately fail only by Blocked-style races,
                 // but never corrupt state.
                 if s.apply(&mut state).is_ok() {

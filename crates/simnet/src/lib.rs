@@ -9,6 +9,9 @@
 //! * [`NetworkState`] — per-direction link reservations, background load and
 //!   failure state; the "networking conditions" the orchestrator reports to
 //!   its database,
+//! * [`NetSnapshot`] — an immutable, `Send + Sync` freeze of those loads
+//!   (with mutation stamps) that scheduler worker threads speculate against
+//!   in the snapshot → propose → commit pipeline,
 //! * [`transport`] — TCP vs RDMA transfer models (open challenge #2 of the
 //!   poster): header overhead, per-packet CPU cost, loss/retransmission and
 //!   the long-distance window limit of RDMA,
@@ -26,6 +29,7 @@
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod snapshot;
 pub mod state;
 pub mod time;
 pub mod traffic;
@@ -34,6 +38,7 @@ pub mod transport;
 
 pub use engine::EventQueue;
 pub use error::SimError;
+pub use snapshot::NetSnapshot;
 pub use state::{DirLink, LinkUsage, NetworkState};
 pub use time::SimTime;
 pub use transfer::{transfer_time_ns, TransferSpec};

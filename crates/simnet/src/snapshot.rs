@@ -1,0 +1,207 @@
+//! Frozen, shareable views of the IP-layer link state.
+//!
+//! A [`NetSnapshot`] is the first stage of the snapshot → propose → commit
+//! scheduling pipeline: a cheap, immutable copy of every per-direction
+//! residual, the down set and the mutation stamps of a [`NetworkState`] at
+//! one instant. It is `Send + Sync` (plain arrays plus an `Arc`-shared
+//! topology), so any number of scheduler worker threads can speculate
+//! against the same snapshot while the live state keeps mutating under the
+//! orchestrator's lock.
+//!
+//! The snapshot records the per-link [`NetworkState::link_version`] stamps
+//! it was taken at; the committer compares them against the live state to
+//! detect that a speculated claim went stale.
+
+use crate::state::{DirLink, NetworkState};
+use crate::{Result, SimError};
+use flexsched_topo::{LinkId, NodeId, Topology};
+use std::sync::Arc;
+
+fn dir_index(d: flexsched_topo::Direction) -> usize {
+    match d {
+        flexsched_topo::Direction::AtoB => 0,
+        flexsched_topo::Direction::BtoA => 1,
+    }
+}
+
+/// An immutable point-in-time copy of the network's link loads.
+///
+/// Mirrors the read API of [`NetworkState`] that scheduling policies use
+/// (`residual_gbps`, `residual_min_gbps`, `is_down`, `residual_from`), so a
+/// policy is a pure function of snapshot + task.
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    topo: Arc<Topology>,
+    /// `residual[link][dir]`, Gbit/s; zero when the link was down.
+    residual: Vec<[f64; 2]>,
+    /// Min-direction residual per link (the schedulers' hottest query).
+    residual_min: Vec<f64>,
+    down: Vec<bool>,
+    /// Per-link mutation stamps at capture time.
+    link_version: Vec<u64>,
+    /// Global mutation stamp at capture time.
+    version: u64,
+}
+
+impl NetSnapshot {
+    /// Freeze `state`'s current loads. O(link count) copies, no allocation
+    /// beyond the flat arrays.
+    pub fn capture(state: &NetworkState) -> Self {
+        let topo = state.topo_arc();
+        let (usage, down, residual_min, link_version) = state.raw_parts();
+        let n = usage.len();
+        let mut residual = vec![[0.0f64; 2]; n];
+        for (i, slot) in residual.iter_mut().enumerate() {
+            if down[i] {
+                continue;
+            }
+            let cap = topo
+                .link(LinkId(i as u32))
+                .map(|l| l.capacity_gbps)
+                .unwrap_or(0.0);
+            slot[0] = (cap - usage[i][0].occupied_gbps()).max(0.0);
+            slot[1] = (cap - usage[i][1].occupied_gbps()).max(0.0);
+        }
+        NetSnapshot {
+            topo,
+            residual,
+            residual_min: residual_min.to_vec(),
+            down: down.to_vec(),
+            link_version: link_version.to_vec(),
+            version: state.version(),
+        }
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Shared handle to the topology.
+    pub fn topo_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
+    }
+
+    /// Global mutation stamp of the state this snapshot froze.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mutation stamp of `link` at capture time (zero for unknown links).
+    #[inline]
+    pub fn link_version(&self, link: LinkId) -> u64 {
+        self.link_version.get(link.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether the link was down at capture time.
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.down.get(link.index()).copied().unwrap_or(false)
+    }
+
+    /// Residual capacity in one direction at capture time; zero when down.
+    pub fn residual_gbps(&self, dl: DirLink) -> Result<f64> {
+        self.residual
+            .get(dl.link.index())
+            .map(|r| r[dir_index(dl.dir)])
+            .ok_or(SimError::Topo(flexsched_topo::TopoError::UnknownLink(
+                dl.link,
+            )))
+    }
+
+    /// Min-direction residual at capture time (zero for unknown links).
+    #[inline]
+    pub fn residual_min_gbps(&self, link: LinkId) -> f64 {
+        self.residual_min.get(link.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Residual in the direction leaving `from`, zero when the orientation
+    /// is unknown. Convenience for weight functions.
+    pub fn residual_from(&self, link: LinkId, from: NodeId) -> f64 {
+        let Ok(l) = self.topo.link(link) else {
+            return 0.0;
+        };
+        let Some(dir) = l.direction_from(from) else {
+            return 0.0;
+        };
+        self.residual_gbps(DirLink::new(link, dir)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_topo::{builders, Direction};
+
+    fn dl(l: u32) -> DirLink {
+        DirLink::new(LinkId(l), Direction::AtoB)
+    }
+
+    #[test]
+    fn snapshot_freezes_residuals() {
+        let mut s = NetworkState::new(Arc::new(builders::linear(3, 1.0, 100.0)));
+        s.reserve(dl(0), 40.0).unwrap();
+        let snap = s.snapshot();
+        // Later mutations do not show through.
+        s.reserve(dl(0), 20.0).unwrap();
+        assert_eq!(snap.residual_gbps(dl(0)).unwrap(), 60.0);
+        assert_eq!(snap.residual_min_gbps(LinkId(0)), 60.0);
+        assert_eq!(s.residual_gbps(dl(0)).unwrap(), 40.0);
+    }
+
+    #[test]
+    fn snapshot_records_versions() {
+        let mut s = NetworkState::new(Arc::new(builders::linear(3, 1.0, 100.0)));
+        let before = s.snapshot();
+        assert_eq!(before.version(), s.version());
+        s.reserve(dl(1), 1.0).unwrap();
+        assert_eq!(
+            before.link_version(LinkId(1)) + 1,
+            s.link_version(LinkId(1))
+        );
+        assert_eq!(before.link_version(LinkId(0)), s.link_version(LinkId(0)));
+        assert!(s.version() > before.version());
+    }
+
+    #[test]
+    fn down_links_freeze_as_zero_residual() {
+        let mut s = NetworkState::new(Arc::new(builders::linear(3, 1.0, 100.0)));
+        s.set_down(LinkId(0), true).unwrap();
+        let snap = s.snapshot();
+        assert!(snap.is_down(LinkId(0)));
+        assert_eq!(snap.residual_gbps(dl(0)).unwrap(), 0.0);
+        assert_eq!(
+            snap.residual_gbps(DirLink::new(LinkId(0), Direction::BtoA))
+                .unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn unknown_links_error_or_default() {
+        let s = NetworkState::new(Arc::new(builders::linear(2, 1.0, 100.0)));
+        let snap = s.snapshot();
+        assert!(snap.residual_gbps(dl(9)).is_err());
+        assert_eq!(snap.residual_min_gbps(LinkId(9)), 0.0);
+        assert!(!snap.is_down(LinkId(9)));
+        assert_eq!(snap.residual_from(LinkId(9), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetSnapshot>();
+    }
+
+    #[test]
+    fn residual_from_matches_live_state() {
+        let topo = Arc::new(builders::linear(2, 1.0, 100.0));
+        let mut s = NetworkState::new(Arc::clone(&topo));
+        s.reserve(DirLink::new(LinkId(0), Direction::AtoB), 25.0)
+            .unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.residual_from(LinkId(0), NodeId(0)), 75.0);
+        assert_eq!(snap.residual_from(LinkId(0), NodeId(1)), 100.0);
+    }
+}

@@ -59,6 +59,12 @@ pub struct NetworkState {
     residual_min: Vec<f64>,
     /// Monotone counter of reservation operations (for observability).
     reservations_made: u64,
+    /// Per-link mutation stamps: `link_version[l]` increments whenever link
+    /// `l`'s usage or up/down status changes. Snapshots record these so the
+    /// committer can detect that a claim was speculated against stale state.
+    link_version: Vec<u64>,
+    /// Global mutation stamp: increments on every state change.
+    version: u64,
 }
 
 fn dir_index(d: Direction) -> usize {
@@ -83,12 +89,18 @@ impl NetworkState {
             down: vec![false; n],
             residual_min,
             reservations_made: 0,
+            link_version: vec![0; n],
+            version: 0,
         }
     }
 
-    /// Recompute the cached min-direction residual after `link` changed.
+    /// Recompute the cached min-direction residual after `link` changed, and
+    /// stamp the mutation into the per-link and global version counters
+    /// (every mutating entry point funnels through here).
     fn refresh_residual_min(&mut self, link: LinkId) {
         let i = link.index();
+        self.link_version[i] += 1;
+        self.version += 1;
         self.residual_min[i] = if self.down[i] {
             0.0
         } else {
@@ -301,7 +313,43 @@ impl NetworkState {
     pub fn residual_min_gbps(&self, link: LinkId) -> f64 {
         self.residual_min.get(link.index()).copied().unwrap_or(0.0)
     }
+
+    /// Global mutation stamp: increments on every reserve/release/
+    /// background/up-down change anywhere in the network.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Per-link mutation stamp (zero for unknown links): increments whenever
+    /// that link's usage or status changes. Compared against a snapshot's
+    /// recorded stamp to detect that a speculated claim went stale.
+    #[inline]
+    pub fn link_version(&self, link: LinkId) -> u64 {
+        self.link_version.get(link.index()).copied().unwrap_or(0)
+    }
+
+    /// Freeze the current link loads into an immutable, `Send + Sync`
+    /// [`NetSnapshot`](crate::snapshot::NetSnapshot) that schedulers can
+    /// read without holding any lock on the live state.
+    pub fn snapshot(&self) -> crate::snapshot::NetSnapshot {
+        crate::snapshot::NetSnapshot::capture(self)
+    }
+
+    /// Internal accessors for snapshot capture.
+    pub(crate) fn raw_parts(&self) -> RawLinkState<'_> {
+        (
+            &self.usage,
+            &self.down,
+            &self.residual_min,
+            &self.link_version,
+        )
+    }
 }
+
+/// Borrowed (usage, down, residual_min, link_version) arrays, as handed to
+/// snapshot capture.
+pub(crate) type RawLinkState<'a> = (&'a [[LinkUsage; 2]], &'a [bool], &'a [f64], &'a [u64]);
 
 #[cfg(test)]
 mod tests {

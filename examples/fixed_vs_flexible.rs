@@ -9,7 +9,7 @@
 //! ```
 
 use flexsched::compute::ModelProfile;
-use flexsched::sched::{FixedSpff, FlexibleMst, RoutingPlan, SchedContext, Scheduler};
+use flexsched::sched::{FixedSpff, FlexibleMst, NetworkSnapshot, RoutingPlan, Scheduler};
 use flexsched::simnet::NetworkState;
 use flexsched::task::{AiTask, TaskId};
 use flexsched::topo::{NodeKind, Topology};
@@ -44,9 +44,12 @@ fn main() {
         arrival_ns: 0,
     };
 
-    let ctx = SchedContext::new(&state);
+    let snap = NetworkSnapshot::capture(&state);
     for sched in [&FixedSpff as &dyn Scheduler, &FlexibleMst::paper()] {
-        let s = sched.schedule(&task, &task.local_sites, &ctx).unwrap();
+        let s = sched
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap()
+            .schedule;
         println!("{} connectivity set:", s.scheduler);
         match &s.broadcast {
             RoutingPlan::Paths(map) => {

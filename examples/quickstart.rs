@@ -5,7 +5,7 @@
 //! ```
 
 use flexsched::compute::{ClusterManager, ModelProfile, ServerSpec};
-use flexsched::sched::{evaluate_schedule, FixedSpff, FlexibleMst, SchedContext, Scheduler};
+use flexsched::sched::{evaluate_schedule, FixedSpff, FlexibleMst, NetworkSnapshot, Scheduler};
 use flexsched::simnet::{NetworkState, Transport};
 use flexsched::task::{AiTask, TaskId};
 use flexsched::topo::builders;
@@ -41,10 +41,11 @@ fn main() {
     for sched in [&FixedSpff as &dyn Scheduler, &FlexibleMst::paper()] {
         let mut state = state.clone();
         let schedule = {
-            let ctx = SchedContext::new(&state);
+            let snap = NetworkSnapshot::capture(&state);
             sched
-                .schedule(&task, &task.local_sites, &ctx)
+                .propose_once(&task, &task.local_sites, &snap)
                 .expect("the idle metro network can fit one task")
+                .schedule
         };
         schedule.apply(&mut state).expect("reservation fits");
         let report = evaluate_schedule(&task, &schedule, &state, &cluster, &Transport::tcp())

@@ -4,7 +4,7 @@
 use flexsched::compute::{ClusterManager, ModelProfile, ServerSpec};
 use flexsched::optical::{GroomingManager, OpticalState, WavelengthPolicy};
 use flexsched::orchestrator::{ControlMessage, ControllerHandle, Database, SdnController};
-use flexsched::sched::{FlexibleMst, RoutingPlan, SchedContext, Scheduler};
+use flexsched::sched::{FlexibleMst, NetworkSnapshot, RoutingPlan, Scheduler};
 use flexsched::simnet::NetworkState;
 use flexsched::task::{AiTask, TaskId};
 use flexsched::topo::builders;
@@ -33,10 +33,11 @@ fn rig() -> (Arc<flexsched::topo::Topology>, NetworkState, AiTask) {
 fn schedule_grooms_onto_wavelengths() {
     let (topo, state, task) = rig();
     let schedule = {
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
+            .propose_once(&task, &task.local_sites, &snap)
             .unwrap()
+            .schedule
     };
     let mut optical = OpticalState::new(Arc::clone(&topo));
     let mut groom = GroomingManager::new();
@@ -74,10 +75,11 @@ fn schedule_grooms_onto_wavelengths() {
 fn flow_rules_round_trip_through_codec() {
     let (topo, mut state, task) = rig();
     let schedule = {
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
+            .propose_once(&task, &task.local_sites, &snap)
             .unwrap()
+            .schedule
     };
     let rules = SdnController::compile(&schedule, &state).unwrap();
     let total: f64 = rules.iter().map(|r| r.rate_gbps).sum();
@@ -100,10 +102,11 @@ fn flow_rules_round_trip_through_codec() {
 fn bus_installs_schedule_rules() {
     let (topo, state, task) = rig();
     let schedule = {
-        let ctx = SchedContext::new(&state);
+        let snap = NetworkSnapshot::capture(&state);
         FlexibleMst::paper()
-            .schedule(&task, &task.local_sites, &ctx)
+            .propose_once(&task, &task.local_sites, &snap)
             .unwrap()
+            .schedule
     };
     let rules = SdnController::compile(&schedule, &state).unwrap();
     let db = Database::new(
@@ -139,10 +142,11 @@ fn soft_failures_are_routed_around() {
         },
     )
     .unwrap();
-    let ctx = SchedContext::new(&state).with_optical(&optical);
+    let snap = NetworkSnapshot::capture(&state).with_optical(&optical);
     // One wavelength still free -> scheduling must still succeed.
     let s = FlexibleMst::paper()
-        .schedule(&task, &task.local_sites, &ctx)
-        .unwrap();
+        .propose_once(&task, &task.local_sites, &snap)
+        .unwrap()
+        .schedule;
     assert!(s.total_bandwidth_gbps(&topo).unwrap() > 0.0);
 }

@@ -6,6 +6,10 @@
 //! analysis. Results print to stdout and, when the `FLEXSCHED_BENCH_JSON`
 //! environment variable names a file, are also appended as a JSON array so
 //! scripts can snapshot performance (see `scripts/bench_snapshot.sh`).
+//!
+//! Setting `FLEXSCHED_BENCH_QUICK=1` switches to smoke mode: 3 samples and
+//! a small calibration target, so CI can execute every bench body quickly
+//! to catch bit-rot without paying for statistically meaningful timings.
 
 use std::fmt::Display;
 use std::sync::Mutex;
@@ -78,7 +82,13 @@ impl Bencher<'_> {
     /// `samples` batches and record mean/median per-iteration time.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         // Calibrate: grow the batch until one batch takes >= 2 ms (cap the
-        // calibration effort for very slow routines).
+        // calibration effort for very slow routines). Quick mode shrinks
+        // the target so CI smoke runs execute every body cheaply.
+        let calibration_target = if quick_mode() {
+            Duration::from_micros(100)
+        } else {
+            Duration::from_millis(2)
+        };
         let mut batch: u64 = 1;
         loop {
             let t = Instant::now();
@@ -86,7 +96,7 @@ impl Bencher<'_> {
                 std::hint::black_box(routine());
             }
             let elapsed = t.elapsed();
-            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+            if elapsed >= calibration_target || batch >= 1 << 20 {
                 break;
             }
             batch *= 2;
@@ -175,8 +185,16 @@ pub struct Criterion {
     samples: usize,
 }
 
+/// Whether `FLEXSCHED_BENCH_QUICK` requests CI smoke mode.
+fn quick_mode() -> bool {
+    std::env::var("FLEXSCHED_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
 impl Criterion {
     fn effective_samples(&self) -> usize {
+        if quick_mode() {
+            return 3;
+        }
         if self.samples == 0 {
             20
         } else {

@@ -7,8 +7,8 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
 //!   [`prop_assume!`], [`prop_oneof!`],
-//! * strategies: half-open numeric ranges, [`any`], [`strategy::Just`],
-//!   tuples (up to 6), [`Strategy::prop_map`], [`Strategy::boxed`],
+//! * strategies: half-open numeric ranges, [`arbitrary::any`], [`strategy::Just`],
+//!   tuples (up to 6), [`strategy::Strategy::prop_map`], [`strategy::Strategy::boxed`],
 //!   [`collection::vec`].
 //!
 //! Unlike the real proptest there is no shrinking: a failing case panics
