@@ -1,0 +1,734 @@
+//! Fault-storm worlds: the shared driver behind the repair-vs-resolve
+//! differential harness and the BENCH blocking-probability points.
+//!
+//! A [`World`] is a live control plane (database + committer + scheduler)
+//! with a population of committed tasks, stepped through a deterministic
+//! [`StormEvent`] sequence. Two worlds built from the same seed see
+//! identical admissions and identical events; the only divergence is the
+//! rescheduling [`Mode`]:
+//!
+//! * [`Mode::Repair`] — incremental tree repair first (speculated against
+//!   one per-step snapshot, committed through the strict
+//!   `migrate_if_current` gate, recomputed once on rejection), full
+//!   re-solve as the fallback.
+//! * [`Mode::Resolve`] — the pre-repair policy: every affected task is
+//!   fully re-solved and migrated through the fit-checked gate.
+//!
+//! The differential test (`tests/repair_differential.rs`) steps both worlds
+//! in lockstep and pins: repaired schedules are feasible against live
+//! state, the repair world serves no fewer tasks than the resolve world
+//! (minus a bounded gap), and rejected repairs leave the database
+//! bit-identical.
+
+use flexsched_compute::{ClusterManager, ServerSpec};
+use flexsched_optical::{softfail, OpticalState, SoftFailure};
+use flexsched_orchestrator::{Committer, Database, OrchError};
+use flexsched_sched::{
+    reschedule, FlexibleMst, NetworkSnapshot, Proposal, ReschedulePolicy, Scheduler,
+};
+use flexsched_simnet::Transport;
+use flexsched_simnet::{DirLink, NetworkState};
+use flexsched_task::{generate_workload, AiTask, TaskId, WorkloadConfig};
+use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::{builders, Direction, LinkId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which rescheduling policy a world runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Incremental repair first, full re-solve as fallback.
+    Repair,
+    /// Full re-solve for every affected task (the pre-repair baseline).
+    Resolve,
+}
+
+/// The storm topologies the harness replays on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormTopology {
+    /// The paper's metro testbed (WDM ring + access).
+    Metro,
+    /// A spine-leaf fabric.
+    SpineLeaf,
+}
+
+impl StormTopology {
+    /// Build the topology.
+    pub fn build(self) -> Arc<Topology> {
+        match self {
+            StormTopology::Metro => Arc::new(builders::metro(&builders::MetroParams::default())),
+            StormTopology::SpineLeaf => Arc::new(builders::spine_leaf(3, 8, 3, true, 400.0)),
+        }
+    }
+}
+
+/// One storm transition. Sequences are generated up front from a seed so
+/// two worlds replay bit-identical histories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StormEvent {
+    /// Hard fault: the link goes down.
+    LinkDown(LinkId),
+    /// Repair crew: a downed link comes back.
+    LinkUp(LinkId),
+    /// Background load lands on one direction of a link.
+    LoadAdd(DirLink, f64),
+    /// Background load drains again.
+    LoadRemove(DirLink, f64),
+    /// Optical soft failure: the top wavelengths of a fiber degrade.
+    SoftFail(SoftFailure),
+    /// The soft failure heals.
+    Heal(SoftFailure),
+}
+
+impl StormEvent {
+    /// The physical link this event touches.
+    pub fn link(&self) -> LinkId {
+        match self {
+            StormEvent::LinkDown(l) | StormEvent::LinkUp(l) => *l,
+            StormEvent::LoadAdd(dl, _) | StormEvent::LoadRemove(dl, _) => dl.link,
+            StormEvent::SoftFail(f) | StormEvent::Heal(f) => f.link,
+        }
+    }
+
+    /// Whether this event can only degrade running schedules (faults and
+    /// load arrivals) as opposed to opening capacity back up.
+    pub fn is_degradation(&self) -> bool {
+        matches!(
+            self,
+            StormEvent::LinkDown(_) | StormEvent::LoadAdd(..) | StormEvent::SoftFail(_)
+        )
+    }
+}
+
+/// Generate a deterministic storm: `count` events biased towards `bias`
+/// links (the initial schedule footprints, so faults actually intersect
+/// running trees). Faults strike *survivable transport* links only: a span
+/// with a server on either end is a host drop, not a network fault, and a
+/// bridge cut disconnects service under any policy — neither regime says
+/// anything about rescheduling quality (`topo::algo::bridges` supplies the
+/// distinction). Down/soft-failed/loaded sets are tracked so restorations
+/// always refer to a live fault.
+pub fn generate_events(
+    topo: &Topology,
+    bias: &[LinkId],
+    count: usize,
+    seed: u64,
+) -> Vec<StormEvent> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5DEE_CE66_D154_AB91);
+    let is_transport = |l: LinkId| {
+        topo.link(l).is_ok_and(|link| {
+            let a = topo.node(link.a).map(|n| n.kind);
+            let b = topo.node(link.b).map(|n| n.kind);
+            a.is_ok_and(|k| k != flexsched_topo::NodeKind::Server)
+                && b.is_ok_and(|k| k != flexsched_topo::NodeKind::Server)
+        })
+    };
+    let bridge_set: BTreeSet<LinkId> = flexsched_topo::algo::bridges(topo).into_iter().collect();
+    let transport: Vec<LinkId> = (0..topo.link_count() as u32)
+        .map(LinkId)
+        .filter(|l| is_transport(*l) && !bridge_set.contains(l))
+        .collect();
+    assert!(
+        !transport.is_empty(),
+        "topology has no survivable transport links"
+    );
+    let bias: Vec<LinkId> = bias
+        .iter()
+        .copied()
+        .filter(|l| is_transport(*l) && !bridge_set.contains(l))
+        .collect();
+    let mut down: Vec<LinkId> = Vec::new();
+    let mut loads: Vec<(DirLink, f64)> = Vec::new();
+    let mut soft: Vec<SoftFailure> = Vec::new();
+    let mut events = Vec::with_capacity(count);
+    // `None` when every transport link is already down — the caller then
+    // emits a restoration instead, so a LinkDown can never duplicate an
+    // already-down link (the tracker invariant the tests assert).
+    let pick_link = |rng: &mut StdRng, down: &[LinkId]| -> Option<LinkId> {
+        for _ in 0..8 {
+            let l = if !bias.is_empty() && rng.random_range(0..100u32) < 60 {
+                bias[rng.random_range(0..bias.len())]
+            } else {
+                transport[rng.random_range(0..transport.len())]
+            };
+            if !down.contains(&l) {
+                return Some(l);
+            }
+        }
+        transport.iter().copied().find(|l| !down.contains(l))
+    };
+    for _ in 0..count {
+        let roll = rng.random_range(0..100u32);
+        // One pick per event, whether or not the chosen branch needs it —
+        // keeps the draw stream flat and deterministic across branches.
+        let picked = pick_link(&mut rng, &down);
+        let ev = if (roll < 20 || picked.is_none()) && !down.is_empty() {
+            let l = down.swap_remove(rng.random_range(0..down.len()));
+            StormEvent::LinkUp(l)
+        } else if roll < 50 {
+            let l = picked.expect("some transport link is up");
+            down.push(l);
+            StormEvent::LinkDown(l)
+        } else if roll < 65 {
+            let dl = DirLink::new(
+                picked.expect("some transport link is up"),
+                if roll % 2 == 0 {
+                    Direction::AtoB
+                } else {
+                    Direction::BtoA
+                },
+            );
+            let gbps = rng.random_range(20.0..120.0);
+            loads.push((dl, gbps));
+            StormEvent::LoadAdd(dl, gbps)
+        } else if roll < 75 && !loads.is_empty() {
+            let (dl, gbps) = loads.swap_remove(rng.random_range(0..loads.len()));
+            StormEvent::LoadRemove(dl, gbps)
+        } else if roll < 90 {
+            let link = picked.expect("some transport link is up");
+            let grid = topo.link(link).map(|l| l.wavelengths).unwrap_or(1);
+            let f = SoftFailure {
+                link,
+                severity: rng.random_range(1u32..=u32::from(grid.max(1))) as u16,
+            };
+            soft.push(f);
+            StormEvent::SoftFail(f)
+        } else if !soft.is_empty() {
+            let f = soft.swap_remove(rng.random_range(0..soft.len()));
+            StormEvent::Heal(f)
+        } else {
+            let l = picked.expect("some transport link is up");
+            down.push(l);
+            StormEvent::LinkDown(l)
+        };
+        events.push(ev);
+    }
+    events
+}
+
+/// What one step did.
+#[derive(Debug, Default, Clone)]
+pub struct StepReport {
+    /// Tasks whose footprint intersected the event's links.
+    pub affected: usize,
+    /// Migrations installed via incremental repair.
+    pub repaired: u32,
+    /// Migrations installed via full re-solve.
+    pub resolved: u32,
+    /// Tasks dropped (no feasible replacement).
+    pub dropped: u32,
+    /// Strict-gate rejections of speculated repairs.
+    pub repair_rejections: u32,
+    /// `false` if any rejection left the database changed (the invariant
+    /// the differential harness asserts).
+    pub rejections_bit_identical: bool,
+    /// Scheduling decisions computed this step (repairs + re-solves).
+    pub decisions: u64,
+}
+
+/// A live control plane stepped through a storm.
+pub struct World {
+    mode: Mode,
+    db: Database,
+    committer: Committer,
+    scheduler: FlexibleMst,
+    scratch: ScratchPool,
+    tasks: BTreeMap<TaskId, AiTask>,
+    groomed: BTreeMap<TaskId, Vec<u64>>,
+    running: BTreeSet<TaskId>,
+    dropped: BTreeSet<TaskId>,
+    /// Snapshot the full state around every strict migration so rejections
+    /// can be verified bit-identical. Debug-formatting both layers is far
+    /// too slow for throughput runs, so only the differential harness
+    /// switches this on.
+    verify_rejections: bool,
+    /// Total scheduling decisions across the world's lifetime.
+    pub decisions: u64,
+    /// Total repair-path migrations.
+    pub repairs: u64,
+    /// Total full re-solve migrations.
+    pub resolves: u64,
+    /// Decisions taken on the *rescheduling* path only (degradation
+    /// handling; excludes initial admissions and re-admissions, which are
+    /// identical in both modes).
+    pub resched_decisions: u64,
+    /// Wall-clock time spent on the rescheduling path.
+    pub resched_time: std::time::Duration,
+}
+
+impl World {
+    /// Build a world: `n_tasks` tasks (seeded placement) admitted and
+    /// committed up front. Admission is mode-independent, so two worlds
+    /// with equal seeds start bit-identical.
+    pub fn new(mode: Mode, topo: Arc<Topology>, n_tasks: usize, locals: usize, seed: u64) -> Self {
+        let db = Database::new(
+            NetworkState::new(Arc::clone(&topo)),
+            OpticalState::new(Arc::clone(&topo)),
+            ClusterManager::from_topology(&topo, ServerSpec::default()),
+        );
+        let mut cfg = WorkloadConfig::seeded_scenario(seed, n_tasks, locals);
+        cfg.comm_budget_ms = (40.0, 80.0); // modest demand: storms, not melt-downs
+        let tasks = generate_workload(&topo, &cfg);
+        let mut world = World {
+            mode,
+            db,
+            committer: Committer::new(),
+            scheduler: FlexibleMst::paper(),
+            scratch: ScratchPool::new(),
+            tasks: tasks.iter().map(|t| (t.id, t.clone())).collect(),
+            groomed: BTreeMap::new(),
+            running: BTreeSet::new(),
+            dropped: BTreeSet::new(),
+            verify_rejections: false,
+            decisions: 0,
+            repairs: 0,
+            resolves: 0,
+            resched_decisions: 0,
+            resched_time: std::time::Duration::ZERO,
+        };
+        for task in &tasks {
+            world.try_admit(task.id);
+        }
+        world
+    }
+
+    /// The database (for invariant checks).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Enable the (expensive) bit-identical verification of rejected
+    /// strict migrations — the differential harness's invariant (c).
+    pub fn with_rejection_verification(mut self) -> Self {
+        self.verify_rejections = true;
+        self
+    }
+
+    /// Tasks currently running.
+    pub fn running(&self) -> &BTreeSet<TaskId> {
+        &self.running
+    }
+
+    /// The task behind an id (population lookup).
+    pub fn task(&self, id: TaskId) -> Option<&AiTask> {
+        self.tasks.get(&id)
+    }
+
+    /// Fraction of the population not currently served — the blocking
+    /// probability the REACH-style evaluation compares.
+    pub fn blocking_probability(&self) -> f64 {
+        1.0 - self.running.len() as f64 / self.tasks.len().max(1) as f64
+    }
+
+    /// Distinct links the running schedules reserve on (storm bias input).
+    pub fn footprint_links(&self) -> Vec<LinkId> {
+        let topo = self.db.read(|net, _, _| net.topo_arc());
+        let mut set = BTreeSet::new();
+        for id in &self.running {
+            if let Some(s) = self.db.schedule(*id) {
+                for (dl, _) in s.reservations(&topo).unwrap_or_default() {
+                    set.insert(dl.link);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    fn try_admit(&mut self, id: TaskId) -> bool {
+        let task = self.tasks[&id].clone();
+        let snap = self.db.snapshot();
+        self.decisions += 1;
+        let proposal =
+            match self
+                .scheduler
+                .propose(&task, &task.local_sites, &snap, &mut self.scratch)
+            {
+                Ok(p) => p,
+                Err(_) => {
+                    self.dropped.insert(id);
+                    return false;
+                }
+            };
+        match self.committer.commit(&self.db, &proposal) {
+            Ok(receipt) => {
+                self.db.store_schedule(proposal.schedule);
+                self.groomed.insert(id, receipt.groomed);
+                self.running.insert(id);
+                self.dropped.remove(&id);
+                true
+            }
+            Err(OrchError::Rejected(_)) => {
+                self.dropped.insert(id);
+                false
+            }
+            Err(e) => panic!("admission failed structurally: {e}"),
+        }
+    }
+
+    fn drop_task(&mut self, id: TaskId, report: &mut StepReport) {
+        if self.db.take_schedule(id).is_some() {
+            let groomed = self.groomed.remove(&id).unwrap_or_default();
+            self.committer
+                .release(&self.db, id, &groomed)
+                .expect("releasing a committed schedule cannot fail");
+        }
+        self.running.remove(&id);
+        self.dropped.insert(id);
+        report.dropped += 1;
+    }
+
+    fn world_fmt(&self) -> (String, String) {
+        self.db
+            .read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")))
+    }
+
+    /// Re-run the full scheduler for `id` against a hypothetical world
+    /// without its own reservations — the per-candidate cost the ROADMAP's
+    /// pre-repair policy pays on every event.
+    fn resolve_candidate(
+        &mut self,
+        id: TaskId,
+        report: &mut StepReport,
+    ) -> Option<(flexsched_sched::Schedule, flexsched_sched::Result<Proposal>)> {
+        let schedule = self.db.schedule(id)?;
+        let task = &self.tasks[&id];
+        self.decisions += 1;
+        report.decisions += 1;
+        let candidate = self.db.read(|net, opt, _| {
+            let mut without = net.clone();
+            schedule.release(&mut without)?;
+            let snap = NetworkSnapshot::capture(&without).with_optical(opt);
+            self.scheduler
+                .propose(task, &schedule.selected_locals, &snap, &mut self.scratch)
+        });
+        Some((schedule, candidate))
+    }
+
+    /// Migrate `id` onto `candidate`, or drop it when nothing fits.
+    fn migrate_or_drop(
+        &mut self,
+        id: TaskId,
+        schedule: &flexsched_sched::Schedule,
+        candidate: flexsched_sched::Result<Proposal>,
+        report: &mut StepReport,
+    ) {
+        match candidate {
+            Ok(p) => {
+                if self.committer.migrate(&self.db, schedule, &p).is_ok() {
+                    self.db.store_schedule(p.schedule);
+                    self.resolves += 1;
+                    report.resolved += 1;
+                } else {
+                    self.drop_task(id, report);
+                }
+            }
+            Err(_) => self.drop_task(id, report),
+        }
+    }
+
+    /// One pre-repair-policy decision, exactly as the replaced code path
+    /// ran it: `reschedule::consider` with the full-re-solve policy —
+    /// evaluate the current schedule, build the without-us hypothetical,
+    /// re-run the full scheduler, price the candidate, apply the
+    /// interruption threshold — then migrate, or drop the task when its
+    /// schedule is structurally broken and nothing feasible came back.
+    fn full_decision(&mut self, id: TaskId, report: &mut StepReport) {
+        let Some(schedule) = self.db.schedule(id) else {
+            return;
+        };
+        let task = self.tasks[&id].clone();
+        self.decisions += 1;
+        report.decisions += 1;
+        let scheduler = &self.scheduler;
+        let scratch = &mut self.scratch;
+        let verdict = self.db.read(|net, opt, cluster| {
+            reschedule::consider(
+                &ReschedulePolicy::full_resolve(),
+                scheduler,
+                &task,
+                &schedule,
+                5,
+                net,
+                Some(opt),
+                cluster,
+                &Transport::tcp(),
+                scratch,
+            )
+        });
+        match verdict {
+            Ok(reschedule::RescheduleVerdict::Migrate { new_proposal, .. }) => {
+                if self
+                    .committer
+                    .migrate(&self.db, &schedule, &new_proposal)
+                    .is_ok()
+                {
+                    self.db.store_schedule(new_proposal.schedule);
+                    self.resolves += 1;
+                    report.resolved += 1;
+                } else {
+                    self.drop_task(id, report);
+                }
+            }
+            Ok(reschedule::RescheduleVerdict::Keep { .. }) | Err(_) => {
+                // The policy kept (or failed to replace) the schedule; if
+                // it is structurally broken it serves nothing — drop it.
+                if self.schedule_structurally_broken(id) {
+                    self.drop_task(id, report);
+                }
+            }
+        }
+    }
+
+    /// Full re-solve + fit-gated migrate; drops the task when nothing fits.
+    fn full_resolve(&mut self, id: TaskId, report: &mut StepReport) {
+        let Some((schedule, candidate)) = self.resolve_candidate(id, report) else {
+            return;
+        };
+        self.migrate_or_drop(id, &schedule, candidate, report);
+    }
+
+    /// Advance the world by one event. Degradations reschedule exactly the
+    /// tasks the database's reverse index maps to the touched link;
+    /// restorations re-try previously dropped tasks.
+    pub fn step(&mut self, ev: &StormEvent) -> StepReport {
+        let mut report = StepReport {
+            rejections_bit_identical: true,
+            ..StepReport::default()
+        };
+        match ev {
+            StormEvent::LinkDown(l) => self.db.write(|net, _, _| net.set_down(*l, true)).unwrap(),
+            StormEvent::LinkUp(l) => self.db.write(|net, _, _| net.set_down(*l, false)).unwrap(),
+            StormEvent::LoadAdd(dl, g) => self
+                .db
+                .write(|net, _, _| net.add_background(*dl, *g))
+                .unwrap(),
+            StormEvent::LoadRemove(dl, g) => self
+                .db
+                .write(|net, _, _| net.add_background(*dl, -*g))
+                .unwrap(),
+            StormEvent::SoftFail(f) => {
+                self.db.write(|_, opt, _| softfail::apply(opt, *f)).unwrap();
+            }
+            StormEvent::Heal(f) => self.db.write(|_, opt, _| softfail::heal(opt, *f)).unwrap(),
+        }
+
+        if ev.is_degradation() {
+            let t0 = std::time::Instant::now();
+            let affected = self.db.tasks_on_links(&[ev.link()]);
+            report.affected = affected.len();
+            match self.mode {
+                Mode::Resolve => {
+                    for id in affected {
+                        self.full_decision(id, &mut report);
+                    }
+                }
+                Mode::Repair => self.repair_pass(&affected, &mut report),
+            }
+            self.resched_time += t0.elapsed();
+            self.resched_decisions += report.decisions;
+        } else {
+            // Capacity came back: give dropped tasks another chance, in
+            // deterministic id order.
+            let retry: Vec<TaskId> = self.dropped.iter().copied().collect();
+            for id in retry {
+                self.try_admit(id);
+            }
+        }
+        report
+    }
+
+    fn schedule_structurally_broken(&self, id: TaskId) -> bool {
+        let Some(schedule) = self.db.schedule(id) else {
+            return false;
+        };
+        let snap = self.db.snapshot();
+        let broken = flexsched_sched::BrokenLinks::from_snapshot(&snap, schedule.demand_gbps);
+        flexsched_sched::repair::schedule_crosses(&schedule, &broken, snap.topo())
+    }
+
+    /// The repair pass mirrors the batch pipeline in miniature: one shared
+    /// snapshot, every affected task's repair speculated against it, serial
+    /// strict commits with one recompute on rejection, full re-solve as the
+    /// last resort.
+    fn repair_pass(&mut self, affected: &[TaskId], report: &mut StepReport) {
+        let snap = Arc::new(self.db.snapshot());
+        let mut speculated: Vec<(TaskId, flexsched_sched::Schedule, Option<Proposal>)> = Vec::new();
+        for &id in affected {
+            let Some(schedule) = self.db.schedule(id) else {
+                continue;
+            };
+            let task = &self.tasks[&id];
+            self.decisions += 1;
+            report.decisions += 1;
+            match self
+                .scheduler
+                .propose_repair(task, &schedule, &snap, &mut self.scratch)
+            {
+                Ok(Some(rp)) => speculated.push((id, schedule, Some(rp.proposal))),
+                Ok(None) => {} // structurally intact: nothing to do
+                Err(flexsched_sched::SchedError::Unreachable { .. }) => {
+                    // An orphan with no finite-weight attachment path is
+                    // just as unreachable for the full re-solve: repair's
+                    // infinite-weight set is a *subset* of the solve's (it
+                    // additionally treats the task's own links as routable,
+                    // and releasing the reservations in the without-us
+                    // world only frees those same links), so the fallback
+                    // solve is skipped — the task cannot be served now.
+                    self.drop_task(id, report);
+                }
+                Err(_) => speculated.push((id, schedule, None)), // e.g. rate floor
+            }
+        }
+        for (id, schedule, proposal) in speculated {
+            let mut attempt = proposal;
+            let mut retried = false;
+            loop {
+                match attempt.take() {
+                    Some(p) => {
+                        let before = self.verify_rejections.then(|| self.world_fmt());
+                        match self.committer.migrate_if_current(&self.db, &schedule, &p) {
+                            Ok(_) => {
+                                self.db.store_schedule(p.schedule);
+                                self.repairs += 1;
+                                report.repaired += 1;
+                                break;
+                            }
+                            Err(OrchError::Rejected(_)) => {
+                                report.repair_rejections += 1;
+                                if let Some(before) = before {
+                                    report.rejections_bit_identical &= before == self.world_fmt();
+                                }
+                                if retried {
+                                    self.full_resolve(id, report);
+                                    break;
+                                }
+                                retried = true;
+                                // Recompute against fresh state, once.
+                                let fresh = self.db.snapshot();
+                                self.decisions += 1;
+                                report.decisions += 1;
+                                let task = &self.tasks[&id];
+                                attempt = self
+                                    .scheduler
+                                    .propose_repair(task, &schedule, &fresh, &mut self.scratch)
+                                    .ok()
+                                    .flatten()
+                                    .map(|rp| rp.proposal);
+                                if attempt.is_none() {
+                                    self.full_resolve(id, report);
+                                    break;
+                                }
+                            }
+                            Err(e) => panic!("migration failed structurally: {e}"),
+                        }
+                    }
+                    None => {
+                        self.full_resolve(id, report);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant (a) of the differential contract: every running schedule
+    /// is feasible against live state — no reservation rides a down link,
+    /// per-direction reservations fit capacity, and the database's reserved
+    /// totals are exactly the sum of the running schedules.
+    pub fn check_feasible(&self) -> Result<(), String> {
+        let topo = self.db.read(|net, _, _| net.topo_arc());
+        let mut expected: BTreeMap<DirLink, f64> = BTreeMap::new();
+        for id in &self.running {
+            let Some(s) = self.db.schedule(*id) else {
+                return Err(format!("running task {id} has no stored schedule"));
+            };
+            for (dl, gbps) in s
+                .reservations(&topo)
+                .map_err(|e| format!("task {id}: {e}"))?
+            {
+                if self.db.read(|net, _, _| net.is_down(dl.link)) {
+                    return Err(format!("task {id} reserves on down link {}", dl.link));
+                }
+                *expected.entry(dl).or_insert(0.0) += gbps;
+            }
+        }
+        for link in topo.links() {
+            let cap = link.capacity_gbps;
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                let dl = DirLink::new(link.id, dir);
+                let reserved = self
+                    .db
+                    .read(|net, _, _| net.usage(dl).map(|u| u.reserved_gbps))
+                    .map_err(|e| format!("usage({dl:?}): {e}"))?;
+                let want = expected.get(&dl).copied().unwrap_or(0.0);
+                if (reserved - want).abs() > 1e-6 {
+                    return Err(format!(
+                        "link {} {dir:?}: reserved {reserved} != schedules' {want}",
+                        link.id
+                    ));
+                }
+                if reserved > cap + 1e-6 {
+                    return Err(format!(
+                        "link {} {dir:?}: reserved {reserved} exceeds capacity {cap}",
+                        link.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_build_identical_worlds() {
+        let topo = StormTopology::Metro.build();
+        let a = World::new(Mode::Repair, Arc::clone(&topo), 6, 4, 9);
+        let b = World::new(Mode::Resolve, Arc::clone(&topo), 6, 4, 9);
+        assert_eq!(a.running(), b.running());
+        assert_eq!(a.footprint_links(), b.footprint_links());
+        a.check_feasible().unwrap();
+        b.check_feasible().unwrap();
+    }
+
+    #[test]
+    fn storm_generation_is_deterministic_and_well_formed() {
+        let topo = StormTopology::Metro.build();
+        let bias = vec![LinkId(0), LinkId(3)];
+        let a = generate_events(&topo, &bias, 40, 7);
+        let b = generate_events(&topo, &bias, 40, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        // Restorations only ever name links that are actually down/failed.
+        let mut down = BTreeSet::new();
+        for ev in &a {
+            match ev {
+                StormEvent::LinkDown(l) => {
+                    down.insert(*l);
+                }
+                StormEvent::LinkUp(l) => assert!(down.remove(l), "up of a live link"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn repair_world_survives_a_storm_feasibly() {
+        let topo = StormTopology::Metro.build();
+        let mut world = World::new(Mode::Repair, Arc::clone(&topo), 6, 5, 21);
+        let events = generate_events(&topo, &world.footprint_links(), 20, 21);
+        for ev in &events {
+            let report = world.step(ev);
+            assert!(report.rejections_bit_identical);
+            world
+                .check_feasible()
+                .unwrap_or_else(|e| panic!("after {ev:?}: {e}"));
+        }
+        assert!(world.repairs > 0, "a 20-event storm must exercise repair");
+    }
+}

@@ -4,6 +4,7 @@
 //! every evaluation artifact of the paper) and the Criterion benches.
 
 pub mod baseline;
+pub mod faultstorm;
 
 use flexsched_orchestrator::{RunSummary, Testbed, TestbedConfig};
 use flexsched_sched::{FixedSpff, FlexibleMst, ReschedulePolicy, Scheduler, SelectionStrategy};

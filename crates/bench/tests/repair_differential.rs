@@ -1,0 +1,129 @@
+//! Fault-injection differential harness: repair vs full re-solve.
+//!
+//! Extends PR 2's equivalence-contract style (batch ≡ sequential) into the
+//! temporal/fault domain. Two [`World`]s — one rescheduling through
+//! incremental tree repair, one through full re-solves — are built from the
+//! same seed (bit-identical admissions) and stepped through the same
+//! randomized fault/load storm. After **every** step the harness pins:
+//!
+//! * **(a) Feasibility.** Every running schedule in the repair world
+//!   validates against live state: no reservation rides a down link,
+//!   per-direction reservations fit capacity, and the database's reserved
+//!   counters are exactly the sum of the stored schedules.
+//! * **(b) Service.** The repair world serves at least what the full
+//!   re-solve world serves, minus a bounded quality gap (`GAP` tasks) — the
+//!   repair heuristic may pick slightly heavier trees, but it must not
+//!   leak service.
+//! * **(c) Clean rejection.** Every strict-gate rejection of a speculated
+//!   repair left the database bit-identical (stamps included).
+//!
+//! Case counts stay low for the PR loop; the nightly CI profile raises
+//! them via `PROPTEST_CASES`, and `FLEXSCHED_BENCH_QUICK=1` halves the
+//! storm length for smoke runs.
+
+use flexsched_bench::faultstorm::{generate_events, Mode, StormTopology, World};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Maximum number of tasks the resolve world may serve beyond the repair
+/// world at any step (and the end-state set-difference bound).
+const GAP: usize = 2;
+
+fn quick_mode() -> bool {
+    std::env::var("FLEXSCHED_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Run one differential sequence; returns (repairs, resolve-migrations).
+fn run_sequence(topology: StormTopology, n_tasks: usize, locals: usize, events: usize, seed: u64) {
+    let events = if quick_mode() { events / 2 + 1 } else { events };
+    let topo = topology.build();
+    let mut repair = World::new(Mode::Repair, Arc::clone(&topo), n_tasks, locals, seed)
+        .with_rejection_verification();
+    let mut resolve = World::new(Mode::Resolve, Arc::clone(&topo), n_tasks, locals, seed);
+    assert_eq!(
+        repair.running(),
+        resolve.running(),
+        "seeded admission must be mode-independent"
+    );
+    let storm = generate_events(&topo, &repair.footprint_links(), events, seed);
+    for (step, ev) in storm.iter().enumerate() {
+        let r = repair.step(ev);
+        let _ = resolve.step(ev);
+
+        // (c) rejected repairs leave state bit-identical.
+        assert!(
+            r.rejections_bit_identical,
+            "step {step} ({ev:?}): a rejected repair mutated the database"
+        );
+        // (a) repair world stays feasible after every event.
+        repair
+            .check_feasible()
+            .unwrap_or_else(|e| panic!("step {step} ({ev:?}): repair world infeasible: {e}"));
+        resolve
+            .check_feasible()
+            .unwrap_or_else(|e| panic!("step {step} ({ev:?}): resolve world infeasible: {e}"));
+        // (b) repair serves no fewer than resolve, minus the bounded gap.
+        assert!(
+            repair.running().len() + GAP >= resolve.running().len(),
+            "step {step} ({ev:?}): repair serves {} vs resolve {} (gap > {GAP})",
+            repair.running().len(),
+            resolve.running().len()
+        );
+    }
+    // End state: the resolve world's served set is covered by the repair
+    // world's, up to the gap.
+    let missing = resolve.running().difference(repair.running()).count();
+    assert!(
+        missing <= GAP,
+        "repair world lost {missing} tasks the resolve world kept (> {GAP})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Metro: the paper's WDM-ring testbed under randomized storms.
+    #[test]
+    fn differential_metro(seed in 0u64..10_000, n_tasks in 4usize..8, events in 10usize..24) {
+        run_sequence(StormTopology::Metro, n_tasks, 5, events, seed);
+    }
+
+    /// Spine-leaf: path-diverse fabric — repairs should almost always
+    /// succeed, so the service gap stays tight under heavier storms.
+    #[test]
+    fn differential_spine_leaf(seed in 0u64..10_000, n_tasks in 4usize..8, events in 10usize..20) {
+        run_sequence(StormTopology::SpineLeaf, n_tasks, 6, events, seed);
+    }
+}
+
+/// A fixed long storm on each topology — deterministic anchors that run at
+/// full length even in quick mode’s reduced proptest budget.
+#[test]
+fn differential_metro_long_fixed_seed() {
+    run_sequence(StormTopology::Metro, 6, 5, 40, 20240811);
+}
+
+#[test]
+fn differential_spine_leaf_long_fixed_seed() {
+    run_sequence(StormTopology::SpineLeaf, 6, 6, 40, 20240812);
+}
+
+/// Repairs must actually occur across the proptest regime — otherwise the
+/// differential above is vacuously green.
+#[test]
+fn storms_exercise_the_repair_path() {
+    let mut total_repairs = 0u64;
+    for seed in [1u64, 2, 3, 5, 8, 13] {
+        let topo = StormTopology::Metro.build();
+        let mut world = World::new(Mode::Repair, Arc::clone(&topo), 6, 5, seed);
+        let storm = generate_events(&topo, &world.footprint_links(), 24, seed);
+        for ev in &storm {
+            world.step(ev);
+        }
+        total_repairs += world.repairs;
+    }
+    assert!(
+        total_repairs > 10,
+        "six 24-event metro storms produced only {total_repairs} repairs"
+    );
+}

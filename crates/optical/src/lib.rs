@@ -28,6 +28,7 @@ pub use groom::GroomingManager;
 pub use lightpath::{Lightpath, LightpathId};
 pub use rwa::{split_at_electrical, OpticalState, WavelengthPolicy};
 pub use snapshot::{LightpathView, OpticalSnapshot};
+pub use softfail::SoftFailure;
 pub use timeslot::{SlotAllocation, TimeslotTable};
 pub use wavelength::WavelengthId;
 

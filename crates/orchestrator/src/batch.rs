@@ -39,15 +39,85 @@
 use crate::commit::{CommitReceipt, Committer};
 use crate::database::Database;
 use crate::{OrchError, Result};
+use crossbeam::channel::{Receiver, Sender};
 use flexsched_sched::{NetworkSnapshot, Proposal, SchedError, Scheduler};
 use flexsched_task::{AiTask, TaskId};
 use flexsched_topo::algo::ScratchPool;
 use flexsched_topo::NodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// One batch entry: a task and its pre-selected local sites.
 pub type BatchEntry = (AiTask, Vec<NodeId>);
+
+/// Everything one batch run shares with the worker pool: the frozen
+/// snapshot, the entries, the policy, a work cursor and the fan-in channel.
+/// Sent to every persistent worker as one `Arc`, so a run costs one clone
+/// of the batch entries and zero thread spawns.
+struct RunJob {
+    entries: Vec<BatchEntry>,
+    snap: Arc<NetworkSnapshot>,
+    scheduler: Arc<dyn Scheduler>,
+    next: AtomicUsize,
+    results: Sender<(usize, flexsched_sched::Result<Proposal>)>,
+}
+
+fn worker_loop(jobs: Receiver<Arc<RunJob>>, mut pool: ScratchPool) {
+    while let Ok(job) = jobs.recv() {
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.entries.len() {
+                break;
+            }
+            let (task, selected) = &job.entries[i];
+            let outcome = job.scheduler.propose(task, selected, &job.snap, &mut pool);
+            if job.results.send((i, outcome)).is_err() {
+                break; // run abandoned; drop the rest
+            }
+        }
+    }
+}
+
+/// The reusable worker pool: long-lived threads (one warm [`ScratchPool`]
+/// each) parked on a job channel. Dropping the pool closes the channels and
+/// joins every thread.
+struct WorkerPool {
+    job_txs: Vec<Sender<Arc<RunJob>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> Self {
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = crossbeam::channel::bounded::<Arc<RunJob>>(1);
+            job_txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(rx, ScratchPool::new())
+            }));
+        }
+        WorkerPool { job_txs, handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_txs.clear(); // close every job channel
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
 
 /// Outcome of one batch run.
 #[derive(Debug, Default)]
@@ -65,10 +135,13 @@ pub struct BatchReport {
     pub conflicts: u64,
 }
 
-/// Fans task batches across scheduler worker threads and reconciles their
-/// proposals through the committer. Holds one warm [`ScratchPool`] per
-/// worker (plus one for the serial commit loop), so steady-state batches
-/// allocate no shortest-path state.
+/// Fans task batches across a *persistent* pool of scheduler worker
+/// threads and reconciles their proposals through the committer. The
+/// threads are spawned once, hold one warm [`ScratchPool`] each, and park
+/// on a job channel between runs — a batch run costs no thread spawns. A
+/// single-worker scheduler keeps the inline fast path: no threads at all,
+/// speculation runs on the caller's thread against the same frozen
+/// snapshot.
 #[derive(Debug)]
 pub struct BatchScheduler {
     /// Bound on recomputes per task after commit conflicts.
@@ -77,27 +150,32 @@ pub struct BatchScheduler {
     pub min_rate_gbps: f64,
     /// Candidate-path count handed to every snapshot.
     pub k_paths: usize,
-    pools: Vec<ScratchPool>,
+    /// `None` for the 1-worker inline fast path.
+    pool: Option<WorkerPool>,
+    workers: usize,
+    /// Warm scratch for the inline fast path and the serial commit loop.
     commit_pool: ScratchPool,
 }
 
 impl BatchScheduler {
-    /// A batch scheduler fanning out over `workers` threads (min 1), with
-    /// the default scheduling knobs (0.5 Gbit/s floor, 3 candidate paths,
-    /// 3 retries).
+    /// A batch scheduler fanning out over `workers` persistent threads
+    /// (min 1; 1 = inline, no threads), with the default scheduling knobs
+    /// (0.5 Gbit/s floor, 3 candidate paths, 3 retries).
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         BatchScheduler {
             max_retries: 3,
             min_rate_gbps: 0.5,
             k_paths: 3,
-            pools: (0..workers.max(1)).map(|_| ScratchPool::new()).collect(),
+            pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
+            workers,
             commit_pool: ScratchPool::new(),
         }
     }
 
     /// Number of worker threads this scheduler fans out over.
     pub fn workers(&self) -> usize {
-        self.pools.len()
+        self.workers
     }
 
     fn snapshot(&self, db: &Database) -> NetworkSnapshot {
@@ -106,14 +184,14 @@ impl BatchScheduler {
             .with_k_paths(self.k_paths)
     }
 
-    /// Schedule `batch` with parallel speculation and serial in-order
-    /// commit. Committed schedules are stored into the database; the
-    /// receipts in the report release them.
+    /// Schedule `batch` with parallel speculation (on the persistent worker
+    /// pool) and serial in-order commit. Committed schedules are stored
+    /// into the database; the receipts in the report release them.
     pub fn run(
         &mut self,
         db: &Database,
         committer: &mut Committer,
-        scheduler: &dyn Scheduler,
+        scheduler: &Arc<dyn Scheduler>,
         batch: &[BatchEntry],
     ) -> Result<BatchReport> {
         let mut report = BatchReport::default();
@@ -123,43 +201,44 @@ impl BatchScheduler {
 
         // Stage 1+2: one shared snapshot, parallel speculation. A single
         // worker speculates inline — same semantics (the snapshot is frozen
-        // either way), none of the thread-spawn/channel overhead.
+        // either way), none of the channel overhead.
         let snap = Arc::new(self.snapshot(db));
         let mut speculated: Vec<Option<flexsched_sched::Result<Proposal>>>;
-        if self.pools.len() == 1 {
-            speculated = batch
-                .iter()
-                .map(|(task, selected)| {
-                    Some(scheduler.propose(task, selected, &snap, &mut self.pools[0]))
-                })
-                .collect();
-        } else {
-            let next = AtomicUsize::new(0);
-            let (tx, rx) = crossbeam::channel::bounded::<(usize, flexsched_sched::Result<Proposal>)>(
-                batch.len(),
-            );
-            std::thread::scope(|scope| {
-                for pool in self.pools.iter_mut() {
-                    let tx = tx.clone();
-                    let snap = Arc::clone(&snap);
-                    let next = &next;
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= batch.len() {
-                            break;
-                        }
-                        let (task, selected) = &batch[i];
-                        let outcome = scheduler.propose(task, selected, &snap, pool);
-                        if tx.send((i, outcome)).is_err() {
-                            break;
-                        }
-                    });
+        match &self.pool {
+            None => {
+                speculated = batch
+                    .iter()
+                    .map(|(task, selected)| {
+                        Some(scheduler.propose(task, selected, &snap, &mut self.commit_pool))
+                    })
+                    .collect();
+            }
+            Some(pool) => {
+                let (tx, rx) = crossbeam::channel::bounded::<(
+                    usize,
+                    flexsched_sched::Result<Proposal>,
+                )>(batch.len());
+                let job = Arc::new(RunJob {
+                    entries: batch.to_vec(),
+                    snap: Arc::clone(&snap),
+                    scheduler: Arc::clone(scheduler),
+                    next: AtomicUsize::new(0),
+                    results: tx,
+                });
+                for job_tx in &pool.job_txs {
+                    assert!(
+                        job_tx.send(Arc::clone(&job)).is_ok(),
+                        "persistent worker thread is alive"
+                    );
                 }
-            });
-            drop(tx);
-            speculated = (0..batch.len()).map(|_| None).collect();
-            while let Ok((i, outcome)) = rx.recv() {
-                speculated[i] = Some(outcome);
+                drop(job);
+                speculated = (0..batch.len()).map(|_| None).collect();
+                for _ in 0..batch.len() {
+                    let (i, outcome) = rx
+                        .recv()
+                        .expect("workers deliver one outcome per batch entry");
+                    speculated[i] = Some(outcome);
+                }
             }
         }
         report.decisions += batch.len() as u64;
@@ -315,15 +394,17 @@ mod tests {
             .collect()
     }
 
+    fn flex() -> Arc<dyn Scheduler> {
+        Arc::new(FlexibleMst::paper())
+    }
+
     #[test]
     fn batch_commits_and_releases_cleanly() {
         let db = db();
         let batch = mk_batch(&db, 6, 3);
         let mut committer = Committer::new();
         let mut bs = BatchScheduler::new(4);
-        let report = bs
-            .run(&db, &mut committer, &FlexibleMst::paper(), &batch)
-            .unwrap();
+        let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
         assert_eq!(report.committed.len() + report.blocked.len(), 6);
         assert!(!report.committed.is_empty());
         assert!(db.total_reserved_gbps() > 0.0);
@@ -339,9 +420,7 @@ mod tests {
         let batch = mk_batch(&db, 4, 3);
         let mut committer = Committer::new();
         let mut bs = BatchScheduler::new(2);
-        let report = bs
-            .run(&db, &mut committer, &FlexibleMst::paper(), &batch)
-            .unwrap();
+        let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
         // The first task's snapshot is fresh at its commit, so it must be a
         // speculation hit.
         assert!(report.speculation_hits >= 1);
@@ -357,9 +436,7 @@ mod tests {
         let mut seq = BatchScheduler::new(1);
         let mut c1 = Committer::new();
         let mut c2 = Committer::new();
-        let par = bs
-            .run(&batch_db, &mut c1, &FlexibleMst::paper(), &batch)
-            .unwrap();
+        let par = bs.run(&batch_db, &mut c1, &flex(), &batch).unwrap();
         let ser = seq
             .run_sequential(&seq_db, &mut c2, &FlexibleMst::paper(), &batch)
             .unwrap();
@@ -393,9 +470,7 @@ mod tests {
             let batch = mk_batch(&db, 8, 4);
             let mut committer = Committer::new();
             let mut bs = BatchScheduler::new(workers);
-            let report = bs
-                .run(&db, &mut committer, &FlexibleMst::paper(), &batch)
-                .unwrap();
+            let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
             let committed: Vec<TaskId> = report.committed.iter().map(|r| r.task).collect();
             match &reference {
                 None => reference = Some(committed),
@@ -409,10 +484,36 @@ mod tests {
         let db = db();
         let mut committer = Committer::new();
         let mut bs = BatchScheduler::new(2);
-        let report = bs
-            .run(&db, &mut committer, &FlexibleMst::paper(), &[])
-            .unwrap();
+        let report = bs.run(&db, &mut committer, &flex(), &[]).unwrap();
         assert_eq!(report.decisions, 0);
         assert!(report.committed.is_empty());
+    }
+
+    #[test]
+    fn persistent_pool_survives_many_runs() {
+        // The same scheduler instance (same worker threads) serves
+        // back-to-back batches with identical outcomes each time.
+        let mut bs = BatchScheduler::new(3);
+        assert_eq!(bs.workers(), 3);
+        let mut reference: Option<Vec<TaskId>> = None;
+        for _ in 0..3 {
+            let db = db();
+            let batch = mk_batch(&db, 6, 3);
+            let mut committer = Committer::new();
+            let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
+            let committed: Vec<TaskId> = report.committed.iter().map(|r| r.task).collect();
+            match &reference {
+                None => reference = Some(committed),
+                Some(r) => assert_eq!(r, &committed, "pool reuse changed the outcome"),
+            }
+            bs.release_all(&db, &mut committer, &report).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_worker_spawns_no_threads() {
+        let bs = BatchScheduler::new(1);
+        assert_eq!(bs.workers(), 1);
+        assert!(bs.pool.is_none(), "1 worker must take the inline fast path");
     }
 }

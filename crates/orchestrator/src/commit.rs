@@ -146,12 +146,19 @@ impl Committer {
     }
 
     /// Validate `p`'s claims against live state; `Ok` means commit-able.
+    ///
+    /// `credit` (ascending by directed link) is capacity the proposal gets
+    /// back at install time — the running schedule a migration replaces.
+    /// Crediting lets the migration path validate *before* touching any
+    /// state, so a rejected migration leaves the database bit-identical
+    /// (stamps included).
     fn validate(
         p: &Proposal,
         net: &NetworkState,
         opt: &OpticalState,
         cluster: &flexsched_compute::ClusterManager,
         strictness: Strictness,
+        credit: Option<&[(flexsched_simnet::DirLink, f64)]>,
     ) -> std::result::Result<(), Conflict> {
         // Malformed-proposal guard first: the weakest planned flow must
         // clear the floor the proposal itself declared.
@@ -176,11 +183,16 @@ impl Committer {
             if net.is_down(link) {
                 return Err(Conflict::LinkDown { link });
             }
-            let available = net.residual_gbps(c.link).map_err(|_| Conflict::StaleLink {
+            let mut available = net.residual_gbps(c.link).map_err(|_| Conflict::StaleLink {
                 link,
                 claimed_gbps: c.gbps,
                 available_gbps: 0.0,
             })?;
+            if let Some(credit) = credit {
+                if let Ok(i) = credit.binary_search_by(|(dl, _)| dl.cmp(&c.link)) {
+                    available += credit[i].1;
+                }
+            }
             let stale_stamp =
                 strictness == Strictness::Current && net.link_version(link) != c.seen_version;
             if stale_stamp || c.gbps > available + 1e-9 {
@@ -212,7 +224,8 @@ impl Committer {
         let sdn = &mut self.sdn;
         let groom = &mut self.groom;
         let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
-            Self::validate(p, net, opt, cluster, strictness).map_err(crate::OrchError::Rejected)?;
+            Self::validate(p, net, opt, cluster, strictness, None)
+                .map_err(crate::OrchError::Rejected)?;
             // Claims hold: install flow rules atomically, then groom the
             // schedule's chains onto wavelengths (best-effort, per chain —
             // wavelength shortage does not block the IP-layer schedule,
@@ -277,26 +290,32 @@ impl Committer {
         })
     }
 
-    /// Atomically replace a running task's installed schedule with a new
-    /// proposal (the rescheduling migration path). The old rules come out,
-    /// the new claims are validated against the freed state and installed;
-    /// if they no longer fit, the old schedule is re-installed and the
-    /// conflict returned — the task keeps running either way.
-    pub fn migrate(
+    fn migrate_inner(
         &mut self,
         db: &Database,
         old: &Schedule,
         p: &Proposal,
+        strictness: Strictness,
     ) -> Result<CommitReceipt> {
         let sdn = &mut self.sdn;
         let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
-            sdn.remove_task(old.task, net)?;
-            if let Err(c) = Self::validate(p, net, opt, cluster, Strictness::Fit) {
-                sdn.install(old, net)
-                    .expect("re-installing just-removed schedule cannot fail");
+            // Validate first, crediting the old schedule's reservations —
+            // the capacity the swap frees. Nothing has been touched yet, so
+            // a rejection leaves the database bit-identical, version stamps
+            // included (the fault-injection harness pins this).
+            let credit = old.aggregated_reservations(net.topo())?;
+            if let Err(c) = Self::validate(p, net, opt, cluster, strictness, Some(&credit)) {
                 return Err(crate::OrchError::Rejected(c));
             }
-            sdn.install(&p.schedule, net)?;
+            sdn.remove_task(old.task, net)?;
+            if let Err(e) = sdn.install(&p.schedule, net) {
+                // Unreachable when the credited validation was exact; kept
+                // as a defensive rollback so a floating-point edge cannot
+                // strand the task ruleless.
+                sdn.install(old, net)
+                    .expect("re-installing just-removed schedule cannot fail");
+                return Err(e);
+            }
             Ok(CommitReceipt {
                 task: p.schedule.task,
                 groomed: Vec::new(),
@@ -307,6 +326,36 @@ impl Committer {
             Err(_) => self.rejections += 1,
         }
         outcome
+    }
+
+    /// Atomically replace a running task's installed schedule with a new
+    /// proposal (the rescheduling migration path). The new claims are
+    /// validated against live state with the old schedule's reservations
+    /// credited back; only then are the old rules swapped for the new. On a
+    /// conflict the database is left bit-identical — the task keeps running
+    /// on its old schedule.
+    pub fn migrate(
+        &mut self,
+        db: &Database,
+        old: &Schedule,
+        p: &Proposal,
+    ) -> Result<CommitReceipt> {
+        self.migrate_inner(db, old, p, Strictness::Fit)
+    }
+
+    /// Like [`migrate`](Committer::migrate), but additionally rejects the
+    /// proposal when any claimed link's mutation stamp (or spectrum stamp)
+    /// moved since the proposal's snapshot. This is the gate for
+    /// *incremental repair* proposals, which speculate against the live
+    /// snapshot: a stamp that moved means another migration interfered, so
+    /// the repair must be recomputed rather than grandfathered in.
+    pub fn migrate_if_current(
+        &mut self,
+        db: &Database,
+        old: &Schedule,
+        p: &Proposal,
+    ) -> Result<CommitReceipt> {
+        self.migrate_inner(db, old, p, Strictness::Current)
     }
 
     /// Lifetime (commits, rejections) counters.

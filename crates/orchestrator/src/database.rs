@@ -12,7 +12,7 @@ use flexsched_sched::{NetworkSnapshot, Schedule};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId, TaskReport};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Lifecycle of an admitted task.
@@ -35,7 +35,29 @@ struct DbInner {
     cluster: ClusterManager,
     tasks: BTreeMap<TaskId, (AiTask, TaskPhase)>,
     schedules: BTreeMap<TaskId, Schedule>,
+    /// Reverse index `link → tasks whose stored schedule touches it`,
+    /// maintained by [`Database::store_schedule`] / `take_schedule`. A
+    /// fault on link `l` must consider exactly `link_tasks[l]` for repair
+    /// — without this, every fault pays a scan over every stored schedule.
+    link_tasks: Vec<BTreeSet<TaskId>>,
     reports: Vec<TaskReport>,
+}
+
+impl DbInner {
+    fn index_schedule(&mut self, schedule: &Schedule, present: bool) {
+        let Ok(reservations) = schedule.reservations(self.network.topo()) else {
+            return; // stored schedules are built on this topology
+        };
+        for (dl, _) in reservations {
+            if let Some(set) = self.link_tasks.get_mut(dl.link.index()) {
+                if present {
+                    set.insert(schedule.task);
+                } else {
+                    set.remove(&schedule.task);
+                }
+            }
+        }
+    }
 }
 
 /// Shared, thread-safe database handle.
@@ -47,6 +69,7 @@ pub struct Database {
 impl Database {
     /// Create a database over fresh network/optical/cluster state.
     pub fn new(network: NetworkState, optical: OpticalState, cluster: ClusterManager) -> Self {
+        let link_tasks = vec![BTreeSet::new(); network.topo().link_count()];
         Database {
             inner: Arc::new(RwLock::new(DbInner {
                 network,
@@ -54,6 +77,7 @@ impl Database {
                 cluster,
                 tasks: BTreeMap::new(),
                 schedules: BTreeMap::new(),
+                link_tasks,
                 reports: Vec::new(),
             })),
         }
@@ -129,14 +153,47 @@ impl Database {
             .count()
     }
 
-    /// Store (replace) a task's active schedule.
+    /// Store (replace) a task's active schedule, keeping the link → tasks
+    /// reverse index in step.
     pub fn store_schedule(&self, schedule: Schedule) {
-        self.inner.write().schedules.insert(schedule.task, schedule);
+        let mut g = self.inner.write();
+        if let Some(old) = g.schedules.remove(&schedule.task) {
+            g.index_schedule(&old, false);
+        }
+        g.index_schedule(&schedule, true);
+        g.schedules.insert(schedule.task, schedule);
     }
 
     /// Remove a task's schedule, returning it.
     pub fn take_schedule(&self, id: TaskId) -> Option<Schedule> {
-        self.inner.write().schedules.remove(&id)
+        let mut g = self.inner.write();
+        let schedule = g.schedules.remove(&id)?;
+        g.index_schedule(&schedule, false);
+        Some(schedule)
+    }
+
+    /// Tasks whose stored schedule reserves on `link` (the fault →
+    /// affected-schedules lookup), ascending.
+    pub fn tasks_on_link(&self, link: flexsched_topo::LinkId) -> Vec<TaskId> {
+        self.inner
+            .read()
+            .link_tasks
+            .get(link.index())
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Tasks whose stored schedule touches any of `links`, ascending and
+    /// deduplicated — the candidate set one fault tick must reconsider.
+    pub fn tasks_on_links(&self, links: &[flexsched_topo::LinkId]) -> Vec<TaskId> {
+        let g = self.inner.read();
+        let mut out = BTreeSet::new();
+        for l in links {
+            if let Some(set) = g.link_tasks.get(l.index()) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out.into_iter().collect()
     }
 
     /// Clone a task's schedule.
@@ -270,5 +327,58 @@ mod tests {
         let db = db();
         assert_eq!(db.schedule_count(), 0);
         assert!(db.take_schedule(TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn reverse_index_tracks_schedule_lifecycle() {
+        use flexsched_sched::{FlexibleMst, NetworkSnapshot, Scheduler};
+        let db = db();
+        let (topo, task) = db.read(|net, _, _| {
+            let topo = net.topo_arc();
+            let servers = topo.servers();
+            (
+                Arc::clone(&topo),
+                AiTask {
+                    id: TaskId(7),
+                    model: ModelProfile::mobilenet(),
+                    global_site: servers[0],
+                    local_sites: servers[1..=5].to_vec(),
+                    data_utility: Default::default(),
+                    iterations: 1,
+                    comm_budget_ms: 10.0,
+                    arrival_ns: 0,
+                },
+            )
+        });
+        let schedule = db.read(|net, _, _| {
+            let snap = NetworkSnapshot::capture(net);
+            FlexibleMst::paper()
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+                .schedule
+        });
+        let footprint: Vec<flexsched_topo::LinkId> = {
+            let mut set = std::collections::BTreeSet::new();
+            for (dl, _) in schedule.reservations(&topo).unwrap() {
+                set.insert(dl.link);
+            }
+            set.into_iter().collect()
+        };
+        db.store_schedule(schedule.clone());
+        for l in &footprint {
+            assert_eq!(db.tasks_on_link(*l), vec![TaskId(7)], "link {l}");
+        }
+        assert_eq!(db.tasks_on_links(&footprint), vec![TaskId(7)]);
+        // Links outside the footprint index nothing.
+        let outside = (0..topo.link_count() as u32)
+            .map(flexsched_topo::LinkId)
+            .find(|l| !footprint.contains(l))
+            .unwrap();
+        assert!(db.tasks_on_link(outside).is_empty());
+        // Replacing the schedule re-indexes; taking it clears.
+        db.store_schedule(schedule.clone());
+        assert_eq!(db.tasks_on_links(&footprint), vec![TaskId(7)]);
+        db.take_schedule(TaskId(7)).unwrap();
+        assert!(db.tasks_on_links(&footprint).is_empty());
     }
 }

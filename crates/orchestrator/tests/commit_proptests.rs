@@ -118,10 +118,10 @@ proptest! {
     ) {
         let topo = scenario_topology(pick);
         let batch = make_batch(&topo, &specs);
-        let scheduler: Box<dyn Scheduler> = if flexible {
-            Box::new(FlexibleMst::paper())
+        let scheduler: Arc<dyn Scheduler> = if flexible {
+            Arc::new(FlexibleMst::paper())
         } else {
-            Box::new(FixedSpff)
+            Arc::new(FixedSpff)
         };
 
         let par_db = fresh_db(&topo);
@@ -131,7 +131,7 @@ proptest! {
         let mut par = BatchScheduler::new(workers);
         let mut seq = BatchScheduler::new(1);
         let par_report = par
-            .run(&par_db, &mut par_committer, &*scheduler, &batch)
+            .run(&par_db, &mut par_committer, &scheduler, &batch)
             .unwrap();
         let seq_report = seq
             .run_sequential(&seq_db, &mut seq_committer, &*scheduler, &batch)

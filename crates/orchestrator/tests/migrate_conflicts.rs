@@ -1,0 +1,413 @@
+//! Typed-conflict coverage for the migration gate.
+//!
+//! PR 2's tests exercised every [`Conflict`] variant through the *install*
+//! path (`commit` / `commit_if_current`); the migration path only had
+//! happy-path coverage. These tests drive every variant through
+//! [`Committer::migrate`] / [`Committer::migrate_if_current`] and pin the
+//! repair pipeline's contract: a rejected migration leaves the database
+//! bit-identical — validation (with the old schedule's reservations
+//! credited) runs before any rule is touched, so not even a version stamp
+//! moves.
+//!
+//! The last test is the ready-made witness for the ROADMAP's open
+//! "read-footprint conflict detection" gap (see its comment).
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_optical::{OpticalState, WavelengthPolicy};
+use flexsched_orchestrator::{Committer, Conflict, Database, OrchError};
+use flexsched_sched::{FlexibleMst, Proposal, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{builders, LinkId, NodeId, Path};
+use std::sync::Arc;
+
+fn rig() -> (Database, AiTask) {
+    let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+    let db = Database::new(
+        NetworkState::new(Arc::clone(&topo)),
+        OpticalState::new(Arc::clone(&topo)),
+        ClusterManager::from_topology(&topo, ServerSpec::default()),
+    );
+    let servers = topo.servers();
+    let task = AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..=8].to_vec(),
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    };
+    (db, task)
+}
+
+/// Propose for `locals` of the task's sites against the live snapshot
+/// (claims carry live stamps — what the repair path produces).
+fn propose_live(db: &Database, task: &AiTask, locals: usize) -> Proposal {
+    let snap = db.snapshot();
+    FlexibleMst::paper()
+        .propose_once(task, &task.local_sites[..locals], &snap)
+        .unwrap()
+}
+
+/// Install a 3-local schedule, then build a wider live replacement whose
+/// claims include links the old schedule does not cover.
+fn committed_pair(db: &Database, task: &AiTask) -> (Committer, Proposal, Proposal) {
+    let mut committer = Committer::new();
+    let p1 = propose_live(db, task, 3);
+    committer.commit(db, &p1).unwrap();
+    let p2 = propose_live(db, task, 8);
+    (committer, p1, p2)
+}
+
+/// A link claimed by `p` but not reserved by `old` — sabotage target whose
+/// damage the old schedule's credit cannot repair.
+fn fresh_claimed_link(old: &Proposal, p: &Proposal) -> LinkId {
+    let old_footprint = old.claims.footprint();
+    p.claims
+        .links
+        .iter()
+        .map(|c| c.link.link)
+        .find(|l| !old_footprint.contains(l))
+        .expect("wider schedule claims links beyond the old footprint")
+}
+
+fn world_fmt(db: &Database) -> (String, String) {
+    db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")))
+}
+
+/// Assert `migrate` (or strict `migrate_if_current`) rejects with the
+/// expected conflict and leaves both layers bit-identical.
+fn assert_rejected(
+    db: &Database,
+    committer: &mut Committer,
+    old: &Proposal,
+    p: &Proposal,
+    strict: bool,
+    check: impl Fn(&Conflict) -> bool,
+) {
+    let before = world_fmt(db);
+    let (commits_before, rejections_before) = committer.counters();
+    let outcome = if strict {
+        committer.migrate_if_current(db, &old.schedule, p)
+    } else {
+        committer.migrate(db, &old.schedule, p)
+    };
+    match outcome {
+        Err(OrchError::Rejected(c)) => assert!(check(&c), "unexpected conflict: {c}"),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    let after = world_fmt(db);
+    assert_eq!(
+        before.0, after.0,
+        "NetworkState changed on rejected migrate"
+    );
+    assert_eq!(
+        before.1, after.1,
+        "OpticalState changed on rejected migrate"
+    );
+    assert_eq!(
+        committer.counters(),
+        (commits_before, rejections_before + 1)
+    );
+    // The old schedule's rules are still installed — the task kept running.
+    assert!(committer.sdn().rules_of(old.schedule.task).is_some());
+}
+
+#[test]
+fn migrate_link_down_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    let victim = fresh_claimed_link(&p1, &p2);
+    db.write(|net, _, _| net.set_down(victim, true).unwrap());
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        false,
+        |c| matches!(c, Conflict::LinkDown { link } if *link == victim),
+    );
+}
+
+#[test]
+fn migrate_stale_link_is_typed_and_credit_cannot_save_fresh_links() {
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    // Fill a link the old schedule does not reserve on: no credit there.
+    let victim = fresh_claimed_link(&p1, &p2);
+    db.write(|net, _, _| {
+        for dir in [
+            flexsched_topo::Direction::AtoB,
+            flexsched_topo::Direction::BtoA,
+        ] {
+            let dl = flexsched_simnet::DirLink::new(victim, dir);
+            let res = net.residual_gbps(dl).unwrap();
+            net.add_background(dl, res).unwrap();
+        }
+    });
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        false,
+        |c| matches!(c, Conflict::StaleLink { link, .. } if *link == victim),
+    );
+}
+
+#[test]
+fn migrate_credits_the_old_reservations() {
+    // The inverse of the stale-link case: the replacement claims exactly
+    // the links the old schedule holds, on links left with zero residual —
+    // only crediting the outgoing reservations makes the swap valid (the
+    // validation runs before any rule is removed, so without credit this
+    // would be a guaranteed StaleLink).
+    let (db, task) = rig();
+    let mut committer = Committer::new();
+    let p1 = propose_live(&db, &task, 3);
+    committer.commit(&db, &p1).unwrap();
+    // Exhaust every claimed link's residual: no slack beyond the credit.
+    db.write(|net, _, _| {
+        for c in &p1.claims.links {
+            let res = net.residual_gbps(c.link).unwrap();
+            net.add_background(c.link, res).unwrap();
+        }
+    });
+    let p2 = p1.clone();
+    let reserved_before = db.total_reserved_gbps();
+    committer
+        .migrate(&db, &p1.schedule, &p2)
+        .expect("identical swap must validate purely on credit");
+    assert!((db.total_reserved_gbps() - reserved_before).abs() < 1e-9);
+}
+
+#[test]
+fn migrate_wavelength_taken_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    assert!(!p2.claims.wavelengths.is_empty());
+    // A claimed multi-wavelength link outside the old footprint: exhaust
+    // and fill every wavelength so no groomable headroom is left.
+    let old_footprint = p1.claims.footprint();
+    let victim = p2
+        .claims
+        .wavelengths
+        .iter()
+        .map(|w| w.link)
+        .find(|l| {
+            !old_footprint.contains(l)
+                && db.read(|net, _, _| net.topo().link(*l).unwrap().wavelengths > 1)
+        })
+        .expect("wider metro schedules cross fresh WDM spans");
+    db.write(|net, opt, _| {
+        let link = net.topo().link(victim).unwrap().clone();
+        let hop = Path::new(vec![link.a, link.b], vec![victim]).unwrap();
+        while let Ok(id) = opt.establish(hop.clone(), WavelengthPolicy::FirstFit) {
+            let cap = opt.lightpath(id).unwrap().capacity_gbps;
+            opt.add_groomed(id, cap).unwrap();
+        }
+    });
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        false,
+        |c| matches!(c, Conflict::WavelengthTaken { link } if *link == victim),
+    );
+}
+
+#[test]
+fn strict_migrate_stale_optical_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    // Move a claimed link's spectrum stamp without exhausting it: light one
+    // wavelength on a multi-wavelength span. Fit-mode would accept; the
+    // strict gate must reject with StaleOptical.
+    let victim = p2
+        .claims
+        .wavelengths
+        .iter()
+        .map(|w| w.link)
+        .find(|l| db.read(|net, _, _| net.topo().link(*l).unwrap().wavelengths > 2))
+        .expect("metro schedules cross multi-wavelength spans");
+    db.write(|net, opt, _| {
+        let link = net.topo().link(victim).unwrap().clone();
+        let hop = Path::new(vec![link.a, link.b], vec![victim]).unwrap();
+        opt.establish(hop, WavelengthPolicy::FirstFit).unwrap();
+    });
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        true,
+        |c| matches!(c, Conflict::StaleOptical { link } if *link == victim),
+    );
+}
+
+#[test]
+fn strict_migrate_stale_link_stamp_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    // A tiny background blip on a claimed link: still fits, but the stamp
+    // moved, so the strict gate rejects.
+    let victim = p2.claims.links[0].link;
+    db.write(|net, _, _| {
+        net.add_background(victim, 0.001).unwrap();
+        net.add_background(victim, -0.001).unwrap();
+    });
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        true,
+        |c| matches!(c, Conflict::StaleLink { link, .. } if *link == victim.link),
+    );
+}
+
+#[test]
+fn migrate_rate_floor_violation_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, mut p2) = committed_pair(&db, &task);
+    p2.claims.rate_floor_gbps = f64::INFINITY;
+    assert_rejected(&db, &mut committer, &p1, &p2, false, |c| {
+        matches!(c, Conflict::RateFloorViolated { .. })
+    });
+}
+
+#[test]
+fn migrate_missing_server_is_typed_and_mutation_free() {
+    let (db, task) = rig();
+    let (mut committer, p1, mut p2) = committed_pair(&db, &task);
+    p2.claims.server_slots.push(NodeId(0)); // a ROADM, not a server
+    assert_rejected(
+        &db,
+        &mut committer,
+        &p1,
+        &p2,
+        false,
+        |c| matches!(c, Conflict::MissingServer { node } if *node == NodeId(0)),
+    );
+}
+
+#[test]
+fn migrate_succeeds_after_rejections() {
+    // The rejections above must not wedge the committer: a clean migration
+    // still goes through and the swap is atomic.
+    let (db, task) = rig();
+    let (mut committer, p1, p2) = committed_pair(&db, &task);
+    let mut poisoned = p2.clone();
+    poisoned.claims.rate_floor_gbps = f64::INFINITY;
+    assert!(committer.migrate(&db, &p1.schedule, &poisoned).is_err());
+    let receipt = committer.migrate(&db, &p1.schedule, &p2).unwrap();
+    assert_eq!(receipt.task, task.id);
+    let reserved: f64 = db.total_reserved_gbps();
+    let expected: f64 = p2.claims.total_gbps();
+    assert!(
+        (reserved - expected).abs() < 1e-6,
+        "live reservations {reserved} != migrated claims {expected}"
+    );
+}
+
+/// ROADMAP "read-footprint conflict detection": the stamp rule covers the
+/// *claimed* links, but a decision's auxiliary weights also read links that
+/// end up outside the final claim footprint. A commit that touches only
+/// such a non-claimed link can steer a fresh decision differently — and the
+/// strict gate will not notice.
+///
+/// This test constructs the exact witness: background load on a short route
+/// steers the speculated tree onto a detour; the load is then removed (a
+/// write that moves only the *non-claimed* short route's stamps); the
+/// speculated proposal still commits through the strict gate even though a
+/// fresh decision now prefers the short route. Closing the gap (e.g. by
+/// recording a coarse read-region in `ResourceClaims`) should make the
+/// strict commit reject — flip this test's expectation and un-ignore it.
+#[test]
+#[ignore = "known read-footprint gap (see ROADMAP); un-ignore when claims record a read-region"]
+fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
+    use flexsched_topo::NodeKind;
+    // g —(short: s1,s2 via a)— t   and   g —(detour: d1,d2 via b)— t.
+    let mut t = flexsched_topo::Topology::new();
+    let g = t.add_node(NodeKind::Server, "g");
+    let a = t.add_node(NodeKind::IpRouter, "a");
+    let b = t.add_node(NodeKind::IpRouter, "b");
+    let l = t.add_node(NodeKind::Server, "t");
+    let s1 = t.add_link(g, a, 1.0, 100.0).unwrap();
+    let s2 = t.add_link(a, l, 1.0, 100.0).unwrap();
+    let _d1 = t.add_link(g, b, 1.0, 100.0).unwrap();
+    let _d2 = t.add_link(b, l, 1.0, 100.0).unwrap();
+    let topo = Arc::new(t);
+    let db = Database::new(
+        NetworkState::new(Arc::clone(&topo)),
+        OpticalState::new(Arc::clone(&topo)),
+        ClusterManager::from_topology(&topo, ServerSpec::default()),
+    );
+    let task = AiTask {
+        id: TaskId(0),
+        model: ModelProfile::lenet(),
+        global_site: g,
+        local_sites: vec![l],
+        data_utility: Default::default(),
+        iterations: 1,
+        comm_budget_ms: 10.0,
+        arrival_ns: 0,
+    };
+    // Load the short route so the speculated decision detours around it.
+    db.write(|net, _, _| {
+        for link in [s1, s2] {
+            for dir in [
+                flexsched_topo::Direction::AtoB,
+                flexsched_topo::Direction::BtoA,
+            ] {
+                net.add_background(flexsched_simnet::DirLink::new(link, dir), 80.0)
+                    .unwrap();
+            }
+        }
+    });
+    let snap = db.snapshot();
+    let speculated = FlexibleMst::paper()
+        .propose_once(&task, &task.local_sites, &snap)
+        .unwrap();
+    let claimed = speculated.claims.footprint();
+    assert!(
+        !claimed.contains(&s1) && !claimed.contains(&s2),
+        "speculation must detour around the loaded short route"
+    );
+    // A write that touches ONLY the non-claimed short route: unload it.
+    db.write(|net, _, _| {
+        for link in [s1, s2] {
+            for dir in [
+                flexsched_topo::Direction::AtoB,
+                flexsched_topo::Direction::BtoA,
+            ] {
+                net.add_background(flexsched_simnet::DirLink::new(link, dir), -80.0)
+                    .unwrap();
+            }
+        }
+    });
+    // A fresh decision now takes the short route — the speculation is no
+    // longer what sequential scheduling would produce.
+    let fresh = FlexibleMst::paper()
+        .propose_once(&task, &task.local_sites, &db.snapshot())
+        .unwrap();
+    assert!(
+        fresh.claims.footprint().contains(&s1),
+        "fresh decision must prefer the unloaded short route"
+    );
+    // THE GAP: the strict gate only stamps claimed links, so the stale
+    // speculation still commits. When claims record a read-region this
+    // commit must become a typed rejection.
+    let mut committer = Committer::new();
+    assert!(
+        matches!(
+            committer.commit_if_current(&db, &speculated),
+            Err(OrchError::Rejected(_))
+        ),
+        "read-footprint gap: strict commit accepted a speculation that a \
+         commit on a non-claimed link invalidated"
+    );
+}

@@ -233,6 +233,16 @@ impl Scheduler for FlexibleMst {
             snap,
         )
     }
+
+    fn propose_repair(
+        &self,
+        task: &AiTask,
+        current: &Schedule,
+        snapshot: &NetworkSnapshot,
+        scratch: &mut ScratchPool,
+    ) -> Result<Option<crate::repair::RepairProposal>> {
+        crate::repair::repair_schedule(self, task, current, snapshot, scratch)
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod evaluate;
 pub mod fixed;
 pub mod flexible;
 pub mod proposal;
+pub mod repair;
 pub mod reschedule;
 pub mod schedule;
 pub mod selection;
@@ -55,7 +56,8 @@ pub use error::SchedError;
 pub use evaluate::evaluate_schedule;
 pub use fixed::FixedSpff;
 pub use flexible::FlexibleMst;
-pub use proposal::{LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
+pub use proposal::{ClaimsDelta, LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
+pub use repair::{BrokenLinks, RepairProposal};
 pub use reschedule::{ReschedulePolicy, RescheduleVerdict};
 pub use schedule::{RatedPath, RoutingPlan, Schedule};
 pub use selection::SelectionStrategy;
@@ -91,6 +93,23 @@ pub trait Scheduler: Send + Sync {
         snapshot: &NetworkSnapshot,
         scratch: &mut ScratchPool,
     ) -> Result<Proposal>;
+
+    /// Incrementally repair `current` against the faults visible in
+    /// `snapshot` (the *live* state, current schedule still installed):
+    /// detach broken subtrees, re-attach orphaned terminals via a
+    /// frontier-restricted search, and return a [`RepairProposal`] whose
+    /// claims delta covers only the changed links. `Ok(None)` means the
+    /// schedule needs no structural repair (or this policy cannot repair —
+    /// the default); the caller falls back to ordinary rescheduling.
+    fn propose_repair(
+        &self,
+        _task: &AiTask,
+        _current: &Schedule,
+        _snapshot: &NetworkSnapshot,
+        _scratch: &mut ScratchPool,
+    ) -> Result<Option<RepairProposal>> {
+        Ok(None)
+    }
 
     /// [`propose`](Scheduler::propose) with a throwaway scratch pool — a
     /// convenience for tests, examples and one-shot callers.

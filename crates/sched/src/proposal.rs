@@ -61,6 +61,43 @@ pub struct ResourceClaims {
     pub rate_floor_gbps: f64,
 }
 
+/// The difference between a replacement proposal's claims and the schedule
+/// it replaces: exactly which directed-link rates grow and which are
+/// released. Incremental tree repair produces proposals whose delta covers
+/// only the re-attached fragment, so the delta is both the unit of
+/// interference analysis (which links a migration actually touches) and the
+/// evidence that a repair was incremental rather than a full re-route.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClaimsDelta {
+    /// Rate growth per directed link (new links, or increases on kept
+    /// links), ascending by link then direction. `gbps` is the *increase*.
+    pub added: Vec<LinkClaim>,
+    /// Rate released per directed link (links left behind, or decreases on
+    /// kept links), ascending; the value is the decrease, Gbit/s.
+    pub removed: Vec<(DirLink, f64)>,
+}
+
+impl ClaimsDelta {
+    /// Whether the replacement claims exactly the old reservations.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Distinct physical links the migration touches (either list, either
+    /// direction), ascending.
+    pub fn touched_links(&self) -> Vec<LinkId> {
+        let mut links: Vec<LinkId> = self
+            .added
+            .iter()
+            .map(|c| c.link.link)
+            .chain(self.removed.iter().map(|(dl, _)| dl.link))
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+}
+
 impl ResourceClaims {
     /// Total claimed bandwidth over all directed links, Gbit/s·link.
     pub fn total_gbps(&self) -> f64 {
@@ -73,6 +110,45 @@ impl ResourceClaims {
         links.sort_unstable();
         links.dedup();
         links
+    }
+
+    /// Delta of this claim-set versus the old schedule's per-directed-link
+    /// aggregate (`old` ascending by directed link, as produced by
+    /// aggregating `Schedule::reservations`). Links whose rate is unchanged
+    /// (within 1e-9) appear in neither list.
+    pub fn delta_from(&self, old: &[(DirLink, f64)]) -> ClaimsDelta {
+        let mut delta = ClaimsDelta::default();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.links.len() || j < old.len() {
+            let new_claim = self.links.get(i);
+            let old_claim = old.get(j);
+            match (new_claim, old_claim) {
+                (Some(c), Some(&(dl, gbps))) if c.link == dl => {
+                    let diff = c.gbps - gbps;
+                    if diff > 1e-9 {
+                        delta.added.push(LinkClaim { gbps: diff, ..*c });
+                    } else if diff < -1e-9 {
+                        delta.removed.push((dl, -diff));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(c), Some(&(dl, _))) if c.link < dl => {
+                    delta.added.push(*c);
+                    i += 1;
+                }
+                (Some(c), None) => {
+                    delta.added.push(*c);
+                    i += 1;
+                }
+                (_, Some(&(dl, gbps))) => {
+                    delta.removed.push((dl, gbps));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        delta
     }
 }
 
@@ -98,19 +174,15 @@ impl Proposal {
     /// Kept allocation-light (sort + in-place merge, no maps) because it
     /// runs once per scheduling decision on the control-plane hot path.
     pub fn assemble(schedule: Schedule, snap: &NetworkSnapshot) -> Result<Self> {
-        let mut reservations = schedule.reservations(snap.topo())?;
-        reservations.sort_unstable_by_key(|r| r.0);
-        let mut links: Vec<LinkClaim> = Vec::with_capacity(reservations.len());
-        for (dl, gbps) in reservations {
-            match links.last_mut() {
-                Some(last) if last.link == dl => last.gbps += gbps,
-                _ => links.push(LinkClaim {
-                    link: dl,
-                    gbps,
-                    seen_version: snap.net().link_version(dl.link),
-                }),
-            }
-        }
+        let links: Vec<LinkClaim> = schedule
+            .aggregated_reservations(snap.topo())?
+            .into_iter()
+            .map(|(dl, gbps)| LinkClaim {
+                link: dl,
+                gbps,
+                seen_version: snap.net().link_version(dl.link),
+            })
+            .collect();
         let wavelengths = if let Some(opt) = snap.optical() {
             let mut seen: Vec<LinkId> = links.iter().map(|c| c.link.link).collect();
             seen.dedup(); // links are sorted by (link, dir) already

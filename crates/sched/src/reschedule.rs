@@ -1,14 +1,27 @@
-//! Rescheduling: the interruption-vs-saving trade-off (open challenge #1).
+//! Rescheduling: the interruption-vs-saving trade-off (open challenge #1),
+//! now repair-first.
 //!
 //! "Routing paths and aggregation procedures must be initially scheduled
 //! for each AI task, and then re-scheduled when the deployed AI tasks and
 //! networks change. ... We also need to balance a trade-off between
 //! re-scheduling (temporary interruption) and bandwidth/latency saving."
 //!
-//! The policy here: re-evaluate the task's current schedule against fresh
-//! network state, compute a candidate schedule, and migrate only when the
-//! predicted latency saving over the task's remaining iterations outweighs
-//! the interruption cost by a configurable factor.
+//! Two paths through a rescheduling consideration:
+//!
+//! * **Repair path** (default, [`ReschedulePolicy::prefer_repair`]): when
+//!   the running schedule's tree crosses a broken link, ask the policy for
+//!   an [incremental repair](crate::repair) — detach the orphaned subtree,
+//!   re-attach it via a frontier-restricted search — and migrate
+//!   *unconditionally*: a schedule across a dead link serves nothing, so
+//!   the interruption trade-off does not apply. Repair proposals speculate
+//!   against the **live** snapshot (crediting the task's own
+//!   reservations), so their claims carry live version stamps and the
+//!   committer's strict migration gate can detect interference.
+//! * **Full re-solve path** (fallback, and the only path for load-driven
+//!   reschedules): re-run the scheduler against a hypothetical world
+//!   without the task's own reservations, and migrate only when the
+//!   predicted latency saving over the remaining iterations outweighs the
+//!   interruption cost by the configured factor.
 
 use crate::evaluate::evaluate_schedule;
 use crate::proposal::Proposal;
@@ -28,6 +41,11 @@ pub struct ReschedulePolicy {
     /// Required benefit-to-cost ratio before migrating (1.0 = break-even;
     /// higher = more conservative).
     pub threshold: f64,
+    /// Try an incremental tree repair before a full re-solve. Repairs are
+    /// an order of magnitude cheaper per decision (one frontier search
+    /// versus two Steiner constructions) and their claims delta keeps the
+    /// migration's interference footprint small.
+    pub prefer_repair: bool,
 }
 
 impl Default for ReschedulePolicy {
@@ -36,6 +54,17 @@ impl Default for ReschedulePolicy {
             // SDN flow-rule + ROADM reconfiguration: a few milliseconds.
             interruption_ns: 5_000_000,
             threshold: 1.5,
+            prefer_repair: true,
+        }
+    }
+}
+
+impl ReschedulePolicy {
+    /// The pre-repair policy: every reschedule is a full re-solve.
+    pub fn full_resolve() -> Self {
+        ReschedulePolicy {
+            prefer_repair: false,
+            ..Self::default()
         }
     }
 }
@@ -57,18 +86,29 @@ pub enum RescheduleVerdict {
         predicted_saving_ns: i64,
         /// Bandwidth change (new - old), Gbit/s·link (negative = saving).
         bandwidth_delta_gbps: f64,
+        /// `true` when the proposal came from the incremental repair path:
+        /// its claims carry live snapshot stamps, so the committer should
+        /// install it through the strict `migrate_if_current` gate.
+        via_repair: bool,
     },
 }
 
 /// Consider rescheduling `task` (currently running `current`, with
 /// `remaining_iterations` left) under fresh network conditions.
 ///
-/// `state` must be the live network state *with `current` applied*. The
-/// candidate is proposed against a snapshot of a hypothetical state where
-/// the task's own reservations are released (so it does not compete with
-/// itself); the live state is never mutated — the only `apply` here runs on
-/// a private clone to price the candidate. A `Migrate` verdict hands back a
-/// [`Proposal`] for the orchestrator's committer to validate and install.
+/// `state` must be the live network state *with `current` applied*;
+/// `optical` is the live optical state when the scenario models
+/// wavelengths — the repair path needs it to see soft failures (a
+/// spectrally dead fiber is invisible to the IP layer) and to stamp its
+/// claims with live spectrum versions for the strict migration gate. With
+/// [`ReschedulePolicy::prefer_repair`], a broken tree is repaired
+/// incrementally against the live snapshot and migration is unconditional;
+/// otherwise (or when repair does not apply) the candidate is proposed
+/// against a snapshot of a hypothetical state where the task's own
+/// reservations are released, gated by the interruption trade-off. The live
+/// state is never mutated — every `apply` here runs on a private clone to
+/// price a candidate. A `Migrate` verdict hands back a [`Proposal`] for the
+/// orchestrator's committer to validate and install.
 #[allow(clippy::too_many_arguments)]
 pub fn consider(
     policy: &ReschedulePolicy,
@@ -77,6 +117,7 @@ pub fn consider(
     current: &Schedule,
     remaining_iterations: u32,
     state: &NetworkState,
+    optical: Option<&flexsched_optical::OpticalState>,
     cluster: &ClusterManager,
     transport: &Transport,
     scratch: &mut ScratchPool,
@@ -84,11 +125,56 @@ pub fn consider(
     // Current cost under today's conditions.
     let current_report = evaluate_schedule(task, current, state, cluster, transport)?;
 
-    // Hypothetical world without our reservations.
+    // Repair path: live snapshot, incremental surgery, unconditional
+    // migration. Any failure (no tree damage, orphan unreachable, rate
+    // below floor) falls through to the full re-solve below.
+    if policy.prefer_repair {
+        let mut live_snap = NetworkSnapshot::capture(state);
+        if let Some(opt) = optical {
+            live_snap = live_snap.with_optical(opt);
+        }
+        if let Ok(Some(repair)) = scheduler.propose_repair(task, current, &live_snap, scratch) {
+            let mut with_candidate = state.clone();
+            current.release(&mut with_candidate)?;
+            // Pricing only: the committer re-validates the claims at
+            // migration time; a candidate that no longer applies cleanly
+            // here would be rejected there too.
+            if repair.proposal.schedule.apply(&mut with_candidate).is_ok() {
+                let candidate_report = evaluate_schedule(
+                    task,
+                    &repair.proposal.schedule,
+                    &with_candidate,
+                    cluster,
+                    transport,
+                )?;
+                let per_iter_saving =
+                    current_report.iteration_ns() as i64 - candidate_report.iteration_ns() as i64;
+                let bandwidth_delta_gbps = repair
+                    .proposal
+                    .schedule
+                    .total_bandwidth_gbps(state.topo())?
+                    - current.total_bandwidth_gbps(state.topo())?;
+                return Ok(RescheduleVerdict::Migrate {
+                    new_proposal: Box::new(repair.proposal),
+                    predicted_saving_ns: per_iter_saving * i64::from(remaining_iterations),
+                    bandwidth_delta_gbps,
+                    via_repair: true,
+                });
+            }
+        }
+    }
+
+    // Full re-solve path: hypothetical world without our reservations.
+    // The optical view (when the scenario has one) rides along so the
+    // candidate avoids spectrally dead fibers and carries spectrum claims,
+    // exactly like the repair path above.
     let mut without_us = state.clone();
     current.release(&mut without_us)?;
     let candidate = {
-        let snap = NetworkSnapshot::capture(&without_us);
+        let mut snap = NetworkSnapshot::capture(&without_us);
+        if let Some(opt) = optical {
+            snap = snap.with_optical(opt);
+        }
         scheduler.propose(task, &current.selected_locals, &snap, scratch)?
     };
     let mut with_candidate = without_us.clone();
@@ -113,6 +199,7 @@ pub fn consider(
             new_proposal: Box::new(candidate),
             predicted_saving_ns: total_saving,
             bandwidth_delta_gbps,
+            via_repair: false,
         })
     } else {
         Ok(RescheduleVerdict::Keep {
@@ -171,6 +258,7 @@ mod tests {
             &current,
             8,
             &state,
+            None,
             &cluster,
             &Transport::tcp(),
             &mut ScratchPool::new(),
@@ -210,12 +298,14 @@ mod tests {
             &ReschedulePolicy {
                 interruption_ns: 1_000,
                 threshold: 1.0,
+                prefer_repair: true,
             },
             &sched,
             &task,
             &current,
             10,
             &state,
+            None,
             &cluster,
             &Transport::tcp(),
             &mut ScratchPool::new(),
@@ -241,6 +331,173 @@ mod tests {
     }
 
     #[test]
+    fn link_failure_repairs_tree_schedules() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = schedule_with(&sched, &state, &task);
+        current.apply(&mut state).unwrap();
+        let victim = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl.link)
+            .find(|l| {
+                let link = state.topo().link(*l).unwrap();
+                let a = state.topo().node(link.a).unwrap().kind;
+                let b = state.topo().node(link.b).unwrap().kind;
+                a == flexsched_topo::NodeKind::Roadm && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        state.set_down(victim, true).unwrap();
+        let verdict = consider(
+            &ReschedulePolicy::default(),
+            &sched,
+            &task,
+            &current,
+            8,
+            &state,
+            None,
+            &cluster,
+            &Transport::tcp(),
+            &mut ScratchPool::new(),
+        )
+        .unwrap();
+        match verdict {
+            RescheduleVerdict::Migrate {
+                via_repair,
+                new_proposal,
+                ..
+            } => {
+                assert!(via_repair, "tree schedules must take the repair path");
+                for (dl, _) in new_proposal.schedule.reservations(state.topo()).unwrap() {
+                    assert_ne!(dl.link, victim);
+                }
+                // Repair claims speculate against the live state, so their
+                // stamps match it — the strict migration gate's contract.
+                for c in &new_proposal.claims.links {
+                    assert_eq!(c.seen_version, state.link_version(c.link.link));
+                }
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+        }
+    }
+
+    #[test]
+    fn optical_soft_failure_triggers_repair() {
+        use flexsched_optical::{softfail, OpticalState, SoftFailure};
+        let (mut state, cluster, task) = rig();
+        let mut optical = OpticalState::new(state.topo_arc());
+        let sched = FlexibleMst::paper();
+        let current = {
+            let snap = NetworkSnapshot::capture(&state).with_optical(&optical);
+            sched
+                .propose_once(&task, &task.local_sites, &snap)
+                .unwrap()
+                .schedule
+        };
+        current.apply(&mut state).unwrap();
+        // Kill every wavelength of a claimed WDM ring span: the link stays
+        // up at the IP layer but can no longer carry the task optically.
+        let victim = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl.link)
+            .find(|l| {
+                let link = state.topo().link(*l).unwrap();
+                let a = state.topo().node(link.a).unwrap().kind;
+                let b = state.topo().node(link.b).unwrap().kind;
+                link.wavelengths > 1
+                    && a == flexsched_topo::NodeKind::Roadm
+                    && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        let grid = state.topo().link(victim).unwrap().wavelengths;
+        softfail::apply(
+            &mut optical,
+            SoftFailure {
+                link: victim,
+                severity: grid,
+            },
+        )
+        .unwrap();
+        let verdict = consider(
+            &ReschedulePolicy::default(),
+            &sched,
+            &task,
+            &current,
+            8,
+            &state,
+            Some(&optical),
+            &cluster,
+            &Transport::tcp(),
+            &mut ScratchPool::new(),
+        )
+        .unwrap();
+        match verdict {
+            RescheduleVerdict::Migrate {
+                via_repair,
+                new_proposal,
+                ..
+            } => {
+                assert!(via_repair, "soft failures must take the repair path");
+                for (dl, _) in new_proposal.schedule.reservations(state.topo()).unwrap() {
+                    assert_ne!(dl.link, victim, "repair must leave the dead fiber");
+                }
+                assert!(
+                    !new_proposal.claims.wavelengths.is_empty(),
+                    "repair against an optical view must carry spectrum claims"
+                );
+            }
+            RescheduleVerdict::Keep { .. } => panic!("spectrally dead span must migrate"),
+        }
+    }
+
+    #[test]
+    fn full_resolve_policy_skips_repair() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = schedule_with(&sched, &state, &task);
+        current.apply(&mut state).unwrap();
+        let victim = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl.link)
+            .find(|l| {
+                let link = state.topo().link(*l).unwrap();
+                let a = state.topo().node(link.a).unwrap().kind;
+                let b = state.topo().node(link.b).unwrap().kind;
+                a == flexsched_topo::NodeKind::Roadm && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        state.set_down(victim, true).unwrap();
+        let verdict = consider(
+            &ReschedulePolicy {
+                interruption_ns: 1_000,
+                threshold: 1.0,
+                ..ReschedulePolicy::full_resolve()
+            },
+            &sched,
+            &task,
+            &current,
+            8,
+            &state,
+            None,
+            &cluster,
+            &Transport::tcp(),
+            &mut ScratchPool::new(),
+        )
+        .unwrap();
+        match verdict {
+            RescheduleVerdict::Migrate { via_repair, .. } => {
+                assert!(!via_repair, "full_resolve must not repair");
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+        }
+    }
+
+    #[test]
     fn high_threshold_suppresses_migration() {
         let (mut state, cluster, task) = rig();
         let sched = FixedSpff;
@@ -254,12 +511,14 @@ mod tests {
             &ReschedulePolicy {
                 interruption_ns: u64::MAX / 4,
                 threshold: 1_000.0,
+                prefer_repair: true,
             },
             &sched,
             &task,
             &current,
             2,
             &state,
+            None,
             &cluster,
             &Transport::tcp(),
             &mut ScratchPool::new(),
@@ -283,6 +542,7 @@ mod tests {
             &current,
             5,
             &state,
+            None,
             &cluster,
             &Transport::tcp(),
             &mut ScratchPool::new(),

@@ -139,6 +139,21 @@ impl Schedule {
         Ok(self.reservations(topo)?.iter().map(|(_, r)| r).sum())
     }
 
+    /// Reservations aggregated per directed link, ascending — the shape the
+    /// committer credits during a migration and claim deltas diff against.
+    pub fn aggregated_reservations(&self, topo: &Topology) -> Result<Vec<(DirLink, f64)>> {
+        let mut r = self.reservations(topo)?;
+        r.sort_unstable_by_key(|x| x.0);
+        let mut out: Vec<(DirLink, f64)> = Vec::with_capacity(r.len());
+        for (dl, gbps) in r {
+            match out.last_mut() {
+                Some((last, sum)) if *last == dl => *sum += gbps,
+                _ => out.push((dl, gbps)),
+            }
+        }
+        Ok(out)
+    }
+
     /// Reserve every directed hop on the network state. All-or-nothing: on
     /// failure, already-applied reservations are rolled back.
     ///

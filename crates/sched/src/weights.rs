@@ -62,7 +62,12 @@ pub fn auxiliary_weight(
         return f64::INFINITY;
     }
     let residual = net.residual_min_gbps(link.id);
-    if residual <= 0.0 {
+    // A link with no residual is unusable — unless the task itself already
+    // occupies it: during rescheduling the previous schedule's reservations
+    // are freed at migration time, so its own links stay routable (their
+    // bandwidth term is zero below; congestion still shows in the queue
+    // penalty). Foreign saturation keeps pricing at infinity.
+    if residual <= 0.0 && !reused.contains(&link.id) {
         return f64::INFINITY;
     }
     // Wavelength feasibility and headroom: a link is usable if a new

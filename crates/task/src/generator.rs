@@ -55,6 +55,28 @@ impl WorkloadConfig {
             ..WorkloadConfig::default()
         }
     }
+
+    /// Default parameters with an explicit seed — the constructor tests
+    /// should use, so every random draw is pinned at the test site and a
+    /// failure replays from the seed alone instead of depending on the
+    /// crate-wide default staying what it was.
+    pub fn seeded(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// [`seeded`](WorkloadConfig::seeded) with the task and local-model
+    /// counts overridden — the shape orchestrator scenario tests draw.
+    pub fn seeded_scenario(seed: u64, num_tasks: usize, locals_per_task: usize) -> Self {
+        WorkloadConfig {
+            num_tasks,
+            locals_per_task,
+            seed,
+            ..WorkloadConfig::default()
+        }
+    }
 }
 
 /// Generate a deterministic workload over the topology's servers.
@@ -188,6 +210,20 @@ mod tests {
         for w in tasks.windows(2) {
             assert!(w[1].arrival_ns > w[0].arrival_ns);
         }
+    }
+
+    #[test]
+    fn seeded_constructors_pin_the_draw() {
+        assert_eq!(WorkloadConfig::seeded(11).seed, 11);
+        let cfg = WorkloadConfig::seeded_scenario(42, 8, 5);
+        assert_eq!((cfg.seed, cfg.num_tasks, cfg.locals_per_task), (42, 8, 5));
+        // Same seed, same tasks; different seed, different tasks.
+        let t = topo();
+        let a = generate_workload(&t, &WorkloadConfig::seeded_scenario(42, 8, 5));
+        let b = generate_workload(&t, &WorkloadConfig::seeded_scenario(42, 8, 5));
+        let c = generate_workload(&t, &WorkloadConfig::seeded_scenario(43, 8, 5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -18,9 +18,9 @@ pub mod yen;
 pub use bellman_ford::bellman_ford;
 pub use dijkstra::{shortest_path, shortest_path_tree, ShortestPathTree};
 pub use mst::{kruskal_mst, prim_mst, MstResult};
-pub use scratch::{DijkstraScratch, ScratchPool};
+pub use scratch::{DijkstraScratch, ScratchPool, TreeBufs};
 pub use steiner::{steiner_tree, steiner_tree_in, SteinerTree};
-pub use traversal::{bfs_order, connected_components, is_connected};
+pub use traversal::{bfs_order, bridges, connected_components, is_connected};
 pub use unionfind::UnionFind;
 pub use yen::k_shortest_paths;
 

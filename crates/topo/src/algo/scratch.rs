@@ -159,7 +159,7 @@ impl DijkstraScratch {
         source: NodeId,
         weight: impl Fn(&Link) -> f64,
     ) -> Result<()> {
-        self.run_core(topo, source, |id| Ok(weight(topo.link(id)?)), None)
+        self.run_core(topo, &[source], |id| Ok(weight(topo.link(id)?)), None)
     }
 
     /// Like [`run`](DijkstraScratch::run), but with per-link weights
@@ -178,20 +178,69 @@ impl DijkstraScratch {
     ) -> Result<()> {
         self.run_core(
             topo,
-            source,
+            &[source],
             |id| Ok(weights.get(id.index()).copied().unwrap_or(f64::INFINITY)),
             targets,
         )
     }
 
+    /// Multi-source variant of
+    /// [`run_with_weights`](DijkstraScratch::run_with_weights): every node
+    /// in `sources` starts at distance zero, so the result is the cheapest
+    /// path from the source *set* to every reached node — the
+    /// frontier-restricted metric-closure search incremental tree repair
+    /// uses to re-attach orphaned terminals to a surviving tree fragment.
+    /// Parent chains terminate (`parent_of` = `None`) at whichever source
+    /// is nearest; ties break exactly as in the single-source search (cost
+    /// ascending, then node id, equal-cost parent replaced only by a lower
+    /// link id), so the attachment forest is deterministic.
+    pub fn run_multi_with_weights(
+        &mut self,
+        topo: &Topology,
+        sources: &[NodeId],
+        weights: &[f64],
+        targets: Option<&[NodeId]>,
+    ) -> Result<()> {
+        if sources.is_empty() {
+            return Err(TopoError::EmptyInput("dijkstra sources"));
+        }
+        self.run_core(
+            topo,
+            sources,
+            |id| Ok(weights.get(id.index()).copied().unwrap_or(f64::INFINITY)),
+            targets,
+        )
+    }
+
+    /// [`run_multi_with_weights`](DijkstraScratch::run_multi_with_weights)
+    /// with an on-demand weight function instead of a precomputed array.
+    /// With early-exit targets close to the source set, most links are
+    /// never visited, so skipping the up-front whole-topology weight pass
+    /// is a net win — each visited edge evaluates the function at most
+    /// twice.
+    pub fn run_multi(
+        &mut self,
+        topo: &Topology,
+        sources: &[NodeId],
+        weight: impl Fn(LinkId) -> f64,
+        targets: Option<&[NodeId]>,
+    ) -> Result<()> {
+        if sources.is_empty() {
+            return Err(TopoError::EmptyInput("dijkstra sources"));
+        }
+        self.run_core(topo, sources, |id| Ok(weight(id)), targets)
+    }
+
     fn run_core(
         &mut self,
         topo: &Topology,
-        source: NodeId,
+        sources: &[NodeId],
         weight_of: impl Fn(LinkId) -> Result<f64>,
         targets: Option<&[NodeId]>,
     ) -> Result<()> {
-        topo.node(source)?;
+        for s in sources {
+            topo.node(*s)?;
+        }
         self.begin(topo.node_count());
         let generation = self.generation;
         let mut remaining = 0usize;
@@ -204,10 +253,12 @@ impl DijkstraScratch {
                 }
             }
         }
-        self.dist[source.index()] = 0.0;
-        self.parent[source.index()] = None;
-        self.touched[source.index()] = generation;
-        self.heap.push(QueueEntry::new(0.0, source));
+        for s in sources {
+            self.dist[s.index()] = 0.0;
+            self.parent[s.index()] = None;
+            self.touched[s.index()] = generation;
+            self.heap.push(QueueEntry::new(0.0, *s));
+        }
 
         while let Some(entry) = self.heap.pop() {
             let (cost, node) = (entry.cost(), entry.node);
@@ -249,7 +300,7 @@ impl DijkstraScratch {
             }
         }
 
-        self.source = Some(source);
+        self.source = Some(sources[0]);
         Ok(())
     }
 
@@ -372,6 +423,25 @@ pub(crate) struct PruneBufs {
     pub(crate) queue: Vec<NodeId>,
 }
 
+/// Reusable node-indexed work arrays for tree surgery (the incremental
+/// repair's detach/prune/re-attach passes). Contents are unspecified
+/// between uses; every user clears and resizes what it fills. Public
+/// fields: the consumer (the scheduler's repair module) drives the
+/// algorithm, this type only recycles the allocations.
+#[derive(Debug, Default)]
+pub struct TreeBufs {
+    /// Membership mask (e.g. "still attached to the root").
+    pub mask: Vec<bool>,
+    /// Per-node counters (e.g. surviving child counts).
+    pub counts: Vec<u32>,
+    /// Second membership mask (e.g. "must not be pruned").
+    pub keep: Vec<bool>,
+    /// Work queue / stack of nodes.
+    pub queue: Vec<NodeId>,
+    /// Node list (e.g. multi-source search sources).
+    pub nodes: Vec<NodeId>,
+}
+
 /// A recycling pool of [`DijkstraScratch`]es, per-link weight caches and
 /// [`SteinerBufs`].
 ///
@@ -385,6 +455,7 @@ pub struct ScratchPool {
     free: Vec<DijkstraScratch>,
     weight_buffers: Vec<Vec<f64>>,
     steiner_bufs: Vec<SteinerBufs>,
+    tree_bufs: Vec<TreeBufs>,
 }
 
 impl ScratchPool {
@@ -428,6 +499,16 @@ impl ScratchPool {
     /// Return a Steiner work-buffer set for reuse.
     pub fn give_back_steiner_bufs(&mut self, bufs: SteinerBufs) {
         self.steiner_bufs.push(bufs);
+    }
+
+    /// Take a tree-surgery buffer set (contents unspecified).
+    pub fn take_tree_bufs(&mut self) -> TreeBufs {
+        self.tree_bufs.pop().unwrap_or_default()
+    }
+
+    /// Return a tree-surgery buffer set for reuse.
+    pub fn give_back_tree_bufs(&mut self, bufs: TreeBufs) {
+        self.tree_bufs.push(bufs);
     }
 }
 
@@ -507,6 +588,84 @@ mod tests {
         assert_eq!(pool.idle(), 2);
         let _c = pool.take();
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn multi_source_takes_the_nearest_source() {
+        // 0-1-2-3-4 line: sources {0, 4} — node 1 attaches to 0, node 3 to 4,
+        // node 2 ties and must resolve deterministically (cost 2 from both;
+        // first relaxation wins unless a lower link id appears at equal cost,
+        // so 2's parent comes via link 1, i.e. from node 1).
+        let t = builders::linear(5, 1.0, 100.0);
+        let weights: Vec<f64> = t.links().iter().map(hop_weight).collect();
+        let mut scratch = DijkstraScratch::new();
+        scratch
+            .run_multi_with_weights(&t, &[NodeId(0), NodeId(4)], &weights, None)
+            .unwrap();
+        assert_eq!(scratch.cost_to(NodeId(0)), 0.0);
+        assert_eq!(scratch.cost_to(NodeId(4)), 0.0);
+        assert_eq!(scratch.parent_of(NodeId(0)), None);
+        assert_eq!(scratch.parent_of(NodeId(4)), None);
+        assert_eq!(scratch.cost_to(NodeId(1)), 1.0);
+        assert_eq!(scratch.parent_of(NodeId(1)), Some((NodeId(0), LinkId(0))));
+        assert_eq!(scratch.parent_of(NodeId(3)), Some((NodeId(4), LinkId(3))));
+        assert_eq!(scratch.cost_to(NodeId(2)), 2.0);
+        assert_eq!(scratch.parent_of(NodeId(2)), Some((NodeId(1), LinkId(1))));
+    }
+
+    #[test]
+    fn multi_source_with_one_source_matches_single_source() {
+        for seed in 0..3 {
+            let t = builders::random_connected(25, 0.2, seed, 100.0);
+            let weights: Vec<f64> = t.links().iter().map(length_weight).collect();
+            let mut single = DijkstraScratch::new();
+            let mut multi = DijkstraScratch::new();
+            single
+                .run_with_weights(&t, NodeId(3), &weights, None)
+                .unwrap();
+            multi
+                .run_multi_with_weights(&t, &[NodeId(3)], &weights, None)
+                .unwrap();
+            for n in t.node_ids() {
+                assert_eq!(single.cost_to(n), multi.cost_to(n), "seed {seed}");
+                assert_eq!(single.parent_of(n), multi.parent_of(n), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_rejects_empty_sources() {
+        let t = builders::linear(3, 1.0, 100.0);
+        let weights: Vec<f64> = t.links().iter().map(hop_weight).collect();
+        let mut scratch = DijkstraScratch::new();
+        assert!(matches!(
+            scratch.run_multi_with_weights(&t, &[], &weights, None),
+            Err(TopoError::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn multi_source_early_exit_settles_targets() {
+        let t = builders::ring(12, 1.0, 100.0);
+        let weights: Vec<f64> = t.links().iter().map(hop_weight).collect();
+        let mut scratch = DijkstraScratch::new();
+        scratch
+            .run_multi_with_weights(
+                &t,
+                &[NodeId(0), NodeId(6)],
+                &weights,
+                Some(&[NodeId(3), NodeId(9)]),
+            )
+            .unwrap();
+        // Both targets sit 3 hops from the nearest source.
+        assert_eq!(scratch.cost_to(NodeId(3)), 3.0);
+        assert_eq!(scratch.cost_to(NodeId(9)), 3.0);
+        // Walking parents from a target must land on a source.
+        let mut cur = NodeId(3);
+        while let Some((p, _)) = scratch.parent_of(cur) {
+            cur = p;
+        }
+        assert!(cur == NodeId(0) || cur == NodeId(6));
     }
 
     #[test]

@@ -107,6 +107,83 @@ impl SteinerTree {
         }
     }
 
+    /// Assemble a tree from rooted parent pointers — the shape incremental
+    /// repair produces after grafting re-attachment paths onto a surviving
+    /// fragment. `parent` must be indexed by node id over the whole
+    /// topology (`parent[n] = Some((next hop towards root, link))` for
+    /// every non-root tree node, `None` elsewhere); nodes and links are
+    /// derived, and `total_weight` is summed from `weight` over the
+    /// resulting link set.
+    ///
+    /// # Errors
+    /// * [`TopoError::EmptyInput`] if `parent`'s length differs from the
+    ///   topology's node count,
+    /// * [`TopoError::Disconnected`] if some tree node's parent chain does
+    ///   not reach the root (including cycles), or a terminal is missing
+    ///   from the tree.
+    pub fn from_parents(
+        topo: &Topology,
+        root: NodeId,
+        terminals: Vec<NodeId>,
+        parent: Vec<Option<(NodeId, LinkId)>>,
+        weight: impl Fn(LinkId) -> f64,
+    ) -> Result<Self> {
+        let n = topo.node_count();
+        if parent.len() != n {
+            return Err(TopoError::EmptyInput("parent array length"));
+        }
+        topo.node(root)?;
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut links: Vec<LinkId> = Vec::new();
+        for (i, slot) in parent.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if id == root {
+                nodes.push(id);
+            } else if let Some((_, l)) = slot {
+                nodes.push(id);
+                links.push(*l);
+            }
+        }
+        links.sort_unstable();
+        let total_weight = links.iter().map(|l| weight(*l)).sum();
+        let tree = SteinerTree::assemble(root, terminals, nodes, links, parent, total_weight);
+        // Integrity: every tree node must hang off the root (no cycles or
+        // disconnected fragments smuggled in via the parent array), and
+        // every terminal must be in the tree.
+        let order = tree.bfs_from_root();
+        if order.len() != tree.nodes.len() {
+            // BFS follows child lists, so it terminates even when the
+            // parent array smuggles in a cycle — the cycle is simply never
+            // reached and shows up as a missing node here.
+            let mut seen = vec![false; n];
+            for x in &order {
+                seen[x.index()] = true;
+            }
+            let stray = tree
+                .nodes
+                .iter()
+                .copied()
+                .find(|x| !seen[x.index()])
+                .unwrap_or(root);
+            return Err(TopoError::Disconnected {
+                from: root,
+                to: stray,
+            });
+        }
+        if let Some(missing) = tree
+            .terminals
+            .iter()
+            .copied()
+            .find(|t| *t != root && tree.parent_of(*t).is_none())
+        {
+            return Err(TopoError::Disconnected {
+                from: root,
+                to: missing,
+            });
+        }
+        Ok(tree)
+    }
+
     /// Parent (towards root) of a tree node, `None` for the root itself.
     #[inline]
     pub fn parent_of(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
@@ -832,6 +909,53 @@ mod tests {
             }
         }
         assert!(pool.idle() > 0, "scratches must return to the pool");
+    }
+
+    #[test]
+    fn from_parents_round_trips_a_built_tree() {
+        let (t, g, ls) = fig1_like();
+        let st = steiner_tree(&t, g, &ls, length_weight).unwrap();
+        let weights: Vec<f64> = t.links().iter().map(length_weight).collect();
+        let mut parent = vec![None; t.node_count()];
+        for n in &st.nodes {
+            parent[n.index()] = st.parent_of(*n);
+        }
+        let rebuilt =
+            SteinerTree::from_parents(&t, g, st.terminals.clone(), parent, |l| weights[l.index()])
+                .unwrap();
+        assert_eq!(rebuilt, st);
+    }
+
+    #[test]
+    fn from_parents_rejects_cycles_and_missing_terminals() {
+        let (t, g, ls) = fig1_like();
+        let n = t.node_count();
+        let weights: Vec<f64> = t.links().iter().map(length_weight).collect();
+        // A 2-cycle between l2 and l3 disconnected from the root.
+        let mut parent = vec![None; n];
+        let l23 = t
+            .links()
+            .iter()
+            .find(|l| (l.a == ls[1] && l.b == ls[2]) || (l.a == ls[2] && l.b == ls[1]))
+            .unwrap();
+        parent[ls[1].index()] = Some((ls[2], l23.id));
+        parent[ls[2].index()] = Some((ls[1], l23.id));
+        assert!(matches!(
+            SteinerTree::from_parents(&t, g, vec![ls[1]], parent, |l: LinkId| weights[l.index()]),
+            Err(TopoError::Disconnected { .. })
+        ));
+        // A terminal simply absent from the parent array.
+        let parent = vec![None; n];
+        assert!(matches!(
+            SteinerTree::from_parents(&t, g, vec![ls[0]], parent, |l: LinkId| weights[l.index()]),
+            Err(TopoError::Disconnected { .. })
+        ));
+        // Wrong-length parent array.
+        assert!(matches!(
+            SteinerTree::from_parents(&t, g, vec![ls[0]], vec![None; n + 1], |l: LinkId| weights
+                [l.index()]),
+            Err(TopoError::EmptyInput(_))
+        ));
     }
 
     #[test]

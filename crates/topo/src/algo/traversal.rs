@@ -1,6 +1,6 @@
 //! Breadth-first traversal and connectivity queries.
 
-use crate::ids::NodeId;
+use crate::ids::{LinkId, NodeId};
 use crate::Result;
 use crate::Topology;
 use std::collections::VecDeque;
@@ -91,5 +91,139 @@ mod tests {
         assert!(is_connected(&builders::linear(5, 1.0, 10.0)));
         assert!(is_connected(&builders::star(8, 1.0, 10.0)));
         assert!(is_connected(&builders::random_connected(30, 0.1, 3, 10.0)));
+    }
+}
+
+/// Bridges of the topology: links whose removal disconnects their
+/// component, ascending. Parallel links between the same node pair are
+/// never bridges (the classic Tarjan low-link criterion, tracked per link
+/// id so multigraphs are handled correctly).
+///
+/// Fault-injection uses this to distinguish *survivable* faults (a detour
+/// exists, rescheduling policies can compete) from bridge cuts that
+/// disconnect service under any policy.
+pub fn bridges(topo: &Topology) -> Vec<LinkId> {
+    let n = topo.node_count();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut timer = 1u32;
+    let mut out = Vec::new();
+    // Iterative DFS: (node, entering link, neighbor cursor).
+    let mut stack: Vec<(NodeId, Option<LinkId>, usize)> = Vec::new();
+    for start in topo.node_ids() {
+        if visited[start.index()] {
+            continue;
+        }
+        visited[start.index()] = true;
+        disc[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        stack.push((start, None, 0));
+        while let Some(&mut (node, entered_via, ref mut cursor)) = stack.last_mut() {
+            let neighbors = topo.neighbors(node).expect("node id from iterator");
+            if *cursor < neighbors.len() {
+                let (nbr, link) = neighbors[*cursor];
+                *cursor += 1;
+                if Some(link) == entered_via {
+                    // Skip only the exact entering link: a parallel link
+                    // between the same pair is a legitimate back edge.
+                    continue;
+                }
+                if visited[nbr.index()] {
+                    low[node.index()] = low[node.index()].min(disc[nbr.index()]);
+                } else {
+                    visited[nbr.index()] = true;
+                    disc[nbr.index()] = timer;
+                    low[nbr.index()] = timer;
+                    timer += 1;
+                    stack.push((nbr, Some(link), 0));
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (parent, _, _)) = stack.last_mut() {
+                    low[parent.index()] = low[parent.index()].min(low[node.index()]);
+                    if low[node.index()] > disc[parent.index()] {
+                        out.push(entered_via.expect("non-root has an entering link"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod bridge_tests {
+    use super::*;
+    use crate::builders;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn ring_has_no_bridges_line_is_all_bridges() {
+        let ring = builders::ring(6, 1.0, 100.0);
+        assert!(bridges(&ring).is_empty());
+        let line = builders::linear(5, 1.0, 100.0);
+        assert_eq!(bridges(&line).len(), line.link_count());
+    }
+
+    #[test]
+    fn parallel_links_are_not_bridges() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::IpRouter, "a");
+        let b = t.add_node(NodeKind::IpRouter, "b");
+        let c = t.add_node(NodeKind::IpRouter, "c");
+        t.add_link(a, b, 1.0, 100.0).unwrap();
+        t.add_link(a, b, 1.0, 100.0).unwrap(); // parallel pair: no bridge
+        let bc = t.add_link(b, c, 1.0, 100.0).unwrap(); // lone spur: bridge
+        assert_eq!(bridges(&t), vec![bc]);
+    }
+
+    #[test]
+    fn bridges_match_brute_force_on_random_graphs() {
+        for seed in 0..5 {
+            let t = builders::random_connected(18, 0.12, seed, 100.0);
+            let fast = bridges(&t);
+            for l in 0..t.link_count() as u32 {
+                let id = crate::ids::LinkId(l);
+                // Brute force: BFS avoiding `id`; disconnection <=> bridge.
+                let link = t.link(id).unwrap();
+                let mut seen = vec![false; t.node_count()];
+                let mut q = vec![link.a];
+                seen[link.a.index()] = true;
+                while let Some(n) = q.pop() {
+                    for &(nbr, via) in t.neighbors(n).unwrap() {
+                        if via != id && !seen[nbr.index()] {
+                            seen[nbr.index()] = true;
+                            q.push(nbr);
+                        }
+                    }
+                }
+                let disconnects = !seen[link.b.index()];
+                assert_eq!(
+                    fast.contains(&id),
+                    disconnects,
+                    "seed {seed} link {id}: tarjan disagrees with brute force"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metro_bridges_are_the_single_homed_spurs() {
+        let t = builders::metro(&builders::MetroParams::default());
+        let b = bridges(&t);
+        // The WDM ring (with chords) is 2-edge-connected; every bridge must
+        // touch a server or a single-homed router.
+        for l in &b {
+            let link = t.link(*l).unwrap();
+            let ka = t.node(link.a).unwrap().kind;
+            let kb = t.node(link.b).unwrap().kind;
+            assert!(
+                ka != NodeKind::Roadm || kb != NodeKind::Roadm,
+                "ring span {l} flagged as a bridge"
+            );
+        }
     }
 }

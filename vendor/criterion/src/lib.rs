@@ -224,6 +224,23 @@ impl Criterion {
     }
 }
 
+/// Record a scalar *metric* (not a timing) into the results set — e.g. a
+/// blocking probability measured alongside a throughput bench. The value is
+/// stored in the `median_ns`/`mean_ns` slots with `samples = 0` marking it
+/// as a metric, and travels through `results_snapshot` and the JSON dump
+/// like any bench point; the point's name must carry the unit.
+pub fn record_metric(group: &str, name: impl Into<String>, value: f64) {
+    let name = name.into();
+    println!("metric {group}/{name} = {value}");
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        group: group.to_string(),
+        name,
+        mean_ns: value,
+        median_ns: value,
+        samples: 0,
+    });
+}
+
 /// Snapshot of everything measured so far in this process.
 pub fn results_snapshot() -> Vec<BenchResult> {
     RESULTS.lock().expect("results lock").clone()
@@ -239,9 +256,17 @@ pub fn write_json_if_requested() {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
+        // Metric entries (samples == 0) carry arbitrary scalars — e.g.
+        // probabilities — so they keep full precision; timings stay at a
+        // tenth of a nanosecond.
+        let (median, mean) = if r.samples == 0 {
+            (format!("{:.6}", r.median_ns), format!("{:.6}", r.mean_ns))
+        } else {
+            (format!("{:.1}", r.median_ns), format!("{:.1}", r.mean_ns))
+        };
         out.push_str(&format!(
-            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
-            r.group, r.name, r.median_ns, r.mean_ns, r.samples, sep,
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {median}, \"mean_ns\": {mean}, \"samples\": {}}}{}\n",
+            r.group, r.name, r.samples, sep,
         ));
     }
     out.push_str("]\n");

@@ -29,6 +29,20 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// Apply the `PROPTEST_CASES` environment override, if set. Unlike
+        /// upstream proptest (where the env var only changes the default),
+        /// this stub lets the variable override explicit `with_cases`
+        /// configs too: the nightly CI profile uses it to deep-run every
+        /// property in the workspace regardless of its PR-loop budget.
+        pub fn env_override(mut self) -> Self {
+            if let Ok(v) = std::env::var("PROPTEST_CASES") {
+                if let Ok(cases) = v.parse::<u32>() {
+                    self.cases = cases.max(1);
+                }
+            }
+            self
+        }
     }
 
     impl Default for ProptestConfig {
@@ -357,7 +371,8 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let config: $crate::test_runner::ProptestConfig =
+                    <$crate::test_runner::ProptestConfig>::env_override($cfg);
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
                 let strat = ($($strat,)*);
                 let mut accepted: u32 = 0;
