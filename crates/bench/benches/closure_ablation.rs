@@ -1,0 +1,194 @@
+//! Closure ablation: KMB all-pairs metric closure versus the Mehlhorn
+//! single-pass sparsified closure, across terminal counts and fabrics.
+//!
+//! Three families of points, all feeding `BENCH_4.json` (via
+//! `scripts/bench_snapshot.sh 4`):
+//!
+//! * `closure-kmb/*` vs `closure-mehlhorn/*` — one full
+//!   `FlexibleMst::propose` per iteration (two Steiner constructions) with
+//!   the closure policy pinned to KMB (`sparse_closure_threshold =
+//!   usize::MAX`) or Mehlhorn (`= 0`), at k ∈ {15, 50, 100, 200} locals on
+//!   the metro testbed, the BENCH_1..3 spine-leaf fabric, an XL spine-leaf
+//!   (220 servers) and a `fat_tree(10)` (250 servers) — the
+//!   100/200-terminal regime the ROADMAP's "sparsified closures for 100+
+//!   terminals" item asks for. Each scenario runs the k values its server
+//!   count supports.
+//! * `blocking-prob/{kmb,mehlhorn}/*` — the same seeded fault storms
+//!   replayed under both closure policies on the existing metro-15 /
+//!   spine-leaf scenarios: the no-regression pin (blocking probability
+//!   must come out identical — at these terminal counts the two closures
+//!   produce identical schedules, see the schedule-identity tests).
+//! * the summary prints per-k speedups so the crossover behind
+//!   `FlexibleMst::SPARSE_CLOSURE_THRESHOLD` is visible in every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsched_compute::ModelProfile;
+use flexsched_sched::{FlexibleMst, NetworkSnapshot, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::{builders, Topology};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn make_task(topo: &Topology, n: usize) -> AiTask {
+    let servers = topo.servers();
+    assert!(
+        n < servers.len(),
+        "scenario needs {n} locals, has {}",
+        servers.len() - 1
+    );
+    AiTask {
+        id: TaskId(0),
+        model: ModelProfile::mobilenet(),
+        global_site: servers[0],
+        local_sites: servers[1..=n].to_vec(),
+        data_utility: Default::default(),
+        iterations: 3,
+        comm_budget_ms: 50.0,
+        arrival_ns: 0,
+    }
+}
+
+struct Scenario {
+    label: &'static str,
+    topo: Arc<Topology>,
+    locals: &'static [usize],
+}
+
+/// The ablation matrix: every fabric runs the k values its server
+/// population supports (metro has 24 servers, the spine-leaf 52, the
+/// fat-tree 250).
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "metro",
+            topo: Arc::new(builders::metro(&builders::MetroParams::default())),
+            locals: &[15],
+        },
+        Scenario {
+            label: "spineleaf",
+            topo: Arc::new(builders::spine_leaf(4, 13, 4, false, 400.0)),
+            locals: &[15, 50],
+        },
+        Scenario {
+            label: "spineleaf-xl",
+            topo: Arc::new(builders::spine_leaf(6, 22, 10, false, 400.0)),
+            locals: &[50, 100, 200],
+        },
+        Scenario {
+            label: "fattree",
+            topo: Arc::new(builders::fat_tree(10, 400.0)),
+            locals: &[15, 50, 100, 200],
+        },
+    ]
+}
+
+fn bench_closures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("closure_ablation");
+    let kmb = FlexibleMst::default().with_sparse_closure_threshold(usize::MAX);
+    let mehlhorn = FlexibleMst::default().with_sparse_closure_threshold(0);
+    for s in scenarios() {
+        let state = NetworkState::new(Arc::clone(&s.topo));
+        let snap = NetworkSnapshot::capture(&state);
+        let mut pool = ScratchPool::new();
+        for &k in s.locals {
+            let task = make_task(&s.topo, k);
+            for (name, sched) in [("closure-kmb", &kmb), ("closure-mehlhorn", &mehlhorn)] {
+                g.bench_function(format!("{name}/{}/{k}", s.label), |b| {
+                    b.iter(|| {
+                        black_box(
+                            sched
+                                .propose(black_box(&task), &task.local_sites, &snap, &mut pool)
+                                .unwrap(),
+                        )
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+/// No-regression quality pin: replay the same seeded fault storms under
+/// both closure policies on the existing scenarios and record the blocking
+/// probabilities side by side. They must be *identical* — at these
+/// terminal counts both closures produce the same schedules — and the
+/// bench asserts it rather than leaving the comparison to the reader.
+fn closure_quality(_c: &mut Criterion) {
+    use flexsched_bench::faultstorm::{generate_events, Mode, StormTopology, World};
+
+    let storms = if std::env::var("FLEXSCHED_BENCH_QUICK").is_ok_and(|v| v != "0") {
+        2u64
+    } else {
+        8
+    };
+    for (label, topology, locals) in [
+        ("metro15", StormTopology::Metro, 15),
+        ("spineleaf25", StormTopology::SpineLeaf, 10),
+    ] {
+        let mut blocked = [0.0f64; 2];
+        for (slot, threshold) in [(0usize, usize::MAX), (1, 0)] {
+            let mut acc = 0.0;
+            for seed in 0..storms {
+                let topo = topology.build();
+                let scheduler = FlexibleMst::paper().with_sparse_closure_threshold(threshold);
+                let mut world = World::new_with_scheduler(
+                    Mode::Repair,
+                    Arc::clone(&topo),
+                    8,
+                    locals,
+                    seed * 7 + 1,
+                    scheduler,
+                );
+                let storm = generate_events(&topo, &world.footprint_links(), 24, seed * 7 + 1);
+                for ev in &storm {
+                    world.step(ev);
+                }
+                acc += world.blocking_probability();
+            }
+            blocked[slot] = acc / storms as f64;
+        }
+        assert!(
+            (blocked[0] - blocked[1]).abs() < 1e-12,
+            "{label}: closure choice changed blocking probability ({} vs {})",
+            blocked[0],
+            blocked[1]
+        );
+        criterion::record_metric(
+            "closure_quality",
+            format!("blocking-prob/kmb/{label}"),
+            blocked[0],
+        );
+        criterion::record_metric(
+            "closure_quality",
+            format!("blocking-prob/mehlhorn/{label}"),
+            blocked[1],
+        );
+    }
+}
+
+/// Print the per-point KMB→Mehlhorn speedups (the crossover picture behind
+/// `SPARSE_CLOSURE_THRESHOLD`).
+fn summarize(_c: &mut Criterion) {
+    let results = criterion::results_snapshot();
+    println!("\n== closure ablation summary (KMB vs Mehlhorn) ==");
+    for r in &results {
+        if let Some(rest) = r.name.strip_prefix("closure-kmb/") {
+            if let Some(m) = results
+                .iter()
+                .find(|m| m.name == format!("closure-mehlhorn/{rest}"))
+            {
+                println!(
+                    "{rest:<16} kmb {:>10.1} µs   mehlhorn {:>10.1} µs   speedup {:>5.2}x",
+                    r.median_ns / 1e3,
+                    m.median_ns / 1e3,
+                    r.median_ns / m.median_ns
+                );
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_closures, closure_quality, summarize);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Gamma sweep: `GAMMA_WAVELENGTH` (the wavelength-headroom weight)
+//! against blocking probability under spectral pressure.
+//!
+//! The ROADMAP's "wavelength-headroom weight tuning" item: PR 2 folded
+//! free-wavelength headroom into the auxiliary weight with a provisional
+//! default; this bin sweeps the weight on the metro testbed and a fat-tree
+//! fabric under a workload heavy enough that wavelength exhaustion is the
+//! binding constraint, and reports the admission blocking probability per
+//! gamma. Every admission goes through the full snapshot → propose →
+//! commit pipeline (wavelengths lit/groomed by the committer), so the
+//! number measures end-to-end spectral behaviour, not just tree shape.
+//!
+//! Run: `cargo run --release -p flexsched-bench --bin gamma_sweep`
+//! (set `FLEXSCHED_BENCH_JSON=/path.json` to snapshot the points,
+//! `FLEXSCHED_BENCH_QUICK=1` for a fast smoke pass).
+
+use flexsched_bench::Policy;
+use flexsched_compute::{ClusterManager, ServerSpec};
+use flexsched_optical::OpticalState;
+use flexsched_orchestrator::{Committer, Database, OrchError};
+use flexsched_sched::{FlexibleMst, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{generate_workload, WorkloadConfig};
+use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::{builders, Topology};
+use std::sync::Arc;
+
+/// One admission sweep: propose + commit every task in order; returns the
+/// fraction blocked (no feasible proposal, or commit rejected).
+fn blocking_probability(
+    topo: &Arc<Topology>,
+    scheduler: &FlexibleMst,
+    n_tasks: usize,
+    locals: usize,
+    seed: u64,
+) -> f64 {
+    let db = Database::new(
+        NetworkState::new(Arc::clone(topo)),
+        OpticalState::new(Arc::clone(topo)),
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    );
+    let mut committer = Committer::new();
+    let mut scratch = ScratchPool::new();
+    let mut cfg = WorkloadConfig::seeded_scenario(seed, n_tasks, locals);
+    // Tight budgets push the heavy models toward one full wavelength per
+    // tree edge (a ~80 Gbit/s demand fills most of a 100 Gbit/s
+    // lightpath), so spectrum — not the IP rate floor — binds first; the
+    // light models still groom into leftover lightpath capacity.
+    cfg.comm_budget_ms = (5.0, 15.0);
+    let tasks = generate_workload(topo, &cfg);
+    let mut blocked = 0usize;
+    for task in &tasks {
+        let snap = db.snapshot();
+        match scheduler.propose(task, &task.local_sites, &snap, &mut scratch) {
+            Ok(p) => match committer.commit(&db, &p) {
+                Ok(_) => {
+                    db.store_schedule(p.schedule);
+                }
+                Err(OrchError::Rejected(_)) => blocked += 1,
+                Err(e) => panic!("structural commit failure: {e}"),
+            },
+            Err(_) => blocked += 1,
+        }
+    }
+    blocked as f64 / tasks.len().max(1) as f64
+}
+
+fn main() {
+    let quick = std::env::var("FLEXSCHED_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let seeds: u64 = if quick { 2 } else { 30 };
+    let gammas = [0.0, 0.1, 0.25, 0.5, 1.0, 2.0];
+    // Spectrally tight variants: a 2-wavelength metro grid and the
+    // fat-tree's stock 4-wavelength fabric, loaded until wavelength
+    // exhaustion (not the IP rate floor) is the binding constraint.
+    let scenarios: [(&str, Arc<Topology>, usize, usize); 2] = [
+        (
+            "metro",
+            Arc::new(builders::metro(&builders::MetroParams {
+                core_wavelengths: 2,
+                ..builders::MetroParams::default()
+            })),
+            24,
+            6,
+        ),
+        ("fattree", Arc::new(builders::fat_tree(6, 400.0)), 48, 12),
+    ];
+    println!("gamma sweep: blocking probability under spectral pressure");
+    println!(
+        "(baseline scheduler: {}, headroom term swept)",
+        Policy::Flexible.label()
+    );
+    for (label, topo, n_tasks, locals) in &scenarios {
+        println!("-- {label} ({n_tasks} tasks x {locals} locals, {seeds} seeds)");
+        for gamma in gammas {
+            let mut acc = 0.0;
+            for seed in 0..seeds {
+                let scheduler = FlexibleMst::default().with_wavelength_headroom(gamma);
+                acc += blocking_probability(topo, &scheduler, *n_tasks, *locals, seed * 13 + 5);
+            }
+            let mean = acc / seeds as f64;
+            println!("   gamma {gamma:<5} blocking {mean:.4}");
+            criterion::record_metric(
+                "gamma_sweep",
+                format!("blocking-prob/{label}/gamma-{gamma}"),
+                mean,
+            );
+        }
+    }
+    criterion::write_json_if_requested();
+}

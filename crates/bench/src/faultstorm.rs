@@ -239,6 +239,14 @@ pub struct World {
     groomed: BTreeMap<TaskId, Vec<u64>>,
     running: BTreeSet<TaskId>,
     dropped: BTreeSet<TaskId>,
+    /// Repair-drift guard for [`Mode::Repair`]: force a full re-solve for
+    /// a task once it has been incrementally repaired this many times in a
+    /// row (`None` = never, the pure-repair policy). The per-task counter
+    /// itself lives in the [`Database`] (`note_repair` / `reset_repairs` /
+    /// `repair_count`) — the same bookkeeping the production testbed uses.
+    /// The drift sweep in `tests/repair_differential.rs` exercises the
+    /// knob at long horizons.
+    resolve_after: Option<u32>,
     /// Snapshot the full state around every strict migration so rejections
     /// can be verified bit-identical. Debug-formatting both layers is far
     /// too slow for throughput runs, so only the differential harness
@@ -263,6 +271,20 @@ impl World {
     /// committed up front. Admission is mode-independent, so two worlds
     /// with equal seeds start bit-identical.
     pub fn new(mode: Mode, topo: Arc<Topology>, n_tasks: usize, locals: usize, seed: u64) -> Self {
+        Self::new_with_scheduler(mode, topo, n_tasks, locals, seed, FlexibleMst::paper())
+    }
+
+    /// [`World::new`] with an explicit scheduler configuration — the
+    /// closure-ablation bench replays identical storms under the KMB and
+    /// Mehlhorn closure policies to pin equal blocking probability.
+    pub fn new_with_scheduler(
+        mode: Mode,
+        topo: Arc<Topology>,
+        n_tasks: usize,
+        locals: usize,
+        seed: u64,
+        scheduler: FlexibleMst,
+    ) -> Self {
         let db = Database::new(
             NetworkState::new(Arc::clone(&topo)),
             OpticalState::new(Arc::clone(&topo)),
@@ -275,12 +297,13 @@ impl World {
             mode,
             db,
             committer: Committer::new(),
-            scheduler: FlexibleMst::paper(),
+            scheduler,
             scratch: ScratchPool::new(),
             tasks: tasks.iter().map(|t| (t.id, t.clone())).collect(),
             groomed: BTreeMap::new(),
             running: BTreeSet::new(),
             dropped: BTreeSet::new(),
+            resolve_after: None,
             verify_rejections: false,
             decisions: 0,
             repairs: 0,
@@ -303,6 +326,14 @@ impl World {
     /// strict migrations — the differential harness's invariant (c).
     pub fn with_rejection_verification(mut self) -> Self {
         self.verify_rejections = true;
+        self
+    }
+
+    /// Set the repair-drift guard: force a full re-solve for any task
+    /// already repaired `n` consecutive times (see
+    /// `ReschedulePolicy::resolve_after_repairs`).
+    pub fn with_resolve_after(mut self, n: Option<u32>) -> Self {
+        self.resolve_after = n;
         self
     }
 
@@ -420,6 +451,8 @@ impl World {
                     self.db.store_schedule(p.schedule);
                     self.resolves += 1;
                     report.resolved += 1;
+                    // A fresh tree resets the repair-drift run.
+                    self.db.reset_repairs(id);
                 } else {
                     self.drop_task(id, report);
                 }
@@ -450,6 +483,7 @@ impl World {
                 &task,
                 &schedule,
                 5,
+                0,
                 net,
                 Some(opt),
                 cluster,
@@ -559,6 +593,22 @@ impl World {
             let Some(schedule) = self.db.schedule(id) else {
                 continue;
             };
+            // Repair-drift guard: once a task's consecutive-repair counter
+            // trips, its next *repair-worthy* decision is a full re-solve
+            // (the `None` attempt routes to `full_resolve` in the commit
+            // loop). Structurally intact schedules are still triaged out —
+            // the guard replaces repairs, it must not convert a harmless
+            // load/soft-fail brush into a forced (and droppable) re-solve.
+            if self
+                .resolve_after
+                .is_some_and(|n| self.db.repair_count(id) >= n)
+            {
+                if self.schedule_structurally_broken(id) {
+                    self.db.reset_repairs(id);
+                    speculated.push((id, schedule, None));
+                }
+                continue;
+            }
             let task = &self.tasks[&id];
             self.decisions += 1;
             report.decisions += 1;
@@ -593,6 +643,7 @@ impl World {
                                 self.db.store_schedule(p.schedule);
                                 self.repairs += 1;
                                 report.repaired += 1;
+                                self.db.note_repair(id);
                                 break;
                             }
                             Err(OrchError::Rejected(_)) => {

@@ -108,6 +108,61 @@ fn differential_spine_leaf_long_fixed_seed() {
     run_sequence(StormTopology::SpineLeaf, 6, 6, 40, 20240812);
 }
 
+/// Repair-drift sweep (the ROADMAP's "repair quality under sustained
+/// churn" item): at storm horizons twice the differential's, sweep the
+/// `resolve_after_repairs` guard and pin that (1) the service gap bound
+/// holds at every sweep point — including `None`, the unguarded policy —
+/// and (2) the guard actually fires at long horizons (a tight bound
+/// converts repairs into full re-solves). The production default
+/// (`flexsched_sched::RESOLVE_AFTER_REPAIRS = 8`) comes from this sweep:
+/// every setting holds the same GAP(2) bound, so the guard is chosen loose
+/// enough to keep ~7/8 of the decision-latency win while bounding how far
+/// any single tree can drift from a fresh solve.
+#[test]
+fn drift_guard_sweep_at_long_horizons() {
+    let horizon = if quick_mode() { 40 } else { 80 };
+    for seed in [31u64, 57] {
+        let mut forced_resolves = Vec::new();
+        for bound in [None, Some(2), Some(8), Some(16)] {
+            let topo = StormTopology::Metro.build();
+            let mut repair =
+                World::new(Mode::Repair, Arc::clone(&topo), 6, 5, seed).with_resolve_after(bound);
+            let mut resolve = World::new(Mode::Resolve, Arc::clone(&topo), 6, 5, seed);
+            let storm = generate_events(&topo, &repair.footprint_links(), horizon, seed);
+            for (step, ev) in storm.iter().enumerate() {
+                repair.step(ev);
+                resolve.step(ev);
+                repair.check_feasible().unwrap_or_else(|e| {
+                    panic!("bound {bound:?} step {step}: repair world infeasible: {e}")
+                });
+                assert!(
+                    repair.running().len() + GAP >= resolve.running().len(),
+                    "bound {bound:?} step {step}: repair serves {} vs resolve {}",
+                    repair.running().len(),
+                    resolve.running().len()
+                );
+            }
+            let missing = resolve.running().difference(repair.running()).count();
+            assert!(
+                missing <= GAP,
+                "bound {bound:?}: repair world lost {missing} tasks (> {GAP})"
+            );
+            forced_resolves.push((bound, repair.resolves, repair.repairs));
+        }
+        // A tighter bound can only move migrations from the repair path to
+        // the re-solve path; the tightest sweep point must show the guard
+        // firing whenever the unguarded world repaired at all.
+        let unguarded_repairs = forced_resolves[0].2;
+        let tight = &forced_resolves[1];
+        if unguarded_repairs > u64::from(2u32) {
+            assert!(
+                tight.1 >= forced_resolves[0].1,
+                "seed {seed}: bound Some(2) produced fewer re-solves than unguarded: {forced_resolves:?}"
+            );
+        }
+    }
+}
+
 /// Repairs must actually occur across the proptest regime — otherwise the
 /// differential above is vacuously green.
 #[test]

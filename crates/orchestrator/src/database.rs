@@ -40,6 +40,12 @@ struct DbInner {
     /// fault on link `l` must consider exactly `link_tasks[l]` for repair
     /// — without this, every fault pays a scan over every stored schedule.
     link_tasks: Vec<BTreeSet<TaskId>>,
+    /// Consecutive incremental repairs per task since its last full
+    /// re-solve — the repair-drift guard's input
+    /// (`ReschedulePolicy::resolve_after_repairs`). Bumped by
+    /// [`Database::note_repair`], cleared by
+    /// [`Database::reset_repairs`] and when the schedule is taken.
+    repair_counts: BTreeMap<TaskId, u32>,
     reports: Vec<TaskReport>,
 }
 
@@ -78,6 +84,7 @@ impl Database {
                 tasks: BTreeMap::new(),
                 schedules: BTreeMap::new(),
                 link_tasks,
+                repair_counts: BTreeMap::new(),
                 reports: Vec::new(),
             })),
         }
@@ -164,12 +171,40 @@ impl Database {
         g.schedules.insert(schedule.task, schedule);
     }
 
-    /// Remove a task's schedule, returning it.
+    /// Remove a task's schedule, returning it. Clears the task's
+    /// repair-drift counter — a future schedule starts fresh.
     pub fn take_schedule(&self, id: TaskId) -> Option<Schedule> {
         let mut g = self.inner.write();
+        g.repair_counts.remove(&id);
         let schedule = g.schedules.remove(&id)?;
         g.index_schedule(&schedule, false);
         Some(schedule)
+    }
+
+    /// Consecutive incremental repairs of `id`'s schedule since its last
+    /// full re-solve (the repair-drift guard's counter).
+    pub fn repair_count(&self, id: TaskId) -> u32 {
+        self.inner
+            .read()
+            .repair_counts
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record one more incremental repair of `id`'s schedule; returns the
+    /// new count.
+    pub fn note_repair(&self, id: TaskId) -> u32 {
+        let mut g = self.inner.write();
+        let slot = g.repair_counts.entry(id).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Clear `id`'s repair-drift counter (a full re-solve installed a
+    /// fresh tree).
+    pub fn reset_repairs(&self, id: TaskId) {
+        self.inner.write().repair_counts.remove(&id);
     }
 
     /// Tasks whose stored schedule reserves on `link` (the fault →
@@ -327,6 +362,22 @@ mod tests {
         let db = db();
         assert_eq!(db.schedule_count(), 0);
         assert!(db.take_schedule(TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn repair_counters_accumulate_and_reset() {
+        let db = db();
+        let id = TaskId(3);
+        assert_eq!(db.repair_count(id), 0);
+        assert_eq!(db.note_repair(id), 1);
+        assert_eq!(db.note_repair(id), 2);
+        assert_eq!(db.repair_count(id), 2);
+        db.reset_repairs(id);
+        assert_eq!(db.repair_count(id), 0);
+        // Taking the schedule also clears the run.
+        db.note_repair(id);
+        let _ = db.take_schedule(id);
+        assert_eq!(db.repair_count(id), 0);
     }
 
     #[test]

@@ -336,6 +336,10 @@ impl Testbed {
             };
             let scheduler = &*self.scheduler;
             let scratch = &mut self.scratch;
+            let repairs_so_far = self.db.repair_count(id);
+            let drift_forced = policy
+                .resolve_after_repairs
+                .is_some_and(|n| repairs_so_far >= n);
             let verdict = self.db.read(|net, opt, cluster| {
                 reschedule::consider(
                     &policy,
@@ -343,6 +347,7 @@ impl Testbed {
                     &task,
                     &schedule,
                     remaining,
+                    repairs_so_far,
                     net,
                     Some(opt),
                     cluster,
@@ -350,6 +355,17 @@ impl Testbed {
                     scratch,
                 )
             });
+            // The guard's contract is one *forced full consideration* per N
+            // repairs — once that consideration has run, the run resets
+            // whatever its verdict. A Keep means a fresh solve would not
+            // beat the (possibly drifted) tree enough to justify the
+            // interruption, which is exactly the drift check passing; a
+            // failed commit keeps the schedule too. Without this reset a
+            // tripped counter would disable the repair fast-path for the
+            // task's remaining lifetime.
+            if drift_forced {
+                self.db.reset_repairs(id);
+            }
             match verdict {
                 Ok(reschedule::RescheduleVerdict::Migrate {
                     new_proposal,
@@ -376,6 +392,11 @@ impl Testbed {
                         self.reschedules += 1;
                         if via_repair {
                             self.repairs += 1;
+                            // Drift guard bookkeeping: consecutive repairs
+                            // accumulate; a full re-solve resets the run.
+                            self.db.note_repair(id);
+                        } else {
+                            self.db.reset_repairs(id);
                         }
                         if let Some(r) = self.reports.get_mut(self.active[&id].report_idx) {
                             r.reschedules += 1;

@@ -20,7 +20,7 @@ use crate::snapshot::NetworkSnapshot;
 use crate::weights::{auxiliary_weight, GAMMA_WAVELENGTH};
 use crate::{Result, Scheduler};
 use flexsched_task::AiTask;
-use flexsched_topo::algo::{steiner_tree_in, ScratchPool, SteinerTree};
+use flexsched_topo::algo::{steiner_tree_in, steiner_tree_sparse_in, ScratchPool, SteinerTree};
 use flexsched_topo::{LinkId, NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -42,7 +42,29 @@ pub struct FlexibleMst {
     /// [`auxiliary_weight`]). Zero reproduces the poster's binary
     /// feasibility; the default steers trees toward spectral headroom.
     pub wavelength_headroom: f64,
+    /// Terminal count at or above which tree construction switches from
+    /// the KMB all-pairs closure (`O(k·E log V)`) to the Mehlhorn
+    /// single-pass sparsified closure (`O(E log V)`, independent of `k` —
+    /// see [`flexsched_topo::algo::mehlhorn`]). Below the threshold KMB's
+    /// early-exiting per-terminal searches win; above it the sparse
+    /// closure's flat cost dominates (crossover measured by the
+    /// `closure_ablation` bench; see `BENCH_4.json`). `usize::MAX`
+    /// disables the sparse path entirely — [`FlexibleMst::paper`] pins it
+    /// there so the poster-faithful configuration keeps the exact KMB
+    /// construction.
+    pub sparse_closure_threshold: usize,
 }
+
+/// Default crossover: at and above this many selected locals the Mehlhorn
+/// closure is at least as fast as KMB on every measured fabric. The
+/// crossover is fabric-dependent — KMB's early-exiting per-terminal
+/// searches win up to k ≈ 5 on the metro/spine-leaf testbeds but up to
+/// k ≈ 12 on a `fat_tree(10)` (whose larger edge set raises the sparse
+/// pass's flat `O(E log V)` cost) — so the global default takes the
+/// largest measured crossover (`closure_ablation` bench, `BENCH_4.json`:
+/// ratios at k = 12 are 1.78× metro, 2.09× spine-leaf, 1.40× fat-tree,
+/// rising to 16×/26× at k = 100/200).
+pub const SPARSE_CLOSURE_THRESHOLD: usize = 12;
 
 impl Default for FlexibleMst {
     fn default() -> Self {
@@ -50,16 +72,18 @@ impl Default for FlexibleMst {
             separate_trees: true,
             aggregation: true,
             wavelength_headroom: GAMMA_WAVELENGTH,
+            sparse_closure_threshold: SPARSE_CLOSURE_THRESHOLD,
         }
     }
 }
 
 impl FlexibleMst {
     /// The scheduler exactly as evaluated in the poster: binary wavelength
-    /// feasibility (no headroom steering).
+    /// feasibility (no headroom steering), KMB closure at every scale.
     pub fn paper() -> Self {
         FlexibleMst {
             wavelength_headroom: 0.0,
+            sparse_closure_threshold: usize::MAX,
             ..Self::default()
         }
     }
@@ -76,6 +100,33 @@ impl FlexibleMst {
     pub fn with_wavelength_headroom(mut self, gamma: f64) -> Self {
         self.wavelength_headroom = gamma;
         self
+    }
+
+    /// Override the KMB → Mehlhorn switchover point (`usize::MAX` forces
+    /// KMB everywhere, `0` forces the sparse closure everywhere).
+    pub fn with_sparse_closure_threshold(mut self, threshold: usize) -> Self {
+        self.sparse_closure_threshold = threshold;
+        self
+    }
+
+    /// Build one Steiner tree under the configured closure policy: KMB
+    /// below the terminal-count threshold, Mehlhorn sparsified closure at
+    /// or above it. Both constructions share the same weight contract,
+    /// candidate comparison and rooting, so the choice affects decision
+    /// latency, not the quality guarantee.
+    fn build_tree(
+        &self,
+        topo: &Topology,
+        root: NodeId,
+        terminals: &[NodeId],
+        weight: impl Fn(&flexsched_topo::Link) -> f64,
+        scratch: &mut ScratchPool,
+    ) -> std::result::Result<SteinerTree, flexsched_topo::TopoError> {
+        if terminals.len() >= self.sparse_closure_threshold {
+            steiner_tree_sparse_in(topo, root, terminals, weight, scratch)
+        } else {
+            steiner_tree_in(topo, root, terminals, weight, scratch)
+        }
     }
 }
 
@@ -166,7 +217,7 @@ impl Scheduler for FlexibleMst {
         // Broadcast auxiliary graph: nothing reused yet.
         let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
         let broadcast_tree = Arc::new(
-            steiner_tree_in(
+            self.build_tree(
                 topo,
                 task.global_site,
                 selected,
@@ -183,7 +234,7 @@ impl Scheduler for FlexibleMst {
         let upload_tree = if self.separate_trees {
             let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
             Arc::new(
-                steiner_tree_in(
+                self.build_tree(
                     topo,
                     task.global_site,
                     selected,
@@ -419,6 +470,105 @@ mod tests {
             FlexibleMst::paper().propose_once(&task, &[], &snap),
             Err(SchedError::NothingSelected(_))
         ));
+    }
+
+    #[test]
+    fn sparse_and_kmb_schedules_agree_at_small_k() {
+        // Fixed-seed schedule identity: the Mehlhorn closure forced on
+        // (threshold 0) must reproduce the KMB schedules bit-for-bit at
+        // small k on the paper's testbed — trees, rates and copies.
+        for locals in [3usize, 5, 8, 12] {
+            let (state, task) = task_on_metro(locals);
+            let kmb = schedule_with(&FlexibleMst::paper(), &state, &task);
+            let sparse = schedule_with(
+                &FlexibleMst::paper().with_sparse_closure_threshold(0),
+                &state,
+                &task,
+            );
+            match (
+                &kmb.broadcast,
+                &sparse.broadcast,
+                &kmb.upload,
+                &sparse.upload,
+            ) {
+                (
+                    RoutingPlan::Tree {
+                        tree: kb,
+                        rate_gbps: krb,
+                        copies: kcb,
+                    },
+                    RoutingPlan::Tree {
+                        tree: sb,
+                        rate_gbps: srb,
+                        copies: scb,
+                    },
+                    RoutingPlan::Tree {
+                        tree: ku,
+                        rate_gbps: kru,
+                        copies: kcu,
+                    },
+                    RoutingPlan::Tree {
+                        tree: su,
+                        rate_gbps: sru,
+                        copies: scu,
+                    },
+                ) => {
+                    assert_eq!(**kb, **sb, "broadcast trees diverge at k={locals}");
+                    assert_eq!(**ku, **su, "upload trees diverge at k={locals}");
+                    assert_eq!(krb, srb);
+                    assert_eq!(kru, sru);
+                    assert_eq!(kcb, scb);
+                    assert_eq!(kcu, scu);
+                }
+                _ => panic!("both schedulers must produce tree plans"),
+            }
+        }
+    }
+
+    #[test]
+    fn default_auto_selects_sparse_closure_above_threshold() {
+        // A 100-local decision on a fat-tree engages the Mehlhorn path
+        // (default threshold) and must span every terminal with an
+        // acyclic tree whose cost matches the KMB construction's.
+        let topo = Arc::new(flexsched_topo::builders::fat_tree(10, 400.0));
+        let state = NetworkState::new(Arc::clone(&topo));
+        let servers = topo.servers();
+        for locals in [100usize, 200] {
+            let task = AiTask {
+                id: TaskId(0),
+                model: ModelProfile::mobilenet(),
+                global_site: servers[0],
+                local_sites: servers[1..=locals].to_vec(),
+                data_utility: Default::default(),
+                iterations: 1,
+                comm_budget_ms: 50.0,
+                arrival_ns: 0,
+            };
+            assert!(task.local_sites.len() >= FlexibleMst::default().sparse_closure_threshold);
+            let sparse = schedule_with(&FlexibleMst::default(), &state, &task);
+            let kmb = schedule_with(
+                &FlexibleMst::default().with_sparse_closure_threshold(usize::MAX),
+                &state,
+                &task,
+            );
+            let (RoutingPlan::Tree { tree: st, .. }, RoutingPlan::Tree { tree: kt, .. }) =
+                (&sparse.broadcast, &kmb.broadcast)
+            else {
+                panic!("expected tree plans");
+            };
+            assert!(st.spans_all_terminals(), "k={locals}");
+            assert_eq!(st.links.len(), st.nodes.len() - 1, "k={locals}");
+            // Tree-cost ratio: the sparsified closure preserves the
+            // closure MST weight, so the resulting trees' costs must be
+            // interchangeable (ties aside).
+            let ratio = st.total_weight / kt.total_weight;
+            assert!(
+                (ratio - 1.0).abs() < 0.05,
+                "k={locals}: sparse {} vs kmb {} (ratio {ratio})",
+                st.total_weight,
+                kt.total_weight
+            );
+        }
     }
 
     #[test]

@@ -55,10 +55,10 @@ pub mod weights;
 pub use error::SchedError;
 pub use evaluate::evaluate_schedule;
 pub use fixed::FixedSpff;
-pub use flexible::FlexibleMst;
+pub use flexible::{FlexibleMst, SPARSE_CLOSURE_THRESHOLD};
 pub use proposal::{ClaimsDelta, LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
 pub use repair::{BrokenLinks, RepairProposal};
-pub use reschedule::{ReschedulePolicy, RescheduleVerdict};
+pub use reschedule::{ReschedulePolicy, RescheduleVerdict, RESOLVE_AFTER_REPAIRS};
 pub use schedule::{RatedPath, RoutingPlan, Schedule};
 pub use selection::SelectionStrategy;
 pub use snapshot::NetworkSnapshot;

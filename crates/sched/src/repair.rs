@@ -102,8 +102,12 @@ impl BrokenLinks {
 pub struct TreeRepair {
     /// The repaired tree (same root and terminal set as the original).
     pub tree: Arc<SteinerTree>,
-    /// Orphaned terminals that were re-attached via the frontier search.
-    pub reattached: Vec<NodeId>,
+    /// Orphaned terminals that were re-attached via the frontier search,
+    /// each paired with its *anchor*: the surviving-tree node whose
+    /// Voronoi region the orphan fell into (read straight off the
+    /// multi-source search's per-node labels — the same Voronoi machinery
+    /// the Mehlhorn sparsified closure runs, sharing one scratch pool).
+    pub reattached: Vec<(NodeId, NodeId)>,
     /// Old tree links no longer present (broken links and pruned chains).
     pub dropped_links: Vec<LinkId>,
     /// Links newly introduced by the attachment paths.
@@ -216,7 +220,11 @@ fn repair_tree_in(
     }
 
     // Re-attach every orphaned terminal via one multi-source search from
-    // the surviving frontier.
+    // the surviving frontier — the same Voronoi-labeled pass the Mehlhorn
+    // sparsified closure runs (`topo::algo::mehlhorn`), drawn from the
+    // same scratch pool: every surviving node is a zero-cost source, and
+    // each orphan's label names the source (its attachment anchor) whose
+    // region it fell into.
     let mut orphans: Vec<NodeId> = old
         .terminals
         .iter()
@@ -242,6 +250,11 @@ fn repair_tree_in(
                 }
             }
             for t in &orphans {
+                let anchor = sources[scratch
+                    .voronoi_label(*t)
+                    .expect("settled orphan carries a Voronoi label")
+                    as usize];
+                debug_assert!(alive[anchor.index()], "anchor is a surviving node");
                 let mut cur = *t;
                 while !alive[cur.index()] {
                     let (p, l) = scratch
@@ -251,7 +264,7 @@ fn repair_tree_in(
                     alive[cur.index()] = true;
                     cur = p;
                 }
-                reattached.push(*t);
+                reattached.push((*t, anchor));
             }
             Ok(())
         });
@@ -510,7 +523,7 @@ pub fn repair_schedule(
     let mut links_added = 0;
     let mut links_dropped = 0;
     for r in [&bcast_repair, &up_repair].into_iter().flatten() {
-        reattached.extend_from_slice(&r.reattached);
+        reattached.extend(r.reattached.iter().map(|(orphan, _)| *orphan));
         links_added += r.added_links.len();
         links_dropped += r.dropped_links.len();
     }
@@ -639,6 +652,60 @@ mod tests {
             touched < footprint,
             "delta ({touched} links) should be smaller than the footprint ({footprint})"
         );
+    }
+
+    #[test]
+    fn reattachment_anchors_are_surviving_tree_nodes() {
+        // Direct tree surgery: cut a claimed core span, repair, and check
+        // each re-attached orphan's Voronoi anchor really is a node of
+        // the surviving fragment (old tree minus the orphaned subtree).
+        let (mut state, task) = rig(10);
+        let p = propose(&state, &task);
+        p.schedule.apply(&mut state).unwrap();
+        let victim = core_span(&state, &p);
+        let RoutingPlan::Tree { tree: old, .. } = &p.schedule.broadcast else {
+            panic!("tree plan expected");
+        };
+        if !old.links.contains(&victim) {
+            return; // victim came from the upload tree; broadcast intact
+        }
+        let topo = state.topo();
+        let mut broken = BrokenLinks::none(topo.link_count());
+        broken.insert(victim);
+        let weights: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| {
+                if l.id == victim {
+                    f64::INFINITY
+                } else {
+                    flexsched_topo::algo::length_weight(l)
+                }
+            })
+            .collect();
+        let repair = repair_tree(
+            topo,
+            old,
+            &broken,
+            |l| weights[l.index()],
+            &task,
+            &mut ScratchPool::new(),
+        )
+        .unwrap()
+        .expect("cut tree link must need surgery");
+        assert!(!repair.reattached.is_empty());
+        for (orphan, anchor) in &repair.reattached {
+            assert!(old.terminals.contains(orphan), "orphan {orphan} unknown");
+            // The anchor survived the cut: it is an old-tree node whose
+            // path to the root avoids the broken link.
+            assert!(old.nodes.contains(anchor), "anchor {anchor} not in tree");
+            let path = old.path_from_root(*anchor).unwrap();
+            assert!(
+                !path.links.contains(&victim),
+                "anchor {anchor} was itself orphaned"
+            );
+            assert!(repair.tree.depth(*orphan).is_some());
+        }
     }
 
     #[test]

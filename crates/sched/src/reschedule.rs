@@ -46,7 +46,27 @@ pub struct ReschedulePolicy {
     /// versus two Steiner constructions) and their claims delta keeps the
     /// migration's interference footprint small.
     pub prefer_repair: bool,
+    /// Repair-drift guard: after this many *consecutive* repairs of one
+    /// task's schedule (no full re-solve in between), force the next
+    /// rescheduling consideration down the full re-solve path even when a
+    /// repair would apply. Greedy grafts accumulate: each repair is
+    /// locally cheapest, but a long chain can drift a tree away from what
+    /// a fresh solve would build. The caller tracks the per-task counter
+    /// (the orchestrator keeps it in the `Database`) and hands it to
+    /// [`consider`]; `None` never forces a re-solve (the pre-guard
+    /// behaviour). The default is backed by the fault-storm drift sweep in
+    /// `flexsched-bench/tests/repair_differential.rs` — long storms show
+    /// the service gap stays bounded while per-decision cost stays near
+    /// the pure-repair policy.
+    pub resolve_after_repairs: Option<u32>,
 }
+
+/// Default repair-drift bound (see
+/// [`ReschedulePolicy::resolve_after_repairs`]): storms long enough to
+/// repair one schedule this many times in a row are where drift becomes
+/// measurable, while forcing a full re-solve once per this many repairs
+/// adds (1/8)·(re-solve − repair) ≈ 12% to the mean rescheduling decision.
+pub const RESOLVE_AFTER_REPAIRS: u32 = 8;
 
 impl Default for ReschedulePolicy {
     fn default() -> Self {
@@ -55,6 +75,7 @@ impl Default for ReschedulePolicy {
             interruption_ns: 5_000_000,
             threshold: 1.5,
             prefer_repair: true,
+            resolve_after_repairs: Some(RESOLVE_AFTER_REPAIRS),
         }
     }
 }
@@ -95,6 +116,10 @@ pub enum RescheduleVerdict {
 
 /// Consider rescheduling `task` (currently running `current`, with
 /// `remaining_iterations` left) under fresh network conditions.
+/// `repairs_since_resolve` is the task's consecutive-repair counter (the
+/// orchestrator's database maintains it); once it reaches
+/// [`ReschedulePolicy::resolve_after_repairs`] the repair path is skipped
+/// for this consideration, so a drifted tree gets rebuilt from scratch.
 ///
 /// `state` must be the live network state *with `current` applied*;
 /// `optical` is the live optical state when the scenario models
@@ -116,6 +141,7 @@ pub fn consider(
     task: &AiTask,
     current: &Schedule,
     remaining_iterations: u32,
+    repairs_since_resolve: u32,
     state: &NetworkState,
     optical: Option<&flexsched_optical::OpticalState>,
     cluster: &ClusterManager,
@@ -125,10 +151,16 @@ pub fn consider(
     // Current cost under today's conditions.
     let current_report = evaluate_schedule(task, current, state, cluster, transport)?;
 
+    // Repair-drift guard: a schedule repaired too many consecutive times
+    // skips straight to the full re-solve, which rebuilds the tree fresh.
+    let drift_tripped = policy
+        .resolve_after_repairs
+        .is_some_and(|n| repairs_since_resolve >= n);
+
     // Repair path: live snapshot, incremental surgery, unconditional
     // migration. Any failure (no tree damage, orphan unreachable, rate
     // below floor) falls through to the full re-solve below.
-    if policy.prefer_repair {
+    if policy.prefer_repair && !drift_tripped {
         let mut live_snap = NetworkSnapshot::capture(state);
         if let Some(opt) = optical {
             live_snap = live_snap.with_optical(opt);
@@ -257,6 +289,7 @@ mod tests {
             &task,
             &current,
             8,
+            0,
             &state,
             None,
             &cluster,
@@ -299,11 +332,13 @@ mod tests {
                 interruption_ns: 1_000,
                 threshold: 1.0,
                 prefer_repair: true,
+                resolve_after_repairs: None,
             },
             &sched,
             &task,
             &current,
             10,
+            0,
             &state,
             None,
             &cluster,
@@ -355,6 +390,7 @@ mod tests {
             &task,
             &current,
             8,
+            0,
             &state,
             None,
             &cluster,
@@ -427,6 +463,7 @@ mod tests {
             &task,
             &current,
             8,
+            0,
             &state,
             Some(&optical),
             &cluster,
@@ -450,6 +487,63 @@ mod tests {
                 );
             }
             RescheduleVerdict::Keep { .. } => panic!("spectrally dead span must migrate"),
+        }
+    }
+
+    #[test]
+    fn drift_guard_forces_full_resolve_when_counter_trips() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = schedule_with(&sched, &state, &task);
+        current.apply(&mut state).unwrap();
+        let victim = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl.link)
+            .find(|l| {
+                let link = state.topo().link(*l).unwrap();
+                let a = state.topo().node(link.a).unwrap().kind;
+                let b = state.topo().node(link.b).unwrap().kind;
+                a == flexsched_topo::NodeKind::Roadm && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        state.set_down(victim, true).unwrap();
+        let policy = ReschedulePolicy {
+            interruption_ns: 1_000,
+            threshold: 1.0,
+            resolve_after_repairs: Some(3),
+            ..ReschedulePolicy::default()
+        };
+        let verdict = |repairs: u32| {
+            consider(
+                &policy,
+                &sched,
+                &task,
+                &current,
+                8,
+                repairs,
+                &state,
+                None,
+                &cluster,
+                &Transport::tcp(),
+                &mut ScratchPool::new(),
+            )
+            .unwrap()
+        };
+        // Below the bound the repair path still runs...
+        match verdict(2) {
+            RescheduleVerdict::Migrate { via_repair, .. } => {
+                assert!(via_repair, "counter below bound must still repair")
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+        }
+        // ...at the bound the same consideration is forced to re-solve.
+        match verdict(3) {
+            RescheduleVerdict::Migrate { via_repair, .. } => {
+                assert!(!via_repair, "tripped counter must force a full re-solve")
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
         }
     }
 
@@ -482,6 +576,7 @@ mod tests {
             &task,
             &current,
             8,
+            0,
             &state,
             None,
             &cluster,
@@ -512,11 +607,13 @@ mod tests {
                 interruption_ns: u64::MAX / 4,
                 threshold: 1_000.0,
                 prefer_repair: true,
+                resolve_after_repairs: None,
             },
             &sched,
             &task,
             &current,
             2,
+            0,
             &state,
             None,
             &cluster,
@@ -541,6 +638,7 @@ mod tests {
             &task,
             &current,
             5,
+            0,
             &state,
             None,
             &cluster,

@@ -8,6 +8,7 @@
 
 pub mod bellman_ford;
 pub mod dijkstra;
+pub mod mehlhorn;
 pub mod mst;
 pub mod scratch;
 pub mod steiner;
@@ -17,6 +18,7 @@ pub mod yen;
 
 pub use bellman_ford::bellman_ford;
 pub use dijkstra::{shortest_path, shortest_path_tree, ShortestPathTree};
+pub use mehlhorn::{sparse_closure_mst_weight, steiner_tree_sparse, steiner_tree_sparse_in};
 pub use mst::{kruskal_mst, prim_mst, MstResult};
 pub use scratch::{DijkstraScratch, ScratchPool, TreeBufs};
 pub use steiner::{steiner_tree, steiner_tree_in, SteinerTree};

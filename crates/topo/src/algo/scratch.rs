@@ -82,7 +82,12 @@ impl PartialOrd for QueueEntry {
 pub struct DijkstraScratch {
     dist: Vec<f64>,
     parent: Vec<Option<(NodeId, LinkId)>>,
-    /// Slot `i` of `dist`/`parent` is valid iff `touched[i] == generation`.
+    /// Voronoi label: index into the run's source list of the source whose
+    /// region node `i` fell into. Propagated with the parent pointer, so a
+    /// node's label always names the source its parent chain terminates at.
+    label: Vec<u32>,
+    /// Slot `i` of `dist`/`parent`/`label` is valid iff
+    /// `touched[i] == generation`.
     touched: Vec<u32>,
     /// Node `i` is settled iff `settled[i] == generation`.
     settled: Vec<u32>,
@@ -108,6 +113,7 @@ impl DijkstraScratch {
         if self.dist.len() < n {
             self.dist.resize(n, f64::INFINITY);
             self.parent.resize(n, None);
+            self.label.resize(n, 0);
             self.touched.resize(n, 0);
             self.settled.resize(n, 0);
             self.target.resize(n, 0);
@@ -193,7 +199,11 @@ impl DijkstraScratch {
     /// Parent chains terminate (`parent_of` = `None`) at whichever source
     /// is nearest; ties break exactly as in the single-source search (cost
     /// ascending, then node id, equal-cost parent replaced only by a lower
-    /// link id), so the attachment forest is deterministic.
+    /// link id), so the attachment forest is deterministic. Each reached
+    /// node also records the *index* of its nearest source
+    /// ([`voronoi_label`](DijkstraScratch::voronoi_label)), making the run
+    /// double as the Voronoi-region pass of the Mehlhorn sparsified metric
+    /// closure ([`crate::algo::mehlhorn`]).
     pub fn run_multi_with_weights(
         &mut self,
         topo: &Topology,
@@ -253,9 +263,10 @@ impl DijkstraScratch {
                 }
             }
         }
-        for s in sources {
+        for (idx, s) in sources.iter().enumerate() {
             self.dist[s.index()] = 0.0;
             self.parent[s.index()] = None;
+            self.label[s.index()] = idx as u32;
             self.touched[s.index()] = generation;
             self.heap.push(QueueEntry::new(0.0, *s));
         }
@@ -294,6 +305,7 @@ impl DijkstraScratch {
                     let i = nbr.index();
                     self.dist[i] = cand;
                     self.parent[i] = Some((node, link_id));
+                    self.label[i] = self.label[node.index()];
                     self.touched[i] = generation;
                     self.heap.push(QueueEntry::new(cand, nbr));
                 }
@@ -326,6 +338,19 @@ impl DijkstraScratch {
         } else {
             None
         }
+    }
+
+    /// Voronoi label of `n`: the index (into the last run's source list) of
+    /// the source whose region `n` fell into — i.e. where `n`'s parent
+    /// chain terminates. `None` for unreached nodes.
+    ///
+    /// After a run *without* early-exit targets every reached node is
+    /// settled, so all labels are final. With early exit, labels are final
+    /// only for settled nodes; the Mehlhorn closure's Voronoi pass
+    /// therefore never early-exits.
+    pub fn voronoi_label(&self, n: NodeId) -> Option<u32> {
+        (n.index() < self.touched.len() && self.touched[n.index()] == self.generation)
+            .then(|| self.label[n.index()])
     }
 
     /// Reconstruct the cheapest path from the source to `to`.
@@ -400,6 +425,9 @@ pub struct SteinerBufs {
     /// integer sort.
     pub(crate) closure: Vec<u128>,
     pub(crate) closure_edges: Vec<(usize, usize)>,
+    /// Boundary links the Mehlhorn closure's Kruskal selected (one per
+    /// chosen sparse-closure edge).
+    pub(crate) boundary: Vec<LinkId>,
     pub(crate) sub_links: Vec<LinkId>,
     pub(crate) spt_union: Vec<LinkId>,
     pub(crate) adj: Vec<(NodeId, LinkId)>,
@@ -631,6 +659,40 @@ mod tests {
                 assert_eq!(single.parent_of(n), multi.parent_of(n), "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn voronoi_labels_name_the_nearest_source() {
+        // 0-1-2-3-4 line, sources {0, 4}: labels partition the line, agree
+        // with the parent chains, and unreached nodes have no label.
+        let t = builders::linear(5, 1.0, 100.0);
+        let weights: Vec<f64> = t.links().iter().map(hop_weight).collect();
+        let mut scratch = DijkstraScratch::new();
+        scratch
+            .run_multi_with_weights(&t, &[NodeId(0), NodeId(4)], &weights, None)
+            .unwrap();
+        assert_eq!(scratch.voronoi_label(NodeId(0)), Some(0));
+        assert_eq!(scratch.voronoi_label(NodeId(4)), Some(1));
+        assert_eq!(scratch.voronoi_label(NodeId(1)), Some(0));
+        assert_eq!(scratch.voronoi_label(NodeId(3)), Some(1));
+        // Node 2 ties; its parent resolved to node 1, so its label must
+        // follow the parent chain to source 0.
+        assert_eq!(scratch.voronoi_label(NodeId(2)), Some(0));
+        for n in t.node_ids() {
+            let mut cur = n;
+            while let Some((p, _)) = scratch.parent_of(cur) {
+                cur = p;
+            }
+            let source = [NodeId(0), NodeId(4)][scratch.voronoi_label(n).unwrap() as usize];
+            assert_eq!(cur, source, "label of {n} disagrees with parent chain");
+        }
+        assert_eq!(scratch.voronoi_label(NodeId(99)), None);
+        // A fresh run invalidates old labels in O(1).
+        scratch
+            .run_with_weights(&t, NodeId(2), &weights, Some(&[NodeId(2)]))
+            .unwrap();
+        assert_eq!(scratch.voronoi_label(NodeId(2)), Some(0));
+        assert_eq!(scratch.voronoi_label(NodeId(4)), None);
     }
 
     #[test]

@@ -343,6 +343,61 @@ impl SteinerTree {
     }
 }
 
+/// Closure entries pack terminal indices into 32 bits each (the
+/// `cost << 64 | i << 32 | j` format both closure variants sort); more
+/// terminals than this would silently truncate, so the builders bail out
+/// with a typed error first. Unreachable through the public API today —
+/// node ids are themselves 32-bit — but the guard keeps the packing honest
+/// if ids ever widen.
+pub(crate) const MAX_CLOSURE_INDEX: usize = u32::MAX as usize;
+
+/// Typed bail-out for terminal sets the packed closure format cannot
+/// address (see [`MAX_CLOSURE_INDEX`]).
+pub(crate) fn check_closure_capacity(count: usize) -> Result<()> {
+    if count > MAX_CLOSURE_INDEX {
+        return Err(TopoError::TooManyTerminals {
+            count,
+            max: MAX_CLOSURE_INDEX,
+        });
+    }
+    Ok(())
+}
+
+/// Validate and dedupe `[root] ∪ terminals` into the working terminal set
+/// both closure variants operate on (root first, then first-seen order).
+pub(crate) fn terminal_set(
+    topo: &Topology,
+    root: NodeId,
+    terminals: &[NodeId],
+) -> Result<Vec<NodeId>> {
+    if terminals.is_empty() {
+        return Err(TopoError::EmptyInput("steiner terminals"));
+    }
+    topo.node(root)?;
+    let mut all: Vec<NodeId> = Vec::with_capacity(terminals.len() + 1);
+    all.push(root);
+    for t in terminals {
+        topo.node(*t)?;
+        if *t != root && !all.contains(t) {
+            all.push(*t);
+        }
+    }
+    check_closure_capacity(all.len())?;
+    Ok(all)
+}
+
+/// The tree when every terminal coincides with the root.
+pub(crate) fn trivial_tree(topo: &Topology, root: NodeId, terminals: &[NodeId]) -> SteinerTree {
+    SteinerTree::assemble(
+        root,
+        terminals.to_vec(),
+        vec![root],
+        Vec::new(),
+        vec![None; topo.node_count()],
+        0.0,
+    )
+}
+
 /// Kruskal MST of the subgraph spanned by `allowed`, then repeatedly prune
 /// leaves that are not in `keep`. Returns the surviving links ascending.
 ///
@@ -350,7 +405,7 @@ impl SteinerTree {
 /// `allowed` (same (weight, id) edge ordering, same union-find), but only
 /// touches the O(|allowed|) subgraph instead of sorting every topology
 /// link, and draws every work array from the pooled `bufs`.
-fn prune_to_tree(
+pub(crate) fn prune_to_tree(
     topo: &Topology,
     keep: &[NodeId],
     allowed: &[LinkId],
@@ -520,29 +575,10 @@ fn steiner_tree_inner(
     spts: &mut Vec<DijkstraScratch>,
     bufs: &mut crate::algo::scratch::SteinerBufs,
 ) -> Result<SteinerTree> {
-    if terminals.is_empty() {
-        return Err(TopoError::EmptyInput("steiner terminals"));
-    }
-    topo.node(root)?;
-    let n = topo.node_count();
-    let mut all: Vec<NodeId> = Vec::with_capacity(terminals.len() + 1);
-    all.push(root);
-    for t in terminals {
-        topo.node(*t)?;
-        if *t != root && !all.contains(t) {
-            all.push(*t);
-        }
-    }
+    let all = terminal_set(topo, root, terminals)?;
     if all.len() == 1 {
         // All terminals equal the root: trivial tree.
-        return Ok(SteinerTree::assemble(
-            root,
-            terminals.to_vec(),
-            vec![root],
-            Vec::new(),
-            vec![None; n],
-            0.0,
-        ));
+        return Ok(trivial_tree(topo, root, terminals));
     }
 
     // 1) Metric closure: shortest path trees from every terminal, computed
@@ -600,36 +636,64 @@ fn steiner_tree_inner(
     sub_links.sort_unstable();
     sub_links.dedup();
 
-    // 4) MST of the expansion subgraph, then prune non-terminal leaves.
-    let kmb_links = prune_to_tree(topo, &all, sub_links, weights, &mut bufs.prune)?;
+    // 4+5) MST of the expansion subgraph + prune, compared against the
+    //      pruned shortest-path union, then rooted — shared with the
+    //      Mehlhorn construction.
+    let tree_links = best_of_candidate_and_spt_union(topo, &all, weights, &spts[0], bufs)?;
+    root_and_assemble(topo, root, &all, terminals, tree_links, weights, bufs)
+}
 
-    // 5) Second candidate: the pruned union of root->terminal shortest
-    //    paths. KMB does not dominate it (nor vice versa); the scheduler
-    //    should never do worse than plain shortest-path sharing, so take
-    //    the lighter of the two.
+/// Steps 4–5 shared by both closure variants: MST + non-terminal-leaf
+/// pruning of the candidate subgraph held in `bufs.sub_links`, compared
+/// against the pruned union of root→terminal shortest paths (`root_spt`
+/// must be a completed search from the root that settled every terminal).
+/// Neither candidate dominates the other; the scheduler should never do
+/// worse than plain shortest-path sharing, so the lighter of the two wins.
+pub(crate) fn best_of_candidate_and_spt_union(
+    topo: &Topology,
+    all: &[NodeId],
+    weights: &[f64],
+    root_spt: &DijkstraScratch,
+    bufs: &mut crate::algo::scratch::SteinerBufs,
+) -> Result<Vec<LinkId>> {
+    let sub_links = &mut bufs.sub_links;
+    let candidate_links = prune_to_tree(topo, all, sub_links, weights, &mut bufs.prune)?;
+
     let spt_union = &mut bufs.spt_union;
     spt_union.clear();
     for t in all.iter().skip(1) {
-        spts[0].append_path_links(*t, spt_union)?;
+        root_spt.append_path_links(*t, spt_union)?;
     }
     spt_union.sort_unstable();
     spt_union.dedup();
     // Identical candidate subgraphs prune identically; skip the rerun.
     let spt_links = if spt_union == sub_links {
-        kmb_links.clone()
+        candidate_links.clone()
     } else {
-        prune_to_tree(topo, &all, spt_union, weights, &mut bufs.prune)?
+        prune_to_tree(topo, all, spt_union, weights, &mut bufs.prune)?
     };
 
     let weight_of = |links: &[LinkId]| -> f64 { links.iter().map(|l| weights[l.index()]).sum() };
-    let tree_links = if weight_of(&kmb_links) <= weight_of(&spt_links) {
-        kmb_links
+    Ok(if weight_of(&candidate_links) <= weight_of(&spt_links) {
+        candidate_links
     } else {
         spt_links
-    };
+    })
+}
 
-    // Root the tree: BFS from root over a CSR adjacency of the tree links
-    // (adjacency/cursor/queue arrays reused from the pooled buffers).
+/// Root `tree_links` at `root` (BFS over a CSR adjacency drawn from the
+/// pooled buffers) and assemble the flat [`SteinerTree`]. Errors
+/// [`TopoError::Disconnected`] if any node of `all` is unreached.
+pub(crate) fn root_and_assemble(
+    topo: &Topology,
+    root: NodeId,
+    all: &[NodeId],
+    terminals: &[NodeId],
+    tree_links: Vec<LinkId>,
+    weights: &[f64],
+    bufs: &mut crate::algo::scratch::SteinerBufs,
+) -> Result<SteinerTree> {
+    let n = topo.node_count();
     let adj_start = &mut bufs.prune.starts;
     adj_start.clear();
     adj_start.resize(n + 1, 0);
@@ -675,13 +739,13 @@ fn steiner_tree_inner(
             }
         }
     }
-    for t in &all {
+    for t in all {
         if !visited[t.index()] {
             return Err(TopoError::Disconnected { from: root, to: *t });
         }
     }
 
-    let total_weight = weight_of(&tree_links);
+    let total_weight = tree_links.iter().map(|l| weights[l.index()]).sum();
     let nodes: Vec<NodeId> = (0..n as u32)
         .map(NodeId)
         .filter(|x| visited[x.index()])

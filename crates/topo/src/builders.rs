@@ -255,6 +255,71 @@ pub fn spine_leaf(
     t
 }
 
+/// A three-tier k-ary fat-tree (Al-Fares et al.): `(k/2)²` core switches,
+/// `k` pods of `k/2` aggregation and `k/2` edge switches, and `k/2`
+/// servers per edge switch — `k³/4` servers total, the canonical
+/// data-center fabric for large distributed-AI jobs (`fat_tree(10)` hosts
+/// 250 servers, enough for 200-terminal scheduling decisions).
+///
+/// Aggregation switch `j` of every pod uplinks to core switches
+/// `j·k/2 .. (j+1)·k/2`; edge↔aggregation is full bipartite within a pod.
+/// Fabric links (core↔agg, agg↔edge) are WDM with 4 wavelengths at
+/// `link_gbps`, server access links are grey at the same rate — mirroring
+/// [`spine_leaf`]'s optical modelling so RWA and grooming scenarios run
+/// unchanged. Node ordering: cores, then aggregation (pod-major), then
+/// edge (pod-major), then servers (edge-major), so id ranges are easy to
+/// reason about in tests.
+///
+/// # Panics
+/// Panics if `k` is odd or less than 2.
+pub fn fat_tree(k: usize, link_gbps: f64) -> Topology {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
+    let half = k / 2;
+    let mut t = Topology::new();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_node(NodeKind::IpRouter, format!("core{i}")))
+        .collect();
+    let aggs: Vec<Vec<NodeId>> = (0..k)
+        .map(|p| {
+            (0..half)
+                .map(|j| t.add_node(NodeKind::IpRouter, format!("agg{p}_{j}")))
+                .collect()
+        })
+        .collect();
+    let edges: Vec<Vec<NodeId>> = (0..k)
+        .map(|p| {
+            (0..half)
+                .map(|j| t.add_node(NodeKind::IpRouter, format!("edge{p}_{j}")))
+                .collect()
+        })
+        .collect();
+    for p in 0..k {
+        for (j, agg) in aggs[p].iter().enumerate() {
+            for c in 0..half {
+                t.add_wdm_link(*agg, cores[j * half + c], 0.5, link_gbps, 4)
+                    .expect("core uplink endpoints exist");
+            }
+            for edge in &edges[p] {
+                t.add_wdm_link(*edge, *agg, 0.3, link_gbps, 4)
+                    .expect("pod fabric endpoints exist");
+            }
+        }
+    }
+    for (p, pod_edges) in edges.iter().enumerate() {
+        for (e, edge) in pod_edges.iter().enumerate() {
+            for s in 0..half {
+                let srv = t.add_node(NodeKind::Server, format!("srv{p}_{e}_{s}"));
+                t.add_link(*edge, srv, 0.05, link_gbps)
+                    .expect("server link endpoints exist");
+            }
+        }
+    }
+    t
+}
+
 /// A seeded Erdos-Renyi G(n, p) graph over IP routers, patched to be
 /// connected by chaining component representatives. Every fourth node is a
 /// server so placement logic has hosts to use.
@@ -372,6 +437,38 @@ mod tests {
         let t = spine_leaf(2, 2, 1, false, 100.0);
         assert_eq!(t.nodes_of_kind(NodeKind::Roadm).len(), 0);
         assert_eq!(t.nodes_of_kind(NodeKind::IpRouter).len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let k = 4;
+        let t = fat_tree(k, 400.0);
+        let half = k / 2;
+        // (k/2)^2 cores + k*(k/2) agg + k*(k/2) edge + k^3/4 servers.
+        assert_eq!(t.node_count(), half * half + 2 * k * half + k * half * half);
+        // k^3/4 links per tier (core uplinks, pod fabric, server access).
+        assert_eq!(t.link_count(), 3 * k * half * half);
+        assert!(is_connected(&t));
+        assert_eq!(t.servers().len(), k * half * half);
+        // Cores come first in id order; fabric links carry a WDM grid.
+        for i in 0..half * half {
+            assert_eq!(t.node(NodeId(i as u32)).unwrap().kind, NodeKind::IpRouter);
+        }
+        let wdm = t.links().iter().filter(|l| l.wavelengths > 1).count();
+        assert_eq!(wdm, 2 * k * half * half, "fabric tiers are WDM");
+    }
+
+    #[test]
+    fn fat_tree_10_hosts_200_terminal_decisions() {
+        let t = fat_tree(10, 400.0);
+        assert_eq!(t.servers().len(), 250);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    #[should_panic]
+    fn fat_tree_odd_arity_panics() {
+        let _ = fat_tree(3, 100.0);
     }
 
     #[test]

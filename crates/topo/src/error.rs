@@ -19,6 +19,11 @@ pub enum TopoError {
     /// A negative or non-finite edge weight was supplied to an algorithm that
     /// requires non-negative weights.
     BadWeight { link: LinkId, weight: f64 },
+    /// More terminals than the Steiner metric closure's packed index format
+    /// can address (indices are packed into 32 bits; see
+    /// [`crate::algo::steiner`]). A checked bail-out instead of silent
+    /// truncation.
+    TooManyTerminals { count: usize, max: usize },
 }
 
 impl fmt::Display for TopoError {
@@ -33,6 +38,12 @@ impl fmt::Display for TopoError {
             TopoError::EmptyInput(what) => write!(f, "empty input: {what}"),
             TopoError::BadWeight { link, weight } => {
                 write!(f, "bad weight {weight} on link {link}")
+            }
+            TopoError::TooManyTerminals { count, max } => {
+                write!(
+                    f,
+                    "{count} terminals exceed the metric closure's packed index capacity ({max})"
+                )
             }
         }
     }

@@ -295,3 +295,117 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mehlhorn's theorem, pinned: the MST weight of the sparsified
+    /// boundary-edge closure equals the MST weight of the complete
+    /// all-pairs metric closure, on random connected topologies. This is
+    /// the invariant that lets the sparse construction replace the KMB
+    /// closure without weakening the 2-approximation guarantee.
+    #[test]
+    fn sparse_closure_mst_weight_equals_full_closure(
+        (n, p, seed) in graph_params(),
+        picks in proptest::collection::vec(0usize..1_000, 1..10),
+    ) {
+        use flexsched_topo::algo::{sparse_closure_mst_weight, UnionFind};
+
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let root = NodeId(0);
+        let mut terminals: Vec<NodeId> = picks
+            .iter()
+            .map(|i| NodeId((i % n) as u32))
+            .filter(|x| *x != root)
+            .collect();
+        terminals.sort_unstable();
+        terminals.dedup();
+        prop_assume!(!terminals.is_empty());
+
+        let sparse = sparse_closure_mst_weight(&t, root, &terminals, length_weight).unwrap();
+
+        // Reference: the complete closure (one Dijkstra per terminal pair
+        // via shortest_path), Kruskal over all k² pairs.
+        let mut all = vec![root];
+        all.extend(terminals.iter().copied());
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                let path = shortest_path(&t, all[i], all[j], length_weight).unwrap();
+                let cost: f64 = path
+                    .links
+                    .iter()
+                    .map(|l| t.link(*l).unwrap().length_km)
+                    .sum();
+                pairs.push((cost, i, j));
+            }
+        }
+        pairs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut uf = UnionFind::new(all.len());
+        let full: f64 = pairs
+            .iter()
+            .filter(|(_, i, j)| uf.union(*i, *j))
+            .map(|(c, _, _)| c)
+            .sum();
+        prop_assert!(
+            (sparse - full).abs() < 1e-6,
+            "sparse closure MST {sparse} != full closure MST {full} (n={n} p={p} seed={seed})"
+        );
+    }
+
+    /// The sparse construction obeys the same quality contract as KMB: it
+    /// spans every terminal, is acyclic, and never costs more than the
+    /// union of per-terminal shortest paths.
+    #[test]
+    fn sparse_steiner_is_bounded_by_shortest_path_union(
+        (n, p, seed) in graph_params(),
+        picks in proptest::collection::vec(0usize..1_000, 1..8),
+    ) {
+        use flexsched_topo::algo::steiner_tree_sparse;
+
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let terminals: Vec<NodeId> = picks
+            .iter()
+            .map(|i| NodeId((i % n) as u32))
+            .filter(|x| *x != NodeId(0))
+            .collect();
+        prop_assume!(!terminals.is_empty());
+        let st = steiner_tree_sparse(&t, NodeId(0), &terminals, length_weight).unwrap();
+        prop_assert!(st.spans_all_terminals());
+        prop_assert_eq!(st.links.len(), st.nodes.len() - 1);
+
+        let mut union_links = std::collections::BTreeSet::new();
+        for term in &terminals {
+            let path = shortest_path(&t, NodeId(0), *term, length_weight).unwrap();
+            union_links.extend(path.links);
+        }
+        let union_weight: f64 = union_links
+            .iter()
+            .map(|l| t.link(*l).unwrap().length_km)
+            .sum();
+        prop_assert!(st.total_weight <= union_weight + 1e-6,
+            "sparse steiner {} > union {}", st.total_weight, union_weight);
+    }
+
+    /// KMB and Mehlhorn must build the *same* tree whenever shortest paths
+    /// are unique — random lengths make ties measure-zero, so the two
+    /// constructions are interchangeable on these topologies.
+    #[test]
+    fn sparse_and_kmb_trees_agree_on_random_topologies(
+        (n, p, seed) in graph_params(),
+        picks in proptest::collection::vec(0usize..1_000, 2..8),
+    ) {
+        use flexsched_topo::algo::steiner_tree_sparse;
+
+        let t = builders::random_connected(n, p, seed, 100.0);
+        let terminals: Vec<NodeId> = picks
+            .iter()
+            .map(|i| NodeId((i % n) as u32))
+            .filter(|x| *x != NodeId(0))
+            .collect();
+        prop_assume!(!terminals.is_empty());
+        let kmb = steiner_tree(&t, NodeId(0), &terminals, length_weight).unwrap();
+        let sparse = steiner_tree_sparse(&t, NodeId(0), &terminals, length_weight).unwrap();
+        prop_assert_eq!(kmb, sparse);
+    }
+}

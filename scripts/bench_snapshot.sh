@@ -1,14 +1,31 @@
 #!/usr/bin/env bash
-# Snapshot scheduler throughput into BENCH_<N>.json at the repo root.
+# Snapshot scheduler performance into BENCH_<N>.json at the repo root.
 #
 # Usage: scripts/bench_snapshot.sh [N]
-#   N defaults to 1. The snapshot file records, per scenario point, the
-#   median/mean ns per FlexibleMst::schedule decision for both the current
-#   implementation and the preserved pre-refactor baseline, so successive
-#   PRs accumulate a comparable performance trajectory.
+#   N defaults to 1. The snapshot records, per scenario point, the
+#   median/mean ns per scheduling decision (plus scalar quality metrics
+#   such as blocking probabilities), so successive PRs accumulate a
+#   comparable performance trajectory. Since BENCH_4 the snapshot merges
+#   three sources:
+#     * sched_throughput  — decision/batch/repair throughput (BENCH_1..3
+#       point names preserved),
+#     * closure_ablation  — KMB vs Mehlhorn closure latency at k up to 200
+#       terminals on metro / spine-leaf / fat-tree + blocking no-regression,
+#     * gamma_sweep       — wavelength-headroom weight vs blocking
+#       probability under spectral pressure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
 OUT="$PWD/BENCH_${N}.json"
-FLEXSCHED_BENCH_JSON="$OUT" cargo bench -p flexsched-bench --bench sched_throughput
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FLEXSCHED_BENCH_JSON="$TMP/throughput.json" \
+  cargo bench -p flexsched-bench --bench sched_throughput
+FLEXSCHED_BENCH_JSON="$TMP/closure.json" \
+  cargo bench -p flexsched-bench --bench closure_ablation
+FLEXSCHED_BENCH_JSON="$TMP/gamma.json" \
+  cargo run --release -p flexsched-bench --bin gamma_sweep
+
+jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" > "$OUT"
 echo "wrote $OUT"
