@@ -129,10 +129,26 @@ fn bench_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// `(decisions, committed)` per batch for each batch point, recorded
-/// outside the timing loop so the summary can turn batch medians into
-/// aggregate decisions/sec and committed tasks/sec.
-static BATCH_STATS: std::sync::Mutex<Vec<(String, u64, usize)>> = std::sync::Mutex::new(Vec::new());
+/// Per-batch-point counters recorded outside the timing loop (the runs
+/// are deterministic, so one un-timed run suffices): decisions, committed,
+/// round-1 speculation hits, wave hits, waves, write/write conflicts and
+/// read/write conflicts. The summary turns batch medians into aggregate
+/// decisions/sec and committed tasks/sec and reports the measured
+/// speculation hit rates per regime.
+#[derive(Clone)]
+struct BatchPoint {
+    name: String,
+    tasks: usize,
+    decisions: u64,
+    committed: usize,
+    spec_hits: u64,
+    wave_hits: u64,
+    waves: u64,
+    conflicts: u64,
+    read_conflicts: u64,
+}
+
+static BATCH_STATS: std::sync::Mutex<Vec<BatchPoint>> = std::sync::Mutex::new(Vec::new());
 
 /// A batch of `n_tasks` tasks with `locals` locals each, placed at
 /// `stride`-spaced servers; modest demand (100 ms budget) so the whole
@@ -183,12 +199,20 @@ fn bench_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("sched_throughput");
     let scheduler: Arc<dyn Scheduler> = Arc::new(FlexibleMst::paper());
 
-    // Two regimes: the paper's contended metro-15 operating point (16
-    // tasks whose trees overlap on the core, so most speculations conflict
-    // and the commit loop recomputes them), and a disjoint 6-task batch
-    // (one 2-local task per router group, fully independent footprints, so
-    // speculation commits as-is — the regime where parallel fan-out pays).
-    let regimes: [(&str, usize, usize, usize); 2] = [("metro15", 16, 15, 1), ("disjoint", 6, 2, 4)];
+    // Three regimes: the paper's contended metro-15 operating point (16
+    // tasks whose trees overlap on the core — every pair of footprints
+    // interferes, so waves are singletons and the pipeline's win is that
+    // the serial commit section never runs the scheduler inline), a
+    // *mixed* regime (3-local tasks two server-groups apart: some
+    // footprints are disjoint, so waves carry several proposals and the
+    // measured hit rate sits between the extremes), and a disjoint batch
+    // (one 2-local task per router group: one wave, 100% round-1 hits —
+    // the regime where parallel fan-out pays outright).
+    let regimes: [(&str, usize, usize, usize); 3] = [
+        ("metro15", 16, 15, 1),
+        ("mixed", 8, 3, 2),
+        ("disjoint", 6, 2, 4),
+    ];
     for (label, n_tasks, locals, stride) in regimes {
         for (mode, workers) in [("seq", 1usize), ("par", 4)] {
             let db = batch_db();
@@ -196,8 +220,8 @@ fn bench_batch(c: &mut Criterion) {
             let mut committer = Committer::new();
             let mut bs = BatchScheduler::new(workers);
             let name = format!("batch-{mode}/{label}/w{workers}");
-            // Record the per-batch decision/commit counts (deterministic,
-            // so one un-timed run suffices) for the summary.
+            // Record the per-batch wave/hit counters (deterministic, so
+            // one un-timed run suffices) for the summary + metric points.
             {
                 let report = if mode == "seq" {
                     bs.run_sequential(&db, &mut committer, &*scheduler, &batch)
@@ -206,11 +230,17 @@ fn bench_batch(c: &mut Criterion) {
                     bs.run(&db, &mut committer, &scheduler, &batch).unwrap()
                 };
                 assert!(report.blocked.is_empty(), "batch must fit the fabric");
-                BATCH_STATS.lock().unwrap().push((
-                    name.clone(),
-                    report.decisions,
-                    report.committed.len(),
-                ));
+                BATCH_STATS.lock().unwrap().push(BatchPoint {
+                    name: name.clone(),
+                    tasks: batch.len(),
+                    decisions: report.decisions,
+                    committed: report.committed.len(),
+                    spec_hits: report.speculation_hits,
+                    wave_hits: report.wave_hits,
+                    waves: report.waves,
+                    conflicts: report.conflicts,
+                    read_conflicts: report.read_conflicts,
+                });
                 bs.release_all(&db, &mut committer, &report).unwrap();
             }
             g.bench_function(name, |b| {
@@ -228,6 +258,45 @@ fn bench_batch(c: &mut Criterion) {
         }
     }
     g.finish();
+
+    // Speculation-quality metric points per parallel regime (BENCH_5's
+    // acceptance numbers): the wave hit rate — commits consuming a
+    // parallel-speculated proposal, i.e. the serial section never ran the
+    // scheduler inline — versus BENCH_2's round-1-only baseline (1/16 at
+    // metro-15), plus wave and recompute counters so the hit rate is
+    // auditable rather than inferred from one conflict aggregate.
+    for p in BATCH_STATS.lock().unwrap().iter() {
+        let Some(rest) = p.name.strip_prefix("batch-par/") else {
+            continue;
+        };
+        let committed = p.committed.max(1) as f64;
+        criterion::record_metric(
+            "batch_speculation",
+            format!("spec-hit-rate/{rest}"),
+            p.spec_hits as f64 / p.tasks as f64,
+        );
+        criterion::record_metric(
+            "batch_speculation",
+            format!("wave-hit-rate/{rest}"),
+            p.wave_hits as f64 / committed,
+        );
+        criterion::record_metric("batch_speculation", format!("waves/{rest}"), p.waves as f64);
+        criterion::record_metric(
+            "batch_speculation",
+            format!("recomputes/{rest}"),
+            (p.decisions - p.tasks as u64) as f64,
+        );
+        criterion::record_metric(
+            "batch_speculation",
+            format!("write-conflicts/{rest}"),
+            p.conflicts as f64,
+        );
+        criterion::record_metric(
+            "batch_speculation",
+            format!("read-conflicts/{rest}"),
+            p.read_conflicts as f64,
+        );
+    }
 }
 
 /// Print per-point speedup and tasks/sec once everything is measured.
@@ -275,8 +344,9 @@ fn summarize(_c: &mut Criterion) {
         }
     }
     // Batch points: decisions = speculations + recomputes (the aggregate
-    // scheduling work), committed = tasks that landed. Both are printed so
-    // the seq/par comparison is explicit about which metric moves.
+    // scheduling work), committed = tasks that landed. Both are printed —
+    // with the wave/hit counters — so the seq/par comparison is explicit
+    // about which metric moves and where the hits come from.
     let stats = BATCH_STATS.lock().unwrap();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -285,16 +355,24 @@ fn summarize(_c: &mut Criterion) {
         if !r.name.starts_with("batch-") {
             continue;
         }
-        let Some((_, decisions, committed)) = stats.iter().find(|(n, _, _)| *n == r.name) else {
+        let Some(p) = stats.iter().find(|p| p.name == r.name) else {
             continue;
         };
         let secs = r.median_ns / 1e9;
         println!(
             "{:<24} {:>10.0} decisions/s  {:>10.0} committed tasks/s  \
-             ({decisions} decisions, {committed} committed per batch, {cores} host cores)",
+             ({} decisions, {} committed, {} waves, {}/{} spec/wave hits, \
+             {}+{} ww/rw conflicts per batch, {cores} host cores)",
             r.name,
-            *decisions as f64 / secs,
-            *committed as f64 / secs,
+            p.decisions as f64 / secs,
+            p.committed as f64 / secs,
+            p.decisions,
+            p.committed,
+            p.waves,
+            p.spec_hits,
+            p.wave_hits,
+            p.conflicts,
+            p.read_conflicts,
         );
     }
 }

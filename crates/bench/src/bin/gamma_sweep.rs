@@ -52,7 +52,7 @@ fn blocking_probability(
     for task in &tasks {
         let snap = db.snapshot();
         match scheduler.propose(task, &task.local_sites, &snap, &mut scratch) {
-            Ok(p) => match committer.commit(&db, &p) {
+            Ok(p) => match committer.apply(&db, flexsched_orchestrator::Intent::admit(&p)) {
                 Ok(_) => {
                     db.store_schedule(p.schedule);
                 }

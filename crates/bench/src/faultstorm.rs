@@ -22,7 +22,7 @@
 
 use flexsched_compute::{ClusterManager, ServerSpec};
 use flexsched_optical::{softfail, OpticalState, SoftFailure};
-use flexsched_orchestrator::{Committer, Database, OrchError};
+use flexsched_orchestrator::{Committer, Database, Intent, OrchError};
 use flexsched_sched::{
     reschedule, FlexibleMst, NetworkSnapshot, Proposal, ReschedulePolicy, Scheduler,
 };
@@ -247,6 +247,12 @@ pub struct World {
     /// The drift sweep in `tests/repair_differential.rs` exercises the
     /// knob at long horizons.
     resolve_after: Option<u32>,
+    /// Weight-drift trigger for [`Mode::Repair`]: force a full re-solve
+    /// when the repaired broadcast tree costs more than this ratio times a
+    /// Mehlhorn shadow-solve's fresh estimate
+    /// (`ReschedulePolicy::resolve_on_cost_ratio`). `None` = repairs are
+    /// never cost-checked.
+    resolve_ratio: Option<f64>,
     /// Snapshot the full state around every strict migration so rejections
     /// can be verified bit-identical. Debug-formatting both layers is far
     /// too slow for throughput runs, so only the differential harness
@@ -304,6 +310,7 @@ impl World {
             running: BTreeSet::new(),
             dropped: BTreeSet::new(),
             resolve_after: None,
+            resolve_ratio: None,
             verify_rejections: false,
             decisions: 0,
             repairs: 0,
@@ -334,6 +341,14 @@ impl World {
     /// `ReschedulePolicy::resolve_after_repairs`).
     pub fn with_resolve_after(mut self, n: Option<u32>) -> Self {
         self.resolve_after = n;
+        self
+    }
+
+    /// Set the weight-drift trigger: force a full re-solve when the
+    /// repaired tree's cost exceeds the Mehlhorn shadow-solve estimate by
+    /// this ratio (see `ReschedulePolicy::resolve_on_cost_ratio`).
+    pub fn with_resolve_ratio(mut self, ratio: Option<f64>) -> Self {
+        self.resolve_ratio = ratio;
         self
     }
 
@@ -382,7 +397,7 @@ impl World {
                     return false;
                 }
             };
-        match self.committer.commit(&self.db, &proposal) {
+        match self.committer.apply(&self.db, Intent::admit(&proposal)) {
             Ok(receipt) => {
                 self.db.store_schedule(proposal.schedule);
                 self.groomed.insert(id, receipt.groomed);
@@ -447,7 +462,11 @@ impl World {
     ) {
         match candidate {
             Ok(p) => {
-                if self.committer.migrate(&self.db, schedule, &p).is_ok() {
+                if self
+                    .committer
+                    .apply(&self.db, Intent::migrate(schedule, &p))
+                    .is_ok()
+                {
                     self.db.store_schedule(p.schedule);
                     self.resolves += 1;
                     report.resolved += 1;
@@ -495,7 +514,7 @@ impl World {
             Ok(reschedule::RescheduleVerdict::Migrate { new_proposal, .. }) => {
                 if self
                     .committer
-                    .migrate(&self.db, &schedule, &new_proposal)
+                    .apply(&self.db, Intent::migrate(&schedule, &new_proposal))
                     .is_ok()
                 {
                     self.db.store_schedule(new_proposal.schedule);
@@ -587,8 +606,9 @@ impl World {
     /// strict commits with one recompute on rejection, full re-solve as the
     /// last resort.
     fn repair_pass(&mut self, affected: &[TaskId], report: &mut StepReport) {
+        type Speculated = Option<(Proposal, flexsched_sched::ClaimsDelta)>;
         let snap = Arc::new(self.db.snapshot());
-        let mut speculated: Vec<(TaskId, flexsched_sched::Schedule, Option<Proposal>)> = Vec::new();
+        let mut speculated: Vec<(TaskId, flexsched_sched::Schedule, Speculated)> = Vec::new();
         for &id in affected {
             let Some(schedule) = self.db.schedule(id) else {
                 continue;
@@ -616,7 +636,26 @@ impl World {
                 .scheduler
                 .propose_repair(task, &schedule, &snap, &mut self.scratch)
             {
-                Ok(Some(rp)) => speculated.push((id, schedule, Some(rp.proposal))),
+                Ok(Some(rp)) => {
+                    // Weight-drift trigger — the exact production rule
+                    // (`reschedule::repair_cost_drifted`), so the harness
+                    // sweep pins the policy the testbed actually runs:
+                    // measurable drift routes the task to full re-solve.
+                    if reschedule::repair_cost_drifted(
+                        self.resolve_ratio,
+                        &self.scheduler,
+                        task,
+                        &schedule,
+                        &rp,
+                        &snap,
+                        &mut self.scratch,
+                    ) {
+                        self.db.reset_repairs(id);
+                        speculated.push((id, schedule, None));
+                        continue;
+                    }
+                    speculated.push((id, schedule, Some((rp.proposal, rp.delta))));
+                }
                 Ok(None) => {} // structurally intact: nothing to do
                 Err(flexsched_sched::SchedError::Unreachable { .. }) => {
                     // An orphan with no finite-weight attachment path is
@@ -636,9 +675,12 @@ impl World {
             let mut retried = false;
             loop {
                 match attempt.take() {
-                    Some(p) => {
+                    Some((p, delta)) => {
                         let before = self.verify_rejections.then(|| self.world_fmt());
-                        match self.committer.migrate_if_current(&self.db, &schedule, &p) {
+                        match self
+                            .committer
+                            .apply(&self.db, Intent::repair(&schedule, &p, &delta))
+                        {
                             Ok(_) => {
                                 self.db.store_schedule(p.schedule);
                                 self.repairs += 1;
@@ -666,7 +708,7 @@ impl World {
                                     .propose_repair(task, &schedule, &fresh, &mut self.scratch)
                                     .ok()
                                     .flatten()
-                                    .map(|rp| rp.proposal);
+                                    .map(|rp| (rp.proposal, rp.delta));
                                 if attempt.is_none() {
                                     self.full_resolve(id, report);
                                     break;

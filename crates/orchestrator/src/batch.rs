@@ -1,42 +1,55 @@
-//! Parallel batch scheduling: speculate in parallel, commit in order.
+//! Parallel batch scheduling: speculate in parallel, commit in
+//! footprint-disjoint waves.
 //!
-//! The [`BatchScheduler`] is the ROADMAP's "shard arriving tasks across
-//! worker threads" item, built directly on the snapshot → propose → commit
-//! pipeline:
+//! The [`BatchScheduler`] is built directly on the snapshot → propose →
+//! commit pipeline, organised as rounds of a **wave pipeline**:
 //!
-//! 1. **Snapshot once.** One consistent [`NetworkSnapshot`] is frozen from
-//!    the database.
+//! 1. **Snapshot.** One consistent [`NetworkSnapshot`] is frozen from the
+//!    database.
 //! 2. **Speculate in parallel.** Worker threads — each with its own
-//!    [`ScratchPool`] — pull tasks off a shared queue and propose schedules
-//!    against the shared snapshot, fanning results back over a crossbeam
-//!    channel. Nothing mutates.
-//! 3. **Commit serially, in arrival order.** Each speculated proposal goes
-//!    through [`Committer::commit_if_current`]: if every claimed link is
-//!    untouched since the snapshot it commits as-is; if an earlier commit
-//!    moved any claimed stamp, the task is **re-proposed against fresh
-//!    state and committed immediately** (bounded retries), exactly as a
-//!    sequential scheduler would have decided it.
+//!    [`ScratchPool`] — pull the still-pending tasks off a shared queue
+//!    and propose schedules against the shared snapshot, fanning results
+//!    back over a crossbeam channel. Nothing mutates.
+//! 3. **Commit one wave.** Walking the pending tasks in arrival order,
+//!    each speculated proposal whose [`flexsched_sched::Footprint`] —
+//!    write claims *plus recorded read region* — is pairwise disjoint
+//!    (write/write and write/read) from everything already in the wave
+//!    commits immediately through the strict
+//!    [`Intent::admit_speculated`](crate::Intent::admit_speculated) gate.
+//!    Disjointness makes intra-wave invalidation impossible, so the whole
+//!    wave commits back-to-back with **no recomputes in the serial
+//!    section**. Interfering proposals are deferred, not recomputed
+//!    inline.
+//! 4. **Next round.** The deferred remainder — the genuinely interfering
+//!    tasks — re-speculates in parallel against a fresh snapshot and forms
+//!    the next wave, until nothing is pending.
 //!
-//! Because speculation is read-only against one immutable snapshot and the
-//! commit loop is serial in arrival order with conflict-forced recompute,
-//! the batch outcome is deterministic and independent of thread timing.
+//! Because speculation is read-only against immutable snapshots, the wave
+//! partition is a pure function of the speculated footprints, and commits
+//! walk arrival order within each round, the batch outcome is
+//! deterministic and independent of thread timing and worker count.
 //!
 //! ## Equivalence contract
 //!
-//! Tasks that conflict are recomputed against live state, so their
-//! schedules are *by construction* what sequential scheduling would have
-//! produced. Tasks whose speculated claims survive the stamp check commit
-//! as speculated; for those, equivalence to the sequential baseline
-//! ([`BatchScheduler::run_sequential`]) rests on the claimed-footprint
-//! conflict rule: a decision's auxiliary weights read links beyond its
-//! final claim footprint, so a commit that touches only non-claimed links
-//! could in principle have steered a fresh decision differently. The
-//! commit-semantics proptests pin batch ≡ sequential (claim-sets and
-//! blocked sets) across contended and disjoint scenarios; callers that
-//! need the sequential decision bit-for-bit regardless of footprint
-//! overlap should use [`BatchScheduler::run_sequential`] directly.
+//! The committed outcome is bit-identical to running
+//! [`BatchScheduler::run_sequential`] over the same tasks in the batch's
+//! [`BatchReport::decision_order`] — i.e. wave ordering is a
+//! *serialisation*: there provably exists a serial schedule (the one the
+//! waves actually committed) with the identical claim-sets and blocked
+//! set. The proof obligation per committed proposal is discharged by the
+//! footprint: a wave member's read ∪ write region is untouched by every
+//! commit sequenced before it, and the scheduler is a deterministic pure
+//! function of the state it consults, so a fresh decision at its slot
+//! would replay bit-identically (recorded read regions make this sound —
+//! the old claimed-links-only rule could not see a commit steering a
+//! decision through a non-claimed link). Under total contention (every
+//! pair of footprints interferes, e.g. metro-15's 16 overlapping tasks)
+//! waves degenerate to singletons and `decision_order` equals arrival
+//! order, so the outcome also matches the arrival-order baseline. The
+//! commit-semantics proptests pin both properties across
+//! metro/spine-leaf/fat-tree contention levels.
 
-use crate::commit::{CommitReceipt, Committer};
+use crate::commit::{CommitReceipt, Committer, Intent};
 use crate::database::Database;
 use crate::{OrchError, Result};
 use crossbeam::channel::{Receiver, Sender};
@@ -122,17 +135,44 @@ impl Drop for WorkerPool {
 /// Outcome of one batch run.
 #[derive(Debug, Default)]
 pub struct BatchReport {
-    /// Receipts for every committed task, in arrival order.
+    /// Receipts for every committed task, in commit order (the wave
+    /// order; equal to arrival order under total contention or none).
     pub committed: Vec<CommitReceipt>,
-    /// Tasks that could not be scheduled within the retry bound.
+    /// Tasks that could not be scheduled.
     pub blocked: Vec<TaskId>,
-    /// Scheduling decisions performed: parallel speculations plus serial
-    /// recomputes (the aggregate-decisions/sec numerator in the benches).
+    /// Scheduling decisions performed: every `propose` call across all
+    /// speculation rounds (the aggregate-decisions/sec numerator in the
+    /// benches). `decisions − batch size` is the recompute count.
     pub decisions: u64,
-    /// Speculated proposals that committed unchanged — the parallel win.
+    /// Proposals from the batch's **first** speculation round that
+    /// committed unchanged — the strictest hit notion, directly comparable
+    /// to the pre-wave pipeline's counter.
     pub speculation_hits: u64,
-    /// Commit rejections that forced a recompute.
+    /// Proposals committed exactly as their round's parallel speculation
+    /// produced them — every wave commit. With wave ordering the serial
+    /// commit section never runs the scheduler inline, so this equals
+    /// `committed.len()` unless an external writer races the batch;
+    /// the interesting comparison is against the pre-wave pipeline, where
+    /// conflicting tasks were recomputed *inside* the serial commit loop
+    /// (metro-15: 15 of 16).
+    pub wave_hits: u64,
+    /// Waves committed (rounds that landed at least one proposal).
+    pub waves: u64,
+    /// Write/write interference: wave deferrals because a pending
+    /// proposal's claims overlapped claims already committed in the wave,
+    /// plus any commit-time strict rejections (external writers).
     pub conflicts: u64,
+    /// Read/write interference: wave deferrals where the *only* overlap
+    /// involved a read region — the conflicts the claimed-links-only rule
+    /// could not see. Separating these from `conflicts` is what lets the
+    /// benches and testbed report honest hit rates instead of inferring
+    /// them from one aggregate counter.
+    pub read_conflicts: u64,
+    /// Every task in the order it was *decided* (committed or blocked) —
+    /// the serialisation witness: running
+    /// [`BatchScheduler::run_sequential`] over the batch reordered this
+    /// way reproduces the wave outcome bit-for-bit (pinned by proptest).
+    pub decision_order: Vec<TaskId>,
 }
 
 /// Fans task batches across a *persistent* pool of scheduler worker
@@ -184,43 +224,31 @@ impl BatchScheduler {
             .with_k_paths(self.k_paths)
     }
 
-    /// Schedule `batch` with parallel speculation (on the persistent worker
-    /// pool) and serial in-order commit. Committed schedules are stored
-    /// into the database; the receipts in the report release them.
-    pub fn run(
+    /// One parallel speculation round: propose every entry against the
+    /// shared frozen snapshot. A single worker speculates inline — same
+    /// semantics (the snapshot is frozen either way), none of the channel
+    /// overhead.
+    fn speculate(
         &mut self,
-        db: &Database,
-        committer: &mut Committer,
         scheduler: &Arc<dyn Scheduler>,
-        batch: &[BatchEntry],
-    ) -> Result<BatchReport> {
-        let mut report = BatchReport::default();
-        if batch.is_empty() {
-            return Ok(report);
-        }
-
-        // Stage 1+2: one shared snapshot, parallel speculation. A single
-        // worker speculates inline — same semantics (the snapshot is frozen
-        // either way), none of the channel overhead.
-        let snap = Arc::new(self.snapshot(db));
-        let mut speculated: Vec<Option<flexsched_sched::Result<Proposal>>>;
+        entries: &[BatchEntry],
+        snap: &Arc<NetworkSnapshot>,
+    ) -> Vec<flexsched_sched::Result<Proposal>> {
         match &self.pool {
-            None => {
-                speculated = batch
-                    .iter()
-                    .map(|(task, selected)| {
-                        Some(scheduler.propose(task, selected, &snap, &mut self.commit_pool))
-                    })
-                    .collect();
-            }
+            None => entries
+                .iter()
+                .map(|(task, selected)| {
+                    scheduler.propose(task, selected, snap, &mut self.commit_pool)
+                })
+                .collect(),
             Some(pool) => {
                 let (tx, rx) = crossbeam::channel::bounded::<(
                     usize,
                     flexsched_sched::Result<Proposal>,
-                )>(batch.len());
+                )>(entries.len());
                 let job = Arc::new(RunJob {
-                    entries: batch.to_vec(),
-                    snap: Arc::clone(&snap),
+                    entries: entries.to_vec(),
+                    snap: Arc::clone(snap),
                     scheduler: Arc::clone(scheduler),
                     next: AtomicUsize::new(0),
                     results: tx,
@@ -232,78 +260,166 @@ impl BatchScheduler {
                     );
                 }
                 drop(job);
-                speculated = (0..batch.len()).map(|_| None).collect();
-                for _ in 0..batch.len() {
+                let mut speculated: Vec<Option<flexsched_sched::Result<Proposal>>> =
+                    (0..entries.len()).map(|_| None).collect();
+                for _ in 0..entries.len() {
                     let (i, outcome) = rx
                         .recv()
                         .expect("workers deliver one outcome per batch entry");
                     speculated[i] = Some(outcome);
                 }
+                speculated
+                    .into_iter()
+                    .map(|o| o.expect("every slot filled"))
+                    .collect()
             }
         }
-        report.decisions += batch.len() as u64;
+    }
 
-        // Stage 3: serial commit in arrival order, recompute on conflict.
-        for (i, (task, selected)) in batch.iter().enumerate() {
-            let mut attempt = speculated[i].take().expect("worker produced an outcome");
-            let mut speculative = true;
-            let mut retries = 0u32;
-            loop {
-                match attempt {
-                    Ok(proposal) => match committer.commit_if_current(db, &proposal) {
-                        Ok(receipt) => {
-                            db.store_schedule(proposal.schedule);
-                            if speculative {
-                                report.speculation_hits += 1;
+    /// Schedule `batch` through the wave pipeline: rounds of (snapshot →
+    /// parallel speculation of the pending tasks → one footprint-disjoint
+    /// wave committed back-to-back), until every task is committed or
+    /// blocked. Committed schedules are stored into the database; the
+    /// receipts in the report release them. See the module docs for the
+    /// equivalence contract.
+    pub fn run(
+        &mut self,
+        db: &Database,
+        committer: &mut Committer,
+        scheduler: &Arc<dyn Scheduler>,
+        batch: &[BatchEntry],
+    ) -> Result<BatchReport> {
+        let mut report = BatchReport::default();
+        if batch.is_empty() {
+            return Ok(report);
+        }
+        let link_count = db.read(|net, _, _| net.topo().link_count());
+        // Dense per-link marks for the wave partition: a link is in the
+        // current wave's write (read) set iff its mark equals the round's
+        // epoch — O(|footprint|) per proposal, no clearing between rounds.
+        let mut write_mark = vec![0u32; link_count];
+        let mut read_mark = vec![0u32; link_count];
+        // Strict-gate rejections per task: only external writers racing
+        // the batch can cause these (the wave partition rules out
+        // intra-batch invalidation), so they are bounded like the old
+        // recompute retries.
+        let mut rejections = vec![0u32; batch.len()];
+
+        let mut pending: Vec<usize> = (0..batch.len()).collect();
+        let mut round = 0u32;
+        while !pending.is_empty() {
+            round += 1;
+            let epoch = round;
+            let snap = Arc::new(self.snapshot(db));
+            let entries: Vec<BatchEntry> = pending.iter().map(|i| batch[*i].clone()).collect();
+            let speculated = self.speculate(scheduler, &entries, &snap);
+            report.decisions += entries.len() as u64;
+
+            let mut committed_this_round = 0u64;
+            let mut next_pending: Vec<usize> = Vec::new();
+            for (idx, outcome) in pending.iter().copied().zip(speculated) {
+                let task = &batch[idx].0;
+                match outcome {
+                    Ok(proposal) => {
+                        // Wave membership: pairwise disjoint from every
+                        // proposal already committed in this wave —
+                        // write/write AND write/read in BOTH directions
+                        // (`Footprint::interference` over dense epoch
+                        // marks). The writes-into-committed-reads half is
+                        // not needed for in-order commit validity (an
+                        // already-committed reader cannot be invalidated
+                        // retroactively) — it is kept deliberately so a
+                        // wave is order-free: any permutation of its
+                        // members serialises identically, the invariant
+                        // the pairwise-disjoint contract documents. The
+                        // cost is at most one extra deferral round for
+                        // asymmetric read/write pairs.
+                        let fp = proposal.footprint();
+                        let ww = fp.writes.iter().any(|l| write_mark[l.index()] == epoch);
+                        let rw = fp.writes.iter().any(|l| read_mark[l.index()] == epoch)
+                            || fp.reads.iter().any(|l| write_mark[l.index()] == epoch);
+                        if ww || rw {
+                            // Genuinely interfering: defer to the next
+                            // round's recompute instead of recomputing
+                            // inline in the serial section.
+                            if ww {
+                                report.conflicts += 1;
+                            } else {
+                                report.read_conflicts += 1;
                             }
-                            report.committed.push(receipt);
-                            break;
+                            next_pending.push(idx);
+                            continue;
                         }
-                        Err(OrchError::Rejected(_)) => {
-                            report.conflicts += 1;
-                            if retries >= self.max_retries {
-                                report.blocked.push(task.id);
-                                break;
+                        match committer.apply(db, Intent::admit_speculated(&proposal)) {
+                            Ok(receipt) => {
+                                db.store_schedule(proposal.schedule);
+                                if round == 1 {
+                                    report.speculation_hits += 1;
+                                }
+                                report.wave_hits += 1;
+                                committed_this_round += 1;
+                                for l in &fp.writes {
+                                    write_mark[l.index()] = epoch;
+                                }
+                                for l in &fp.reads {
+                                    read_mark[l.index()] = epoch;
+                                }
+                                report.decision_order.push(task.id);
+                                report.committed.push(receipt);
                             }
-                            retries += 1;
-                            speculative = false;
-                            let fresh = self.snapshot(db);
-                            attempt =
-                                scheduler.propose(task, selected, &fresh, &mut self.commit_pool);
-                            report.decisions += 1;
+                            Err(OrchError::Rejected(_)) => {
+                                // Impossible from within the batch (the
+                                // wave is disjoint from everything
+                                // committed since the snapshot); an
+                                // external writer raced us. Defer and
+                                // re-speculate, boundedly.
+                                report.conflicts += 1;
+                                rejections[idx] += 1;
+                                if rejections[idx] > self.max_retries {
+                                    report.decision_order.push(task.id);
+                                    report.blocked.push(task.id);
+                                } else {
+                                    next_pending.push(idx);
+                                }
+                            }
+                            Err(e) => return Err(e),
                         }
-                        Err(e) => return Err(e),
-                    },
+                    }
                     Err(
                         SchedError::Blocked { .. }
                         | SchedError::Unreachable { .. }
                         | SchedError::NothingSelected(_),
                     ) => {
-                        // A speculated failure may be an artifact of the
-                        // stale snapshot; decide it the way the sequential
-                        // scheduler would — against current state.
-                        let moved = db.read(|net, _, _| net.version()) != snap.version();
-                        if speculative && moved && retries < self.max_retries {
-                            retries += 1;
-                            speculative = false;
-                            let fresh = self.snapshot(db);
-                            attempt =
-                                scheduler.propose(task, selected, &fresh, &mut self.commit_pool);
-                            report.decisions += 1;
-                        } else {
+                        if committed_this_round == 0 {
+                            // Nothing has moved since this round's
+                            // snapshot, so the failed speculation IS the
+                            // fresh sequential decision at this slot:
+                            // the task is genuinely blocked.
+                            report.decision_order.push(task.id);
                             report.blocked.push(task.id);
-                            break;
+                        } else {
+                            // The wave's earlier commits may have caused
+                            // (or may cure) the failure; decide against
+                            // fresh state next round.
+                            next_pending.push(idx);
                         }
                     }
                     Err(e) => return Err(e.into()),
                 }
             }
+            if committed_this_round > 0 {
+                report.waves += 1;
+            }
+            pending = next_pending;
         }
         Ok(report)
     }
 
-    /// The sequential baseline the parallel path is pinned against: for
-    /// each task in arrival order, snapshot live state, propose, commit.
+    /// The sequential baseline the wave pipeline is pinned against: for
+    /// each task in the given order, snapshot live state, propose, commit.
+    /// Feeding it a batch reordered by a wave run's
+    /// [`BatchReport::decision_order`] must reproduce that run's outcome
+    /// bit-for-bit (the serialisation contract; pinned by proptest).
     pub fn run_sequential(
         &mut self,
         db: &Database,
@@ -315,8 +431,9 @@ impl BatchScheduler {
         for (task, selected) in batch {
             let snap = self.snapshot(db);
             report.decisions += 1;
+            report.decision_order.push(task.id);
             match scheduler.propose(task, selected, &snap, &mut self.commit_pool) {
-                Ok(proposal) => match committer.commit(db, &proposal) {
+                Ok(proposal) => match committer.apply(db, Intent::admit(&proposal)) {
                     Ok(receipt) => {
                         db.store_schedule(proposal.schedule);
                         report.committed.push(receipt);
@@ -427,8 +544,31 @@ mod tests {
         bs.release_all(&db, &mut committer, &report).unwrap();
     }
 
+    fn claims(
+        db: &Database,
+        r: &BatchReport,
+    ) -> Vec<(TaskId, Vec<(flexsched_simnet::DirLink, u64)>)> {
+        r.committed
+            .iter()
+            .map(|rc| {
+                let s = db.schedule(rc.task).unwrap();
+                let mut res: Vec<(flexsched_simnet::DirLink, u64)> = s
+                    .reservations(db.read(|n, _, _| n.topo_arc()).as_ref())
+                    .unwrap()
+                    .into_iter()
+                    .map(|(dl, rate)| (dl, rate.to_bits()))
+                    .collect();
+                res.sort();
+                (rc.task, res)
+            })
+            .collect()
+    }
+
     #[test]
-    fn parallel_outcome_matches_sequential_baseline() {
+    fn wave_outcome_matches_sequential_in_decision_order() {
+        // The serialisation contract: replaying the batch sequentially in
+        // the wave run's decision order reproduces the wave outcome
+        // bit-for-bit — committed claim-sets and blocked set.
         let batch_db = db();
         let seq_db = db();
         let batch = mk_batch(&batch_db, 8, 4);
@@ -437,28 +577,96 @@ mod tests {
         let mut c1 = Committer::new();
         let mut c2 = Committer::new();
         let par = bs.run(&batch_db, &mut c1, &flex(), &batch).unwrap();
+        assert_eq!(par.decision_order.len(), batch.len());
+        let reordered: Vec<BatchEntry> = par
+            .decision_order
+            .iter()
+            .map(|id| {
+                batch
+                    .iter()
+                    .find(|(t, _)| t.id == *id)
+                    .expect("decision order names batch tasks")
+                    .clone()
+            })
+            .collect();
         let ser = seq
-            .run_sequential(&seq_db, &mut c2, &FlexibleMst::paper(), &batch)
+            .run_sequential(&seq_db, &mut c2, &FlexibleMst::paper(), &reordered)
             .unwrap();
         assert_eq!(par.blocked, ser.blocked);
-        let claims = |db: &Database, r: &BatchReport| {
-            r.committed
-                .iter()
-                .map(|rc| {
-                    let s = db.schedule(rc.task).unwrap();
-                    let mut res = s
-                        .reservations(db.read(|n, _, _| n.topo_arc()).as_ref())
-                        .unwrap();
-                    res.sort_by_key(|r| r.0);
-                    (rc.task, res)
-                })
-                .collect::<Vec<_>>()
-        };
         assert_eq!(claims(&batch_db, &par), claims(&seq_db, &ser));
         assert!(
             (batch_db.total_reserved_gbps() - seq_db.total_reserved_gbps()).abs() < 1e-9,
             "reserved totals diverged"
         );
+    }
+
+    #[test]
+    fn disjoint_batch_commits_in_one_wave() {
+        // Three 1-local tasks in separate router groups: pairwise disjoint
+        // write AND read footprints, so the whole batch is one wave of
+        // round-1 speculation hits with zero recomputes.
+        let db = db();
+        let servers = db.read(|net, _, _| net.topo().servers());
+        let spread = servers.len() / 3;
+        let batch: Vec<BatchEntry> = (0..3)
+            .map(|i| {
+                let g = servers[i * spread];
+                let sel = vec![servers[i * spread + 1]];
+                let task = AiTask {
+                    id: TaskId(i as u64),
+                    model: ModelProfile::lenet(),
+                    global_site: g,
+                    local_sites: sel.clone(),
+                    data_utility: Default::default(),
+                    iterations: 1,
+                    comm_budget_ms: 100.0,
+                    arrival_ns: i as u64,
+                };
+                (task, sel)
+            })
+            .collect();
+        let mut committer = Committer::new();
+        let mut bs = BatchScheduler::new(2);
+        let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
+        assert_eq!(report.committed.len(), 3);
+        if report.conflicts == 0 && report.read_conflicts == 0 {
+            assert_eq!(report.waves, 1, "disjoint batch must be one wave");
+            assert_eq!(report.speculation_hits, 3);
+            assert_eq!(report.decisions, 3, "no recomputes");
+        }
+        assert_eq!(report.wave_hits, report.committed.len() as u64);
+        bs.release_all(&db, &mut committer, &report).unwrap();
+    }
+
+    #[test]
+    fn contended_batch_degenerates_to_arrival_order() {
+        // Total contention (every pair of footprints interferes): waves
+        // become singletons and the decision order equals arrival order —
+        // the wave pipeline's outcome then matches the arrival-order
+        // sequential baseline exactly.
+        let batch_db = db();
+        let seq_db = db();
+        let batch = mk_batch(&batch_db, 6, 8); // 8 locals: heavy overlap
+        let mut bs = BatchScheduler::new(3);
+        let mut seq = BatchScheduler::new(1);
+        let mut c1 = Committer::new();
+        let mut c2 = Committer::new();
+        let par = bs.run(&batch_db, &mut c1, &flex(), &batch).unwrap();
+        let arrival: Vec<TaskId> = batch.iter().map(|(t, _)| t.id).collect();
+        if par.decision_order == arrival {
+            let ser = seq
+                .run_sequential(&seq_db, &mut c2, &FlexibleMst::paper(), &batch)
+                .unwrap();
+            assert_eq!(par.blocked, ser.blocked);
+            assert_eq!(claims(&batch_db, &par), claims(&seq_db, &ser));
+        }
+        // Interference was classified, not silently lumped together.
+        assert!(
+            par.conflicts + par.read_conflicts > 0,
+            "8-local metro tasks must interfere"
+        );
+        assert_eq!(par.wave_hits, par.committed.len() as u64);
+        assert!(par.waves >= 2, "contention forces multiple waves");
     }
 
     #[test]

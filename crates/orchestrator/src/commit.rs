@@ -1,24 +1,39 @@
-//! The commit stage: claims in, reservations out — or a typed conflict.
+//! The commit stage: typed intents in, reservations out — or a typed
+//! conflict.
 //!
-//! The [`Committer`] is the single gate through which proposals become
-//! state. It validates a [`Proposal`]'s [`flexsched_sched::ResourceClaims`]
-//! against the *live* database under one write lock and applies the schedule
-//! atomically: flow rules through the SDN controller, wavelengths through
-//! the grooming manager. A proposal whose claims no longer hold — another
-//! commit took the capacity, lit the wavelength, or simply moved the link's
-//! mutation stamp — is rejected with a typed [`Conflict`] and the state is
-//! left bit-identical, so the caller can re-speculate against a fresh
-//! snapshot and retry.
+//! The [`Committer`] is the single gate through which decisions become
+//! state, and [`Committer::apply`] is its single entry point: every
+//! mutation arrives as a typed [`Intent`] —
 //!
-//! This replaces the previously scattered mutation paths (`Schedule::apply`
-//! at call sites, direct SDN installs, ad-hoc grooming): schedulers are
-//! pure, and every reservation is reconciled here.
+//! * [`Intent::Admit`] — install a fresh [`Proposal`] (fit-checked, or
+//!   stamp-checked over its **whole footprint** — write claims *and* read
+//!   region — when speculated, [`Validation::Current`]),
+//! * [`Intent::Migrate`] — atomically swap a running schedule for a
+//!   replacement, the old reservations credited during validation,
+//! * [`Intent::Repair`] — install an incremental repair: validation
+//!   credits the old schedule like a migration, but the strict stamp check
+//!   covers only the repair's **interference footprint** — its
+//!   [`flexsched_sched::ClaimsDelta`] (the links whose rates actually
+//!   change) plus its frontier-local read region — rather than the whole
+//!   tree, so an unrelated commit brushing an unchanged tree link no
+//!   longer forces a spurious recompute.
+//!
+//! Validation happens against the *live* database under one write lock; a
+//! claim that no longer holds — another commit took the capacity, lit the
+//! wavelength, moved a claimed stamp, or ([`Conflict::StaleRead`]) touched
+//! a link the decision merely *read* — rejects the intent with a typed
+//! [`Conflict`] and leaves the state bit-identical, so the caller can
+//! re-speculate against a fresh snapshot and retry.
+//!
+//! The PR 2 `commit`/`commit_if_current`/`migrate`/`migrate_if_current`
+//! quartet survives as thin deprecated shims over [`Committer::apply`] for
+//! one release; see the README's migration notes.
 
 use crate::database::Database;
 use crate::sdn::SdnController;
 use crate::Result;
 use flexsched_optical::{GroomingManager, OpticalState, WavelengthPolicy};
-use flexsched_sched::{Proposal, Schedule};
+use flexsched_sched::{ClaimsDelta, Proposal, Schedule};
 use flexsched_simnet::NetworkState;
 use flexsched_task::TaskId;
 use flexsched_topo::{LinkId, NodeId, Path};
@@ -69,6 +84,15 @@ pub enum Conflict {
         /// The node that is not a known server.
         node: NodeId,
     },
+    /// A link in the decision's **read region** moved since the snapshot
+    /// (strict mode only): the decision consulted this link's weights or
+    /// spectrum state without claiming it, and a later commit changed it —
+    /// so a fresh decision could have been steered differently. This is
+    /// the typed closure of the PR 3 read-footprint gap witness.
+    StaleRead {
+        /// The consulted link whose stamp moved.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for Conflict {
@@ -100,6 +124,9 @@ impl fmt::Display for Conflict {
             Conflict::MissingServer { node } => {
                 write!(f, "claimed server slot on unknown server {node}")
             }
+            Conflict::StaleRead { link } => {
+                write!(f, "read-region link {link} moved since the snapshot")
+            }
         }
     }
 }
@@ -113,12 +140,12 @@ pub struct CommitReceipt {
     pub groomed: Vec<u64>,
 }
 
-/// Serial reconciler of proposals onto live state.
+/// Serial reconciler of intents onto live state.
 ///
 /// Owns the SDN controller (flow rules) and the grooming manager
 /// (wavelengths), so every mutation of the shared database's network and
-/// optical state funnels through [`commit`](Committer::commit) /
-/// [`release`](Committer::release) / [`migrate`](Committer::migrate).
+/// optical state funnels through [`apply`](Committer::apply) /
+/// [`release`](Committer::release).
 #[derive(Debug, Default)]
 pub struct Committer {
     sdn: SdnController,
@@ -127,16 +154,111 @@ pub struct Committer {
     rejections: u64,
 }
 
-/// How strictly claim versions are checked at commit time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Strictness {
-    /// Claims must *fit* live state (capacity, wavelengths, servers).
+/// How strictly an intent's footprint versions are checked at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Validation {
+    /// Claims must *fit* live state (capacity, wavelengths, servers) — the
+    /// mode for decisions made against state the caller knows is current.
+    #[default]
     Fit,
-    /// Claims must fit **and** every claimed link's mutation stamp must be
-    /// unchanged since the proposal's snapshot — the mode the parallel
-    /// batch scheduler uses to keep speculation equivalent to sequential
-    /// scheduling.
+    /// Claims must fit **and** every stamp in the decision's footprint —
+    /// claimed links *and* read-region links — must be unchanged since the
+    /// proposal's snapshot. This is the speculation gate: a passing
+    /// proposal is provably what a fresh decision against live state would
+    /// have produced (the deterministic scheduler consults state only
+    /// through its recorded footprint), which is what lets the batch
+    /// scheduler's wave ordering commit whole waves with no recomputes.
     Current,
+}
+
+/// A typed commit intent: everything [`Committer::apply`] can do. The
+/// constructors encode the validation conventions each pipeline uses, so
+/// call sites say *what* they are committing rather than *which stamp rule*
+/// to run.
+#[derive(Debug, Clone, Copy)]
+pub enum Intent<'a> {
+    /// Install a fresh proposal for an unscheduled task.
+    Admit {
+        /// The proposal to install.
+        proposal: &'a Proposal,
+        /// Stamp discipline (strict for speculated proposals).
+        validation: Validation,
+    },
+    /// Atomically replace a running schedule with a full re-solve. The old
+    /// schedule's reservations are credited during validation, so a swap
+    /// that only rearranges the task's own capacity validates cleanly.
+    Migrate {
+        /// The installed schedule being replaced.
+        old: &'a Schedule,
+        /// The replacement proposal.
+        proposal: &'a Proposal,
+        /// Stamp discipline (strict for speculated replacements, over the
+        /// proposal's whole footprint).
+        validation: Validation,
+    },
+    /// Install an incremental repair. Always strict, but the stamp check
+    /// covers the repair's *interference footprint* — the claims delta
+    /// plus the recorded read region — instead of every claimed link: the
+    /// unchanged bulk of the tree is the task's own standing reservation,
+    /// and foreign traffic brushing it cannot have steered the graft.
+    Repair {
+        /// The installed schedule being repaired.
+        old: &'a Schedule,
+        /// The repaired replacement proposal (claims stamped against the
+        /// live snapshot the repair speculated on).
+        proposal: &'a Proposal,
+        /// The proof of incrementality: exactly which directed-link rates
+        /// change. Its touched links are the write half of the stamp scope.
+        delta: &'a ClaimsDelta,
+    },
+}
+
+impl<'a> Intent<'a> {
+    /// Fit-checked admission (decision made against current state).
+    pub fn admit(proposal: &'a Proposal) -> Self {
+        Intent::Admit {
+            proposal,
+            validation: Validation::Fit,
+        }
+    }
+
+    /// Strictly validated admission of a *speculated* proposal: any moved
+    /// stamp in the proposal's write or read footprint rejects it.
+    pub fn admit_speculated(proposal: &'a Proposal) -> Self {
+        Intent::Admit {
+            proposal,
+            validation: Validation::Current,
+        }
+    }
+
+    /// Fit-checked migration (full re-solve rescheduling path).
+    pub fn migrate(old: &'a Schedule, proposal: &'a Proposal) -> Self {
+        Intent::Migrate {
+            old,
+            proposal,
+            validation: Validation::Fit,
+        }
+    }
+
+    /// Strictly validated migration of a speculated replacement (whole
+    /// footprint stamped — claimed links and read region).
+    pub fn migrate_speculated(old: &'a Schedule, proposal: &'a Proposal) -> Self {
+        Intent::Migrate {
+            old,
+            proposal,
+            validation: Validation::Current,
+        }
+    }
+
+    /// Strictly validated incremental repair, stamp-scoped to
+    /// `delta` ∪ read region.
+    pub fn repair(old: &'a Schedule, proposal: &'a Proposal, delta: &'a ClaimsDelta) -> Self {
+        Intent::Repair {
+            old,
+            proposal,
+            delta,
+        }
+    }
 }
 
 impl Committer {
@@ -152,14 +274,23 @@ impl Committer {
     /// Crediting lets the migration path validate *before* touching any
     /// state, so a rejected migration leaves the database bit-identical
     /// (stamps included).
+    ///
+    /// `stamp_scope` (ascending), when given, restricts the
+    /// [`Validation::Current`] stamp checks on *claimed* links to those in
+    /// the scope — the repair intent passes its claims delta here. Fit
+    /// checks (capacity, wavelengths, servers) and read-region stamps are
+    /// never scoped down.
     fn validate(
         p: &Proposal,
         net: &NetworkState,
         opt: &OpticalState,
         cluster: &flexsched_compute::ClusterManager,
-        strictness: Strictness,
+        strictness: Validation,
         credit: Option<&[(flexsched_simnet::DirLink, f64)]>,
+        stamp_scope: Option<&[LinkId]>,
     ) -> std::result::Result<(), Conflict> {
+        let in_scope =
+            |link: LinkId| stamp_scope.is_none_or(|scope| scope.binary_search(&link).is_ok());
         // Malformed-proposal guard first: the weakest planned flow must
         // clear the floor the proposal itself declared.
         let weakest = p
@@ -193,8 +324,9 @@ impl Committer {
                     available += credit[i].1;
                 }
             }
-            let stale_stamp =
-                strictness == Strictness::Current && net.link_version(link) != c.seen_version;
+            let stale_stamp = strictness == Validation::Current
+                && in_scope(link)
+                && net.link_version(link) != c.seen_version;
             if stale_stamp || c.gbps > available + 1e-9 {
                 return Err(Conflict::StaleLink {
                     link,
@@ -204,12 +336,32 @@ impl Committer {
             }
         }
         for w in &p.claims.wavelengths {
-            if strictness == Strictness::Current && opt.link_version(w.link) != w.seen_version {
+            if strictness == Validation::Current
+                && in_scope(w.link)
+                && opt.link_version(w.link) != w.seen_version
+            {
                 return Err(Conflict::StaleOptical { link: w.link });
             }
             let free = opt.has_free_wavelength(w.link).unwrap_or(false);
             if !free && !opt.groomable_across(w.link, w.demand_gbps) {
                 return Err(Conflict::WavelengthTaken { link: w.link });
+            }
+        }
+        // Read-region stamps last, so conflicts on *claimed* resources keep
+        // their specific variants. A decision is only as current as the
+        // state it consulted: any moved read stamp means a fresh decision
+        // could have been steered differently, so the speculation must be
+        // recomputed, not grandfathered in.
+        if strictness == Validation::Current {
+            for r in &p.claims.reads {
+                if net.link_version(r.link) != r.seen_version {
+                    return Err(Conflict::StaleRead { link: r.link });
+                }
+                if let Some(seen) = r.seen_spectrum {
+                    if opt.link_version(r.link) != seen {
+                        return Err(Conflict::StaleRead { link: r.link });
+                    }
+                }
             }
         }
         Ok(())
@@ -219,12 +371,12 @@ impl Committer {
         &mut self,
         db: &Database,
         p: &Proposal,
-        strictness: Strictness,
+        strictness: Validation,
     ) -> Result<CommitReceipt> {
         let sdn = &mut self.sdn;
         let groom = &mut self.groom;
         let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
-            Self::validate(p, net, opt, cluster, strictness, None)
+            Self::validate(p, net, opt, cluster, strictness, None, None)
                 .map_err(crate::OrchError::Rejected)?;
             // Claims hold: install flow rules atomically, then groom the
             // schedule's chains onto wavelengths (best-effort, per chain —
@@ -254,26 +406,58 @@ impl Committer {
         outcome
     }
 
-    /// Validate `p`'s claims against live state and apply atomically.
+    /// The single typed entry point: validate and atomically apply an
+    /// [`Intent`] — admission, migration or incremental repair.
     ///
     /// # Errors
-    /// [`crate::OrchError::Rejected`] with the precise [`Conflict`] when a
-    /// claim no longer fits; the database is left bit-identical in that
-    /// case (validation is read-only and runs before any mutation).
-    pub fn commit(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
-        self.commit_inner(db, p, Strictness::Fit)
+    /// [`crate::OrchError::Rejected`] with the precise [`Conflict`] when
+    /// the intent's footprint no longer holds; the database is left
+    /// bit-identical in that case (validation is read-only and runs before
+    /// any mutation, with the old schedule's reservations credited on the
+    /// migration/repair paths).
+    pub fn apply(&mut self, db: &Database, intent: Intent<'_>) -> Result<CommitReceipt> {
+        match intent {
+            Intent::Admit {
+                proposal,
+                validation,
+            } => self.commit_inner(db, proposal, validation),
+            Intent::Migrate {
+                old,
+                proposal,
+                validation,
+            } => self.migrate_inner(db, old, proposal, validation, None),
+            Intent::Repair {
+                old,
+                proposal,
+                delta,
+            } => {
+                // The repair's interference footprint: stamp checks on the
+                // claims are scoped to the links whose rates change (plus
+                // the always-checked read region). Fit validation still
+                // covers every claim, credited with the old reservations.
+                let scope = delta.touched_links();
+                self.migrate_inner(db, old, proposal, Validation::Current, Some(&scope))
+            }
+        }
     }
 
-    /// Like [`commit`](Committer::commit), but additionally rejects the
-    /// proposal when any claimed link's mutation stamp (or, with
-    /// wavelength claims, the optical stamp) moved since the proposal's
-    /// snapshot — even if the claim would still fit. The parallel batch
-    /// scheduler commits speculated proposals through this gate so its
-    /// outcome stays equivalent to sequential scheduling: a proposal whose
-    /// inputs were touched by an earlier commit is recomputed, never
-    /// grandfathered in.
+    /// Deprecated shim for [`apply`](Committer::apply) with
+    /// [`Intent::admit`].
+    #[deprecated(since = "0.5.0", note = "use Committer::apply(db, Intent::admit(p))")]
+    pub fn commit(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
+        self.apply(db, Intent::admit(p))
+    }
+
+    /// Deprecated shim for [`apply`](Committer::apply) with
+    /// [`Intent::admit_speculated`]. Note the strict gate now stamps the
+    /// proposal's read region too (a [`Conflict::StaleRead`] where the old
+    /// claimed-links-only rule silently accepted).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Committer::apply(db, Intent::admit_speculated(p))"
+    )]
     pub fn commit_if_current(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
-        self.commit_inner(db, p, Strictness::Current)
+        self.apply(db, Intent::admit_speculated(p))
     }
 
     /// Release a committed task: remove its flow rules and free its
@@ -295,7 +479,8 @@ impl Committer {
         db: &Database,
         old: &Schedule,
         p: &Proposal,
-        strictness: Strictness,
+        strictness: Validation,
+        stamp_scope: Option<&[LinkId]>,
     ) -> Result<CommitReceipt> {
         let sdn = &mut self.sdn;
         let outcome = db.write(|net, opt, cluster| -> Result<CommitReceipt> {
@@ -304,7 +489,9 @@ impl Committer {
             // a rejection leaves the database bit-identical, version stamps
             // included (the fault-injection harness pins this).
             let credit = old.aggregated_reservations(net.topo())?;
-            if let Err(c) = Self::validate(p, net, opt, cluster, strictness, Some(&credit)) {
+            if let Err(c) =
+                Self::validate(p, net, opt, cluster, strictness, Some(&credit), stamp_scope)
+            {
                 return Err(crate::OrchError::Rejected(c));
             }
             sdn.remove_task(old.task, net)?;
@@ -328,34 +515,37 @@ impl Committer {
         outcome
     }
 
-    /// Atomically replace a running task's installed schedule with a new
-    /// proposal (the rescheduling migration path). The new claims are
-    /// validated against live state with the old schedule's reservations
-    /// credited back; only then are the old rules swapped for the new. On a
-    /// conflict the database is left bit-identical — the task keeps running
-    /// on its old schedule.
+    /// Deprecated shim for [`apply`](Committer::apply) with
+    /// [`Intent::migrate`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Committer::apply(db, Intent::migrate(old, p))"
+    )]
     pub fn migrate(
         &mut self,
         db: &Database,
         old: &Schedule,
         p: &Proposal,
     ) -> Result<CommitReceipt> {
-        self.migrate_inner(db, old, p, Strictness::Fit)
+        self.apply(db, Intent::migrate(old, p))
     }
 
-    /// Like [`migrate`](Committer::migrate), but additionally rejects the
-    /// proposal when any claimed link's mutation stamp (or spectrum stamp)
-    /// moved since the proposal's snapshot. This is the gate for
-    /// *incremental repair* proposals, which speculate against the live
-    /// snapshot: a stamp that moved means another migration interfered, so
-    /// the repair must be recomputed rather than grandfathered in.
+    /// Deprecated shim for [`apply`](Committer::apply) with
+    /// [`Intent::migrate_speculated`]. Repairs should use
+    /// [`Intent::repair`] instead, which scopes the stamp check to the
+    /// claims delta + read region rather than the whole tree.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Committer::apply(db, Intent::migrate_speculated(old, p)) — \
+                or Intent::repair(old, p, delta) for incremental repairs"
+    )]
     pub fn migrate_if_current(
         &mut self,
         db: &Database,
         old: &Schedule,
         p: &Proposal,
     ) -> Result<CommitReceipt> {
-        self.migrate_inner(db, old, p, Strictness::Current)
+        self.apply(db, Intent::migrate_speculated(old, p))
     }
 
     /// Lifetime (commits, rejections) counters.
@@ -433,7 +623,7 @@ mod tests {
         let (db, task) = rig(5);
         let p = propose(&db, &task);
         let mut committer = Committer::new();
-        let receipt = committer.commit(&db, &p).unwrap();
+        let receipt = committer.apply(&db, Intent::admit(&p)).unwrap();
         assert_eq!(receipt.task, task.id);
         assert!(db.total_reserved_gbps() > 0.0);
         committer
@@ -455,7 +645,7 @@ mod tests {
         });
         let before = db.read(|net, _, _| format!("{net:?}"));
         let mut committer = Committer::new();
-        let err = committer.commit(&db, &p).unwrap_err();
+        let err = committer.apply(&db, Intent::admit(&p)).unwrap_err();
         assert!(
             matches!(err, crate::OrchError::Rejected(Conflict::StaleLink { .. })),
             "{err}"
@@ -473,7 +663,7 @@ mod tests {
         db.write(|net, _, _| net.set_down(victim, true).unwrap());
         let mut committer = Committer::new();
         assert!(matches!(
-            committer.commit(&db, &p),
+            committer.apply(&db, Intent::admit(&p)),
             Err(crate::OrchError::Rejected(Conflict::LinkDown { link })) if link == victim
         ));
     }
@@ -488,10 +678,12 @@ mod tests {
         let mut committer = Committer::new();
         // Fit-only commit succeeds...
         let mut fit = Committer::new();
-        assert!(fit.commit(&db, &p).is_ok());
+        assert!(fit.apply(&db, Intent::admit(&p)).is_ok());
         fit.release(&db, task.id, &[]).unwrap();
         // ...but version changed again on release, so strict still rejects.
-        let err = committer.commit_if_current(&db, &p).unwrap_err();
+        let err = committer
+            .apply(&db, Intent::admit_speculated(&p))
+            .unwrap_err();
         assert!(matches!(
             err,
             crate::OrchError::Rejected(Conflict::StaleLink { .. })
@@ -505,7 +697,7 @@ mod tests {
         p.claims.rate_floor_gbps = f64::INFINITY;
         let mut committer = Committer::new();
         assert!(matches!(
-            committer.commit(&db, &p),
+            committer.apply(&db, Intent::admit(&p)),
             Err(crate::OrchError::Rejected(
                 Conflict::RateFloorViolated { .. }
             ))
@@ -519,7 +711,7 @@ mod tests {
         p.claims.server_slots.push(flexsched_topo::NodeId(0)); // a ROADM
         let mut committer = Committer::new();
         assert!(matches!(
-            committer.commit(&db, &p),
+            committer.apply(&db, Intent::admit(&p)),
             Err(crate::OrchError::Rejected(Conflict::MissingServer { .. }))
         ));
     }
@@ -557,7 +749,7 @@ mod tests {
         });
         let before = db.read(|net, opt, _| (format!("{net:?}"), format!("{opt:?}")));
         let mut committer = Committer::new();
-        let err = committer.commit(&db, &p).unwrap_err();
+        let err = committer.apply(&db, Intent::admit(&p)).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -574,7 +766,7 @@ mod tests {
         let (db, task) = rig(5);
         let p1 = propose(&db, &task);
         let mut committer = Committer::new();
-        let r1 = committer.commit(&db, &p1).unwrap();
+        let r1 = committer.apply(&db, Intent::admit(&p1)).unwrap();
         let reserved_before = db.total_reserved_gbps();
         // Re-propose against the freed hypothetical and migrate.
         let p2 = {
@@ -588,7 +780,9 @@ mod tests {
                 .propose_once(&task, &task.local_sites, &snap)
                 .unwrap()
         };
-        committer.migrate(&db, &p1.schedule, &p2).unwrap();
+        committer
+            .apply(&db, Intent::migrate(&p1.schedule, &p2))
+            .unwrap();
         // Same task, same demand: the reserved totals match.
         assert!((db.total_reserved_gbps() - reserved_before).abs() < 1e-6);
         committer.release(&db, task.id, &r1.groomed).unwrap();

@@ -42,7 +42,7 @@ pub mod testbed;
 
 pub use batch::{BatchReport, BatchScheduler};
 pub use bus::ControllerHandle;
-pub use commit::{CommitReceipt, Committer, Conflict};
+pub use commit::{CommitReceipt, Committer, Conflict, Intent, Validation};
 pub use database::Database;
 pub use error::OrchError;
 pub use managers::AiTaskManager;

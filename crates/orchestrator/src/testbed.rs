@@ -242,7 +242,10 @@ impl Testbed {
         // wavelengths installed atomically. A typed conflict means another
         // actor took the resources between snapshot and commit — back off
         // and retry like any other blocked task.
-        let receipt = match self.committer.commit(&self.db, &proposal) {
+        let receipt = match self
+            .committer
+            .apply(&self.db, crate::Intent::admit(&proposal))
+        {
             Ok(r) => r,
             Err(OrchError::Rejected(_)) => return Ok(false),
             Err(e) => return Err(e),
@@ -369,7 +372,7 @@ impl Testbed {
             match verdict {
                 Ok(reschedule::RescheduleVerdict::Migrate {
                     new_proposal,
-                    via_repair,
+                    repair_delta,
                     ..
                 }) => {
                     // Migration is a commit like any other: new claims
@@ -377,17 +380,15 @@ impl Testbed {
                     // the rules swapped atomically; a conflict keeps the
                     // task on its current schedule. Repair proposals
                     // speculate against the live snapshot, so they go
-                    // through the strict stamp-checked gate.
-                    let committed = if via_repair {
-                        self.committer
-                            .migrate_if_current(&self.db, &schedule, &new_proposal)
-                            .is_ok()
-                    } else {
-                        self.committer
-                            .migrate(&self.db, &schedule, &new_proposal)
-                            .is_ok()
+                    // through the strict repair intent — stamp-checked
+                    // over their claims delta + read region only.
+                    let intent = match &repair_delta {
+                        Some(delta) => crate::Intent::repair(&schedule, &new_proposal, delta),
+                        None => crate::Intent::migrate(&schedule, &new_proposal),
                     };
+                    let committed = self.committer.apply(&self.db, intent).is_ok();
                     if committed {
+                        let via_repair = repair_delta.is_some();
                         self.db.store_schedule(new_proposal.schedule);
                         self.reschedules += 1;
                         if via_repair {

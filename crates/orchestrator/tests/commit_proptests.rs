@@ -2,11 +2,17 @@
 //!
 //! Two pillars of the pipeline's contract:
 //!
-//! * **Batch ≡ sequential.** Parallel batch scheduling — speculation across
-//!   worker threads against one shared snapshot, serial in-order commit
-//!   with bounded retry-on-conflict — produces a committed claim-set (and
-//!   blocked set) identical to scheduling the same arrival order
-//!   sequentially, one snapshot/propose/commit at a time.
+//! * **Wave ≡ sequential.** Parallel wave-ordered batch scheduling —
+//!   rounds of speculation across worker threads against a shared
+//!   snapshot, footprint-disjoint waves committed back-to-back — is a
+//!   *serialisation*: replaying the batch sequentially, one
+//!   snapshot/propose/commit at a time, in the wave run's
+//!   `decision_order`, reproduces the committed claim-sets and blocked
+//!   set bit-for-bit. (Read-region soundness is what discharges the proof
+//!   per wave member; an unrecorded consulted link would make this
+//!   property fail under contention.) Under total contention the decision
+//!   order degenerates to arrival order, so the old arrival-order
+//!   equivalence is the boundary case of this contract.
 //! * **Rejection is mutation-free.** A proposal the committer rejects —
 //!   stale capacity, a downed link, exhausted spectrum — leaves both the
 //!   `NetworkState` and the `OpticalState` bit-identical: no partial
@@ -14,7 +20,7 @@
 
 use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
 use flexsched_optical::{OpticalState, WavelengthPolicy};
-use flexsched_orchestrator::{BatchScheduler, Committer, Conflict, Database, OrchError};
+use flexsched_orchestrator::{BatchScheduler, Committer, Conflict, Database, Intent, OrchError};
 use flexsched_sched::{FixedSpff, FlexibleMst, Scheduler};
 use flexsched_simnet::{DirLink, NetworkState};
 use flexsched_task::{AiTask, TaskId};
@@ -23,7 +29,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn scenario_topology(pick: u8) -> Arc<Topology> {
-    Arc::new(match pick % 3 {
+    Arc::new(match pick % 4 {
         0 => builders::metro(&builders::MetroParams::default()),
         1 => builders::metro(&builders::MetroParams {
             core_roadms: 8,
@@ -31,7 +37,8 @@ fn scenario_topology(pick: u8) -> Arc<Topology> {
             chords: 3,
             ..builders::MetroParams::default()
         }),
-        _ => builders::spine_leaf(3, 6, 3, true, 400.0),
+        2 => builders::spine_leaf(3, 6, 3, true, 400.0),
+        _ => builders::fat_tree(4, 400.0),
     })
 }
 
@@ -105,12 +112,13 @@ fn claim_sets(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Pillar 1: the parallel batch produces claim-sets bit-identical to
-    /// the sequential baseline on the same arrival order, for both
-    /// schedulers, across contention levels and worker counts.
+    /// Pillar 1: the wave-ordered batch is a serialisation — replaying the
+    /// batch sequentially in the wave run's decision order reproduces the
+    /// outcome bit-for-bit, for both schedulers, across
+    /// metro/spine-leaf/fat-tree contention levels and worker counts.
     #[test]
-    fn batch_parallel_equals_sequential(
-        pick in 0u8..3,
+    fn batch_waves_equal_sequential_in_decision_order(
+        pick in 0u8..4,
         workers in 2usize..5,
         flexible in proptest::bool::ANY,
         specs in proptest::collection::vec(
@@ -133,8 +141,15 @@ proptest! {
         let par_report = par
             .run(&par_db, &mut par_committer, &scheduler, &batch)
             .unwrap();
+        prop_assert_eq!(par_report.decision_order.len(), batch.len(),
+            "every task must be decided exactly once");
+        let reordered: Vec<(AiTask, Vec<NodeId>)> = par_report
+            .decision_order
+            .iter()
+            .map(|id| batch.iter().find(|(t, _)| t.id == *id).unwrap().clone())
+            .collect();
         let seq_report = seq
-            .run_sequential(&seq_db, &mut seq_committer, &*scheduler, &batch)
+            .run_sequential(&seq_db, &mut seq_committer, &*scheduler, &reordered)
             .unwrap();
 
         prop_assert_eq!(&par_report.blocked, &seq_report.blocked,
@@ -152,6 +167,10 @@ proptest! {
             par_report.committed.len() as u64 + par_report.blocked.len() as u64,
             batch.len() as u64
         );
+        // Wave bookkeeping is consistent: every commit was a wave commit,
+        // and interference was classified rather than lumped.
+        prop_assert_eq!(par_report.wave_hits, par_report.committed.len() as u64);
+        prop_assert!(par_report.waves as usize <= batch.len());
 
         // Teardown must drain both worlds completely.
         par.release_all(&par_db, &mut par_committer, &par_report).unwrap();
@@ -168,7 +187,7 @@ proptest! {
     /// bit-identical, whatever invalidated it.
     #[test]
     fn rejected_proposal_leaves_state_bit_identical(
-        pick in 0u8..3,
+        pick in 0u8..4,
         n_locals in 2usize..10,
         seed in 0u64..300,
         sabotage in 0u8..3,
@@ -208,7 +227,9 @@ proptest! {
         let mut committer = Committer::new();
         // Strict mode: the sabotage moved the victim's stamp (or spectrum),
         // so the commit MUST be rejected with a typed conflict.
-        let err = committer.commit_if_current(&db, &proposal).unwrap_err();
+        let err = committer
+            .apply(&db, Intent::admit_speculated(&proposal))
+            .unwrap_err();
         prop_assert!(matches!(
             err,
             OrchError::Rejected(

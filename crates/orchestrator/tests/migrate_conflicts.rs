@@ -1,20 +1,22 @@
-//! Typed-conflict coverage for the migration gate.
+//! Typed-conflict coverage for the migration intents.
 //!
 //! PR 2's tests exercised every [`Conflict`] variant through the *install*
-//! path (`commit` / `commit_if_current`); the migration path only had
-//! happy-path coverage. These tests drive every variant through
-//! [`Committer::migrate`] / [`Committer::migrate_if_current`] and pin the
-//! repair pipeline's contract: a rejected migration leaves the database
+//! path; the migration path only had happy-path coverage. These tests
+//! drive every variant through [`Committer::apply`] with
+//! [`Intent::migrate`] / [`Intent::migrate_speculated`] and pin the repair
+//! pipeline's contract: a rejected migration leaves the database
 //! bit-identical — validation (with the old schedule's reservations
 //! credited) runs before any rule is touched, so not even a version stamp
 //! moves.
 //!
-//! The last test is the ready-made witness for the ROADMAP's open
-//! "read-footprint conflict detection" gap (see its comment).
+//! The last two tests are the (formerly `#[ignore]`d) read-footprint gap
+//! witnesses: with read regions recorded in every proposal, a commit on a
+//! link a decision merely *consulted* now rejects the stale speculation on
+//! both the admission and the migration paths.
 
 use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
 use flexsched_optical::{OpticalState, WavelengthPolicy};
-use flexsched_orchestrator::{Committer, Conflict, Database, OrchError};
+use flexsched_orchestrator::{Committer, Conflict, Database, Intent, OrchError};
 use flexsched_sched::{FlexibleMst, Proposal, Scheduler};
 use flexsched_simnet::NetworkState;
 use flexsched_task::{AiTask, TaskId};
@@ -56,7 +58,7 @@ fn propose_live(db: &Database, task: &AiTask, locals: usize) -> Proposal {
 fn committed_pair(db: &Database, task: &AiTask) -> (Committer, Proposal, Proposal) {
     let mut committer = Committer::new();
     let p1 = propose_live(db, task, 3);
-    committer.commit(db, &p1).unwrap();
+    committer.apply(db, Intent::admit(&p1)).unwrap();
     let p2 = propose_live(db, task, 8);
     (committer, p1, p2)
 }
@@ -90,9 +92,9 @@ fn assert_rejected(
     let before = world_fmt(db);
     let (commits_before, rejections_before) = committer.counters();
     let outcome = if strict {
-        committer.migrate_if_current(db, &old.schedule, p)
+        committer.apply(db, Intent::migrate_speculated(&old.schedule, p))
     } else {
-        committer.migrate(db, &old.schedule, p)
+        committer.apply(db, Intent::migrate(&old.schedule, p))
     };
     match outcome {
         Err(OrchError::Rejected(c)) => assert!(check(&c), "unexpected conflict: {c}"),
@@ -167,7 +169,7 @@ fn migrate_credits_the_old_reservations() {
     let (db, task) = rig();
     let mut committer = Committer::new();
     let p1 = propose_live(&db, &task, 3);
-    committer.commit(&db, &p1).unwrap();
+    committer.apply(&db, Intent::admit(&p1)).unwrap();
     // Exhaust every claimed link's residual: no slack beyond the credit.
     db.write(|net, _, _| {
         for c in &p1.claims.links {
@@ -178,7 +180,7 @@ fn migrate_credits_the_old_reservations() {
     let p2 = p1.clone();
     let reserved_before = db.total_reserved_gbps();
     committer
-        .migrate(&db, &p1.schedule, &p2)
+        .apply(&db, Intent::migrate(&p1.schedule, &p2))
         .expect("identical swap must validate purely on credit");
     assert!((db.total_reserved_gbps() - reserved_before).abs() < 1e-9);
 }
@@ -302,8 +304,12 @@ fn migrate_succeeds_after_rejections() {
     let (mut committer, p1, p2) = committed_pair(&db, &task);
     let mut poisoned = p2.clone();
     poisoned.claims.rate_floor_gbps = f64::INFINITY;
-    assert!(committer.migrate(&db, &p1.schedule, &poisoned).is_err());
-    let receipt = committer.migrate(&db, &p1.schedule, &p2).unwrap();
+    assert!(committer
+        .apply(&db, Intent::migrate(&p1.schedule, &poisoned))
+        .is_err());
+    let receipt = committer
+        .apply(&db, Intent::migrate(&p1.schedule, &p2))
+        .unwrap();
     assert_eq!(receipt.task, task.id);
     let reserved: f64 = db.total_reserved_gbps();
     let expected: f64 = p2.claims.total_gbps();
@@ -313,24 +319,16 @@ fn migrate_succeeds_after_rejections() {
     );
 }
 
-/// ROADMAP "read-footprint conflict detection": the stamp rule covers the
-/// *claimed* links, but a decision's auxiliary weights also read links that
-/// end up outside the final claim footprint. A commit that touches only
-/// such a non-claimed link can steer a fresh decision differently — and the
-/// strict gate will not notice.
-///
-/// This test constructs the exact witness: background load on a short route
-/// steers the speculated tree onto a detour; the load is then removed (a
-/// write that moves only the *non-claimed* short route's stamps); the
-/// speculated proposal still commits through the strict gate even though a
-/// fresh decision now prefers the short route. Closing the gap (e.g. by
-/// recording a coarse read-region in `ResourceClaims`) should make the
-/// strict commit reject — flip this test's expectation and un-ignore it.
-#[test]
-#[ignore = "known read-footprint gap (see ROADMAP); un-ignore when claims record a read-region"]
-fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
+/// Shared rig for the read-footprint witnesses:
+/// g —(short: s1,s2 via a)— t   and   g —(detour: d1,d2 via b)— t,
+/// with the short route loaded so fresh decisions detour around it.
+fn steering_rig() -> (
+    Database,
+    AiTask,
+    flexsched_topo::LinkId,
+    flexsched_topo::LinkId,
+) {
     use flexsched_topo::NodeKind;
-    // g —(short: s1,s2 via a)— t   and   g —(detour: d1,d2 via b)— t.
     let mut t = flexsched_topo::Topology::new();
     let g = t.add_node(NodeKind::Server, "g");
     let a = t.add_node(NodeKind::IpRouter, "a");
@@ -356,18 +354,42 @@ fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
         comm_budget_ms: 10.0,
         arrival_ns: 0,
     };
-    // Load the short route so the speculated decision detours around it.
+    // Load the short route so decisions against this state detour.
+    set_short_route_load(&db, s1, s2, 80.0);
+    (db, task, s1, s2)
+}
+
+fn set_short_route_load(
+    db: &Database,
+    s1: flexsched_topo::LinkId,
+    s2: flexsched_topo::LinkId,
+    gbps: f64,
+) {
     db.write(|net, _, _| {
         for link in [s1, s2] {
             for dir in [
                 flexsched_topo::Direction::AtoB,
                 flexsched_topo::Direction::BtoA,
             ] {
-                net.add_background(flexsched_simnet::DirLink::new(link, dir), 80.0)
+                net.add_background(flexsched_simnet::DirLink::new(link, dir), gbps)
                     .unwrap();
             }
         }
     });
+}
+
+/// PR 3's `#[ignore]`d witness for the ROADMAP's "read-footprint conflict
+/// detection" gap, now un-ignored with the expectation flipped: background
+/// load on a short route steers the speculated tree onto a detour; the
+/// load is then removed — a write that moves only the **non-claimed**
+/// short route's stamps. A fresh decision now prefers the short route, so
+/// the speculation is no longer what sequential scheduling would produce —
+/// and the strict gate, which now stamps the proposal's recorded *read
+/// region* as well as its claims, rejects it with the typed
+/// [`Conflict::StaleRead`].
+#[test]
+fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
+    let (db, task, s1, s2) = steering_rig();
     let snap = db.snapshot();
     let speculated = FlexibleMst::paper()
         .propose_once(&task, &task.local_sites, &snap)
@@ -377,18 +399,14 @@ fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
         !claimed.contains(&s1) && !claimed.contains(&s2),
         "speculation must detour around the loaded short route"
     );
+    // The searches consulted the short route while rejecting it, so it
+    // must appear in the recorded read region.
+    assert!(
+        speculated.claims.reads.iter().any(|r| r.link == s1),
+        "read region must cover the consulted short route"
+    );
     // A write that touches ONLY the non-claimed short route: unload it.
-    db.write(|net, _, _| {
-        for link in [s1, s2] {
-            for dir in [
-                flexsched_topo::Direction::AtoB,
-                flexsched_topo::Direction::BtoA,
-            ] {
-                net.add_background(flexsched_simnet::DirLink::new(link, dir), -80.0)
-                    .unwrap();
-            }
-        }
-    });
+    set_short_route_load(&db, s1, s2, -80.0);
     // A fresh decision now takes the short route — the speculation is no
     // longer what sequential scheduling would produce.
     let fresh = FlexibleMst::paper()
@@ -398,16 +416,78 @@ fn read_footprint_gap_commit_on_non_claimed_link_steers_fresh_decision() {
         fresh.claims.footprint().contains(&s1),
         "fresh decision must prefer the unloaded short route"
     );
-    // THE GAP: the strict gate only stamps claimed links, so the stale
-    // speculation still commits. When claims record a read-region this
-    // commit must become a typed rejection.
+    // The gap is closed: the strict gate stamps the read region too, so
+    // the steered speculation is rejected with the typed read conflict.
     let mut committer = Committer::new();
+    let outcome = committer.apply(&db, Intent::admit_speculated(&speculated));
     assert!(
         matches!(
-            committer.commit_if_current(&db, &speculated),
-            Err(OrchError::Rejected(_))
+            outcome,
+            Err(OrchError::Rejected(Conflict::StaleRead { link })) if link == s1 || link == s2
         ),
-        "read-footprint gap: strict commit accepted a speculation that a \
-         commit on a non-claimed link invalidated"
+        "strict commit must reject the steered speculation, got {outcome:?}"
     );
+    // The un-steered fit-mode admission still works: the claims fit.
+    committer.apply(&db, Intent::admit(&speculated)).unwrap();
+}
+
+/// The symmetric migrate-path witness: a task *running* on the detour
+/// speculates a same-shape replacement while the short route is loaded;
+/// the load then drains (moving only non-claimed stamps). A fresh
+/// replacement decision would now take the short route, so the strict
+/// migration gate must reject the stale speculation — [`Intent::migrate`]
+/// (fit mode) remains free to install it.
+#[test]
+fn read_footprint_gap_is_closed_on_the_migrate_path_too() {
+    let (db, task, s1, s2) = steering_rig();
+    // Commit the task onto the detour (fit mode, current state).
+    let installed = FlexibleMst::paper()
+        .propose_once(&task, &task.local_sites, &db.snapshot())
+        .unwrap();
+    let mut committer = Committer::new();
+    committer.apply(&db, Intent::admit(&installed)).unwrap();
+    // Speculate a replacement against the loaded live state: it re-picks
+    // the detour and *reads* the short route while rejecting it.
+    let speculated = FlexibleMst::paper()
+        .propose_once(&task, &task.local_sites, &db.snapshot())
+        .unwrap();
+    assert!(!speculated.claims.footprint().contains(&s1));
+    // Only the non-claimed short route's stamps move.
+    set_short_route_load(&db, s1, s2, -80.0);
+    let outcome = committer.apply(
+        &db,
+        Intent::migrate_speculated(&installed.schedule, &speculated),
+    );
+    assert!(
+        matches!(
+            outcome,
+            Err(OrchError::Rejected(Conflict::StaleRead { link })) if link == s1 || link == s2
+        ),
+        "strict migrate must reject the steered replacement, got {outcome:?}"
+    );
+    // The task kept running on its installed schedule, and a fit-mode
+    // migration of the same replacement is still allowed.
+    assert!(committer.sdn().rules_of(task.id).is_some());
+    committer
+        .apply(&db, Intent::migrate(&installed.schedule, &speculated))
+        .unwrap();
+}
+
+/// The deprecated PR 2 quartet still works as shims over `apply` (kept
+/// for one release; see the README migration notes).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_commit_and_migrate() {
+    let (db, task) = rig();
+    let mut committer = Committer::new();
+    let p1 = propose_live(&db, &task, 3);
+    committer.commit(&db, &p1).unwrap();
+    let p2 = propose_live(&db, &task, 3);
+    committer.migrate(&db, &p1.schedule, &p2).unwrap();
+    let p3 = propose_live(&db, &task, 3);
+    committer
+        .migrate_if_current(&db, &p2.schedule, &p3)
+        .unwrap();
+    let (commits, rejections) = committer.counters();
+    assert_eq!((commits, rejections), (3, 0));
 }

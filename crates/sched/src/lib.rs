@@ -44,6 +44,7 @@ pub mod error;
 pub mod evaluate;
 pub mod fixed;
 pub mod flexible;
+pub mod footprint;
 pub mod proposal;
 pub mod repair;
 pub mod reschedule;
@@ -56,6 +57,7 @@ pub use error::SchedError;
 pub use evaluate::evaluate_schedule;
 pub use fixed::FixedSpff;
 pub use flexible::{FlexibleMst, SPARSE_CLOSURE_THRESHOLD};
+pub use footprint::{Footprint, Interference, ReadClaim};
 pub use proposal::{ClaimsDelta, LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
 pub use repair::{BrokenLinks, RepairProposal};
 pub use reschedule::{ReschedulePolicy, RescheduleVerdict, RESOLVE_AFTER_REPAIRS};
@@ -108,6 +110,24 @@ pub trait Scheduler: Send + Sync {
         _snapshot: &NetworkSnapshot,
         _scratch: &mut ScratchPool,
     ) -> Result<Option<RepairProposal>> {
+        Ok(None)
+    }
+
+    /// Cheaply estimate what a *fresh* solve of `current`'s broadcast tree
+    /// would cost under today's auxiliary weights (the task's own links
+    /// credited as reused, exactly as a rescheduling decision prices them).
+    /// The weight-drift trigger
+    /// ([`ReschedulePolicy::resolve_on_cost_ratio`]) compares a repaired
+    /// tree's cost against this estimate and forces a full re-solve only
+    /// when real drift shows. `Ok(None)` means this policy has no cheap
+    /// estimator (the default); the trigger then never fires.
+    fn estimate_fresh_cost(
+        &self,
+        _task: &AiTask,
+        _current: &Schedule,
+        _snapshot: &NetworkSnapshot,
+        _scratch: &mut ScratchPool,
+    ) -> Result<Option<f64>> {
         Ok(None)
     }
 

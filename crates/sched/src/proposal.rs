@@ -8,6 +8,7 @@
 //! against live state and atomically applies or rejects the proposal with
 //! a typed conflict.
 
+use crate::footprint::{read_claims, Footprint, ReadClaim};
 use crate::schedule::Schedule;
 use crate::snapshot::NetworkSnapshot;
 use crate::Result;
@@ -59,6 +60,14 @@ pub struct ResourceClaims {
     /// The effective rate floor the scheduler enforced, Gbit/s: plans whose
     /// weakest flow falls below this are malformed and must be rejected.
     pub rate_floor_gbps: f64,
+    /// The decision's **read region**: links whose state the scheduler
+    /// consulted without claiming them (ascending, disjoint from
+    /// `links`/`wavelengths`), each stamped with the snapshot versions it
+    /// saw. Strict commit modes validate these stamps too, closing the
+    /// read-footprint gap: a commit on a non-claimed link that could have
+    /// steered this decision differently now rejects the speculation
+    /// instead of silently grandfathering it in.
+    pub reads: Vec<ReadClaim>,
 }
 
 /// The difference between a replacement proposal's claims and the schedule
@@ -167,13 +176,34 @@ pub struct Proposal {
 }
 
 impl Proposal {
+    /// Assemble a proposal with a **conservative** read region: every
+    /// topology link the schedule does not claim. Sound for any scheduler
+    /// (nothing consulted can be missing), at the cost of treating the
+    /// decision as having read the whole fabric — any prior commit
+    /// invalidates it under strict validation. Schedulers that record
+    /// their searches' consulted links (the flexible scheduler and the
+    /// repair path do, via the scratch pool's
+    /// [`ReadLog`](flexsched_topo::algo::ReadLog)) should use
+    /// [`assemble_with_reads`](Proposal::assemble_with_reads) for a
+    /// precise region instead.
+    pub fn assemble(schedule: Schedule, snap: &NetworkSnapshot) -> Result<Self> {
+        let all: Vec<LinkId> = (0..snap.topo().link_count() as u32).map(LinkId).collect();
+        Self::assemble_with_reads(schedule, snap, &all)
+    }
+
     /// Assemble a proposal from a freshly computed schedule: walk its
-    /// reservations once, aggregate per directed link, and stamp each claim
-    /// with the snapshot's per-link version.
+    /// reservations once, aggregate per directed link, stamp each claim
+    /// with the snapshot's per-link version, and record `consulted` (the
+    /// decision's consulted links, any order, claimed links filtered out)
+    /// as the stamped read region.
     ///
     /// Kept allocation-light (sort + in-place merge, no maps) because it
     /// runs once per scheduling decision on the control-plane hot path.
-    pub fn assemble(schedule: Schedule, snap: &NetworkSnapshot) -> Result<Self> {
+    pub fn assemble_with_reads(
+        schedule: Schedule,
+        snap: &NetworkSnapshot,
+        consulted: &[LinkId],
+    ) -> Result<Self> {
         let links: Vec<LinkClaim> = schedule
             .aggregated_reservations(snap.topo())?
             .into_iter()
@@ -183,19 +213,21 @@ impl Proposal {
                 seen_version: snap.net().link_version(dl.link),
             })
             .collect();
+        let mut footprint: Vec<LinkId> = links.iter().map(|c| c.link.link).collect();
+        footprint.dedup(); // links are sorted by (link, dir) already
         let wavelengths = if let Some(opt) = snap.optical() {
-            let mut seen: Vec<LinkId> = links.iter().map(|c| c.link.link).collect();
-            seen.dedup(); // links are sorted by (link, dir) already
-            seen.into_iter()
+            footprint
+                .iter()
                 .map(|link| WavelengthClaim {
-                    link,
+                    link: *link,
                     demand_gbps: schedule.demand_gbps,
-                    seen_version: opt.link_version(link),
+                    seen_version: opt.link_version(*link),
                 })
                 .collect()
         } else {
             Vec::new()
         };
+        let reads = read_claims(snap, consulted, &footprint);
         let mut server_slots = Vec::with_capacity(schedule.selected_locals.len() + 1);
         server_slots.push(schedule.global_site);
         server_slots.extend_from_slice(&schedule.selected_locals);
@@ -205,6 +237,7 @@ impl Proposal {
                 wavelengths,
                 server_slots,
                 rate_floor_gbps: snap.min_rate_gbps.min(schedule.demand_gbps),
+                reads,
             },
             snapshot_version: snap.version(),
             optical_version: snap.optical_version(),
@@ -215,6 +248,12 @@ impl Proposal {
     /// The task this proposal schedules.
     pub fn task(&self) -> flexsched_task::TaskId {
         self.schedule.task
+    }
+
+    /// The proposal's interference [`Footprint`]: claimed links as the
+    /// write set, the recorded read region as the read set.
+    pub fn footprint(&self) -> Footprint {
+        Footprint::of_proposal(self)
     }
 }
 
@@ -312,6 +351,55 @@ mod tests {
         assert_eq!(p.claims.server_slots[0], task.global_site);
         assert_eq!(&p.claims.server_slots[1..], task.local_sites.as_slice());
         assert_eq!(p.task(), task.id);
+    }
+
+    #[test]
+    fn read_region_is_stamped_and_disjoint_from_claims() {
+        let (state, task) = rig(8);
+        let optical = flexsched_optical::OpticalState::new(state.topo_arc());
+        let snap = NetworkSnapshot::capture(&state).with_optical(&optical);
+        let p = FlexibleMst::paper()
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap();
+        // The flexible scheduler records a real (non-empty) read region:
+        // its searches consult links beyond the final claim footprint.
+        assert!(!p.claims.reads.is_empty(), "searches must record reads");
+        let footprint = p.claims.footprint();
+        for (w, r) in p.claims.reads.windows(2).map(|w| (&w[0], &w[1])) {
+            assert!(w.link < r.link, "reads must be strictly ascending");
+        }
+        for r in &p.claims.reads {
+            assert!(
+                footprint.binary_search(&r.link).is_err(),
+                "read claim on {} duplicates a write claim",
+                r.link
+            );
+            assert_eq!(r.seen_version, snap.net().link_version(r.link));
+            assert_eq!(
+                r.seen_spectrum,
+                Some(snap.optical().unwrap().link_version(r.link))
+            );
+        }
+        // Footprint view: writes = claimed links, reads = read region.
+        let fp = p.footprint();
+        assert_eq!(fp.writes, footprint);
+        assert_eq!(fp.reads.len(), p.claims.reads.len());
+    }
+
+    #[test]
+    fn fixed_scheduler_reads_are_conservative() {
+        let (state, task) = rig(4);
+        let snap = NetworkSnapshot::capture(&state);
+        let p = FixedSpff
+            .propose_once(&task, &task.local_sites, &snap)
+            .unwrap();
+        // assemble() declares every non-claimed link read; no spectrum
+        // stamps without an optical view.
+        assert_eq!(
+            p.claims.reads.len() + p.claims.footprint().len(),
+            state.topo().link_count()
+        );
+        assert!(p.claims.reads.iter().all(|r| r.seen_spectrum.is_none()));
     }
 
     #[test]

@@ -240,6 +240,10 @@ fn repair_tree_in(
         sources.extend((0..n as u32).map(NodeId).filter(|x| alive[x.index()]));
         let mut scratch = pool.take();
         let searched = scratch.run_multi(topo, sources, &weight, Some(&orphans));
+        // The frontier search is the repair's whole weight-consulting
+        // surface; its consulted set (small, frontier-local — the search
+        // early-exits at the orphans) becomes the repair's read region.
+        pool.read_log_mut().absorb(&scratch);
         let outcome = searched.map_err(SchedError::Topo).and_then(|()| {
             for t in &orphans {
                 if !scratch.reachable(*t) {
@@ -399,6 +403,13 @@ pub fn repair_schedule(
 
     let credit = current.aggregated_reservations(topo)?;
 
+    // Start the repair's read region: the frontier searches below absorb
+    // their consulted links into the pool's log. The region is
+    // deliberately frontier-local — it covers what steered the *graft*,
+    // while the unchanged bulk of the tree is the task's own standing
+    // claim and is validated (with credit) by the claims themselves.
+    scratch.read_log_mut().reset();
+
     // Auxiliary weights exactly as a rescheduling decision sees them: every
     // link the running schedule already occupies — either tree — counts as
     // *reused* (its reservations are freed at migration time, so it stays
@@ -516,7 +527,7 @@ pub fn repair_schedule(
             copies: up_copies,
         },
     };
-    let proposal = Proposal::assemble(schedule, snap)?;
+    let proposal = Proposal::assemble_with_reads(schedule, snap, scratch.read_log().links())?;
     let delta = proposal.claims.delta_from(&credit);
 
     let mut reattached: Vec<NodeId> = Vec::new();

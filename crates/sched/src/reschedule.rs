@@ -59,6 +59,20 @@ pub struct ReschedulePolicy {
     /// the service gap stays bounded while per-decision cost stays near
     /// the pure-repair policy.
     pub resolve_after_repairs: Option<u32>,
+    /// Weight-drift trigger: skip the repair and take the full re-solve
+    /// path when the repaired broadcast tree's cost exceeds a cheap fresh
+    /// estimate ([`crate::Scheduler::estimate_fresh_cost`], a Mehlhorn
+    /// shadow-solve at `O(E log V)`) by this factor. Unlike
+    /// `resolve_after_repairs` — which bounds drift by *count*, firing on
+    /// the Nth repair whether or not the tree actually drifted — this
+    /// fires only when drift is *measured*:
+    /// `repaired_cost > ratio × fresh_cost`. `None` disables the trigger
+    /// (the default: the counter guard alone, pre-trigger behaviour).
+    /// Values just above 1.0 are aggressive (re-solve on any measurable
+    /// drift); the fault-storm sweep in
+    /// `flexsched-bench/tests/repair_differential.rs` exercises
+    /// {1.05, 1.25, 2.0} alongside the counter guard.
+    pub resolve_on_cost_ratio: Option<f64>,
 }
 
 /// Default repair-drift bound (see
@@ -76,6 +90,7 @@ impl Default for ReschedulePolicy {
             threshold: 1.5,
             prefer_repair: true,
             resolve_after_repairs: Some(RESOLVE_AFTER_REPAIRS),
+            resolve_on_cost_ratio: None,
         }
     }
 }
@@ -107,11 +122,44 @@ pub enum RescheduleVerdict {
         predicted_saving_ns: i64,
         /// Bandwidth change (new - old), Gbit/s·link (negative = saving).
         bandwidth_delta_gbps: f64,
-        /// `true` when the proposal came from the incremental repair path:
-        /// its claims carry live snapshot stamps, so the committer should
-        /// install it through the strict `migrate_if_current` gate.
-        via_repair: bool,
+        /// `Some(delta)` when the proposal came from the incremental
+        /// repair path: the claims delta is the repair's interference
+        /// footprint (together with the proposal's recorded read region),
+        /// and the committer should install it through the strict,
+        /// delta-scoped repair intent. `None` for full re-solves, which go
+        /// through the fit-checked migration intent.
+        repair_delta: Option<crate::ClaimsDelta>,
     },
+}
+
+/// The weight-drift trigger rule, shared by [`consider`] and the
+/// fault-storm differential harness so both always test the same policy:
+/// with `ratio` set, a repair is *drifted* — and must be abandoned for a
+/// full re-solve — when its repaired broadcast tree costs more than
+/// `ratio ×` the scheduler's fresh-cost estimate
+/// ([`Scheduler::estimate_fresh_cost`], a Mehlhorn shadow-solve under the
+/// repair's exact weight regime). `None`, a path-plan repair, or an
+/// unavailable estimate never trips.
+pub fn repair_cost_drifted(
+    ratio: Option<f64>,
+    scheduler: &dyn Scheduler,
+    task: &AiTask,
+    current: &Schedule,
+    repair: &crate::RepairProposal,
+    snapshot: &NetworkSnapshot,
+    scratch: &mut ScratchPool,
+) -> bool {
+    let Some(ratio) = ratio else {
+        return false;
+    };
+    let repaired_cost = match &repair.proposal.schedule.broadcast {
+        crate::RoutingPlan::Tree { tree, .. } => tree.total_weight,
+        _ => 0.0,
+    };
+    matches!(
+        scheduler.estimate_fresh_cost(task, current, snapshot, scratch),
+        Ok(Some(fresh)) if fresh.is_finite() && repaired_cost > ratio * fresh
+    )
 }
 
 /// Consider rescheduling `task` (currently running `current`, with
@@ -159,39 +207,53 @@ pub fn consider(
 
     // Repair path: live snapshot, incremental surgery, unconditional
     // migration. Any failure (no tree damage, orphan unreachable, rate
-    // below floor) falls through to the full re-solve below.
+    // below floor, or a tripped weight-drift trigger) falls through to the
+    // full re-solve below.
     if policy.prefer_repair && !drift_tripped {
         let mut live_snap = NetworkSnapshot::capture(state);
         if let Some(opt) = optical {
             live_snap = live_snap.with_optical(opt);
         }
         if let Ok(Some(repair)) = scheduler.propose_repair(task, current, &live_snap, scratch) {
-            let mut with_candidate = state.clone();
-            current.release(&mut with_candidate)?;
-            // Pricing only: the committer re-validates the claims at
-            // migration time; a candidate that no longer applies cleanly
-            // here would be rejected there too.
-            if repair.proposal.schedule.apply(&mut with_candidate).is_ok() {
-                let candidate_report = evaluate_schedule(
-                    task,
-                    &repair.proposal.schedule,
-                    &with_candidate,
-                    cluster,
-                    transport,
-                )?;
-                let per_iter_saving =
-                    current_report.iteration_ns() as i64 - candidate_report.iteration_ns() as i64;
-                let bandwidth_delta_gbps = repair
-                    .proposal
-                    .schedule
-                    .total_bandwidth_gbps(state.topo())?
-                    - current.total_bandwidth_gbps(state.topo())?;
-                return Ok(RescheduleVerdict::Migrate {
-                    new_proposal: Box::new(repair.proposal),
-                    predicted_saving_ns: per_iter_saving * i64::from(remaining_iterations),
-                    bandwidth_delta_gbps,
-                    via_repair: true,
-                });
+            // Weight-drift trigger: only real, measured drift sends the
+            // decision down the full re-solve path. Checked before the
+            // pricing clone below, which a drifted repair never needs.
+            if !repair_cost_drifted(
+                policy.resolve_on_cost_ratio,
+                scheduler,
+                task,
+                current,
+                &repair,
+                &live_snap,
+                scratch,
+            ) {
+                let mut with_candidate = state.clone();
+                current.release(&mut with_candidate)?;
+                // Pricing only: the committer re-validates the claims at
+                // migration time; a candidate that no longer applies
+                // cleanly here would be rejected there too.
+                if repair.proposal.schedule.apply(&mut with_candidate).is_ok() {
+                    let candidate_report = evaluate_schedule(
+                        task,
+                        &repair.proposal.schedule,
+                        &with_candidate,
+                        cluster,
+                        transport,
+                    )?;
+                    let per_iter_saving = current_report.iteration_ns() as i64
+                        - candidate_report.iteration_ns() as i64;
+                    let bandwidth_delta_gbps = repair
+                        .proposal
+                        .schedule
+                        .total_bandwidth_gbps(state.topo())?
+                        - current.total_bandwidth_gbps(state.topo())?;
+                    return Ok(RescheduleVerdict::Migrate {
+                        predicted_saving_ns: per_iter_saving * i64::from(remaining_iterations),
+                        bandwidth_delta_gbps,
+                        new_proposal: Box::new(repair.proposal),
+                        repair_delta: Some(repair.delta),
+                    });
+                }
             }
         }
     }
@@ -231,7 +293,7 @@ pub fn consider(
             new_proposal: Box::new(candidate),
             predicted_saving_ns: total_saving,
             bandwidth_delta_gbps,
-            via_repair: false,
+            repair_delta: None,
         })
     } else {
         Ok(RescheduleVerdict::Keep {
@@ -331,8 +393,8 @@ mod tests {
             &ReschedulePolicy {
                 interruption_ns: 1_000,
                 threshold: 1.0,
-                prefer_repair: true,
                 resolve_after_repairs: None,
+                ..ReschedulePolicy::default()
             },
             &sched,
             &task,
@@ -400,11 +462,14 @@ mod tests {
         .unwrap();
         match verdict {
             RescheduleVerdict::Migrate {
-                via_repair,
+                repair_delta,
                 new_proposal,
                 ..
             } => {
-                assert!(via_repair, "tree schedules must take the repair path");
+                assert!(
+                    repair_delta.is_some(),
+                    "tree schedules must take the repair path"
+                );
                 for (dl, _) in new_proposal.schedule.reservations(state.topo()).unwrap() {
                     assert_ne!(dl.link, victim);
                 }
@@ -473,11 +538,14 @@ mod tests {
         .unwrap();
         match verdict {
             RescheduleVerdict::Migrate {
-                via_repair,
+                repair_delta,
                 new_proposal,
                 ..
             } => {
-                assert!(via_repair, "soft failures must take the repair path");
+                assert!(
+                    repair_delta.is_some(),
+                    "soft failures must take the repair path"
+                );
                 for (dl, _) in new_proposal.schedule.reservations(state.topo()).unwrap() {
                     assert_ne!(dl.link, victim, "repair must leave the dead fiber");
                 }
@@ -533,15 +601,82 @@ mod tests {
         };
         // Below the bound the repair path still runs...
         match verdict(2) {
-            RescheduleVerdict::Migrate { via_repair, .. } => {
-                assert!(via_repair, "counter below bound must still repair")
+            RescheduleVerdict::Migrate { repair_delta, .. } => {
+                assert!(
+                    repair_delta.is_some(),
+                    "counter below bound must still repair"
+                )
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
         }
         // ...at the bound the same consideration is forced to re-solve.
         match verdict(3) {
-            RescheduleVerdict::Migrate { via_repair, .. } => {
-                assert!(!via_repair, "tripped counter must force a full re-solve")
+            RescheduleVerdict::Migrate { repair_delta, .. } => {
+                assert!(
+                    repair_delta.is_none(),
+                    "tripped counter must force a full re-solve"
+                )
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+        }
+    }
+
+    #[test]
+    fn cost_ratio_trigger_routes_measured_drift_to_full_resolve() {
+        let (mut state, cluster, task) = rig();
+        let sched = FlexibleMst::paper();
+        let current = schedule_with(&sched, &state, &task);
+        current.apply(&mut state).unwrap();
+        let victim = current
+            .reservations(state.topo())
+            .unwrap()
+            .into_iter()
+            .map(|(dl, _)| dl.link)
+            .find(|l| {
+                let link = state.topo().link(*l).unwrap();
+                let a = state.topo().node(link.a).unwrap().kind;
+                let b = state.topo().node(link.b).unwrap().kind;
+                a == flexsched_topo::NodeKind::Roadm && b == flexsched_topo::NodeKind::Roadm
+            })
+            .expect("metro schedules cross the WDM ring");
+        state.set_down(victim, true).unwrap();
+        let verdict = |ratio: Option<f64>| {
+            consider(
+                &ReschedulePolicy {
+                    interruption_ns: 1_000,
+                    threshold: 1.0,
+                    resolve_after_repairs: None,
+                    resolve_on_cost_ratio: ratio,
+                    ..ReschedulePolicy::default()
+                },
+                &sched,
+                &task,
+                &current,
+                8,
+                0,
+                &state,
+                None,
+                &cluster,
+                &Transport::tcp(),
+                &mut ScratchPool::new(),
+            )
+            .unwrap()
+        };
+        // A generous ratio sees no measurable drift: the repair stands.
+        match verdict(Some(1_000.0)) {
+            RescheduleVerdict::Migrate { repair_delta, .. } => {
+                assert!(repair_delta.is_some(), "loose ratio must keep the repair")
+            }
+            RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+        }
+        // Ratio zero trips on any positive repaired cost: the same
+        // consideration is forced down the full re-solve path.
+        match verdict(Some(0.0)) {
+            RescheduleVerdict::Migrate { repair_delta, .. } => {
+                assert!(
+                    repair_delta.is_none(),
+                    "zero ratio must force a full re-solve"
+                )
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
         }
@@ -585,8 +720,8 @@ mod tests {
         )
         .unwrap();
         match verdict {
-            RescheduleVerdict::Migrate { via_repair, .. } => {
-                assert!(!via_repair, "full_resolve must not repair");
+            RescheduleVerdict::Migrate { repair_delta, .. } => {
+                assert!(repair_delta.is_none(), "full_resolve must not repair");
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
         }
@@ -606,8 +741,8 @@ mod tests {
             &ReschedulePolicy {
                 interruption_ns: u64::MAX / 4,
                 threshold: 1_000.0,
-                prefer_repair: true,
                 resolve_after_repairs: None,
+                ..ReschedulePolicy::default()
             },
             &sched,
             &task,

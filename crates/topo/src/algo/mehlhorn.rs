@@ -73,6 +73,12 @@ pub fn steiner_tree_sparse(
 /// [`steiner_tree_sparse`] with pooled scratch: the two searches and every
 /// work array come from `pool`, so a warm scheduling loop allocates nothing
 /// beyond the result tree.
+///
+/// The construction's read region — recorded into the pool's
+/// [`crate::algo::ReadLog`] — is the **whole link set**: the boundary scan
+/// walks every topology edge (weight + Voronoi labels), so unlike KMB's
+/// early-exiting searches a sparse-closure decision genuinely consults
+/// every link.
 pub fn steiner_tree_sparse_in(
     topo: &Topology,
     root: NodeId,
@@ -100,6 +106,7 @@ pub fn steiner_tree_sparse_in(
     pool.give_back(root_spt);
     pool.give_back_steiner_bufs(bufs);
     pool.give_back_weights(weights);
+    pool.read_log_mut().record_all(topo.link_count());
     result
 }
 

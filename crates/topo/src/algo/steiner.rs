@@ -542,6 +542,13 @@ pub fn steiner_tree(
 /// per-terminal searches reuse `pool`'s buffers instead of allocating, so a
 /// scheduler that keeps one pool per thread allocates no shortest-path
 /// state in steady operation.
+///
+/// As a side effect, every search's consulted links are absorbed into the
+/// pool's [`crate::algo::ReadLog`] — the construction's semantic read
+/// region. (The eager per-link weight pass above is only a cache; the
+/// decision depends on exactly the entries the searches consult, and the
+/// later MST/prune/rooting steps touch only links the searches already
+/// visited.)
 pub fn steiner_tree_in(
     topo: &Topology,
     root: NodeId,
@@ -560,6 +567,7 @@ pub fn steiner_tree_in(
     pool.give_back_steiner_bufs(bufs);
     pool.give_back_weights(weights);
     for s in spts {
+        pool.read_log_mut().absorb(&s);
         pool.give_back(s);
     }
     result

@@ -8,7 +8,14 @@
 #   comparable performance trajectory. Since BENCH_4 the snapshot merges
 #   three sources:
 #     * sched_throughput  — decision/batch/repair throughput (BENCH_1..3
-#       point names preserved),
+#       point names preserved). Since BENCH_5 the batch section also
+#       emits per-regime speculation quality under wave ordering:
+#       `batch_speculation/{spec,wave}-hit-rate|waves|recomputes|
+#       write-conflicts|read-conflicts/<regime>/w4` — round-1 and
+#       per-wave speculation hit rates, wave counts and the recompute /
+#       write-write / read-write conflict counters behind them (BENCH_2's
+#       metro-15 baseline was 1/16 round-1 hits with every conflict
+#       recomputed inline in the serial commit loop),
 #     * closure_ablation  — KMB vs Mehlhorn closure latency at k up to 200
 #       terminals on metro / spine-leaf / fat-tree + blocking no-regression,
 #     * gamma_sweep       — wavelength-headroom weight vs blocking
