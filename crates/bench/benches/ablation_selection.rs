@@ -27,6 +27,7 @@ fn bench_selection(c: &mut Criterion) {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
 
     let mut g = c.benchmark_group("selection_strategies");

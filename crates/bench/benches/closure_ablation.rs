@@ -47,6 +47,7 @@ fn make_task(topo: &Topology, n: usize) -> AiTask {
         iterations: 3,
         comm_budget_ms: 50.0,
         arrival_ns: 0,
+        class: Default::default(),
     }
 }
 

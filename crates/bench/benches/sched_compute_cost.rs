@@ -24,6 +24,7 @@ fn make_task(topo: &flexsched_topo::Topology, n: usize) -> AiTask {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     }
 }
 

@@ -58,6 +58,7 @@ fn make_task(topo: &Topology, n: usize) -> AiTask {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     }
 }
 
@@ -180,6 +181,7 @@ fn make_batch(
                 iterations: 1,
                 comm_budget_ms: 100.0,
                 arrival_ns: i as u64,
+                class: Default::default(),
             };
             (task, sel)
         })
@@ -494,9 +496,11 @@ fn bench_repair(c: &mut Criterion) {
     ] {
         let storms = 10u64;
         let mut blocked = [0.0f64; 2];
+        let mut blocked_class = [[0.0f64; 3]; 2];
         let mut rate = [0.0f64; 2];
         for (slot, mode) in [(0, Mode::Repair), (1, Mode::Resolve)] {
             let mut acc_blocked = 0.0;
+            let mut acc_class = [0.0f64; 3];
             let mut decisions = 0u64;
             let mut elapsed = std::time::Duration::ZERO;
             for seed in 0..storms {
@@ -511,8 +515,15 @@ fn bench_repair(c: &mut Criterion) {
                 elapsed += world.resched_time;
                 decisions += world.resched_decisions;
                 acc_blocked += world.blocking_probability();
+                let by_class = world.blocking_by_class();
+                for (acc, b) in acc_class.iter_mut().zip(by_class) {
+                    *acc += b;
+                }
             }
             blocked[slot] = acc_blocked / storms as f64;
+            for (out, acc) in blocked_class[slot].iter_mut().zip(acc_class) {
+                *out = acc / storms as f64;
+            }
             rate[slot] = decisions as f64 / elapsed.as_secs_f64();
         }
         criterion::record_metric(
@@ -535,6 +546,19 @@ fn bench_repair(c: &mut Criterion) {
             format!("blocking-prob/resolve/{label}"),
             blocked[1],
         );
+        // Per-tenant-class split of the same quality number (the overload
+        // PR's reporting axis): Critical-class blocking is the series the
+        // SLO tracks across snapshots — it must not regress while the
+        // gate sheds the metered classes elsewhere.
+        for (slot, mode_label) in [(0usize, "repair"), (1, "resolve")] {
+            for class in flexsched_task::ServiceClass::ALL {
+                criterion::record_metric(
+                    "repair_quality",
+                    format!("blocking-prob/{mode_label}-{}/{label}", class.label()),
+                    blocked_class[slot][class.index()],
+                );
+            }
+        }
     }
 }
 

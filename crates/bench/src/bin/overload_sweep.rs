@@ -1,0 +1,114 @@
+//! Overload sweep: sustained 1×/2×/4×/10× arrival storms through the
+//! admission gate, reporting per-class blocking, shed rate and gate /
+//! decision latency percentiles per point.
+//!
+//! The ROADMAP's overload-control item: the gate's buckets are calibrated
+//! to the 1× per-class offered rates, so everything beyond design load is
+//! shed from the metered classes (Standard, BestEffort) *at the gate* and
+//! the fabric keeps running at ≈1×. The headline check — asserted here,
+//! not just printed — is that a 4× storm leaves Critical-class blocking
+//! within one percentage point of its 1× baseline while BestEffort
+//! absorbs the shedding, and that every offered task terminates
+//! (committed or shed; no livelock).
+//!
+//! Run: `cargo run --release -p flexsched-bench --bin overload_sweep`
+//! (set `FLEXSCHED_BENCH_JSON=/path.json` to snapshot the points,
+//! `FLEXSCHED_BENCH_QUICK=1` for a fast smoke pass).
+
+use flexsched_bench::overload::{run_point, OverloadConfig, OverloadReport};
+use flexsched_task::ServiceClass;
+
+/// Seed-mean of one per-report scalar.
+fn mean(reports: &[OverloadReport], f: impl Fn(&OverloadReport) -> f64) -> f64 {
+    reports.iter().map(&f).sum::<f64>() / reports.len().max(1) as f64
+}
+
+fn main() {
+    let quick = std::env::var("FLEXSCHED_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let multipliers: &[f64] = if quick {
+        &[1.0, 4.0]
+    } else {
+        &[1.0, 2.0, 4.0, 10.0]
+    };
+    let (base_tasks, seeds) = if quick { (40usize, 1u64) } else { (80, 3) };
+
+    println!("overload sweep: sustained storms through the admission gate");
+    println!("(production tenant mix, buckets calibrated to the 1x rates)");
+    let mut crit_baseline: Option<f64> = None;
+    for &m in multipliers {
+        // Population scales with the rate so every point covers the same
+        // logical-time window — a sustained storm, not a burst.
+        let n_tasks = (base_tasks as f64 * m).round() as usize;
+        let reports: Vec<OverloadReport> = (0..seeds)
+            .map(|s| {
+                let r = run_point(&OverloadConfig::calibrated(m, n_tasks, s * 31 + 11));
+                r.check_accounting()
+                    .unwrap_or_else(|e| panic!("x{m} seed {s}: {e}"));
+                println!(
+                    "   x{m:<4} seed {s}: blocking crit {:.4} std {:.4} be {:.4} | gate p99 {} ns | decision p99 {} ns",
+                    r.outcomes.blocking(ServiceClass::Critical),
+                    r.outcomes.blocking(ServiceClass::Standard),
+                    r.outcomes.blocking(ServiceClass::BestEffort),
+                    r.admission_p99_ns,
+                    r.decision_p99_ns,
+                );
+                r
+            })
+            .collect();
+        for class in ServiceClass::ALL {
+            let l = class.label();
+            criterion::record_metric(
+                "overload",
+                format!("blocking/{l}/x{m}"),
+                mean(&reports, |r| r.outcomes.blocking(class)),
+            );
+            criterion::record_metric(
+                "overload",
+                format!("shed-rate/{l}/x{m}"),
+                mean(&reports, |r| r.outcomes.shed_rate(class)),
+            );
+        }
+        criterion::record_metric(
+            "overload",
+            format!("admission-p50-ns/x{m}"),
+            mean(&reports, |r| r.admission_p50_ns as f64),
+        );
+        criterion::record_metric(
+            "overload",
+            format!("admission-p99-ns/x{m}"),
+            mean(&reports, |r| r.admission_p99_ns as f64),
+        );
+        criterion::record_metric(
+            "overload",
+            format!("decision-p50-ns/x{m}"),
+            mean(&reports, |r| r.decision_p50_ns as f64),
+        );
+        criterion::record_metric(
+            "overload",
+            format!("decision-p99-ns/x{m}"),
+            mean(&reports, |r| r.decision_p99_ns as f64),
+        );
+
+        let crit_mean = mean(&reports, |r| r.outcomes.blocking(ServiceClass::Critical));
+        match crit_baseline {
+            None => crit_baseline = Some(crit_mean),
+            Some(base) if m <= 4.0 => {
+                // The acceptance bar: under a sustained 4× storm the gate
+                // must hold Critical at its design-load service level.
+                assert!(
+                    crit_mean <= base + 0.01,
+                    "x{m}: Critical blocking {crit_mean:.4} regressed past baseline {base:.4} + 1pp"
+                );
+                let be_shed = mean(&reports, |r| r.outcomes.shed_rate(ServiceClass::BestEffort));
+                let crit_shed = mean(&reports, |r| r.outcomes.shed_rate(ServiceClass::Critical));
+                assert!(
+                    be_shed >= crit_shed,
+                    "x{m}: BestEffort must absorb at least Critical's shedding"
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    criterion::write_json_if_requested();
+    println!("overload sweep: all per-point invariants held");
+}

@@ -8,8 +8,8 @@
 //! rescheduling [`Mode`]:
 //!
 //! * [`Mode::Repair`] — incremental tree repair first (speculated against
-//!   one per-step snapshot, committed through the strict
-//!   `migrate_if_current` gate, recomputed once on rejection), full
+//!   one per-step snapshot, committed through the strict migration gate,
+//!   recomputed under a bounded [`RetryPolicy`] on rejection), full
 //!   re-solve as the fallback.
 //! * [`Mode::Resolve`] — the pre-repair policy: every affected task is
 //!   fully re-solved and migrated through the fit-checked gate.
@@ -24,11 +24,11 @@ use flexsched_compute::{ClusterManager, ServerSpec};
 use flexsched_optical::{softfail, OpticalState, SoftFailure};
 use flexsched_orchestrator::{Committer, Database, Intent, OrchError};
 use flexsched_sched::{
-    reschedule, FlexibleMst, NetworkSnapshot, Proposal, ReschedulePolicy, Scheduler,
+    reschedule, FlexibleMst, NetworkSnapshot, Proposal, ReschedulePolicy, RetryPolicy, Scheduler,
 };
 use flexsched_simnet::Transport;
 use flexsched_simnet::{DirLink, NetworkState};
-use flexsched_task::{generate_workload, AiTask, TaskId, WorkloadConfig};
+use flexsched_task::{generate_workload, AiTask, TaskId, WorkloadConfig, PRODUCTION_CLASS_MIX};
 use flexsched_topo::algo::ScratchPool;
 use flexsched_topo::{builders, Direction, LinkId, Topology};
 use rand::rngs::StdRng;
@@ -258,6 +258,12 @@ pub struct World {
     /// too slow for throughput runs, so only the differential harness
     /// switches this on.
     verify_rejections: bool,
+    /// Retry budget for strict-commit rejections on the repair path. The
+    /// default (`max_attempts: 2`) reproduces the original hard-coded
+    /// behaviour — one speculated attempt plus one fresh-state recompute —
+    /// before falling back to a full re-solve; overload studies raise or
+    /// shrink it via [`World::with_retry`].
+    retry: RetryPolicy,
     /// Total scheduling decisions across the world's lifetime.
     pub decisions: u64,
     /// Total repair-path migrations.
@@ -298,6 +304,11 @@ impl World {
         );
         let mut cfg = WorkloadConfig::seeded_scenario(seed, n_tasks, locals);
         cfg.comm_budget_ms = (40.0, 80.0); // modest demand: storms, not melt-downs
+
+        // Tenant classes ride a third RNG stream, so placement, demand and
+        // arrivals stay byte-identical to the class-less scenario — only
+        // the per-class reporting axis is new.
+        cfg.class_mix = PRODUCTION_CLASS_MIX;
         let tasks = generate_workload(&topo, &cfg);
         let mut world = World {
             mode,
@@ -312,6 +323,10 @@ impl World {
             resolve_after: None,
             resolve_ratio: None,
             verify_rejections: false,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
             decisions: 0,
             repairs: 0,
             resolves: 0,
@@ -352,6 +367,14 @@ impl World {
         self
     }
 
+    /// Set the strict-commit retry budget for the repair path (see
+    /// [`RetryPolicy`]; the default of 2 attempts reproduces the original
+    /// one-recompute behaviour).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Tasks currently running.
     pub fn running(&self) -> &BTreeSet<TaskId> {
         &self.running
@@ -366,6 +389,30 @@ impl World {
     /// probability the REACH-style evaluation compares.
     pub fn blocking_probability(&self) -> f64 {
         1.0 - self.running.len() as f64 / self.tasks.len().max(1) as f64
+    }
+
+    /// Blocking probability split by tenant class, indexed by
+    /// [`flexsched_task::ServiceClass::index`] (the repair-vs-resolve comparison reported
+    /// per class; an unpopulated class reads 0.0). The denominators are the
+    /// seeded population per class, so the per-class numbers recombine to
+    /// [`World::blocking_probability`] exactly.
+    pub fn blocking_by_class(&self) -> [f64; 3] {
+        let mut total = [0usize; 3];
+        let mut served = [0usize; 3];
+        for (id, task) in &self.tasks {
+            let i = task.class.index();
+            total[i] += 1;
+            if self.running.contains(id) {
+                served[i] += 1;
+            }
+        }
+        let mut out = [0.0f64; 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            if total[i] > 0 {
+                *o = 1.0 - served[i] as f64 / total[i] as f64;
+            }
+        }
+        out
     }
 
     /// Distinct links the running schedules reserve on (storm bias input).
@@ -480,55 +527,77 @@ impl World {
         }
     }
 
-    /// One pre-repair-policy decision, exactly as the replaced code path
-    /// ran it: `reschedule::consider` with the full-re-solve policy —
-    /// evaluate the current schedule, build the without-us hypothetical,
-    /// re-run the full scheduler, price the candidate, apply the
-    /// interruption threshold — then migrate, or drop the task when its
-    /// schedule is structurally broken and nothing feasible came back.
+    /// One pre-repair-policy decision: `reschedule::consider` with the
+    /// full-re-solve policy — evaluate the current schedule, build the
+    /// without-us hypothetical, re-run the full scheduler, price the
+    /// candidate, apply the interruption threshold — then migrate, or drop
+    /// the task when its schedule is structurally broken and nothing
+    /// feasible came back. Strict-gate rejections (external writers racing
+    /// the migration) retry under the world's [`RetryPolicy`]: `consider`'s
+    /// own retry gate sheds the task once the budget is exhausted, so the
+    /// loop is bounded — no task livelocks on a contested migrate.
     fn full_decision(&mut self, id: TaskId, report: &mut StepReport) {
-        let Some(schedule) = self.db.schedule(id) else {
-            return;
-        };
         let task = self.tasks[&id].clone();
-        self.decisions += 1;
-        report.decisions += 1;
-        let scheduler = &self.scheduler;
-        let scratch = &mut self.scratch;
-        let verdict = self.db.read(|net, opt, cluster| {
-            reschedule::consider(
-                &ReschedulePolicy::full_resolve(),
-                scheduler,
-                &task,
-                &schedule,
-                5,
-                0,
-                net,
-                Some(opt),
-                cluster,
-                &Transport::tcp(),
-                scratch,
-            )
-        });
-        match verdict {
-            Ok(reschedule::RescheduleVerdict::Migrate { new_proposal, .. }) => {
-                if self
-                    .committer
-                    .apply(&self.db, Intent::migrate(&schedule, &new_proposal))
-                    .is_ok()
-                {
-                    self.db.store_schedule(new_proposal.schedule);
-                    self.resolves += 1;
-                    report.resolved += 1;
-                } else {
-                    self.drop_task(id, report);
+        let mut policy = ReschedulePolicy::full_resolve();
+        policy.retry = Some(self.retry);
+        let mut attempts = 0u32;
+        loop {
+            let Some(schedule) = self.db.schedule(id) else {
+                return;
+            };
+            self.decisions += 1;
+            report.decisions += 1;
+            let scheduler = &self.scheduler;
+            let scratch = &mut self.scratch;
+            let verdict = self.db.read(|net, opt, cluster| {
+                reschedule::consider(
+                    &policy,
+                    scheduler,
+                    &task,
+                    &schedule,
+                    5,
+                    0,
+                    attempts,
+                    net,
+                    Some(opt),
+                    cluster,
+                    &Transport::tcp(),
+                    scratch,
+                )
+            });
+            match verdict {
+                Ok(reschedule::RescheduleVerdict::Migrate { new_proposal, .. }) => {
+                    match self
+                        .committer
+                        .apply(&self.db, Intent::migrate(&schedule, &new_proposal))
+                    {
+                        Ok(_) => {
+                            self.db.store_schedule(new_proposal.schedule);
+                            self.resolves += 1;
+                            report.resolved += 1;
+                            return;
+                        }
+                        Err(OrchError::Rejected(_)) => {
+                            // Raced by another writer: re-decide against
+                            // fresh state; `consider` sheds once the retry
+                            // budget is gone.
+                            attempts += 1;
+                        }
+                        Err(e) => panic!("migration failed structurally: {e}"),
+                    }
                 }
-            }
-            Ok(reschedule::RescheduleVerdict::Keep { .. }) | Err(_) => {
-                // The policy kept (or failed to replace) the schedule; if
-                // it is structurally broken it serves nothing — drop it.
-                if self.schedule_structurally_broken(id) {
+                Ok(reschedule::RescheduleVerdict::Shed { .. }) => {
                     self.drop_task(id, report);
+                    return;
+                }
+                Ok(reschedule::RescheduleVerdict::Keep { .. }) | Err(_) => {
+                    // The policy kept (or failed to replace) the schedule;
+                    // if it is structurally broken it serves nothing —
+                    // drop it.
+                    if self.schedule_structurally_broken(id) {
+                        self.drop_task(id, report);
+                    }
+                    return;
                 }
             }
         }
@@ -672,7 +741,10 @@ impl World {
         }
         for (id, schedule, proposal) in speculated {
             let mut attempt = proposal;
-            let mut retried = false;
+            // Commit attempts burned so far; the world's RetryPolicy bounds
+            // the recompute loop (default budget 2 = the original
+            // one-recompute behaviour) before full re-solve takes over.
+            let mut attempts = 0u32;
             loop {
                 match attempt.take() {
                     Some((p, delta)) => {
@@ -693,12 +765,12 @@ impl World {
                                 if let Some(before) = before {
                                     report.rejections_bit_identical &= before == self.world_fmt();
                                 }
-                                if retried {
+                                attempts += 1;
+                                if self.retry.exhausted(attempts) {
                                     self.full_resolve(id, report);
                                     break;
                                 }
-                                retried = true;
-                                // Recompute against fresh state, once.
+                                // Recompute against fresh state, boundedly.
                                 let fresh = self.db.snapshot();
                                 self.decisions += 1;
                                 report.decisions += 1;
@@ -807,6 +879,44 @@ mod tests {
                 StormEvent::LinkUp(l) => assert!(down.remove(l), "up of a live link"),
                 _ => {}
             }
+        }
+    }
+
+    #[test]
+    fn blocking_by_class_recombines_to_the_aggregate() {
+        let topo = StormTopology::Metro.build();
+        let mut world = World::new(Mode::Repair, Arc::clone(&topo), 10, 4, 13);
+        let events = generate_events(&topo, &world.footprint_links(), 12, 13);
+        for ev in &events {
+            world.step(ev);
+        }
+        // The production mix populates more than one class at n=10, and
+        // the per-class fractions recombine to the aggregate exactly.
+        let by_class = world.blocking_by_class();
+        let mut total = [0usize; 3];
+        for t in world.tasks.values() {
+            total[t.class.index()] += 1;
+        }
+        assert!(total.iter().filter(|n| **n > 0).count() >= 2);
+        let blocked: f64 = (0..3).map(|i| by_class[i] * total[i] as f64).sum();
+        let aggregate = world.blocking_probability() * world.tasks.len() as f64;
+        assert!((blocked - aggregate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_mix_does_not_perturb_placement() {
+        // The class stream is independent: a world built from the
+        // class-less scenario config serves the identical task set.
+        let topo = StormTopology::Metro.build();
+        let world = World::new(Mode::Repair, Arc::clone(&topo), 8, 4, 17);
+        let mut cfg = WorkloadConfig::seeded_scenario(17, 8, 4);
+        cfg.comm_budget_ms = (40.0, 80.0);
+        let classless = generate_workload(&topo, &cfg);
+        for t in &classless {
+            let w = world.task(t.id).expect("same population");
+            assert_eq!(w.global_site, t.global_site);
+            assert_eq!(w.local_sites, t.local_sites);
+            assert_eq!(w.arrival_ns, t.arrival_ns);
         }
     }
 

@@ -5,6 +5,7 @@
 
 pub mod baseline;
 pub mod faultstorm;
+pub mod overload;
 
 use flexsched_orchestrator::{RunSummary, Testbed, TestbedConfig};
 use flexsched_sched::{FixedSpff, FlexibleMst, ReschedulePolicy, Scheduler, SelectionStrategy};

@@ -52,6 +52,7 @@ fn make_task(topo: &Topology, n_locals: usize, seed: u64) -> AiTask {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     }
 }
 

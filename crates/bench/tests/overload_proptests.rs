@@ -1,0 +1,37 @@
+//! Property tests for the overload harness's determinism contract.
+//!
+//! The control plane's overload decisions advance in logical time only —
+//! token-bucket refills, watermark hysteresis, jittered backoff — so one
+//! seed and one policy must reproduce the **identical** admit / degrade /
+//! shed sequence and a **bit-identical** final database, run after run.
+//! Wall-clock latency is measured but never steers. This is what makes
+//! overload incidents replayable offline from a seed.
+
+use flexsched_bench::overload::{run_point, OverloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed + same policy ⇒ same verdict sequence, same per-class
+    /// outcome counts, bit-identical final database.
+    #[test]
+    fn admission_determinism(
+        seed in 0u64..1_000,
+        mult_pick in 0usize..3,
+        n_tasks in 20usize..60,
+    ) {
+        let multiplier = [1.0, 4.0, 10.0][mult_pick];
+        let cfg = OverloadConfig::calibrated(multiplier, n_tasks, seed);
+        let a = run_point(&cfg);
+        let b = run_point(&cfg);
+        prop_assert_eq!(&a.verdicts, &b.verdicts, "verdict sequence diverged");
+        prop_assert_eq!(&a.outcomes, &b.outcomes, "terminal outcomes diverged");
+        prop_assert_eq!(&a.gate.admitted, &b.gate.admitted);
+        prop_assert_eq!(&a.gate.degraded, &b.gate.degraded);
+        prop_assert_eq!(&a.gate.shed, &b.gate.shed);
+        prop_assert_eq!(&a.db_fingerprint, &b.db_fingerprint,
+            "final databases are not bit-identical");
+        a.check_accounting().unwrap();
+    }
+}

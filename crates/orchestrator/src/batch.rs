@@ -168,10 +168,29 @@ pub struct BatchReport {
     /// benches and testbed report honest hit rates instead of inferring
     /// them from one aggregate counter.
     pub read_conflicts: u64,
-    /// Every task in the order it was *decided* (committed or blocked) —
-    /// the serialisation witness: running
+    /// Wave deferrals: how many times a speculated proposal was pushed to
+    /// the next round because its footprint interfered with the current
+    /// wave (the sum of the per-deferral events behind `conflicts` +
+    /// `read_conflicts`, plus blocked-speculation re-tries). Distinguishes
+    /// "retried later" from "dropped": a deferred task is still pending,
+    /// a shed one is gone.
+    pub deferred: u64,
+    /// Tasks dropped because they exhausted the scheduler's retry budget
+    /// ([`BatchScheduler::defer_budget`]) — deferred or strict-rejected
+    /// too many times without ever being *decided* unschedulable. Under
+    /// the default budget this never fires for batches smaller than the
+    /// budget (a wave commits at least one task per round, so every
+    /// pending task is decided within `batch.len()` rounds); it exists so
+    /// adversarial load cannot spin a task through unbounded
+    /// re-speculation.
+    pub shed: Vec<TaskId>,
+    /// Every task in the order it was *decided* (committed, blocked or
+    /// shed) — the serialisation witness: running
     /// [`BatchScheduler::run_sequential`] over the batch reordered this
-    /// way reproduces the wave outcome bit-for-bit (pinned by proptest).
+    /// way reproduces the wave outcome bit-for-bit (pinned by proptest;
+    /// exact when nothing was shed — a shed task has no sequential
+    /// analogue, which the default budget makes unreachable for ordinary
+    /// batches).
     pub decision_order: Vec<TaskId>,
 }
 
@@ -186,6 +205,16 @@ pub struct BatchReport {
 pub struct BatchScheduler {
     /// Bound on recomputes per task after commit conflicts.
     pub max_retries: u32,
+    /// Retry budget on wave deferrals per task: a task deferred (or
+    /// strict-rejected) more than this many times is *shed* — reported in
+    /// [`BatchReport::shed`] — instead of re-speculated forever. The
+    /// default (64) is far above what any terminating batch needs (each
+    /// round decides at least one task, so a task is deferred at most
+    /// `batch.len() − 1` times); it is the anti-livelock backstop for
+    /// adversarial or externally-raced batches, sized so the
+    /// wave-equivalence serialisation contract stays exact for ordinary
+    /// workloads.
+    pub defer_budget: u32,
     /// Rate floor handed to every snapshot, Gbit/s.
     pub min_rate_gbps: f64,
     /// Candidate-path count handed to every snapshot.
@@ -205,6 +234,7 @@ impl BatchScheduler {
         let workers = workers.max(1);
         BatchScheduler {
             max_retries: 3,
+            defer_budget: 64,
             min_rate_gbps: 0.5,
             k_paths: 3,
             pool: (workers > 1).then(|| WorkerPool::spawn(workers)),
@@ -304,6 +334,10 @@ impl BatchScheduler {
         // intra-batch invalidation), so they are bounded like the old
         // recompute retries.
         let mut rejections = vec![0u32; batch.len()];
+        // Wave-deferral count per task: every trip back to `next_pending`
+        // burns one unit of `defer_budget`; exhaustion sheds the task
+        // (anti-livelock backstop — unreachable for ordinary batches).
+        let mut defers = vec![0u32; batch.len()];
 
         let mut pending: Vec<usize> = (0..batch.len()).collect();
         let mut round = 0u32;
@@ -347,7 +381,14 @@ impl BatchScheduler {
                             } else {
                                 report.read_conflicts += 1;
                             }
-                            next_pending.push(idx);
+                            report.deferred += 1;
+                            defers[idx] += 1;
+                            if defers[idx] > self.defer_budget {
+                                report.decision_order.push(task.id);
+                                report.shed.push(task.id);
+                            } else {
+                                next_pending.push(idx);
+                            }
                             continue;
                         }
                         match committer.apply(db, Intent::admit_speculated(&proposal)) {
@@ -377,8 +418,9 @@ impl BatchScheduler {
                                 rejections[idx] += 1;
                                 if rejections[idx] > self.max_retries {
                                     report.decision_order.push(task.id);
-                                    report.blocked.push(task.id);
+                                    report.shed.push(task.id);
                                 } else {
+                                    report.deferred += 1;
                                     next_pending.push(idx);
                                 }
                             }
@@ -401,7 +443,14 @@ impl BatchScheduler {
                             // The wave's earlier commits may have caused
                             // (or may cure) the failure; decide against
                             // fresh state next round.
-                            next_pending.push(idx);
+                            report.deferred += 1;
+                            defers[idx] += 1;
+                            if defers[idx] > self.defer_budget {
+                                report.decision_order.push(task.id);
+                                report.shed.push(task.id);
+                            } else {
+                                next_pending.push(idx);
+                            }
                         }
                     }
                     Err(e) => return Err(e.into()),
@@ -505,6 +554,7 @@ mod tests {
                     iterations: 1,
                     comm_budget_ms: 100.0,
                     arrival_ns: i as u64,
+                    class: Default::default(),
                 };
                 (task, sel)
             })
@@ -529,6 +579,51 @@ mod tests {
         bs.release_all(&db, &mut committer, &report).unwrap();
         assert!(db.total_reserved_gbps().abs() < 1e-9);
         assert_eq!(db.schedule_count(), 0);
+    }
+
+    #[test]
+    fn default_budget_never_sheds_and_counts_deferrals() {
+        let db = db();
+        let batch = mk_batch(&db, 8, 8);
+        let mut committer = Committer::new();
+        let mut bs = BatchScheduler::new(4);
+        let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
+        // Ordinary batches are far below the default budget: nothing is
+        // dropped, and every wave interference event shows up in the
+        // deferral counter (strict rejections need external writers,
+        // absent here, so `conflicts` is pure ww interference).
+        assert!(report.shed.is_empty());
+        assert_eq!(report.committed.len() + report.blocked.len(), 8);
+        assert!(report.deferred >= report.conflicts + report.read_conflicts);
+        bs.release_all(&db, &mut committer, &report).unwrap();
+    }
+
+    #[test]
+    fn zero_defer_budget_sheds_interfering_tasks_not_livelocks() {
+        let db = db();
+        // 8-site selections on metro-15 overlap heavily: waves degenerate
+        // toward singletons and later tasks defer. With a zero budget the
+        // first deferral sheds, so the batch still terminates with every
+        // task decided exactly once — committed, blocked, or shed.
+        let batch = mk_batch(&db, 8, 8);
+        let mut committer = Committer::new();
+        let mut bs = BatchScheduler::new(4);
+        bs.defer_budget = 0;
+        let report = bs.run(&db, &mut committer, &flex(), &batch).unwrap();
+        assert_eq!(
+            report.committed.len() + report.blocked.len() + report.shed.len(),
+            8
+        );
+        assert_eq!(report.decision_order.len(), 8);
+        assert!(
+            !report.shed.is_empty(),
+            "contended batch must shed at budget 0"
+        );
+        assert_eq!(report.deferred, report.shed.len() as u64);
+        // Shed tasks left nothing behind: only committed tasks hold state.
+        assert_eq!(db.schedule_count(), report.committed.len());
+        bs.release_all(&db, &mut committer, &report).unwrap();
+        assert!(db.total_reserved_gbps().abs() < 1e-9);
     }
 
     #[test]
@@ -621,6 +716,7 @@ mod tests {
                     iterations: 1,
                     comm_budget_ms: 100.0,
                     arrival_ns: i as u64,
+                    class: Default::default(),
                 };
                 (task, sel)
             })

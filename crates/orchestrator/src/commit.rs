@@ -25,9 +25,11 @@
 //! [`Conflict`] and leaves the state bit-identical, so the caller can
 //! re-speculate against a fresh snapshot and retry.
 //!
-//! The PR 2 `commit`/`commit_if_current`/`migrate`/`migrate_if_current`
-//! quartet survives as thin deprecated shims over [`Committer::apply`] for
-//! one release; see the README's migration notes.
+//! Conflicts split into *transient* ones (capacity or stamp races that a
+//! retry against a fresh snapshot can win — see
+//! [`Conflict::is_transient`]) and *structural* ones (malformed proposals
+//! that no retry fixes); the admission layer's
+//! [`RetryPolicy`](flexsched_sched::RetryPolicy) keys off this split.
 
 use crate::database::Database;
 use crate::sdn::SdnController;
@@ -93,6 +95,27 @@ pub enum Conflict {
         /// The consulted link whose stamp moved.
         link: LinkId,
     },
+}
+
+impl Conflict {
+    /// Whether a retry against a fresh snapshot can plausibly win.
+    ///
+    /// Capacity and stamp races ([`LinkDown`](Conflict::LinkDown),
+    /// [`StaleLink`](Conflict::StaleLink),
+    /// [`WavelengthTaken`](Conflict::WavelengthTaken),
+    /// [`StaleOptical`](Conflict::StaleOptical),
+    /// [`StaleRead`](Conflict::StaleRead)) are transient: the world moved,
+    /// a re-proposal sees the new world. A malformed proposal
+    /// ([`RateFloorViolated`](Conflict::RateFloorViolated)) or a claim on
+    /// a server the cluster does not have
+    /// ([`MissingServer`](Conflict::MissingServer)) is structural — the
+    /// same propose call returns the same claim, so retrying livelocks.
+    pub fn is_transient(&self) -> bool {
+        !matches!(
+            self,
+            Conflict::RateFloorViolated { .. } | Conflict::MissingServer { .. }
+        )
+    }
 }
 
 impl fmt::Display for Conflict {
@@ -441,25 +464,6 @@ impl Committer {
         }
     }
 
-    /// Deprecated shim for [`apply`](Committer::apply) with
-    /// [`Intent::admit`].
-    #[deprecated(since = "0.5.0", note = "use Committer::apply(db, Intent::admit(p))")]
-    pub fn commit(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
-        self.apply(db, Intent::admit(p))
-    }
-
-    /// Deprecated shim for [`apply`](Committer::apply) with
-    /// [`Intent::admit_speculated`]. Note the strict gate now stamps the
-    /// proposal's read region too (a [`Conflict::StaleRead`] where the old
-    /// claimed-links-only rule silently accepted).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use Committer::apply(db, Intent::admit_speculated(p))"
-    )]
-    pub fn commit_if_current(&mut self, db: &Database, p: &Proposal) -> Result<CommitReceipt> {
-        self.apply(db, Intent::admit_speculated(p))
-    }
-
     /// Release a committed task: remove its flow rules and free its
     /// groomed wavelengths.
     pub fn release(&mut self, db: &Database, task: TaskId, groomed: &[u64]) -> Result<()> {
@@ -513,39 +517,6 @@ impl Committer {
             Err(_) => self.rejections += 1,
         }
         outcome
-    }
-
-    /// Deprecated shim for [`apply`](Committer::apply) with
-    /// [`Intent::migrate`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use Committer::apply(db, Intent::migrate(old, p))"
-    )]
-    pub fn migrate(
-        &mut self,
-        db: &Database,
-        old: &Schedule,
-        p: &Proposal,
-    ) -> Result<CommitReceipt> {
-        self.apply(db, Intent::migrate(old, p))
-    }
-
-    /// Deprecated shim for [`apply`](Committer::apply) with
-    /// [`Intent::migrate_speculated`]. Repairs should use
-    /// [`Intent::repair`] instead, which scopes the stamp check to the
-    /// claims delta + read region rather than the whole tree.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use Committer::apply(db, Intent::migrate_speculated(old, p)) — \
-                or Intent::repair(old, p, delta) for incremental repairs"
-    )]
-    pub fn migrate_if_current(
-        &mut self,
-        db: &Database,
-        old: &Schedule,
-        p: &Proposal,
-    ) -> Result<CommitReceipt> {
-        self.apply(db, Intent::migrate_speculated(old, p))
     }
 
     /// Lifetime (commits, rejections) counters.
@@ -607,6 +578,7 @@ mod tests {
             iterations: 3,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (db, task)
     }

@@ -281,6 +281,7 @@ mod tests {
             iterations: 1,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         }
     }
 
@@ -398,6 +399,7 @@ mod tests {
                     iterations: 1,
                     comm_budget_ms: 10.0,
                     arrival_ns: 0,
+                    class: Default::default(),
                 },
             )
         });

@@ -30,6 +30,7 @@
 //!   proposals committed, run their iterations under background traffic and
 //!   faults, and emit [`flexsched_task::TaskReport`]s.
 
+pub mod admission;
 pub mod batch;
 pub mod bus;
 pub mod commit;
@@ -40,6 +41,10 @@ pub mod messages;
 pub mod sdn;
 pub mod testbed;
 
+pub use admission::{
+    admit_with_retry, AdmissionConfig, AdmissionController, AdmissionStats, AdmitOutcome,
+    ClassBucket, ShedReason, Verdict,
+};
 pub use batch::{BatchReport, BatchScheduler};
 pub use bus::ControllerHandle;
 pub use commit::{CommitReceipt, Committer, Conflict, Intent, Validation};

@@ -136,6 +136,7 @@ mod tests {
             iterations: 2,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (db, task)
     }

@@ -8,6 +8,7 @@
 //! faults. Every task produces a [`flexsched_task::TaskReport`]; the run
 //! summary aggregates the Figure 3a/3b metrics.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, Verdict};
 use crate::commit::Committer;
 use crate::database::{Database, TaskPhase};
 use crate::managers::AiTaskManager;
@@ -15,7 +16,8 @@ use crate::{OrchError, Result};
 use flexsched_compute::{ClusterManager, ServerSpec};
 use flexsched_optical::OpticalState;
 use flexsched_sched::{
-    evaluate_schedule, reschedule, NetworkSnapshot, ReschedulePolicy, Scheduler, SelectionStrategy,
+    evaluate_schedule, reschedule, FixedSpff, NetworkSnapshot, ReschedulePolicy, Scheduler,
+    SelectionStrategy,
 };
 use flexsched_simnet::fault::FaultSchedule;
 use flexsched_simnet::traffic::{TrafficConfig, TrafficGenerator};
@@ -54,6 +56,14 @@ pub struct TestbedConfig {
     pub max_retries: u32,
     /// Hard stop for the scenario clock.
     pub horizon: SimTime,
+    /// Admission gate in front of the pipeline; `None` (default) keeps
+    /// the legacy ungated behaviour (`retry_backoff` + `max_retries`).
+    /// With a gate, arrivals get typed verdicts — sheds re-present after
+    /// the verdict's backoff, blocked starts follow the gate's
+    /// [`flexsched_sched::RetryPolicy`] (jittered exponential backoff,
+    /// bounded attempts, decision deadline), and degraded mode routes
+    /// non-critical tasks to the cheap fixed-tree scheduler.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -72,6 +82,7 @@ impl Default for TestbedConfig {
             retry_backoff: SimTime::from_ms(10),
             max_retries: 500,
             horizon: SimTime::from_secs(60),
+            admission: None,
         }
     }
 }
@@ -108,6 +119,13 @@ pub struct RunSummary {
     pub duration: SimTime,
     /// Events processed by the engine.
     pub events: u64,
+    /// Tasks turned away for good by the admission gate or retry budget
+    /// (0 without a gate — legacy runs report them under `blocked`).
+    pub shed: u32,
+    /// Decisions routed through the degraded (fixed-tree) path.
+    pub degraded_decisions: u32,
+    /// Final per-class admission counters when a gate was configured.
+    pub admission: Option<AdmissionStats>,
 }
 
 #[derive(Debug)]
@@ -138,13 +156,23 @@ pub struct Testbed {
     traffic: Option<TrafficGenerator>,
     faults: FaultSchedule,
     scheduler: Box<dyn Scheduler>,
+    /// The cheap decision path degraded-mode verdicts route to.
+    degraded_scheduler: FixedSpff,
+    admission: Option<AdmissionController>,
     /// Warm Dijkstra/Steiner scratch reused across scheduling decisions
     /// (handed to each decision's `propose` call as `&mut`).
     scratch: flexsched_topo::algo::ScratchPool,
     tasks: Vec<AiTask>,
     active: BTreeMap<TaskId, ActiveTask>,
     reports: Vec<TaskReport>,
+    /// Tasks that arrived and are still waiting for a decision — the
+    /// admission gate's queue-depth signal.
+    waiting: usize,
+    /// Failed migration attempts per task (reschedule retry budget).
+    migrate_failures: BTreeMap<TaskId, u32>,
     blocked: u32,
+    shed: u32,
+    degraded_decisions: u32,
     retries: u32,
     reschedules: u32,
     repairs: u32,
@@ -177,6 +205,7 @@ impl Testbed {
         } else {
             FaultSchedule::new()
         };
+        let admission = cfg.admission.clone().map(AdmissionController::new);
         Testbed {
             cfg,
             db,
@@ -185,11 +214,17 @@ impl Testbed {
             traffic,
             faults,
             scheduler,
+            degraded_scheduler: FixedSpff,
+            admission,
             scratch: flexsched_topo::algo::ScratchPool::new(),
             tasks,
             active: BTreeMap::new(),
             reports: Vec::new(),
+            waiting: 0,
+            migrate_failures: BTreeMap::new(),
             blocked: 0,
+            shed: 0,
+            degraded_decisions: 0,
             retries: 0,
             reschedules: 0,
             repairs: 0,
@@ -213,8 +248,16 @@ impl Testbed {
     }
 
     /// Attempt to schedule and start a task via the snapshot → propose →
-    /// commit pipeline; returns false when blocked.
-    fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Ev>) -> Result<bool> {
+    /// commit pipeline; returns false when blocked. `degrade` routes the
+    /// decision through the cheap fixed-tree scheduler (the admission
+    /// gate's [`Verdict::Degrade`] path).
+    fn try_start(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        degrade: bool,
+        queue: &mut EventQueue<Ev>,
+    ) -> Result<bool> {
         let task = self.tasks[idx].clone();
         // Snapshot stage: selection and the frozen world view come from one
         // read lock, so they are mutually consistent.
@@ -229,10 +272,12 @@ impl Testbed {
         }
         // Propose stage: a pure decision against the snapshot, reusing the
         // warm scratch pool across tasks.
-        let proposal = match self
-            .scheduler
-            .propose(&task, &selected, &snap, &mut self.scratch)
-        {
+        let scheduler: &dyn Scheduler = if degrade {
+            &self.degraded_scheduler
+        } else {
+            &*self.scheduler
+        };
+        let proposal = match scheduler.propose(&task, &selected, &snap, &mut self.scratch) {
             Ok(p) => p,
             Err(flexsched_sched::SchedError::Blocked { .. })
             | Err(flexsched_sched::SchedError::Unreachable { .. }) => return Ok(false),
@@ -274,6 +319,103 @@ impl Testbed {
             },
         );
         Ok(true)
+    }
+
+    /// One arrival (or re-presentation) of task `idx`; `attempt` counts
+    /// prior tries (0 for the first arrival). Without a gate this is the
+    /// legacy flow: fixed backoff, `max_retries` attempts. With a gate the
+    /// arrival first gets a typed verdict, then the gate's
+    /// [`flexsched_sched::RetryPolicy`] bounds every failure path —
+    /// jittered exponential backoff, a hard attempt budget and a decision
+    /// deadline, so no task livelocks through the retry queue.
+    fn handle_arrival(
+        &mut self,
+        idx: usize,
+        attempt: u32,
+        now: SimTime,
+        queue: &mut EventQueue<Ev>,
+    ) -> Result<()> {
+        let Some(ctrl) = self.admission.as_mut() else {
+            if self.try_start(idx, now, false, queue)? {
+                self.waiting -= 1;
+            } else if attempt >= self.cfg.max_retries {
+                self.waiting -= 1;
+                self.blocked += 1;
+                self.db.set_phase(self.tasks[idx].id, TaskPhase::Blocked)?;
+            } else {
+                queue.schedule(
+                    now + self.cfg.retry_backoff,
+                    Ev::TaskRetry(idx, attempt + 1),
+                );
+            }
+            return Ok(());
+        };
+        let (id, class, arrival_ns) = {
+            let t = &self.tasks[idx];
+            (t.id, t.class, t.arrival_ns)
+        };
+        let retry = ctrl.config().retry;
+        // Queue depth excludes this arrival itself.
+        let verdict = ctrl.decide(class, now.as_ns(), self.waiting.saturating_sub(1));
+        let degrade = match verdict {
+            Verdict::Shed { retry_after_ns } => {
+                let next = now + SimTime::from_ns(retry_after_ns);
+                if retry.exhausted(attempt + 1) || retry.past_deadline(arrival_ns, next.as_ns()) {
+                    self.give_up_waiting(idx)?;
+                } else {
+                    queue.schedule(next, Ev::TaskRetry(idx, attempt + 1));
+                }
+                return Ok(());
+            }
+            Verdict::Degrade => {
+                self.degraded_decisions += 1;
+                true
+            }
+            Verdict::Admit => false,
+        };
+        let decision_started = std::time::Instant::now();
+        let started = self.try_start(idx, now, degrade, queue)?;
+        if let Some(ctrl) = self.admission.as_mut() {
+            ctrl.observe_decision_latency(decision_started.elapsed().as_nanos() as u64);
+        }
+        if started {
+            self.waiting -= 1;
+            return Ok(());
+        }
+        // Transient failure (no capacity, or a lost commit race): back off
+        // under the retry policy.
+        if retry.exhausted(attempt + 1) {
+            return self.give_up_waiting(idx);
+        }
+        let next = now + SimTime::from_ns(retry.backoff_ns(id, attempt + 1));
+        if retry.past_deadline(arrival_ns, next.as_ns()) {
+            return self.give_up_waiting(idx);
+        }
+        queue.schedule(next, Ev::TaskRetry(idx, attempt + 1));
+        Ok(())
+    }
+
+    /// Shed a task that never started: retry budget or deadline exhausted.
+    fn give_up_waiting(&mut self, idx: usize) -> Result<()> {
+        self.waiting -= 1;
+        self.shed += 1;
+        self.db.set_phase(self.tasks[idx].id, TaskPhase::Blocked)?;
+        Ok(())
+    }
+
+    /// Shed a *running* task whose reschedule retry budget is exhausted:
+    /// release its resources so survivors (and new arrivals) can use them.
+    fn shed_active(&mut self, id: TaskId) -> Result<()> {
+        if let Some(active) = self.active.remove(&id) {
+            if let Some(schedule) = self.db.take_schedule(id) {
+                self.committer
+                    .release(&self.db, schedule.task, &active.groomed)?;
+            }
+            self.db.set_phase(id, TaskPhase::Blocked)?;
+            self.shed += 1;
+            self.migrate_failures.remove(&id);
+        }
+        Ok(())
     }
 
     fn finish_task(&mut self, id: TaskId) -> Result<()> {
@@ -337,7 +479,25 @@ impl Testbed {
                 let a = &self.active[&id];
                 (a.task.clone(), a.remaining_iterations)
             };
-            let scheduler = &*self.scheduler;
+            // Degraded mode routes non-critical reconsiderations through
+            // the cheap fixed-tree scheduler and drops the repair
+            // shadow-solves; Critical keeps the full policy.
+            let degrade = task.class != flexsched_task::ServiceClass::Critical
+                && self.admission.as_ref().is_some_and(|c| c.is_degraded());
+            let scheduler: &dyn Scheduler = if degrade {
+                &self.degraded_scheduler
+            } else {
+                &*self.scheduler
+            };
+            let task_policy = if degrade {
+                policy.degraded()
+            } else {
+                policy.clone()
+            };
+            if degrade {
+                self.degraded_decisions += 1;
+            }
+            let retry_attempts = self.migrate_failures.get(&id).copied().unwrap_or(0);
             let scratch = &mut self.scratch;
             let repairs_so_far = self.db.repair_count(id);
             let drift_forced = policy
@@ -345,12 +505,13 @@ impl Testbed {
                 .is_some_and(|n| repairs_so_far >= n);
             let verdict = self.db.read(|net, opt, cluster| {
                 reschedule::consider(
-                    &policy,
+                    &task_policy,
                     scheduler,
                     &task,
                     &schedule,
                     remaining,
                     repairs_so_far,
+                    retry_attempts,
                     net,
                     Some(opt),
                     cluster,
@@ -391,6 +552,7 @@ impl Testbed {
                         let via_repair = repair_delta.is_some();
                         self.db.store_schedule(new_proposal.schedule);
                         self.reschedules += 1;
+                        self.migrate_failures.remove(&id);
                         if via_repair {
                             self.repairs += 1;
                             // Drift guard bookkeeping: consecutive repairs
@@ -402,7 +564,17 @@ impl Testbed {
                         if let Some(r) = self.reports.get_mut(self.active[&id].report_idx) {
                             r.reschedules += 1;
                         }
+                    } else {
+                        // A lost commit race counts against the task's
+                        // reschedule retry budget (when the policy sets
+                        // one); `consider` sheds it once exhausted.
+                        *self.migrate_failures.entry(id).or_insert(0) += 1;
                     }
+                }
+                Ok(reschedule::RescheduleVerdict::Shed { .. }) => {
+                    // Retry budget exhausted: release the task instead of
+                    // reconsidering it forever.
+                    self.shed_active(id)?;
                 }
                 Ok(reschedule::RescheduleVerdict::Keep { .. }) => {}
                 Err(_) => {} // candidate infeasible right now; keep running
@@ -458,24 +630,12 @@ impl Testbed {
             self.sample_bandwidth(now);
             match ev {
                 Ev::TaskArrive(idx) => {
-                    if !self.try_start(idx, now, &mut queue)? {
-                        queue.schedule(now + self.cfg.retry_backoff, Ev::TaskRetry(idx, 1));
-                    }
+                    self.waiting += 1;
+                    self.handle_arrival(idx, 0, now, &mut queue)?;
                 }
                 Ev::TaskRetry(idx, attempt) => {
                     self.retries += 1;
-                    if self.try_start(idx, now, &mut queue)? {
-                        continue;
-                    }
-                    if attempt >= self.cfg.max_retries {
-                        self.blocked += 1;
-                        self.db.set_phase(self.tasks[idx].id, TaskPhase::Blocked)?;
-                    } else {
-                        queue.schedule(
-                            now + self.cfg.retry_backoff,
-                            Ev::TaskRetry(idx, attempt + 1),
-                        );
-                    }
+                    self.handle_arrival(idx, attempt, now, &mut queue)?;
                 }
                 Ev::TaskComplete(id) => {
                     self.finish_task(id)?;
@@ -554,6 +714,9 @@ impl Testbed {
             groom_new_lights,
             duration,
             events: queue.processed(),
+            shed: self.shed,
+            degraded_decisions: self.degraded_decisions,
+            admission: self.admission.map(|c| c.stats().clone()),
             reports: self.reports,
         })
     }

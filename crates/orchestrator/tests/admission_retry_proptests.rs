@@ -1,0 +1,107 @@
+//! Property tests for the deadline-bounded retry loop
+//! ([`flexsched_orchestrator::admit_with_retry`]).
+//!
+//! The no-livelock contract: a task whose claimed path is *permanently*
+//! gone — here, the access link of a selected site is down for the whole
+//! run, so every fresh snapshot reproduces the same infeasibility — is
+//! shed after **exactly** `max_attempts` tries, under both schedulers,
+//! and leaves the database untouched. Nothing loops forever and nothing
+//! leaks: the retry budget, not luck, terminates the loop.
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_optical::OpticalState;
+use flexsched_orchestrator::{admit_with_retry, AdmitOutcome, Committer, Database, ShedReason};
+use flexsched_sched::{FixedSpff, FlexibleMst, RetryPolicy, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::{builders, LinkId, NodeId, NodeKind, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fresh_db(topo: &Arc<Topology>) -> Database {
+    Database::new(
+        NetworkState::new(Arc::clone(topo)),
+        OpticalState::new(Arc::clone(topo)),
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+/// The access link that strands a server: on the metro builder every
+/// server hangs off exactly one router span, so downing it disconnects
+/// the site permanently.
+fn access_link_of(topo: &Topology, server: NodeId) -> LinkId {
+    topo.links()
+        .iter()
+        .find(|l| l.a == server || l.b == server)
+        .map(|l| l.id)
+        .expect("metro servers have an access link")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite invariant: a permanently-down claimed link leads to
+    /// `Shed` after exactly `max_attempts` tries — no livelock, no
+    /// partial state — across both schedulers.
+    #[test]
+    fn retry_exhaustion_sheds_after_exactly_max_attempts(
+        max_attempts in 1u32..9,
+        victim_pick in 0usize..8,
+        locals in 2usize..5,
+        use_flexible in any::<bool>(),
+    ) {
+        let topo = Arc::new(builders::metro(&builders::MetroParams::default()));
+        let db = fresh_db(&topo);
+        let servers = topo.servers();
+        let global = servers[0];
+        let sel: Vec<NodeId> = (1..=locals).map(|k| servers[k % servers.len()]).collect();
+        // Strand one selected local site for the whole run.
+        let victim = sel[victim_pick % sel.len()];
+        prop_assume!(topo.node(victim).map(|n| n.kind) == Ok(NodeKind::Server));
+        let cut = access_link_of(&topo, victim);
+        db.write(|net, _, _| net.set_down(cut, true)).unwrap();
+
+        let task = AiTask {
+            id: TaskId(77),
+            model: ModelProfile::lenet(),
+            global_site: global,
+            local_sites: sel.clone(),
+            data_utility: Default::default(),
+            iterations: 1,
+            comm_budget_ms: 100.0,
+            arrival_ns: 0,
+            class: Default::default(),
+        };
+        let retry = RetryPolicy {
+            max_attempts,
+            // A deadline far beyond the worst-case backoff sum, so the
+            // budget — not the clock — is what terminates the loop.
+            deadline_ns: u64::MAX / 2,
+            ..RetryPolicy::default()
+        };
+        let scheduler: Box<dyn Scheduler> = if use_flexible {
+            Box::new(FlexibleMst::paper())
+        } else {
+            Box::new(FixedSpff)
+        };
+        let mut committer = Committer::new();
+        let mut scratch = ScratchPool::new();
+        let outcome = admit_with_retry(
+            &db, &mut committer, &*scheduler, &retry, &task, &sel, &mut scratch, 0,
+        )
+        .unwrap();
+        match outcome {
+            AdmitOutcome::Shed { attempts, reason, .. } => {
+                prop_assert_eq!(attempts, max_attempts,
+                    "budget must be burned exactly, not under- or overrun");
+                prop_assert!(matches!(reason, ShedReason::Exhausted),
+                    "permanent outage exhausts the budget, got {:?}", reason);
+            }
+            AdmitOutcome::Committed { .. } => panic!("committed across a stranded site"),
+        }
+        // Shedding is mutation-free: nothing was reserved, nothing stored.
+        prop_assert!(db.total_reserved_gbps().abs() < 1e-9);
+        prop_assert_eq!(db.schedule_count(), 0);
+    }
+}

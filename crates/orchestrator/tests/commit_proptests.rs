@@ -79,6 +79,7 @@ fn make_batch(topo: &Topology, specs: &[(usize, u64, u8)]) -> Vec<(AiTask, Vec<N
                 iterations: 1,
                 comm_budget_ms: 10.0 + f64::from(*budget),
                 arrival_ns: i as u64,
+                class: Default::default(),
             };
             (task, locals)
         })

@@ -40,6 +40,7 @@ fn rig() -> (Database, AiTask) {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
     (db, task)
 }
@@ -353,6 +354,7 @@ fn steering_rig() -> (
         iterations: 1,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
     // Load the short route so decisions against this state detour.
     set_short_route_load(&db, s1, s2, 80.0);
@@ -473,20 +475,21 @@ fn read_footprint_gap_is_closed_on_the_migrate_path_too() {
         .unwrap();
 }
 
-/// The deprecated PR 2 quartet still works as shims over `apply` (kept
-/// for one release; see the README migration notes).
+/// The full admit → migrate → strict-migrate lifecycle through the one
+/// typed-intent gate (the sequence the removed PR 2 shim quartet covered).
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_commit_and_migrate() {
+fn intent_lifecycle_commits_and_migrates() {
     let (db, task) = rig();
     let mut committer = Committer::new();
     let p1 = propose_live(&db, &task, 3);
-    committer.commit(&db, &p1).unwrap();
+    committer.apply(&db, Intent::admit(&p1)).unwrap();
     let p2 = propose_live(&db, &task, 3);
-    committer.migrate(&db, &p1.schedule, &p2).unwrap();
+    committer
+        .apply(&db, Intent::migrate(&p1.schedule, &p2))
+        .unwrap();
     let p3 = propose_live(&db, &task, 3);
     committer
-        .migrate_if_current(&db, &p2.schedule, &p3)
+        .apply(&db, Intent::migrate_speculated(&p2.schedule, &p3))
         .unwrap();
     let (commits, rejections) = committer.counters();
     assert_eq!((commits, rejections), (3, 0));

@@ -301,6 +301,7 @@ mod tests {
             iterations: 5,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         // Place containers so training sees real occupancy.
         cluster

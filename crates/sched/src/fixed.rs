@@ -217,6 +217,7 @@ mod tests {
             iterations: 3,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (state, task)
     }
@@ -387,6 +388,7 @@ mod tests {
             iterations: 1,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         let snap = NetworkSnapshot::capture(&state)
             .with_optical(&opt)

@@ -385,6 +385,7 @@ mod tests {
             iterations: 3,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (state, task)
     }
@@ -610,6 +611,7 @@ mod tests {
                 iterations: 1,
                 comm_budget_ms: 50.0,
                 arrival_ns: 0,
+                class: Default::default(),
             };
             assert!(task.local_sites.len() >= FlexibleMst::default().sparse_closure_threshold);
             let sparse = schedule_with(&FlexibleMst::default(), &state, &task);
@@ -711,6 +713,7 @@ mod tests {
             iterations: 1,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         let snap = NetworkSnapshot::capture(&state).with_optical(&opt);
         let aware = FlexibleMst::default()

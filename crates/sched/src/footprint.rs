@@ -228,6 +228,7 @@ mod tests {
             iterations: 3,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         let sched = FlexibleMst::paper();
         let p = sched

@@ -48,6 +48,7 @@ pub mod footprint;
 pub mod proposal;
 pub mod repair;
 pub mod reschedule;
+pub mod retry;
 pub mod schedule;
 pub mod selection;
 pub mod snapshot;
@@ -61,6 +62,7 @@ pub use footprint::{Footprint, Interference, ReadClaim};
 pub use proposal::{ClaimsDelta, LinkClaim, Proposal, ResourceClaims, WavelengthClaim};
 pub use repair::{BrokenLinks, RepairProposal};
 pub use reschedule::{ReschedulePolicy, RescheduleVerdict, RESOLVE_AFTER_REPAIRS};
+pub use retry::RetryPolicy;
 pub use schedule::{RatedPath, RoutingPlan, Schedule};
 pub use selection::SelectionStrategy;
 pub use snapshot::NetworkSnapshot;

@@ -280,6 +280,7 @@ mod tests {
             iterations: 3,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (state, task)
     }

@@ -582,6 +582,7 @@ mod tests {
             iterations: 5,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (state, task)
     }
@@ -783,6 +784,7 @@ mod tests {
             iterations: 1,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         let p = propose(&state, &task);
         p.schedule.apply(&mut state).unwrap();
@@ -836,6 +838,7 @@ mod tests {
             iterations: 1,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         let p = propose(&state, &task);
         p.schedule.apply(&mut state).unwrap();

@@ -25,6 +25,7 @@
 
 use crate::evaluate::evaluate_schedule;
 use crate::proposal::Proposal;
+use crate::retry::RetryPolicy;
 use crate::schedule::Schedule;
 use crate::snapshot::NetworkSnapshot;
 use crate::{Result, Scheduler};
@@ -73,6 +74,14 @@ pub struct ReschedulePolicy {
     /// `flexsched-bench/tests/repair_differential.rs` exercises
     /// {1.05, 1.25, 2.0} alongside the counter guard.
     pub resolve_on_cost_ratio: Option<f64>,
+    /// Retry budget for the reschedule path: when set, a consideration
+    /// whose caller-tracked `retry_attempts` counter has exhausted
+    /// [`RetryPolicy::max_attempts`] returns
+    /// [`RescheduleVerdict::Shed`] instead of proposing again — the task
+    /// is released rather than livelocked through endless failed
+    /// migrations. `None` (the default) keeps the pre-overload behaviour:
+    /// the caller retries forever.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Default repair-drift bound (see
@@ -91,6 +100,7 @@ impl Default for ReschedulePolicy {
             prefer_repair: true,
             resolve_after_repairs: Some(RESOLVE_AFTER_REPAIRS),
             resolve_on_cost_ratio: None,
+            retry: None,
         }
     }
 }
@@ -101,6 +111,18 @@ impl ReschedulePolicy {
         ReschedulePolicy {
             prefer_repair: false,
             ..Self::default()
+        }
+    }
+
+    /// The overload-degraded variant of this policy: identical knobs but
+    /// no repair shadow-solves — the weight-drift trigger (a Mehlhorn
+    /// estimate per considered repair) is the expensive part of a
+    /// consideration, so a tripped admission watermark turns it off for
+    /// non-critical tasks until load drains.
+    pub fn degraded(&self) -> Self {
+        ReschedulePolicy {
+            resolve_on_cost_ratio: None,
+            ..self.clone()
         }
     }
 }
@@ -129,6 +151,15 @@ pub enum RescheduleVerdict {
         /// delta-scoped repair intent. `None` for full re-solves, which go
         /// through the fit-checked migration intent.
         repair_delta: Option<crate::ClaimsDelta>,
+    },
+    /// Give up on the task: its retry budget
+    /// ([`ReschedulePolicy::retry`]) is exhausted. The caller should
+    /// release the task's resources instead of considering it again —
+    /// the bounded alternative to livelocking through migrations that
+    /// keep losing commit races.
+    Shed {
+        /// Failed attempts that exhausted the budget.
+        attempts: u32,
     },
 }
 
@@ -168,6 +199,10 @@ pub fn repair_cost_drifted(
 /// orchestrator's database maintains it); once it reaches
 /// [`ReschedulePolicy::resolve_after_repairs`] the repair path is skipped
 /// for this consideration, so a drifted tree gets rebuilt from scratch.
+/// `retry_attempts` is the caller-tracked count of this task's failed
+/// migration attempts (committer rejections of earlier `Migrate`
+/// verdicts); with [`ReschedulePolicy::retry`] set, an exhausted budget
+/// short-circuits to [`RescheduleVerdict::Shed`] before any proposal work.
 ///
 /// `state` must be the live network state *with `current` applied*;
 /// `optical` is the live optical state when the scenario models
@@ -190,12 +225,23 @@ pub fn consider(
     current: &Schedule,
     remaining_iterations: u32,
     repairs_since_resolve: u32,
+    retry_attempts: u32,
     state: &NetworkState,
     optical: Option<&flexsched_optical::OpticalState>,
     cluster: &ClusterManager,
     transport: &Transport,
     scratch: &mut ScratchPool,
 ) -> Result<RescheduleVerdict> {
+    // Retry-budget gate: an exhausted task is shed before any proposal
+    // work — no speculation, no pricing clone.
+    if let Some(retry) = &policy.retry {
+        if retry.exhausted(retry_attempts) {
+            return Ok(RescheduleVerdict::Shed {
+                attempts: retry_attempts,
+            });
+        }
+    }
+
     // Current cost under today's conditions.
     let current_report = evaluate_schedule(task, current, state, cluster, transport)?;
 
@@ -327,6 +373,7 @@ mod tests {
             iterations: 10,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: Default::default(),
         };
         (state, cluster, task)
     }
@@ -351,6 +398,7 @@ mod tests {
             &task,
             &current,
             8,
+            0,
             0,
             &state,
             None,
@@ -401,6 +449,7 @@ mod tests {
             &current,
             10,
             0,
+            0,
             &state,
             None,
             &cluster,
@@ -424,6 +473,7 @@ mod tests {
             RescheduleVerdict::Keep { rejected_saving_ns } => {
                 panic!("expected migration, saving was {rejected_saving_ns}")
             }
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -453,6 +503,7 @@ mod tests {
             &current,
             8,
             0,
+            0,
             &state,
             None,
             &cluster,
@@ -480,6 +531,7 @@ mod tests {
                 }
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -529,6 +581,7 @@ mod tests {
             &current,
             8,
             0,
+            0,
             &state,
             Some(&optical),
             &cluster,
@@ -555,6 +608,7 @@ mod tests {
                 );
             }
             RescheduleVerdict::Keep { .. } => panic!("spectrally dead span must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -591,6 +645,7 @@ mod tests {
                 &current,
                 8,
                 repairs,
+                0,
                 &state,
                 None,
                 &cluster,
@@ -608,6 +663,7 @@ mod tests {
                 )
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
         // ...at the bound the same consideration is forced to re-solve.
         match verdict(3) {
@@ -618,6 +674,7 @@ mod tests {
                 )
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -654,6 +711,7 @@ mod tests {
                 &current,
                 8,
                 0,
+                0,
                 &state,
                 None,
                 &cluster,
@@ -668,6 +726,7 @@ mod tests {
                 assert!(repair_delta.is_some(), "loose ratio must keep the repair")
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
         // Ratio zero trips on any positive repaired cost: the same
         // consideration is forced down the full re-solve path.
@@ -679,6 +738,7 @@ mod tests {
                 )
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -712,6 +772,7 @@ mod tests {
             &current,
             8,
             0,
+            0,
             &state,
             None,
             &cluster,
@@ -724,6 +785,7 @@ mod tests {
                 assert!(repair_delta.is_none(), "full_resolve must not repair");
             }
             RescheduleVerdict::Keep { .. } => panic!("broken tree must migrate"),
+            RescheduleVerdict::Shed { .. } => unreachable!("no retry policy set"),
         }
     }
 
@@ -749,6 +811,7 @@ mod tests {
             &current,
             2,
             0,
+            0,
             &state,
             None,
             &cluster,
@@ -773,6 +836,7 @@ mod tests {
             &task,
             &current,
             5,
+            0,
             0,
             &state,
             None,

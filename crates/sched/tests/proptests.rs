@@ -32,6 +32,7 @@ fn make_task(topo: &flexsched_topo::Topology, n_locals: usize, seed: u64) -> AiT
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     }
 }
 

@@ -1,12 +1,89 @@
 //! Seeded workload generation: "We generate 30 AI tasks to evaluate the
 //! proposed scheduling policy".
 
-use crate::task::{AiTask, TaskId};
+use crate::task::{AiTask, ServiceClass, TaskId};
 use flexsched_compute::ModelProfile;
 use flexsched_topo::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
+
+/// Inter-arrival process for generated workloads.
+///
+/// All three processes consume exactly one uniform draw per task from the
+/// parameter stream, so switching processes never perturbs the other task
+/// parameters (model, iterations, budget) of a given seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps with the configured mean.
+    /// This is the paper's evaluation process and the default.
+    Poisson,
+    /// Heavy-tailed gaps (Pareto with shape `alpha > 1`), scaled so the
+    /// mean gap matches the configured mean. Small `alpha` (e.g. 1.5)
+    /// yields machine-gun bursts separated by long silences — the
+    /// overload harness's storm fuel.
+    Pareto {
+        /// Tail exponent; must be `> 1` for a finite mean.
+        alpha: f64,
+    },
+    /// Diurnal rate modulation: exponential gaps whose mean swings
+    /// sinusoidally around the configured mean with the given period.
+    /// `trough_to_peak` in `(0, 1]` is the ratio of the slowest to the
+    /// fastest arrival rate (1.0 degenerates to Poisson).
+    Diurnal {
+        /// Modulation period, ns of scenario time.
+        period_ns: u64,
+        /// Ratio of trough arrival rate to peak arrival rate, `(0, 1]`.
+        trough_to_peak: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Gap to the next arrival given a uniform draw `u ∈ (0, 1)`, the
+    /// configured mean gap, and the current scenario time (for diurnal
+    /// modulation).
+    fn gap_ns(self, u: f64, mean_ns: u64, now_ns: u64) -> u64 {
+        let mean = mean_ns as f64;
+        let gap = match self {
+            // No clamp: byte-identical to the pre-tenant generator so
+            // every seeded scenario in the repo replays unchanged.
+            ArrivalProcess::Poisson => return (-u.ln() * mean).round() as u64,
+            ArrivalProcess::Pareto { alpha } => {
+                assert!(alpha > 1.0, "Pareto arrivals need alpha > 1, got {alpha}");
+                // Scale x_m so E[gap] = x_m * alpha / (alpha - 1) = mean.
+                let x_m = mean * (alpha - 1.0) / alpha;
+                x_m * u.powf(-1.0 / alpha)
+            }
+            ArrivalProcess::Diurnal {
+                period_ns,
+                trough_to_peak,
+            } => {
+                assert!(
+                    trough_to_peak > 0.0 && trough_to_peak <= 1.0,
+                    "trough_to_peak must be in (0, 1], got {trough_to_peak}"
+                );
+                // Rate multiplier swings between trough_to_peak and 1 with
+                // mean (1 + trough_to_peak) / 2; renormalise so the
+                // long-run mean gap stays the configured mean.
+                let phase = (now_ns % period_ns.max(1)) as f64 / period_ns.max(1) as f64;
+                let swing = (1.0 - trough_to_peak) / 2.0;
+                let rate_mult = (1.0 + trough_to_peak) / 2.0
+                    + swing * (2.0 * std::f64::consts::PI * phase).sin();
+                let mean_rate = (1.0 + trough_to_peak) / 2.0;
+                -u.ln() * mean * mean_rate / rate_mult
+            }
+        };
+        (gap.round() as u64).max(1)
+    }
+}
+
+/// Per-class workload weights `[critical, standard, best-effort]`; tasks
+/// draw their [`ServiceClass`] proportionally to these.
+pub type ClassMix = [u32; 3];
+
+/// The production-flavoured tenant mix the overload harness drives:
+/// 10% critical, 60% standard, 30% best-effort.
+pub const PRODUCTION_CLASS_MIX: ClassMix = [1, 6, 3];
 
 /// Workload generation parameters.
 #[derive(Debug, Clone)]
@@ -22,8 +99,13 @@ pub struct WorkloadConfig {
     pub iterations: (u32, u32),
     /// Communication budget per procedure, ms, inclusive range.
     pub comm_budget_ms: (f64, f64),
-    /// Mean inter-arrival gap between tasks, ns (exponential).
+    /// Mean inter-arrival gap between tasks, ns.
     pub mean_interarrival_ns: u64,
+    /// Inter-arrival process shaping the gaps around that mean.
+    pub arrival_process: ArrivalProcess,
+    /// Service-class weights `[critical, standard, best-effort]`. The
+    /// default is all-Standard, matching pre-tenant workloads.
+    pub class_mix: ClassMix,
     /// RNG seed.
     pub seed: u64,
 }
@@ -40,6 +122,8 @@ impl Default for WorkloadConfig {
             iterations: (3, 10),
             comm_budget_ms: (10.0, 40.0),
             mean_interarrival_ns: 2_000_000, // 2 ms
+            arrival_process: ArrivalProcess::Poisson,
+            class_mix: [0, 1, 0],
             seed: 2024,
         }
     }
@@ -77,6 +161,34 @@ impl WorkloadConfig {
             ..WorkloadConfig::default()
         }
     }
+
+    /// Tenant-aware variant: [`PRODUCTION_CLASS_MIX`] classes over the
+    /// default parameters. The overload and fault-storm harnesses use
+    /// this shape.
+    pub fn tenant_scenario(seed: u64, num_tasks: usize, locals_per_task: usize) -> Self {
+        WorkloadConfig {
+            class_mix: PRODUCTION_CLASS_MIX,
+            ..WorkloadConfig::seeded_scenario(seed, num_tasks, locals_per_task)
+        }
+    }
+}
+
+/// Draw a service class from the mix using one uniform draw from the
+/// dedicated class stream.
+fn draw_class(mix: ClassMix, rng: &mut StdRng) -> ServiceClass {
+    let total: u32 = mix.iter().sum();
+    assert!(
+        total > 0,
+        "class_mix must have at least one non-zero weight"
+    );
+    let mut pick = rng.random_range(0..total);
+    for (slot, weight) in mix.iter().enumerate() {
+        if pick < *weight {
+            return ServiceClass::ALL[slot];
+        }
+        pick -= weight;
+    }
+    unreachable!("pick < total by construction")
 }
 
 /// Generate a deterministic workload over the topology's servers.
@@ -97,12 +209,15 @@ pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
         servers.len()
     );
     let catalog = ModelProfile::catalog();
-    // Two independent streams: task parameters (model, iterations, budget,
-    // arrival) are drawn separately from site choices, so sweeping
+    // Three independent streams: task parameters (model, iterations,
+    // budget, arrival) are drawn separately from site choices, so sweeping
     // `locals_per_task` changes only the sites — the Figure-3 sweep points
-    // are paired experiments over the same 30 task parameterisations.
+    // are paired experiments over the same 30 task parameterisations. The
+    // class stream is likewise separate so changing the tenant mix keeps
+    // both the parameters and the placement of every task.
     let mut rng_params = StdRng::seed_from_u64(cfg.seed);
     let mut rng_sites = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut rng_class = StdRng::seed_from_u64(cfg.seed ^ 0xC2B2_AE3D_27D4_EB4F);
     let mut tasks = Vec::with_capacity(cfg.num_tasks);
     let mut arrival = 0u64;
 
@@ -132,7 +247,9 @@ pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
         let iterations = rng_params.random_range(cfg.iterations.0..=cfg.iterations.1);
         let comm_budget_ms = rng_params.random_range(cfg.comm_budget_ms.0..=cfg.comm_budget_ms.1);
         let u: f64 = rng_params.random_range(f64::EPSILON..1.0);
-        arrival += (-u.ln() * cfg.mean_interarrival_ns as f64).round() as u64;
+        arrival += cfg
+            .arrival_process
+            .gap_ns(u, cfg.mean_interarrival_ns, arrival);
 
         tasks.push(AiTask {
             id: TaskId(i as u64),
@@ -143,6 +260,7 @@ pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
             iterations,
             comm_budget_ms,
             arrival_ns: arrival,
+            class: draw_class(cfg.class_mix, &mut rng_class),
         });
     }
     tasks
@@ -246,6 +364,133 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let _ = generate_workload(&small, &cfg);
+    }
+
+    #[test]
+    fn default_mix_is_all_standard() {
+        for t in generate_workload(&topo(), &WorkloadConfig::default()) {
+            assert_eq!(t.class, ServiceClass::Standard);
+        }
+    }
+
+    #[test]
+    fn class_mix_changes_only_the_class() {
+        let t = topo();
+        let plain = generate_workload(&t, &WorkloadConfig::seeded(7));
+        let mixed = generate_workload(
+            &t,
+            &WorkloadConfig {
+                class_mix: PRODUCTION_CLASS_MIX,
+                ..WorkloadConfig::seeded(7)
+            },
+        );
+        assert_eq!(plain.len(), mixed.len());
+        for (a, b) in plain.iter().zip(&mixed) {
+            let mut b_as_standard = b.clone();
+            b_as_standard.class = ServiceClass::Standard;
+            assert_eq!(*a, b_as_standard);
+        }
+        // The production mix actually draws every class at 30 tasks.
+        for class in ServiceClass::ALL {
+            assert!(
+                mixed.iter().any(|t| t.class == class),
+                "mix never drew {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_scenario_uses_production_mix() {
+        let cfg = WorkloadConfig::tenant_scenario(5, 16, 4);
+        assert_eq!(cfg.class_mix, PRODUCTION_CLASS_MIX);
+        assert_eq!((cfg.num_tasks, cfg.locals_per_task, cfg.seed), (16, 4, 5));
+    }
+
+    #[test]
+    fn arrival_process_changes_only_arrivals() {
+        let t = topo();
+        let base = generate_workload(&t, &WorkloadConfig::seeded(3));
+        for process in [
+            ArrivalProcess::Pareto { alpha: 1.5 },
+            ArrivalProcess::Diurnal {
+                period_ns: 20_000_000,
+                trough_to_peak: 0.25,
+            },
+        ] {
+            let shaped = generate_workload(
+                &t,
+                &WorkloadConfig {
+                    arrival_process: process,
+                    ..WorkloadConfig::seeded(3)
+                },
+            );
+            for (a, b) in base.iter().zip(&shaped) {
+                let mut b_aligned = b.clone();
+                b_aligned.arrival_ns = a.arrival_ns;
+                assert_eq!(*a, b_aligned, "{process:?} perturbed non-arrival fields");
+            }
+            // Strictly increasing (the clamp guarantees a ≥1 ns gap).
+            for w in shaped.windows(2) {
+                assert!(w[1].arrival_ns > w[0].arrival_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_arrivals_are_heavy_tailed() {
+        // Same mean, heavier tail: the max gap under Pareto(1.5) should
+        // dominate the max exponential gap over a long run.
+        let gaps = |process: ArrivalProcess| -> Vec<u64> {
+            let tasks = generate_workload(
+                &topo(),
+                &WorkloadConfig {
+                    num_tasks: 400,
+                    arrival_process: process,
+                    ..WorkloadConfig::seeded(11)
+                },
+            );
+            tasks
+                .windows(2)
+                .map(|w| w[1].arrival_ns - w[0].arrival_ns)
+                .collect()
+        };
+        let poisson = gaps(ArrivalProcess::Poisson);
+        let pareto = gaps(ArrivalProcess::Pareto { alpha: 1.5 });
+        assert!(pareto.iter().max() > poisson.iter().max());
+        // Bursty: the median Pareto gap sits well below the mean.
+        let mut sorted = pareto.clone();
+        sorted.sort_unstable();
+        assert!(sorted[sorted.len() / 2] < 2_000_000);
+    }
+
+    #[test]
+    fn diurnal_rate_actually_swings() {
+        // Within one period the peak half should pack more arrivals than
+        // the trough half.
+        let period = 40_000_000u64;
+        let tasks = generate_workload(
+            &topo(),
+            &WorkloadConfig {
+                num_tasks: 600,
+                arrival_process: ArrivalProcess::Diurnal {
+                    period_ns: period,
+                    trough_to_peak: 0.2,
+                },
+                ..WorkloadConfig::seeded(13)
+            },
+        );
+        let (mut peak, mut trough) = (0u32, 0u32);
+        for t in &tasks {
+            if (t.arrival_ns % period) < period / 2 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak > trough + trough / 2,
+            "peak half {peak} not clearly above trough half {trough}"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub mod generator;
 pub mod report;
 pub mod task;
 
-pub use generator::{generate_workload, WorkloadConfig};
+pub use generator::{
+    generate_workload, ArrivalProcess, ClassMix, WorkloadConfig, PRODUCTION_CLASS_MIX,
+};
 pub use report::TaskReport;
-pub use task::{AiTask, TaskId};
+pub use task::{AiTask, ServiceClass, TaskId};

@@ -16,6 +16,64 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// Tenant service class of a task — the admission-control and degradation
+/// tier it is scheduled under when the control plane is overloaded.
+///
+/// * [`Critical`](ServiceClass::Critical) tasks always get the full
+///   flexible scheduling decision and are never shed by watermark trips.
+/// * [`Standard`](ServiceClass::Standard) tasks degrade to the cheap
+///   fixed-tree scheduler under overload and may be rate-limited.
+/// * [`BestEffort`](ServiceClass::BestEffort) tasks absorb the shedding:
+///   they are the first to be turned away when token buckets drain.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ServiceClass {
+    /// Latency/availability-sensitive tenant; never degraded or shed by
+    /// watermark trips.
+    Critical,
+    /// Default tier: full service normally, degraded decision quality
+    /// under overload.
+    #[default]
+    Standard,
+    /// Scavenger tier: admitted only when capacity is spare.
+    BestEffort,
+}
+
+impl ServiceClass {
+    /// All classes, highest priority first. Stable order used for
+    /// per-class metric arrays.
+    pub const ALL: [ServiceClass; 3] = [
+        ServiceClass::Critical,
+        ServiceClass::Standard,
+        ServiceClass::BestEffort,
+    ];
+
+    /// Dense index into per-class arrays (same order as [`ALL`](Self::ALL)).
+    pub fn index(self) -> usize {
+        match self {
+            ServiceClass::Critical => 0,
+            ServiceClass::Standard => 1,
+            ServiceClass::BestEffort => 2,
+        }
+    }
+
+    /// Short lowercase label for metric names and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceClass::Critical => "critical",
+            ServiceClass::Standard => "standard",
+            ServiceClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A distributed AI task: one global model, `N` local models.
 ///
 /// Sites are *server nodes* of the topology. The global site hosts the
@@ -42,6 +100,8 @@ pub struct AiTask {
     pub comm_budget_ms: f64,
     /// Arrival time, nanoseconds since scenario start.
     pub arrival_ns: u64,
+    /// Tenant service class — the admission/degradation tier.
+    pub class: ServiceClass,
 }
 
 impl AiTask {
@@ -119,6 +179,7 @@ mod tests {
             iterations: 5,
             comm_budget_ms: 10.0,
             arrival_ns: 0,
+            class: ServiceClass::default(),
         }
     }
 
@@ -171,5 +232,29 @@ mod tests {
     #[test]
     fn valid_task_passes() {
         task().validate().unwrap();
+    }
+
+    #[test]
+    fn service_class_defaults_to_standard() {
+        assert_eq!(ServiceClass::default(), ServiceClass::Standard);
+        assert_eq!(task().class, ServiceClass::Standard);
+    }
+
+    #[test]
+    fn service_class_indices_match_all_order() {
+        for (i, c) in ServiceClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        // Priority order: Critical outranks Standard outranks BestEffort.
+        assert!(ServiceClass::Critical < ServiceClass::Standard);
+        assert!(ServiceClass::Standard < ServiceClass::BestEffort);
+    }
+
+    #[test]
+    fn service_class_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            ServiceClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(ServiceClass::BestEffort.to_string(), "best-effort");
     }
 }

@@ -42,6 +42,7 @@ fn main() {
         iterations: 1,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
 
     let snap = NetworkSnapshot::capture(&state);

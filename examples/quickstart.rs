@@ -29,6 +29,7 @@ fn main() {
         iterations: 5,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
     println!(
         "task: {} locals, {:.1} MB per update, {:.1} Gbps demand",

@@ -19,7 +19,12 @@
 #     * closure_ablation  — KMB vs Mehlhorn closure latency at k up to 200
 #       terminals on metro / spine-leaf / fat-tree + blocking no-regression,
 #     * gamma_sweep       — wavelength-headroom weight vs blocking
-#       probability under spectral pressure.
+#       probability under spectral pressure,
+#     * overload_sweep    — (since BENCH_6) sustained 1x/2x/4x/10x storms
+#       through the admission gate: per-class blocking + shed rate and
+#       gate/decision latency percentiles (`overload/*`); the repair storm
+#       section also splits `blocking-prob/{repair,resolve}-<class>/...`
+#       per tenant class so the Critical series is trackable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
@@ -33,6 +38,9 @@ FLEXSCHED_BENCH_JSON="$TMP/closure.json" \
   cargo bench -p flexsched-bench --bench closure_ablation
 FLEXSCHED_BENCH_JSON="$TMP/gamma.json" \
   cargo run --release -p flexsched-bench --bin gamma_sweep
+FLEXSCHED_BENCH_JSON="$TMP/overload.json" \
+  cargo run --release -p flexsched-bench --bin overload_sweep
 
-jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" > "$OUT"
+jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" \
+  "$TMP/overload.json" > "$OUT"
 echo "wrote $OUT"

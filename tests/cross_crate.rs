@@ -23,6 +23,7 @@ fn rig() -> (Arc<flexsched::topo::Topology>, NetworkState, AiTask) {
         iterations: 3,
         comm_budget_ms: 10.0,
         arrival_ns: 0,
+        class: Default::default(),
     };
     (topo, state, task)
 }
