@@ -100,6 +100,151 @@ impl StormEvent {
             StormEvent::LinkDown(_) | StormEvent::LoadAdd(..) | StormEvent::SoftFail(_)
         )
     }
+
+    /// Lossless mapping onto the `flexsched-simcore` event vocabulary.
+    /// Every payload field survives the round trip ([`Self::from_sim_event`]
+    /// inverts this exactly): load rates travel as `f64::to_bits` and
+    /// soft-failure severity as the raw wavelength count, so a replayed
+    /// storm is bit-identical to the direct one.
+    pub fn to_sim_event(&self) -> flexsched_simcore::Event {
+        use flexsched_simcore::Event;
+        match *self {
+            StormEvent::LinkDown(link) => Event::LinkFault { link },
+            StormEvent::LinkUp(link) => Event::LinkRepair { link },
+            StormEvent::LoadAdd(dl, gbps) => Event::BackgroundLoad {
+                link: dl.link,
+                a_to_b: dl.dir == Direction::AtoB,
+                gbps_bits: gbps.to_bits(),
+                add: true,
+            },
+            StormEvent::LoadRemove(dl, gbps) => Event::BackgroundLoad {
+                link: dl.link,
+                a_to_b: dl.dir == Direction::AtoB,
+                gbps_bits: gbps.to_bits(),
+                add: false,
+            },
+            StormEvent::SoftFail(f) => Event::OpticalSoftFail {
+                link: f.link,
+                severity: f.severity,
+                heal: false,
+            },
+            StormEvent::Heal(f) => Event::OpticalSoftFail {
+                link: f.link,
+                severity: f.severity,
+                heal: true,
+            },
+        }
+    }
+
+    /// Inverse of [`Self::to_sim_event`]. `None` for simcore events outside
+    /// the storm vocabulary (task/traffic/control events).
+    pub fn from_sim_event(ev: &flexsched_simcore::Event) -> Option<StormEvent> {
+        use flexsched_simcore::Event;
+        Some(match *ev {
+            Event::LinkFault { link } => StormEvent::LinkDown(link),
+            Event::LinkRepair { link } => StormEvent::LinkUp(link),
+            Event::BackgroundLoad {
+                link,
+                a_to_b,
+                gbps_bits,
+                add,
+            } => {
+                let dl = DirLink::new(
+                    link,
+                    if a_to_b {
+                        Direction::AtoB
+                    } else {
+                        Direction::BtoA
+                    },
+                );
+                let gbps = f64::from_bits(gbps_bits);
+                if add {
+                    StormEvent::LoadAdd(dl, gbps)
+                } else {
+                    StormEvent::LoadRemove(dl, gbps)
+                }
+            }
+            Event::OpticalSoftFail {
+                link,
+                severity,
+                heal,
+            } => {
+                let f = SoftFailure { link, severity };
+                if heal {
+                    StormEvent::Heal(f)
+                } else {
+                    StormEvent::SoftFail(f)
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// A [`World`] mounted as a simcore component: scheduled fault / load /
+/// soft-fail events are decoded back into [`StormEvent`]s and stepped
+/// through the live control plane.
+///
+/// The differential harness (`tests/repair_differential.rs`) deliberately
+/// does *not* run through this: it steps two worlds in lockstep after each
+/// storm event to compare their databases at every intermediate state,
+/// and that index-synchronised recombination is clearer as a plain loop
+/// than as two simulations whose traces must be zipped back together.
+/// The replay path below exists for drivers that mix storms with other
+/// event sources (arrivals, traffic) on one clock — and as the pin that
+/// the simcore port is exact (`replay_matches_direct_stepping`).
+pub struct StormComponent {
+    /// The live world; `take`n back out after the run.
+    world: Option<World>,
+    /// Per-event step reports, in delivery order.
+    reports: Vec<StepReport>,
+}
+
+impl flexsched_simcore::Component for StormComponent {
+    fn handle(
+        &mut self,
+        _at: flexsched_simnet::SimTime,
+        event: flexsched_simcore::Event,
+        _ctx: &mut flexsched_simcore::SimContext<'_>,
+    ) {
+        if let (Some(storm), Some(world)) = (StormEvent::from_sim_event(&event), &mut self.world) {
+            self.reports.push(world.step(&storm));
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Replay a storm through the discrete-event engine: each event is
+/// scheduled one millisecond after the previous (the spacing is arbitrary
+/// — [`World::step`] is time-free — but distinct timestamps keep the
+/// trace readable), the simulation runs to completion, and the stepped
+/// world comes back out with its per-event reports.
+pub fn replay_storm(world: World, events: &[StormEvent]) -> (World, Vec<StepReport>) {
+    use flexsched_simnet::SimTime;
+    let mut sim = flexsched_simcore::Simulation::new();
+    let id = sim.add_component(
+        "storm-world",
+        Box::new(StormComponent {
+            world: Some(world),
+            reports: Vec::new(),
+        }),
+    );
+    for (i, ev) in events.iter().enumerate() {
+        sim.schedule_at(SimTime::from_ms(i as u64 + 1), id, ev.to_sim_event());
+    }
+    sim.run();
+    let comp = sim
+        .component_mut::<StormComponent>(id)
+        .expect("storm component registered above");
+    let world = comp.world.take().expect("world taken back after the run");
+    (world, std::mem::take(&mut comp.reports))
 }
 
 /// Generate a deterministic storm: `count` events biased towards `bias`
@@ -209,7 +354,7 @@ pub fn generate_events(
 }
 
 /// What one step did.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StepReport {
     /// Tasks whose footprint intersected the event's links.
     pub affected: usize,
@@ -918,6 +1063,43 @@ mod tests {
             assert_eq!(w.local_sites, t.local_sites);
             assert_eq!(w.arrival_ns, t.arrival_ns);
         }
+    }
+
+    #[test]
+    fn storm_events_round_trip_through_sim_vocabulary() {
+        let topo = StormTopology::Metro.build();
+        let world = World::new(Mode::Repair, Arc::clone(&topo), 6, 4, 33);
+        let events = generate_events(&topo, &world.footprint_links(), 40, 33);
+        assert!(!events.is_empty());
+        for ev in &events {
+            let round = StormEvent::from_sim_event(&ev.to_sim_event())
+                .expect("storm vocabulary maps onto sim events");
+            assert_eq!(*ev, round, "lossy sim-event mapping");
+        }
+    }
+
+    #[test]
+    fn replay_matches_direct_stepping() {
+        // The simcore replay is a port, not a re-interpretation: the same
+        // world stepped through the same storm — once as a plain loop,
+        // once as scheduled events — must end bit-identical, down to the
+        // mutation-stamped database debug representation.
+        let topo = StormTopology::Metro.build();
+        let events = {
+            let probe = World::new(Mode::Repair, Arc::clone(&topo), 6, 4, 29);
+            generate_events(&topo, &probe.footprint_links(), 24, 29)
+        };
+
+        let mut direct = World::new(Mode::Repair, Arc::clone(&topo), 6, 4, 29);
+        let direct_reports: Vec<StepReport> = events.iter().map(|ev| direct.step(ev)).collect();
+
+        let replay_world = World::new(Mode::Repair, Arc::clone(&topo), 6, 4, 29);
+        let (replayed, replay_reports) = replay_storm(replay_world, &events);
+
+        assert_eq!(direct_reports, replay_reports, "per-step reports differ");
+        assert_eq!(direct.running(), replayed.running());
+        let fp = |w: &World| w.db().read(|net, opt, _| format!("{net:?}|{opt:?}"));
+        assert_eq!(fp(&direct), fp(&replayed), "database fingerprints differ");
     }
 
     #[test]

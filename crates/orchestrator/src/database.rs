@@ -140,6 +140,21 @@ impl Database {
         Ok(())
     }
 
+    /// Remove a finished task's bookkeeping entirely: task record, repair
+    /// counter, and any stored schedule (reverse index maintained).
+    ///
+    /// Long-horizon event-driven runs prune each task at departure so
+    /// database memory stays bounded by *in-flight* tasks rather than total
+    /// tasks; short scenarios keep the records for post-run inspection.
+    pub fn forget_task(&self, id: TaskId) {
+        let mut g = self.inner.write();
+        if let Some(schedule) = g.schedules.remove(&id) {
+            g.index_schedule(&schedule, false);
+        }
+        g.tasks.remove(&id);
+        g.repair_counts.remove(&id);
+    }
+
     /// Fetch a task and its phase.
     pub fn task(&self, id: TaskId) -> Result<(AiTask, TaskPhase)> {
         self.inner

@@ -25,10 +25,15 @@
 //! * [`AiTaskManager`] — task admission, retry and lifecycle,
 //! * [`bus`] — a crossbeam-channel controller thread, demonstrating the
 //!   report/configure loop across real threads,
-//! * [`Testbed`] — the end-to-end discrete-event harness that regenerates
+//! * [`Testbed`] — the end-to-end fixed-tick harness that regenerates
 //!   the paper's evaluation: tasks arrive, get selected/placed, their
 //!   proposals committed, run their iterations under background traffic and
-//!   faults, and emit [`flexsched_task::TaskReport`]s.
+//!   faults, and emit [`flexsched_task::TaskReport`]s,
+//! * [`EventTestbed`] — the same scenario ported onto the
+//!   `flexsched-simcore` discrete-event engine: self-rescheduling arrivals,
+//!   departures at actual completion times, fault/repair event pairs and
+//!   `RetryDue` admission retries, yielding true per-task time-in-system
+//!   tails and bounded-memory million-task horizons.
 
 pub mod admission;
 pub mod batch;
@@ -36,6 +41,7 @@ pub mod bus;
 pub mod commit;
 pub mod database;
 pub mod error;
+pub mod event_testbed;
 pub mod managers;
 pub mod messages;
 pub mod sdn;
@@ -50,6 +56,7 @@ pub use bus::ControllerHandle;
 pub use commit::{CommitReceipt, Committer, Conflict, Intent, Validation};
 pub use database::Database;
 pub use error::OrchError;
+pub use event_testbed::{EventRunOutcome, EventTestbed, MemoryMode, SojournStats};
 pub use managers::AiTaskManager;
 pub use messages::ControlMessage;
 pub use sdn::SdnController;

@@ -126,6 +126,10 @@ pub struct RunSummary {
     pub degraded_decisions: u32,
     /// Final per-class admission counters when a gate was configured.
     pub admission: Option<AdmissionStats>,
+    /// Per-task time-in-system and queueing-delay tails. Only event-driven
+    /// runs ([`crate::EventTestbed`]) measure true per-task sojourn;
+    /// fixed-tick runs report `None`.
+    pub sojourn: Option<crate::event_testbed::SojournStats>,
 }
 
 #[derive(Debug)]
@@ -717,6 +721,7 @@ impl Testbed {
             shed: self.shed,
             degraded_decisions: self.degraded_decisions,
             admission: self.admission.map(|c| c.stats().clone()),
+            sojourn: None,
             reports: self.reports,
         })
     }

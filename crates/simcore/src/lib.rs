@@ -1,0 +1,34 @@
+//! # flexsched-simcore — deterministic discrete-event engine
+//!
+//! The simulation substrate for long-horizon scheduling studies: a
+//! dslab-core-style discrete-event core where *everything* is an event on
+//! one binary-heap queue keyed by `(SimTime, seq)`. The monotone `seq`
+//! makes tie-breaking reproducible, so a seeded run yields a bit-identical
+//! event trace on every execution.
+//!
+//! - [`Simulation`] owns the queue and the registered [`Component`]s;
+//!   `run` / `run_until` drive dispatch.
+//! - [`Event`] is the closed set of typed payloads (task arrivals and
+//!   departures, link faults and repairs, optical soft-failures, admission
+//!   retries, …). Components receive events via [`Component::handle`] and
+//!   schedule follow-ups through [`SimContext`] — arrivals re-arm
+//!   themselves, departures fire at actual completion times, `retry_after`
+//!   verdicts become [`Event::RetryDue`] instead of next-tick polls.
+//! - [`LatencyHistogram`] aggregates per-task sojourn / queueing delay in
+//!   fixed memory so million-task runs don't retain per-task state.
+//!
+//! Memory stays bounded by *pending* events: the engine retains nothing
+//! about dispatched events (beyond an optional trace for tests), and
+//! [`Simulation::peak_pending`] reports the high-water mark.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+
+pub use engine::{Component, ComponentId, SimContext, Simulation, TraceEntry};
+pub use event::{Event, EventKind};
+pub use metrics::LatencyHistogram;
+
+// Re-export the time type the queue is keyed by, so drivers that only need
+// the engine don't also have to name flexsched-simnet.
+pub use flexsched_simnet::SimTime;

@@ -1,0 +1,152 @@
+//! Engine determinism properties (nightly-deep runs these at
+//! `PROPTEST_CASES=256`).
+//!
+//! The contract under test: the engine contains no hidden nondeterminism.
+//! A pseudo-random component program — fan-out, delays, destinations, and
+//! event variants all drawn from a seeded RNG — must produce a
+//! bit-identical event trace (kind, time, seq, destination) and identical
+//! engine counters every time it runs, because ties break on the monotone
+//! `seq`, never on allocation or hash order.
+
+use flexsched_simcore::{Component, ComponentId, Event, SimContext, SimTime, Simulation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::any::Any;
+
+/// A component whose reaction to every event is drawn from its own seeded
+/// RNG: schedule 0–2 follow-up events at pseudo-random destinations and
+/// delays, stopping once a global event budget is spent.
+struct Chaos {
+    rng: StdRng,
+    peers: Vec<ComponentId>,
+    budget: u32,
+    handled: u64,
+}
+
+impl Chaos {
+    fn pick_event(&mut self) -> Event {
+        match self.rng.random_range(0..4u32) {
+            0 => Event::TaskArrival {
+                index: self.rng.random_range(0..1_000),
+                attempt: self.rng.random_range(0..4),
+            },
+            1 => Event::RetryDue {
+                index: self.rng.random_range(0..1_000),
+                attempt: self.rng.random_range(0..4),
+            },
+            2 => Event::TaskDeparture {
+                task: self.rng.random_range(0..1_000),
+            },
+            _ => Event::AdmissionReevaluate,
+        }
+    }
+}
+
+impl Component for Chaos {
+    fn handle(&mut self, _at: SimTime, _event: Event, ctx: &mut SimContext<'_>) {
+        self.handled += 1;
+        let fanout = self.rng.random_range(0..3u32).min(self.budget);
+        for _ in 0..fanout {
+            self.budget -= 1;
+            let dst = self.peers[self.rng.random_range(0..self.peers.len())];
+            let delay = SimTime::from_ns(self.rng.random_range(0..5_000_000));
+            let ev = self.pick_event();
+            ctx.schedule_after(delay, dst, ev);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build and run one chaos simulation; return its full trace plus the
+/// engine counters and per-component handled counts that a `RunSummary`
+/// would be derived from.
+fn run_chaos(
+    seed: u64,
+    n_components: usize,
+    seed_events: usize,
+) -> (Vec<flexsched_simcore::TraceEntry>, u64, usize, Vec<u64>) {
+    let mut sim = Simulation::with_trace();
+    let ids: Vec<ComponentId> = (0..n_components)
+        .map(|i| {
+            sim.add_component(
+                &format!("chaos-{i}"),
+                Box::new(Chaos {
+                    rng: StdRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                    peers: Vec::new(),
+                    budget: 64,
+                    handled: 0,
+                }),
+            )
+        })
+        .collect();
+    for &id in &ids {
+        sim.component_mut::<Chaos>(id).unwrap().peers = ids.clone();
+    }
+    let mut seeder = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    for i in 0..seed_events {
+        let dst = ids[seeder.random_range(0..ids.len())];
+        let at = SimTime::from_ns(seeder.random_range(0..1_000_000));
+        sim.schedule_at(
+            at,
+            dst,
+            Event::TaskArrival {
+                index: i as u64,
+                attempt: 0,
+            },
+        );
+    }
+    sim.run();
+    let handled = ids
+        .iter()
+        .map(|&id| sim.component::<Chaos>(id).unwrap().handled)
+        .collect();
+    (
+        sim.trace().to_vec(),
+        sim.processed(),
+        sim.peak_pending(),
+        handled,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ identical full event trace and identical summary
+    /// counters, for arbitrary component counts and seed-event loads.
+    #[test]
+    fn engine_trace_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n_components in 1usize..6,
+        seed_events in 1usize..24,
+    ) {
+        let a = run_chaos(seed, n_components, seed_events);
+        let b = run_chaos(seed, n_components, seed_events);
+        prop_assert_eq!(&a.0, &b.0, "trace diverged");
+        prop_assert_eq!(a.1, b.1, "processed count diverged");
+        prop_assert_eq!(a.2, b.2, "peak pending diverged");
+        prop_assert_eq!(&a.3, &b.3, "per-component handled counts diverged");
+    }
+
+    /// Trace invariants hold for any program: time is non-decreasing, and
+    /// seq strictly increases within each timestamp (FIFO tie-break).
+    #[test]
+    fn engine_trace_is_time_ordered_with_fifo_ties(
+        seed in any::<u64>(),
+        seed_events in 1usize..24,
+    ) {
+        let (trace, processed, _, _) = run_chaos(seed, 3, seed_events);
+        prop_assert_eq!(trace.len() as u64, processed);
+        for w in trace.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "time went backwards");
+            if w[0].at == w[1].at {
+                prop_assert!(w[0].seq < w[1].seq, "tie not FIFO");
+            }
+        }
+    }
+}

@@ -24,6 +24,17 @@ pub struct FaultEvent {
     pub down: bool,
 }
 
+impl FaultEvent {
+    /// Apply this single transition to `state`, regardless of its timestamp.
+    ///
+    /// Event-driven drivers schedule each transition as its own queue entry
+    /// and call this from the handler; tick drivers use
+    /// [`FaultSchedule::apply_due`] instead.
+    pub fn apply(&self, state: &mut NetworkState) -> Result<()> {
+        state.set_down(self.link, self.down)
+    }
+}
+
 /// A deterministic schedule of fault transitions, ordered by time.
 #[derive(Debug, Clone, Default)]
 pub struct FaultSchedule {
@@ -145,6 +156,24 @@ mod tests {
         assert!(applied.is_empty());
         assert!(!state.is_down(LinkId(0)));
         assert_eq!(s.events().len(), 2);
+    }
+
+    #[test]
+    fn apply_single_event_matches_apply_due() {
+        let topo = Arc::new(builders::linear(3, 1.0, 100.0));
+        let mut tick_state = NetworkState::new(Arc::clone(&topo));
+        let mut event_state = NetworkState::new(Arc::clone(&topo));
+        let mut s = FaultSchedule::new();
+        s.add_outage(LinkId(1), SimTime::from_ms(1), SimTime::from_ms(4));
+
+        for e in s.events().to_vec() {
+            e.apply(&mut event_state).unwrap();
+        }
+        s.apply_due(SimTime::from_ms(10), &mut tick_state).unwrap();
+        assert_eq!(
+            tick_state.is_down(LinkId(1)),
+            event_state.is_down(LinkId(1))
+        );
     }
 
     #[test]

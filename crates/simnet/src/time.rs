@@ -23,22 +23,22 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Construct from microseconds.
+    /// Construct from microseconds (saturates at `u64::MAX` ns).
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds (saturates at `u64::MAX` ns).
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
-    /// Construct from seconds.
+    /// Construct from seconds (saturates at `u64::MAX` ns).
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
     /// Value in nanoseconds.
@@ -70,29 +70,51 @@ impl SimTime {
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
+
+    /// Saturating addition (pins at `u64::MAX` ns instead of wrapping).
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow past `u64::MAX` ns (~584 years).
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Checked subtraction; `None` if `rhs` is later than `self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
 }
 
 impl Add for SimTime {
     type Output = SimTime;
+    /// Panics on overflow in every build profile: a wrapped clock would
+    /// silently reorder the event queue, which is far worse than aborting.
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.checked_add(rhs).expect("SimTime addition overflowed")
     }
 }
 
 impl AddAssign for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl Sub for SimTime {
     type Output = SimTime;
-    /// Panics on underflow in debug builds, like integer subtraction.
+    /// Panics on underflow in every build profile (instants never precede
+    /// simulation start; a wrapped duration would be absurdly large).
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        self.checked_sub(rhs)
+            .expect("SimTime subtraction underflowed")
     }
 }
 
@@ -153,5 +175,53 @@ mod tests {
     fn ordering_is_chronological() {
         assert!(SimTime::from_ns(1) < SimTime::from_us(1));
         assert!(SimTime::ZERO < SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn checked_ops_at_boundaries() {
+        let max = SimTime(u64::MAX);
+        assert_eq!(max.checked_add(SimTime::from_ns(1)), None);
+        assert_eq!(max.checked_add(SimTime::ZERO), Some(max));
+        assert_eq!(SimTime::ZERO.checked_sub(SimTime::from_ns(1)), None);
+        assert_eq!(max.checked_sub(max), Some(SimTime::ZERO));
+        assert_eq!(
+            SimTime(u64::MAX - 1).checked_add(SimTime::from_ns(1)),
+            Some(max)
+        );
+    }
+
+    #[test]
+    fn saturating_ops_pin_at_boundaries() {
+        let max = SimTime(u64::MAX);
+        assert_eq!(max.saturating_add(SimTime::from_secs(1)), max);
+        assert_eq!(SimTime::ZERO.saturating_sub(max), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_ns(5).saturating_add(SimTime::from_ns(7)),
+            SimTime::from_ns(12)
+        );
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimTime::from_ms(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimTime::from_us(u64::MAX), SimTime(u64::MAX));
+        // Largest exactly-representable horizon: ~584 years of nanoseconds.
+        assert_eq!(
+            SimTime::from_secs(18_446_744_073),
+            SimTime(18_446_744_073_000_000_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime addition overflowed")]
+    fn add_panics_on_overflow() {
+        let _ = SimTime(u64::MAX) + SimTime::from_ns(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime subtraction underflowed")]
+    fn sub_panics_on_underflow() {
+        let _ = SimTime::ZERO - SimTime::from_ns(1);
     }
 }

@@ -191,79 +191,151 @@ fn draw_class(mix: ClassMix, rng: &mut StdRng) -> ServiceClass {
     unreachable!("pick < total by construction")
 }
 
-/// Generate a deterministic workload over the topology's servers.
+/// A lazy, deterministic stream of workload tasks.
 ///
-/// Every task gets a distinct global site and `locals_per_task` distinct
-/// local sites (wrapping around the server list if needed — a server may
-/// host local models of several tasks, like the dockerised testbed).
+/// Event-driven drivers pull one task at a time — each arrival event pulls
+/// the next task and schedules itself at that task's `arrival_ns` — so a
+/// million-task horizon never materialises a million-element `Vec`. The
+/// stream performs *exactly* the same RNG draws in the same order as
+/// [`generate_workload`] (which is now implemented on top of it), so
+/// pulling `num_tasks` tasks yields byte-identical workloads either way.
 ///
 /// # Panics
-/// Panics if the topology has fewer than `locals_per_task + 1` servers or
-/// `model_mix` indexes outside the catalog.
-pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
-    let servers = topo.servers();
-    assert!(
-        servers.len() > cfg.locals_per_task,
-        "need at least {} servers, topology has {}",
-        cfg.locals_per_task + 1,
-        servers.len()
-    );
-    let catalog = ModelProfile::catalog();
-    // Three independent streams: task parameters (model, iterations,
-    // budget, arrival) are drawn separately from site choices, so sweeping
-    // `locals_per_task` changes only the sites — the Figure-3 sweep points
-    // are paired experiments over the same 30 task parameterisations. The
-    // class stream is likewise separate so changing the tenant mix keeps
-    // both the parameters and the placement of every task.
-    let mut rng_params = StdRng::seed_from_u64(cfg.seed);
-    let mut rng_sites = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
-    let mut rng_class = StdRng::seed_from_u64(cfg.seed ^ 0xC2B2_AE3D_27D4_EB4F);
-    let mut tasks = Vec::with_capacity(cfg.num_tasks);
-    let mut arrival = 0u64;
+/// `new` panics if the topology has fewer than `locals_per_task + 1`
+/// servers; pulling panics if `model_mix` indexes outside the catalog.
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    cfg: WorkloadConfig,
+    servers: Vec<NodeId>,
+    catalog: Vec<ModelProfile>,
+    rng_params: StdRng,
+    rng_sites: StdRng,
+    rng_class: StdRng,
+    arrival: u64,
+    produced: u64,
+}
 
-    for i in 0..cfg.num_tasks {
+impl WorkloadStream {
+    /// Start a stream over the topology's servers with the given config.
+    pub fn new(topo: &Topology, cfg: &WorkloadConfig) -> Self {
+        let servers = topo.servers();
+        assert!(
+            servers.len() > cfg.locals_per_task,
+            "need at least {} servers, topology has {}",
+            cfg.locals_per_task + 1,
+            servers.len()
+        );
+        // Three independent streams: task parameters (model, iterations,
+        // budget, arrival) are drawn separately from site choices, so
+        // sweeping `locals_per_task` changes only the sites — the Figure-3
+        // sweep points are paired experiments over the same 30 task
+        // parameterisations. The class stream is likewise separate so
+        // changing the tenant mix keeps both the parameters and the
+        // placement of every task.
+        WorkloadStream {
+            cfg: cfg.clone(),
+            servers,
+            catalog: ModelProfile::catalog(),
+            rng_params: StdRng::seed_from_u64(cfg.seed),
+            rng_sites: StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
+            rng_class: StdRng::seed_from_u64(cfg.seed ^ 0xC2B2_AE3D_27D4_EB4F),
+            arrival: 0,
+            produced: 0,
+        }
+    }
+
+    /// Tasks produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Tasks left before the stream ends (`cfg.num_tasks` total).
+    pub fn remaining(&self) -> u64 {
+        self.cfg.num_tasks as u64 - self.produced
+    }
+
+    fn next_task(&mut self) -> AiTask {
+        let cfg = &self.cfg;
         // Global site: uniform choice.
-        let global_site = servers[rng_sites.random_range(0..servers.len())];
+        let global_site = self.servers[self.rng_sites.random_range(0..self.servers.len())];
         // Local sites: sample without replacement, excluding the global.
-        let mut pool: Vec<NodeId> = servers
+        let mut pool: Vec<NodeId> = self
+            .servers
             .iter()
             .copied()
             .filter(|s| *s != global_site)
             .collect();
         let mut local_sites = Vec::with_capacity(cfg.locals_per_task);
         for _ in 0..cfg.locals_per_task {
-            let idx = rng_sites.random_range(0..pool.len());
+            let idx = self.rng_sites.random_range(0..pool.len());
             local_sites.push(pool.swap_remove(idx));
         }
         local_sites.sort();
 
         let mut data_utility = BTreeMap::new();
         for s in &local_sites {
-            data_utility.insert(*s, rng_sites.random_range(0.05..1.0));
+            data_utility.insert(*s, self.rng_sites.random_range(0.05..1.0));
         }
 
-        let model_idx = cfg.model_mix[rng_params.random_range(0..cfg.model_mix.len())];
-        let model = catalog[model_idx].clone();
-        let iterations = rng_params.random_range(cfg.iterations.0..=cfg.iterations.1);
-        let comm_budget_ms = rng_params.random_range(cfg.comm_budget_ms.0..=cfg.comm_budget_ms.1);
-        let u: f64 = rng_params.random_range(f64::EPSILON..1.0);
-        arrival += cfg
+        let model_idx = cfg.model_mix[self.rng_params.random_range(0..cfg.model_mix.len())];
+        let model = self.catalog[model_idx].clone();
+        let iterations = self
+            .rng_params
+            .random_range(cfg.iterations.0..=cfg.iterations.1);
+        let comm_budget_ms = self
+            .rng_params
+            .random_range(cfg.comm_budget_ms.0..=cfg.comm_budget_ms.1);
+        let u: f64 = self.rng_params.random_range(f64::EPSILON..1.0);
+        self.arrival += cfg
             .arrival_process
-            .gap_ns(u, cfg.mean_interarrival_ns, arrival);
+            .gap_ns(u, cfg.mean_interarrival_ns, self.arrival);
 
-        tasks.push(AiTask {
-            id: TaskId(i as u64),
+        let id = TaskId(self.produced);
+        self.produced += 1;
+        AiTask {
+            id,
             model,
             global_site,
             local_sites,
             data_utility,
             iterations,
             comm_budget_ms,
-            arrival_ns: arrival,
-            class: draw_class(cfg.class_mix, &mut rng_class),
-        });
+            arrival_ns: self.arrival,
+            class: draw_class(cfg.class_mix, &mut self.rng_class),
+        }
     }
-    tasks
+}
+
+impl Iterator for WorkloadStream {
+    type Item = AiTask;
+
+    fn next(&mut self) -> Option<AiTask> {
+        if self.produced >= self.cfg.num_tasks as u64 {
+            return None;
+        }
+        Some(self.next_task())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+/// Generate a deterministic workload over the topology's servers.
+///
+/// Every task gets a distinct global site and `locals_per_task` distinct
+/// local sites (wrapping around the server list if needed — a server may
+/// host local models of several tasks, like the dockerised testbed).
+///
+/// Materialises the whole [`WorkloadStream`]; use the stream directly when
+/// tasks should be pulled one arrival at a time.
+///
+/// # Panics
+/// Panics if the topology has fewer than `locals_per_task + 1` servers or
+/// `model_mix` indexes outside the catalog.
+pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
+    WorkloadStream::new(topo, cfg).collect()
 }
 
 #[cfg(test)]
@@ -491,6 +563,33 @@ mod tests {
             peak > trough + trough / 2,
             "peak half {peak} not clearly above trough half {trough}"
         );
+    }
+
+    #[test]
+    fn stream_matches_batch_generation() {
+        let t = topo();
+        let cfg = WorkloadConfig::tenant_scenario(9, 40, 4);
+        let batch = generate_workload(&t, &cfg);
+        let streamed: Vec<AiTask> = WorkloadStream::new(&t, &cfg).collect();
+        assert_eq!(batch, streamed);
+        // Pulling one at a time (the event-driven pattern) is the same draw.
+        let mut stream = WorkloadStream::new(&t, &cfg);
+        for (i, expect) in batch.iter().enumerate() {
+            assert_eq!(stream.remaining(), (40 - i) as u64);
+            assert_eq!(stream.next().as_ref(), Some(expect));
+        }
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.produced(), 40);
+    }
+
+    #[test]
+    fn stream_size_hint_is_exact() {
+        let t = topo();
+        let cfg = WorkloadConfig::seeded_scenario(4, 12, 3);
+        let mut stream = WorkloadStream::new(&t, &cfg);
+        assert_eq!(stream.size_hint(), (12, Some(12)));
+        stream.next();
+        assert_eq!(stream.size_hint(), (11, Some(11)));
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub mod report;
 pub mod task;
 
 pub use generator::{
-    generate_workload, ArrivalProcess, ClassMix, WorkloadConfig, PRODUCTION_CLASS_MIX,
+    generate_workload, ArrivalProcess, ClassMix, WorkloadConfig, WorkloadStream,
+    PRODUCTION_CLASS_MIX,
 };
 pub use report::TaskReport;
 pub use task::{AiTask, ServiceClass, TaskId};

@@ -24,7 +24,12 @@
 #       through the admission gate: per-class blocking + shed rate and
 #       gate/decision latency percentiles (`overload/*`); the repair storm
 #       section also splits `blocking-prob/{repair,resolve}-<class>/...`
-#       per tenant class so the Critical series is trackable.
+#       per tenant class so the Critical series is trackable,
+#     * horizon_sweep     — (since BENCH_7) the event-driven testbed at
+#       10k/100k/10^6-task horizons in bounded-memory mode: events/s,
+#       peak pending events (the engine's heap high-water mark), peak
+#       RSS, true sojourn / queueing tails, and the seed-pinned summary
+#       fingerprint in two exact 32-bit halves (`horizon/*`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
@@ -40,7 +45,9 @@ FLEXSCHED_BENCH_JSON="$TMP/gamma.json" \
   cargo run --release -p flexsched-bench --bin gamma_sweep
 FLEXSCHED_BENCH_JSON="$TMP/overload.json" \
   cargo run --release -p flexsched-bench --bin overload_sweep
+FLEXSCHED_BENCH_JSON="$TMP/horizon.json" \
+  cargo run --release -p flexsched-bench --bin horizon_sweep
 
 jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" \
-  "$TMP/overload.json" > "$OUT"
+  "$TMP/overload.json" "$TMP/horizon.json" > "$OUT"
 echo "wrote $OUT"
