@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use flexsched_orchestrator::{EventRunOutcome, EventTestbed, MemoryMode, TestbedConfig};
+use flexsched_orchestrator::{Database, EventRunOutcome, EventTestbed, MemoryMode, TestbedConfig};
 use flexsched_sched::FlexibleMst;
 use flexsched_simnet::SimTime;
 use flexsched_task::WorkloadConfig;
@@ -50,13 +50,13 @@ fn point_config(num_tasks: usize) -> TestbedConfig {
     }
 }
 
-fn run_point(num_tasks: usize) -> (EventRunOutcome, f64) {
+fn run_point(num_tasks: usize) -> (EventRunOutcome, f64, Database) {
     let start = Instant::now();
-    let outcome = EventTestbed::new(point_config(num_tasks), Box::new(FlexibleMst::paper()))
-        .with_memory_mode(MemoryMode::Bounded)
-        .run_detailed(false)
-        .expect("horizon point must complete");
-    (outcome, start.elapsed().as_secs_f64())
+    let tb = EventTestbed::new(point_config(num_tasks), Box::new(FlexibleMst::paper()))
+        .with_memory_mode(MemoryMode::Bounded);
+    let db = tb.database().clone();
+    let outcome = tb.run_detailed(false).expect("horizon point must complete");
+    (outcome, start.elapsed().as_secs_f64(), db)
 }
 
 /// FNV-1a fold over every scalar the run produced. Two runs with the same
@@ -126,8 +126,8 @@ fn main() {
 
     // Determinism pin: the smallest point, twice, fingerprint-identical.
     let probe = points[0];
-    let (first, _) = run_point(probe);
-    let (second, _) = run_point(probe);
+    let (first, _, _) = run_point(probe);
+    let (second, _, _) = run_point(probe);
     let (fp_a, fp_b) = (fingerprint(&first), fingerprint(&second));
     assert_eq!(
         fp_a, fp_b,
@@ -136,7 +136,7 @@ fn main() {
     println!("   determinism pin: {probe} tasks twice -> {fp_a:#018x} both runs");
 
     for &n in points {
-        let (outcome, wall_s) = run_point(n);
+        let (outcome, wall_s, db) = run_point(n);
         let s = &outcome.summary;
         let sojourn = s.sojourn.expect("event runs always report sojourn");
         let terminal = sojourn.completed + s.blocked as u64 + s.shed as u64;
@@ -156,6 +156,18 @@ fn main() {
             outcome.peak_pending_events < 2_000,
             "{n}: peak pending events {} not bounded",
             outcome.peak_pending_events
+        );
+        // The empty-ledger invariant: with every offered task terminal,
+        // no per-task bookkeeping (task records, schedules, repair
+        // counters, reverse-index entries, placed containers) may survive
+        // the run — any residue is a teardown-path leak that would grow
+        // with the horizon.
+        let leftovers = db.ledger_leftovers();
+        assert!(
+            leftovers.is_empty(),
+            "{n}: ledger not empty after run ({} leftovers, first: {:?})",
+            leftovers.len(),
+            leftovers.first()
         );
 
         let events_per_s = s.events as f64 / wall_s;

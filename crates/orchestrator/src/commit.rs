@@ -536,8 +536,10 @@ impl Committer {
 }
 
 /// Decompose a schedule into groomable directed paths: per-local paths for
-/// path plans, significant-node chains for tree plans.
-fn schedule_chains(schedule: &Schedule) -> Vec<Path> {
+/// path plans, significant-node chains for tree plans. Shared with the
+/// sharded committer, which additionally splits each chain at shard
+/// boundaries.
+pub(crate) fn schedule_chains(schedule: &Schedule) -> Vec<Path> {
     let mut chains = Vec::new();
     for plan in [&schedule.broadcast, &schedule.upload] {
         match plan {

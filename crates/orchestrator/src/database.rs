@@ -270,6 +270,38 @@ impl Database {
     pub fn total_reserved_gbps(&self) -> f64 {
         self.inner.read().network.total_reserved_gbps()
     }
+
+    /// The post-run "empty ledger" invariant for bounded-memory horizons:
+    /// once every admitted task has departed or been shed, no per-task
+    /// bookkeeping may survive. Returns one description per leftover —
+    /// empty means clean. Used by the long-horizon harnesses; a non-empty
+    /// result is a leak in a teardown path (`forget_task`, shed, or the
+    /// reverse-index maintenance).
+    pub fn ledger_leftovers(&self) -> Vec<String> {
+        let g = self.inner.read();
+        let mut out = Vec::new();
+        for id in g.tasks.keys() {
+            out.push(format!("task record {id:?}"));
+        }
+        for id in g.schedules.keys() {
+            out.push(format!("schedule {id:?}"));
+        }
+        for id in g.repair_counts.keys() {
+            out.push(format!("repair counter {id:?}"));
+        }
+        for (idx, set) in g.link_tasks.iter().enumerate() {
+            if !set.is_empty() {
+                out.push(format!("link {idx} reverse index {:?}", set));
+            }
+        }
+        if g.cluster.container_count() > 0 {
+            out.push(format!(
+                "{} containers still placed on the cluster",
+                g.cluster.container_count()
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +426,21 @@ mod tests {
         db.note_repair(id);
         let _ = db.take_schedule(id);
         assert_eq!(db.repair_count(id), 0);
+    }
+
+    #[test]
+    fn ledger_leftovers_names_every_residue_class() {
+        let db = db();
+        assert!(db.ledger_leftovers().is_empty(), "fresh db is clean");
+        db.admit_task(mk_task(1));
+        db.note_repair(TaskId(1));
+        let leftovers = db.ledger_leftovers();
+        assert_eq!(leftovers.len(), 2, "task record + repair counter");
+        db.forget_task(TaskId(1));
+        assert!(
+            db.ledger_leftovers().is_empty(),
+            "forget_task clears every per-task trace"
+        );
     }
 
     #[test]

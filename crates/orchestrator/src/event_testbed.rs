@@ -266,6 +266,9 @@ struct ControlPlane {
     shed: u32,
     degraded_decisions: u32,
     retries: u32,
+    /// Stale `RetryDue` events dropped because their task already left the
+    /// waiting set (shed, given up, or started by another path).
+    stale_retries: u64,
     reschedules: u32,
     repairs: u32,
     probe: Rc<RefCell<BandwidthProbe>>,
@@ -507,6 +510,11 @@ impl ControlPlane {
         self.db.set_phase(id, TaskPhase::Blocked)?;
         self.waiting_tasks.remove(&index);
         if self.mode == MemoryMode::Bounded {
+            // Bounded mode placed this task's containers at arrival; a
+            // task that never starts must free them on the way out or the
+            // cluster (and the manager's container map) leak capacity for
+            // the rest of the horizon.
+            self.mgr.complete(&self.db, id)?;
             self.db.forget_task(id);
         }
         Ok(())
@@ -541,6 +549,10 @@ impl ControlPlane {
             self.committer
                 .release(&self.db, schedule.task, &active.groomed)?;
         }
+        // A task that lost a migrate race earlier must not leave its retry
+        // tally behind after departing — in `Bounded` mode that map must
+        // stay bounded by *in-flight* tasks, like the database ledger.
+        self.migrate_failures.remove(&id);
         self.mgr.complete(&self.db, id)?;
         self.sojourn
             .record(now.as_ns().saturating_sub(active.task.arrival_ns));
@@ -733,8 +745,19 @@ impl ControlPlane {
                 self.handle_arrival(index, 0, at, ctx)?;
             }
             Event::RetryDue { index, attempt } => {
-                self.retries += 1;
-                self.handle_arrival(index, attempt, at, ctx)?;
+                // A retry can outlive its task: anything that removes a
+                // waiting task after the retry was enqueued (a shed, a
+                // give-up on a parallel path, a replayed/duplicated event)
+                // leaves the stale `RetryDue` in the queue. Re-presenting
+                // it would double-admit the task or abort the run with
+                // `UnknownTask`; drop it without touching the retry
+                // counter so the summary only counts real re-presentations.
+                if self.waiting_tasks.contains_key(&index) {
+                    self.retries += 1;
+                    self.handle_arrival(index, attempt, at, ctx)?;
+                } else {
+                    self.stale_retries += 1;
+                }
             }
             Event::TaskDeparture { task } => {
                 self.finish_task(TaskId(task), at)?;
@@ -930,6 +953,7 @@ impl EventTestbed {
             shed: 0,
             degraded_decisions: 0,
             retries: 0,
+            stale_retries: 0,
             reschedules: 0,
             repairs: 0,
             probe: Rc::clone(&probe),
@@ -1061,5 +1085,106 @@ impl EventTestbed {
             peak_active_tasks,
             trace,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsched_sched::FlexibleMst;
+
+    /// Regression for the stale-`RetryDue` teardown race: a retry enqueued
+    /// for a task that leaves the waiting set before the event fires (shed,
+    /// given up, or — as here — already started by an earlier retry) must
+    /// be dropped: no double admission, no `UnknownTask` abort, and no
+    /// skew of the retry counter.
+    #[test]
+    fn stale_retry_after_teardown_is_dropped() {
+        let cfg = TestbedConfig::default();
+        let topo = Arc::new(metro(&cfg.metro));
+        let db = Database::new(
+            NetworkState::new(Arc::clone(&topo)),
+            OpticalState::new(Arc::clone(&topo)),
+            ClusterManager::from_topology(&topo, ServerSpec::default()),
+        );
+        let mut mgr = AiTaskManager::new();
+        let task = WorkloadStream::new(&topo, &cfg.workload)
+            .next()
+            .expect("default workload yields at least one task");
+        mgr.admit_with(&db, &task, GLOBAL_REQ, LOCAL_REQ).unwrap();
+        let index = task.id.0;
+        let err: ErrorSlot = Rc::new(RefCell::new(None));
+        let probe = Rc::new(RefCell::new(BandwidthProbe::default()));
+        let mut waiting_tasks = BTreeMap::new();
+        waiting_tasks.insert(index, task);
+        let control = ControlPlane {
+            cfg,
+            mode: MemoryMode::Bounded,
+            db,
+            committer: Committer::new(),
+            mgr,
+            scheduler: Box::new(FlexibleMst::paper()),
+            degraded_scheduler: FixedSpff,
+            admission: None,
+            scratch: flexsched_topo::algo::ScratchPool::new(),
+            source: ArrivalSource::Materialised {
+                tasks: Vec::new(),
+                next: 0,
+            },
+            waiting_tasks,
+            deferred: BTreeMap::new(),
+            active: BTreeMap::new(),
+            reports: Vec::new(),
+            waiting: 1,
+            migrate_failures: BTreeMap::new(),
+            blocked: 0,
+            shed: 0,
+            degraded_decisions: 0,
+            retries: 0,
+            stale_retries: 0,
+            reschedules: 0,
+            repairs: 0,
+            probe: Rc::clone(&probe),
+            err: Rc::clone(&err),
+            sojourn: LatencyHistogram::new(),
+            queueing: LatencyHistogram::new(),
+            completed: 0,
+            peak_active: 0,
+            started: 0,
+            iter_ms_sum: 0.0,
+            task_bw_sum: 0.0,
+        };
+        let mut sim = Simulation::new();
+        let id = sim.add_component("control-plane", Box::new(control));
+        // Two retries for the same task: the first empties the waiting set
+        // (the task starts, or gives up); the second fires against a task
+        // that is already gone — the stale interleaving.
+        sim.schedule_at(
+            SimTime::from_ns(10),
+            id,
+            Event::RetryDue { index, attempt: 1 },
+        );
+        sim.schedule_at(
+            SimTime::from_ns(20),
+            id,
+            Event::RetryDue { index, attempt: 1 },
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert!(
+            err.borrow().is_none(),
+            "stale retry must not abort the run: {:?}",
+            err.borrow()
+        );
+        let control = sim.component_mut::<ControlPlane>(id).unwrap();
+        assert!(control.waiting_tasks.is_empty());
+        assert_eq!(control.retries, 1, "only the live retry is counted");
+        assert_eq!(control.stale_retries, 1, "the duplicate is dropped");
+        assert_eq!(
+            control.active.len() as u64
+                + control.completed
+                + (control.shed + control.blocked) as u64,
+            1,
+            "the task started or was dropped exactly once, never twice"
+        );
     }
 }

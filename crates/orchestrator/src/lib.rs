@@ -29,6 +29,11 @@
 //!   the paper's evaluation: tasks arrive, get selected/placed, their
 //!   proposals committed, run their iterations under background traffic and
 //!   faults, and emit [`flexsched_task::TaskReport`]s,
+//! * [`ShardedDb`] / [`ShardedCommitter`] — the region-partitioned commit
+//!   plane: state split per fabric region ([`ShardMap`]), intents routed
+//!   by footprint to only the shards they touch, ordered multi-shard
+//!   locking for the cross-shard minority — 1-shard configuration pinned
+//!   bit-identical to the single-lock committer,
 //! * [`EventTestbed`] — the same scenario ported onto the
 //!   `flexsched-simcore` discrete-event engine: self-rescheduling arrivals,
 //!   departures at actual completion times, fault/repair event pairs and
@@ -45,6 +50,7 @@ pub mod event_testbed;
 pub mod managers;
 pub mod messages;
 pub mod sdn;
+pub mod shard;
 pub mod testbed;
 
 pub use admission::{
@@ -60,6 +66,7 @@ pub use event_testbed::{EventRunOutcome, EventTestbed, MemoryMode, SojournStats}
 pub use managers::AiTaskManager;
 pub use messages::ControlMessage;
 pub use sdn::SdnController;
+pub use shard::{DbShard, ShardMap, ShardedCommitter, ShardedDb};
 pub use testbed::{RunSummary, Testbed, TestbedConfig};
 
 /// Convenience result alias for orchestrator operations.

@@ -1,0 +1,268 @@
+//! Sharded-committer equivalence: the PR 5 wave-equivalence contract
+//! extended to the sharded commit plane.
+//!
+//! Two pillars:
+//!
+//! * **1 shard ≡ single lock, bit-for-bit.** With one shard, the sharded
+//!   committer must perform the *identical mutation sequence* as the
+//!   single-lock [`Committer`]: same per-intent outcomes (same typed
+//!   conflicts), and a mutation-stamped `Debug` fingerprint of the shard
+//!   equal to the single-lock database's — stamps included, so equal
+//!   strings prove the same mutations happened in the same order.
+//! * **N shards ≡ 1 shard on the IP layer.** Random footprints spanning
+//!   several shards must produce the same commit/reject outcomes and the
+//!   same per-link IP fingerprints as the 1-shard reference: each link's
+//!   state is only ever touched through its home shard, and sees the same
+//!   reservation subsequence whatever the shard count. (Spectrum state is
+//!   compared through aggregate reserved totals, not stamps: chains split
+//!   at shard boundaries legitimately regroom differently.)
+//!
+//! Run with `PROPTEST_CASES=256` in nightly-deep.
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_optical::OpticalState;
+use flexsched_orchestrator::{Committer, Database, Intent, OrchError, ShardedCommitter, ShardedDb};
+use flexsched_sched::{FlexibleMst, Proposal, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{builders, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn metro_topo() -> Arc<Topology> {
+    Arc::new(builders::metro(&builders::MetroParams::default()))
+}
+
+fn fresh_db(topo: &Arc<Topology>) -> Database {
+    Database::new(
+        NetworkState::new(Arc::clone(topo)),
+        OpticalState::new(Arc::clone(topo)),
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+fn fresh_sharded(topo: &Arc<Topology>, shards: u32) -> ShardedDb {
+    ShardedDb::new(
+        Arc::clone(topo),
+        shards,
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+/// A task whose locals are drawn from `sites` distinct metro sites —
+/// `sites >= 2` makes its tree span shard boundaries at high shard counts.
+fn spanning_task(topo: &Topology, id: u64, seed: u64, sites: usize, locals: usize) -> AiTask {
+    let servers = topo.servers();
+    let per_site = 4; // MetroParams::default().servers_per_router
+    let n_sites = servers.len() / per_site;
+    let first = (seed as usize) % n_sites;
+    let pool: Vec<_> = (0..sites.max(1))
+        .flat_map(|s| {
+            let site = (first + s) % n_sites;
+            servers[site * per_site..(site + 1) * per_site].to_vec()
+        })
+        .collect();
+    let g = pool[(seed as usize) % pool.len()];
+    let mut local_sites = Vec::new();
+    let mut k = seed as usize + 1;
+    while local_sites.len() < locals.min(pool.len() - 1) {
+        let cand = pool[k % pool.len()];
+        if cand != g && !local_sites.contains(&cand) {
+            local_sites.push(cand);
+        }
+        k += 1;
+    }
+    local_sites.sort();
+    AiTask {
+        id: TaskId(id),
+        model: ModelProfile::mobilenet(),
+        global_site: g,
+        local_sites,
+        data_utility: Default::default(),
+        iterations: 1,
+        comm_budget_ms: 10.0,
+        arrival_ns: id,
+        class: Default::default(),
+    }
+}
+
+fn propose(db: &Database, task: &AiTask) -> Option<Proposal> {
+    let snap = db.snapshot();
+    FlexibleMst::paper()
+        .propose_once(task, &task.local_sites, &snap)
+        .ok()
+}
+
+/// Normalise an apply outcome for comparison: committed task, or the
+/// typed conflict, or a non-conflict error's display.
+fn outcome_key(r: &Result<flexsched_orchestrator::CommitReceipt, OrchError>) -> String {
+    match r {
+        Ok(receipt) => format!("ok:{:?}", receipt.task),
+        Err(OrchError::Rejected(c)) => format!("rejected:{c:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pillar 1: at 1 shard, the same intent stream — speculated
+    /// admissions in contending pairs, migrations, releases — produces
+    /// bit-identical outcomes and a bit-identical mutation-stamped state
+    /// fingerprint versus the single-lock committer.
+    #[test]
+    fn one_shard_is_bit_identical_to_single_lock(
+        specs in proptest::collection::vec((0u64..300, 2usize..4, 2usize..8), 2..6),
+        migrate_first in proptest::bool::ANY,
+    ) {
+        let topo = metro_topo();
+        let db = fresh_db(&topo);
+        let sharded = fresh_sharded(&topo, 1);
+        let mut single = Committer::new();
+        let mut shard = ShardedCommitter::new();
+        let mut receipts: Vec<(TaskId, Vec<u64>, Vec<u64>, Proposal)> = Vec::new();
+
+        // Speculated admissions in contending pairs: both proposals come
+        // from one snapshot, so the second often rejects with a stale
+        // stamp — both planes must report the identical conflict.
+        for (i, (seed, sites, locals)) in specs.iter().enumerate() {
+            let a = spanning_task(&topo, 2 * i as u64, *seed, *sites, *locals);
+            let b = spanning_task(&topo, 2 * i as u64 + 1, seed + 7, *sites, *locals);
+            let (Some(pa), Some(pb)) = (propose(&db, &a), propose(&db, &b)) else {
+                continue;
+            };
+            for p in [&pa, &pb] {
+                let r1 = single.apply(&db, Intent::admit_speculated(p));
+                let r2 = shard.apply(&sharded, Intent::admit_speculated(p));
+                prop_assert_eq!(outcome_key(&r1), outcome_key(&r2),
+                    "speculated admission outcomes diverged");
+                if let (Ok(g1), Ok(g2)) = (r1, r2) {
+                    receipts.push((g1.task, g1.groomed, g2.groomed, p.clone()));
+                }
+            }
+        }
+
+        // Migrate one committed task through both planes (fit-checked
+        // full re-solve against the hypothetical without its own load).
+        if let Some((task, _, _, p_old)) = if migrate_first {
+            receipts.first().cloned()
+        } else {
+            receipts.last().cloned()
+        } {
+            let without = db.read(|net, _, _| {
+                let mut w = net.clone();
+                p_old.schedule.release(&mut w).unwrap();
+                w
+            });
+            let snap = flexsched_sched::NetworkSnapshot::capture(&without);
+            let task_obj = spanning_task(&topo, task.0, task.0, 2, 3);
+            if let Ok(p_new) = FlexibleMst::paper()
+                .propose_once(&task_obj, &p_old.schedule.selected_locals, &snap)
+            {
+                let r1 = single.apply(&db, Intent::migrate(&p_old.schedule, &p_new));
+                let r2 = shard.apply(&sharded, Intent::migrate(&p_old.schedule, &p_new));
+                prop_assert_eq!(outcome_key(&r1), outcome_key(&r2),
+                    "migration outcomes diverged");
+                if r1.is_ok() {
+                    // Replace the stored proposal so release stays exact.
+                    for slot in receipts.iter_mut() {
+                        if slot.0 == task {
+                            slot.3 = p_new.clone();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tear down every committed task through both planes.
+        for (task, g1, g2, _) in &receipts {
+            single.release(&db, *task, g1).unwrap();
+            shard.release(&sharded, *task, g2).unwrap();
+        }
+
+        let single_fp = db.read(|net, opt, _| format!("{net:?}|{opt:?}"));
+        prop_assert_eq!(single_fp, sharded.fingerprint_single(),
+            "1-shard state fingerprint diverged from the single-lock plane");
+        prop_assert_eq!(single.counters(), shard.counters());
+        prop_assert!(db.total_reserved_gbps().abs() < 1e-9);
+        prop_assert!(sharded.total_reserved_gbps().abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pillar 2: footprints spanning 2–3 shards commit/reject identically
+    /// at 4 shards and at 1 shard, and every link's IP-layer fingerprint
+    /// (usage, down flag, mutation stamp from its home shard) matches the
+    /// 1-shard reference exactly.
+    #[test]
+    fn cross_shard_outcomes_match_single_shard_reference(
+        specs in proptest::collection::vec((0u64..300, 2usize..4, 2usize..8), 3..8),
+        release_half in proptest::bool::ANY,
+    ) {
+        let topo = metro_topo();
+        // The reference db only generates proposals (and mirrors state so
+        // stamps line up); both sharded planes replay the same intents.
+        let db = fresh_db(&topo);
+        let mut mirror = Committer::new();
+        let one = fresh_sharded(&topo, 1);
+        let four = fresh_sharded(&topo, 4);
+        let mut c_one = ShardedCommitter::new();
+        let mut c_four = ShardedCommitter::new();
+        let mut committed: Vec<(TaskId, Vec<u64>, Vec<u64>)> = Vec::new();
+
+        for (i, (seed, sites, locals)) in specs.iter().enumerate() {
+            let task = spanning_task(&topo, i as u64, *seed, *sites, *locals);
+            let Some(p) = propose(&db, &task) else { continue };
+            let r1 = c_one.apply(&one, Intent::admit(&p));
+            let r4 = c_four.apply(&four, Intent::admit(&p));
+            prop_assert_eq!(outcome_key(&r1), outcome_key(&r4),
+                "fit admission outcomes diverged across shard counts");
+            if let (Ok(g1), Ok(g4)) = (r1, r4) {
+                // Keep the proposal-generating mirror in step.
+                mirror.apply(&db, Intent::admit(&p)).unwrap();
+                committed.push((g1.task, g1.groomed, g4.groomed));
+            }
+        }
+
+        if release_half {
+            let half = committed.len() / 2;
+            // No proposals are generated after this point, so the mirror
+            // (which owns different groom ids) can safely fall behind.
+            for (task, g1, g4) in committed.drain(..half) {
+                c_one.release(&one, task, &g1).unwrap();
+                c_four.release(&four, task, &g4).unwrap();
+            }
+        }
+
+        prop_assert_eq!(one.link_fingerprints(), four.link_fingerprints(),
+            "per-link IP fingerprints diverged across shard counts");
+        let (r_one, r_four) = (one.total_reserved_gbps(), four.total_reserved_gbps());
+        prop_assert!((r_one - r_four).abs() < 1e-9,
+            "reserved totals diverged: {} vs {}", r_one, r_four);
+        prop_assert_eq!(c_one.counters(), c_four.counters());
+    }
+}
+
+/// Deterministic pin: a task whose locals span two metro sites takes
+/// multi-shard locks at 6 shards (cross commit), while a single-site task
+/// stays shard-local; both commit and release cleanly.
+#[test]
+fn locality_counters_classify_footprints() {
+    let topo = metro_topo();
+    let db = fresh_db(&topo);
+    let sharded = fresh_sharded(&topo, 6);
+    let mut committer = ShardedCommitter::new();
+
+    let spanning = spanning_task(&topo, 0, 0, 3, 6);
+    let p = propose(&db, &spanning).unwrap();
+    let receipt = committer.apply(&sharded, Intent::admit(&p)).unwrap();
+    let (local, cross) = committer.locality();
+    assert_eq!((local, cross), (0, 1), "three-site tree must cross shards");
+    committer
+        .release(&sharded, receipt.task, &receipt.groomed)
+        .unwrap();
+    assert!(sharded.total_reserved_gbps().abs() < 1e-9);
+    assert_eq!(committer.task_count(), 0);
+}

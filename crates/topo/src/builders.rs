@@ -156,10 +156,18 @@ pub fn metro(p: &MetroParams) -> Topology {
     let core_capacity = p.wavelength_gbps * f64::from(p.core_wavelengths);
 
     let roadms: Vec<NodeId> = (0..p.core_roadms)
-        .map(|i| t.add_node(NodeKind::Roadm, format!("roadm{i}")))
+        .map(|i| {
+            let id = t.add_node(NodeKind::Roadm, format!("roadm{i}"));
+            t.set_region(id, i as u32).expect("node just added");
+            id
+        })
         .collect();
     let routers: Vec<NodeId> = (0..p.core_roadms)
-        .map(|i| t.add_node(NodeKind::IpRouter, format!("router{i}")))
+        .map(|i| {
+            let id = t.add_node(NodeKind::IpRouter, format!("router{i}"));
+            t.set_region(id, i as u32).expect("node just added");
+            id
+        })
         .collect();
 
     // Core ring.
@@ -205,6 +213,7 @@ pub fn metro(p: &MetroParams) -> Topology {
     for (i, router) in routers.iter().enumerate() {
         for s in 0..p.servers_per_router {
             let srv = t.add_node(NodeKind::Server, format!("server{i}_{s}"));
+            t.set_region(srv, i as u32).expect("node just added");
             t.add_link(*router, srv, p.access_km, p.access_gbps)
                 .expect("access endpoints exist");
         }
@@ -238,7 +247,11 @@ pub fn spine_leaf(
         .map(|i| t.add_node(kind, format!("spine{i}")))
         .collect();
     let leaf_ids: Vec<NodeId> = (0..leaves)
-        .map(|i| t.add_node(kind, format!("leaf{i}")))
+        .map(|i| {
+            let id = t.add_node(kind, format!("leaf{i}"));
+            t.set_region(id, i as u32).expect("node just added");
+            id
+        })
         .collect();
     for l in &leaf_ids {
         for s in &spine_ids {
@@ -249,6 +262,7 @@ pub fn spine_leaf(
     for (i, l) in leaf_ids.iter().enumerate() {
         for s in 0..servers_per_leaf {
             let srv = t.add_node(NodeKind::Server, format!("srv{i}_{s}"));
+            t.set_region(srv, i as u32).expect("node just added");
             t.add_link(*l, srv, 0.05, link_gbps).expect("server link");
         }
     }
@@ -285,14 +299,22 @@ pub fn fat_tree(k: usize, link_gbps: f64) -> Topology {
     let aggs: Vec<Vec<NodeId>> = (0..k)
         .map(|p| {
             (0..half)
-                .map(|j| t.add_node(NodeKind::IpRouter, format!("agg{p}_{j}")))
+                .map(|j| {
+                    let id = t.add_node(NodeKind::IpRouter, format!("agg{p}_{j}"));
+                    t.set_region(id, p as u32).expect("node just added");
+                    id
+                })
                 .collect()
         })
         .collect();
     let edges: Vec<Vec<NodeId>> = (0..k)
         .map(|p| {
             (0..half)
-                .map(|j| t.add_node(NodeKind::IpRouter, format!("edge{p}_{j}")))
+                .map(|j| {
+                    let id = t.add_node(NodeKind::IpRouter, format!("edge{p}_{j}"));
+                    t.set_region(id, p as u32).expect("node just added");
+                    id
+                })
                 .collect()
         })
         .collect();
@@ -312,6 +334,7 @@ pub fn fat_tree(k: usize, link_gbps: f64) -> Topology {
         for (e, edge) in pod_edges.iter().enumerate() {
             for s in 0..half {
                 let srv = t.add_node(NodeKind::Server, format!("srv{p}_{e}_{s}"));
+                t.set_region(srv, p as u32).expect("node just added");
                 t.add_link(*edge, srv, 0.05, link_gbps)
                     .expect("server link endpoints exist");
             }
@@ -469,6 +492,55 @@ mod tests {
     #[should_panic]
     fn fat_tree_odd_arity_panics() {
         let _ = fat_tree(3, 100.0);
+    }
+
+    #[test]
+    fn metro_regions_tag_each_site() {
+        let p = MetroParams::default();
+        let t = metro(&p);
+        // Every node carries its site: roadm_i, router_i and their servers
+        // all land in region i; no node is untagged.
+        for n in t.nodes() {
+            let r = n.region.expect("metro tags every node");
+            assert!((r as usize) < p.core_roadms, "{}: region {r}", n.name);
+        }
+        for i in 0..p.core_roadms {
+            assert_eq!(t.node(NodeId(i as u32)).unwrap().region, Some(i as u32));
+        }
+        let servers = t.servers();
+        for (idx, s) in servers.iter().enumerate() {
+            let site = (idx / p.servers_per_router) as u32;
+            assert_eq!(t.node(*s).unwrap().region, Some(site));
+        }
+    }
+
+    #[test]
+    fn fat_tree_regions_tag_pods_cores_untagged() {
+        let k = 4;
+        let t = fat_tree(k, 400.0);
+        let half = k / 2;
+        for i in 0..half * half {
+            assert_eq!(t.node(NodeId(i as u32)).unwrap().region, None, "cores");
+        }
+        // Aggs/edges/servers all carry their pod index.
+        for n in t.nodes().iter().skip(half * half) {
+            assert!(n.region.is_some(), "{} must carry its pod", n.name);
+            assert!((n.region.unwrap() as usize) < k);
+        }
+    }
+
+    #[test]
+    fn spine_leaf_regions_tag_leaf_racks() {
+        let t = spine_leaf(2, 4, 3, true, 400.0);
+        for i in 0..2u32 {
+            assert_eq!(t.node(NodeId(i)).unwrap().region, None, "spines");
+        }
+        for i in 0..4u32 {
+            assert_eq!(t.node(NodeId(2 + i)).unwrap().region, Some(i), "leaves");
+        }
+        for (idx, s) in t.servers().iter().enumerate() {
+            assert_eq!(t.node(*s).unwrap().region, Some((idx / 3) as u32));
+        }
     }
 
     #[test]

@@ -112,6 +112,17 @@ impl Topology {
         self.links.get(id.index()).ok_or(TopoError::UnknownLink(id))
     }
 
+    /// Tag a node with its fabric region (used by builders to record the
+    /// metro site / fat-tree pod / spine-leaf rack each element was built
+    /// into — the orchestrator's shard map partitions state along these).
+    pub fn set_region(&mut self, id: NodeId, region: u32) -> Result<()> {
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(TopoError::UnknownNode(id))?
+            .region = Some(region);
+        Ok(())
+    }
+
     /// Mutable link access (used by builders to tune capacities).
     pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link> {
         self.links

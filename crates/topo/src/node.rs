@@ -72,6 +72,12 @@ pub struct Node {
     /// nanoseconds. ROADMs switch in the optical domain and typically carry
     /// a near-zero value here; routers carry store-and-forward lookup cost.
     pub switch_latency_ns: u64,
+    /// Fabric region this node belongs to: the metro site, fat-tree pod or
+    /// spine-leaf rack it was built into. `None` for region-less elements
+    /// (fat-tree cores, spine switches) and hand-built topologies; the
+    /// orchestrator's shard map folds untagged nodes into shard 0.
+    #[serde(default)]
+    pub region: Option<u32>,
 }
 
 impl Node {
@@ -87,12 +93,19 @@ impl Node {
             kind,
             name: name.into(),
             switch_latency_ns,
+            region: None,
         }
     }
 
     /// Override the per-traversal switching latency.
     pub fn with_switch_latency_ns(mut self, ns: u64) -> Self {
         self.switch_latency_ns = ns;
+        self
+    }
+
+    /// Tag the node with the fabric region it belongs to.
+    pub fn with_region(mut self, region: u32) -> Self {
+        self.region = Some(region);
         self
     }
 }
@@ -141,6 +154,13 @@ mod tests {
     fn latency_override_applies() {
         let n = Node::new(NodeId(0), NodeKind::Server, "s").with_switch_latency_ns(77);
         assert_eq!(n.switch_latency_ns, 77);
+    }
+
+    #[test]
+    fn region_tag_defaults_to_none_and_applies() {
+        let n = Node::new(NodeId(0), NodeKind::Server, "s");
+        assert_eq!(n.region, None);
+        assert_eq!(n.with_region(3).region, Some(3));
     }
 
     #[test]

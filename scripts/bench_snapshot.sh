@@ -29,7 +29,13 @@
 #       10k/100k/10^6-task horizons in bounded-memory mode: events/s,
 #       peak pending events (the engine's heap high-water mark), peak
 #       RSS, true sojourn / queueing tails, and the seed-pinned summary
-#       fingerprint in two exact 32-bit halves (`horizon/*`).
+#       fingerprint in two exact 32-bit halves (`horizon/*`),
+#     * shard_sweep       — (since BENCH_8) the footprint-routed sharded
+#       commit plane at 1/2/4/8 shards on an 8-region metro ring:
+#       commits/s per shard count plus the measured local/cross commit
+#       split (a commit is local only when its whole consulted surface —
+#       written links plus the scheduler's read log — homes on one
+#       shard) (`shard/*`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
@@ -47,7 +53,9 @@ FLEXSCHED_BENCH_JSON="$TMP/overload.json" \
   cargo run --release -p flexsched-bench --bin overload_sweep
 FLEXSCHED_BENCH_JSON="$TMP/horizon.json" \
   cargo run --release -p flexsched-bench --bin horizon_sweep
+FLEXSCHED_BENCH_JSON="$TMP/shard.json" \
+  cargo run --release -p flexsched-bench --bin shard_sweep
 
 jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" \
-  "$TMP/overload.json" "$TMP/horizon.json" > "$OUT"
+  "$TMP/overload.json" "$TMP/horizon.json" "$TMP/shard.json" > "$OUT"
 echo "wrote $OUT"
