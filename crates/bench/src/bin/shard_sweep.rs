@@ -16,7 +16,12 @@
 //! link between two regions homes on the smaller endpoint's shard, so
 //! read surfaces pull most regions' commits across a shard boundary.
 //! The local/cross split the sweep records is exactly that real cost of
-//! honest read-validation, not an engineered 1-in-N ratio.
+//! honest read-validation, not an engineered 1-in-N ratio — and the
+//! cross class is further split into *read-only-foreign* commits (the
+//! writes fit one shard; only the MST read surface left it) versus true
+//! *write-cross* commits (the written tree itself spans shards), so the
+//! numbers distinguish stamp-validation lock scope from genuine
+//! multi-shard mutation.
 //!
 //! What the numbers mean on this container (1 CPU core): wall-clock
 //! speedup from parallel commits cannot appear without cores to run them;
@@ -84,7 +89,10 @@ struct WorkerStats {
     commits: u64,
     rejections: u64,
     local: u64,
-    cross: u64,
+    /// Cross commits where only the MST read surface left the home shard.
+    read_foreign: u64,
+    /// Cross commits whose written tree spans shards.
+    write_cross: u64,
 }
 
 /// One worker's closed admit → commit → release loop over its own region.
@@ -109,13 +117,14 @@ fn worker(db: &ShardedDb, region: usize, regions: usize, ops: u64) -> WorkerStat
         }
     }
     let (commits, rejections) = committer.counters();
-    let (local, cross) = committer.locality();
+    let (local, read_foreign, write_cross) = committer.locality_detail();
     assert_eq!(committer.task_count(), 0, "closed loop leaves no installs");
     WorkerStats {
         commits,
         rejections,
         local,
-        cross,
+        read_foreign,
+        write_cross,
     }
 }
 
@@ -151,12 +160,18 @@ fn main() {
         let commits: u64 = stats.iter().map(|s| s.commits).sum();
         let rejections: u64 = stats.iter().map(|s| s.rejections).sum();
         let local: u64 = stats.iter().map(|s| s.local).sum();
-        let cross: u64 = stats.iter().map(|s| s.cross).sum();
+        let read_foreign: u64 = stats.iter().map(|s| s.read_foreign).sum();
+        let write_cross: u64 = stats.iter().map(|s| s.write_cross).sum();
+        let cross = read_foreign + write_cross;
         assert!(
             db.total_reserved_gbps().abs() < 1e-6,
             "{shards} shards: reservations leaked"
         );
-        assert_eq!(local + cross, commits, "every commit is local or cross");
+        assert_eq!(
+            local + read_foreign + write_cross,
+            commits,
+            "the three locality classes partition the commits"
+        );
         if shards > 1 {
             assert!(
                 cross > 0,
@@ -168,7 +183,7 @@ fn main() {
         }
         let commits_per_s = commits as f64 / wall_s;
         println!(
-            "   {shards} shard(s) x {} worker(s): {:.2}s wall | {commits} commits ({local} local / {cross} cross) | {rejections} rejected | {:.0} commits/s",
+            "   {shards} shard(s) x {} worker(s): {:.2}s wall | {commits} commits ({local} local / {read_foreign} read-foreign / {write_cross} write-cross) | {rejections} rejected | {:.0} commits/s",
             shards, wall_s, commits_per_s
         );
         let m =
@@ -179,6 +194,8 @@ fn main() {
         m("rejections", rejections as f64);
         m("local-commits", local as f64);
         m("cross-commits", cross as f64);
+        m("read-foreign-commits", read_foreign as f64);
+        m("write-cross-commits", write_cross as f64);
     }
     criterion::write_json_if_requested();
     println!("shard sweep: all per-point invariants held");

@@ -55,7 +55,7 @@ use crate::{OrchError, Result};
 use crossbeam::channel::{Receiver, Sender};
 use flexsched_sched::{NetworkSnapshot, Proposal, SchedError, Scheduler};
 use flexsched_task::{AiTask, TaskId};
-use flexsched_topo::algo::ScratchPool;
+use flexsched_topo::algo::{ClosureStats, ScratchPool};
 use flexsched_topo::NodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -74,10 +74,15 @@ struct RunJob {
     scheduler: Arc<dyn Scheduler>,
     next: AtomicUsize,
     results: Sender<(usize, flexsched_sched::Result<Proposal>)>,
+    /// Fan-in for each worker's closure-cache counter delta over this job
+    /// (exactly one message per worker), so [`BatchReport::closure`] can
+    /// aggregate amortisation across the pool's warm caches.
+    stats: Sender<ClosureStats>,
 }
 
 fn worker_loop(jobs: Receiver<Arc<RunJob>>, mut pool: ScratchPool) {
     while let Ok(job) = jobs.recv() {
+        let before = pool.closure_stats();
         loop {
             let i = job.next.fetch_add(1, Ordering::Relaxed);
             if i >= job.entries.len() {
@@ -89,6 +94,8 @@ fn worker_loop(jobs: Receiver<Arc<RunJob>>, mut pool: ScratchPool) {
                 break; // run abandoned; drop the rest
             }
         }
+        // Channel is sized for every worker; an abandoned run just drops it.
+        let _ = job.stats.send(pool.closure_stats().since(&before));
     }
 }
 
@@ -192,6 +199,13 @@ pub struct BatchReport {
     /// analogue, which the default budget makes unreachable for ordinary
     /// batches).
     pub decision_order: Vec<TaskId>,
+    /// Closure-engine counters aggregated across every worker pool's
+    /// [`flexsched_topo::algo::ClosureCache`] for this run: how many of
+    /// the batch's sparse-closure solves were amortised (cache hits +
+    /// incremental repairs) versus paid in full. All zeros when the
+    /// policy's sparse path never engages (KMB below the terminal
+    /// threshold, e.g. `FlexibleMst::paper`).
+    pub closure: ClosureStats,
 }
 
 /// Fans task batches across a *persistent* pool of scheduler worker
@@ -255,33 +269,41 @@ impl BatchScheduler {
     }
 
     /// One parallel speculation round: propose every entry against the
-    /// shared frozen snapshot. A single worker speculates inline — same
-    /// semantics (the snapshot is frozen either way), none of the channel
-    /// overhead.
+    /// shared frozen snapshot, returning the proposals plus the round's
+    /// aggregated closure-cache counter delta. A single worker speculates
+    /// inline — same semantics (the snapshot is frozen either way), none
+    /// of the channel overhead.
     fn speculate(
         &mut self,
         scheduler: &Arc<dyn Scheduler>,
         entries: &[BatchEntry],
         snap: &Arc<NetworkSnapshot>,
-    ) -> Vec<flexsched_sched::Result<Proposal>> {
+    ) -> (Vec<flexsched_sched::Result<Proposal>>, ClosureStats) {
         match &self.pool {
-            None => entries
-                .iter()
-                .map(|(task, selected)| {
-                    scheduler.propose(task, selected, snap, &mut self.commit_pool)
-                })
-                .collect(),
+            None => {
+                let before = self.commit_pool.closure_stats();
+                let outcomes = entries
+                    .iter()
+                    .map(|(task, selected)| {
+                        scheduler.propose(task, selected, snap, &mut self.commit_pool)
+                    })
+                    .collect();
+                (outcomes, self.commit_pool.closure_stats().since(&before))
+            }
             Some(pool) => {
                 let (tx, rx) = crossbeam::channel::bounded::<(
                     usize,
                     flexsched_sched::Result<Proposal>,
                 )>(entries.len());
+                let (stats_tx, stats_rx) =
+                    crossbeam::channel::bounded::<ClosureStats>(pool.job_txs.len());
                 let job = Arc::new(RunJob {
                     entries: entries.to_vec(),
                     snap: Arc::clone(snap),
                     scheduler: Arc::clone(scheduler),
                     next: AtomicUsize::new(0),
                     results: tx,
+                    stats: stats_tx,
                 });
                 for job_tx in &pool.job_txs {
                     assert!(
@@ -289,6 +311,7 @@ impl BatchScheduler {
                         "persistent worker thread is alive"
                     );
                 }
+                let worker_count = pool.job_txs.len();
                 drop(job);
                 let mut speculated: Vec<Option<flexsched_sched::Result<Proposal>>> =
                     (0..entries.len()).map(|_| None).collect();
@@ -298,10 +321,19 @@ impl BatchScheduler {
                         .expect("workers deliver one outcome per batch entry");
                     speculated[i] = Some(outcome);
                 }
-                speculated
+                let mut closure = ClosureStats::default();
+                for _ in 0..worker_count {
+                    closure.merge(
+                        &stats_rx
+                            .recv()
+                            .expect("every worker reports one stats delta per job"),
+                    );
+                }
+                let outcomes = speculated
                     .into_iter()
                     .map(|o| o.expect("every slot filled"))
-                    .collect()
+                    .collect();
+                (outcomes, closure)
             }
         }
     }
@@ -346,7 +378,8 @@ impl BatchScheduler {
             let epoch = round;
             let snap = Arc::new(self.snapshot(db));
             let entries: Vec<BatchEntry> = pending.iter().map(|i| batch[*i].clone()).collect();
-            let speculated = self.speculate(scheduler, &entries, &snap);
+            let (speculated, closure) = self.speculate(scheduler, &entries, &snap);
+            report.closure.merge(&closure);
             report.decisions += entries.len() as u64;
 
             let mut committed_this_round = 0u64;
@@ -477,6 +510,7 @@ impl BatchScheduler {
         batch: &[BatchEntry],
     ) -> Result<BatchReport> {
         let mut report = BatchReport::default();
+        let closure_before = self.commit_pool.closure_stats();
         for (task, selected) in batch {
             let snap = self.snapshot(db);
             report.decisions += 1;
@@ -498,6 +532,7 @@ impl BatchScheduler {
                 Err(e) => return Err(e.into()),
             }
         }
+        report.closure = self.commit_pool.closure_stats().since(&closure_before);
         Ok(report)
     }
 
@@ -819,5 +854,57 @@ mod tests {
         let bs = BatchScheduler::new(1);
         assert_eq!(bs.workers(), 1);
         assert!(bs.pool.is_none(), "1 worker must take the inline fast path");
+    }
+
+    #[test]
+    fn closure_stats_surface_in_batch_report() {
+        // A 14-local batch on metro-15 crosses the sparse-closure
+        // threshold, so the report's closure counters must show the
+        // engine's work. The inline (1-worker) path is deterministic:
+        // contention forces multiple speculation rounds, and a
+        // re-speculated task's broadcast regime re-uses the cached pass —
+        // amortised (hit/repair) solves must appear. A second run of the
+        // same batch on the same warm scheduler, after a clean release,
+        // re-sees the round-1 weights and must open with cache hits.
+        let db = db();
+        let batch = mk_batch(&db, 6, 14);
+        let sched: Arc<dyn Scheduler> = Arc::new(FlexibleMst::default());
+        let mut committer = Committer::new();
+        let mut bs = BatchScheduler::new(1);
+        let report = bs.run(&db, &mut committer, &sched, &batch).unwrap();
+        let c = report.closure;
+        assert!(c.full_solves > 0, "first sight of each regime pays: {c:?}");
+        assert!(c.amortised() > 0, "re-speculation must amortise: {c:?}");
+        assert_eq!(
+            c.decisions(),
+            c.hits + c.repairs + c.full_solves,
+            "outcome classes partition the decisions: {c:?}"
+        );
+        bs.release_all(&db, &mut committer, &report).unwrap();
+
+        let report2 = bs.run(&db, &mut committer, &sched, &batch).unwrap();
+        assert!(
+            report2.closure.hits > 0,
+            "released state re-validates cached passes: {:?}",
+            report2.closure
+        );
+        bs.release_all(&db, &mut committer, &report2).unwrap();
+
+        // The threaded path reports over the stats channel.
+        let mut bs2 = BatchScheduler::new(2);
+        let report3 = bs2.run(&db, &mut committer, &sched, &batch).unwrap();
+        assert!(
+            report3.closure.decisions() > 0,
+            "worker stats must fan in: {:?}",
+            report3.closure
+        );
+        bs2.release_all(&db, &mut committer, &report3).unwrap();
+
+        // The sequential baseline reports from the commit pool.
+        let seq = bs
+            .run_sequential(&db, &mut committer, &FlexibleMst::default(), &batch)
+            .unwrap();
+        assert!(seq.closure.decisions() > 0, "{:?}", seq.closure);
+        bs.release_all(&db, &mut committer, &seq).unwrap();
     }
 }

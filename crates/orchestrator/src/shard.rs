@@ -301,7 +301,11 @@ pub struct ShardedCommitter {
     commits: u64,
     rejections: u64,
     local_commits: u64,
-    cross_commits: u64,
+    /// Cross commits whose *writes* fit one shard — only the recorded
+    /// read region (stamp checks) pulled in more shards.
+    read_foreign_commits: u64,
+    /// Cross commits whose writes themselves span more than one shard.
+    write_cross_commits: u64,
 }
 
 impl ShardedCommitter {
@@ -317,9 +321,28 @@ impl ShardedCommitter {
 
     /// Lifetime (shard-local, cross-shard) commit counters: a commit is
     /// *local* when its whole footprint — write and read shards — fits in
-    /// one shard, i.e. it took exactly one lock.
+    /// one shard, i.e. it took exactly one lock. The cross count is the
+    /// sum of both cross classes in [`locality_detail`](Self::locality_detail).
     pub fn locality(&self) -> (u64, u64) {
-        (self.local_commits, self.cross_commits)
+        (
+            self.local_commits,
+            self.read_foreign_commits + self.write_cross_commits,
+        )
+    }
+
+    /// Lifetime `(local, read-only-foreign, write-cross)` commit counters
+    /// — the honest split of the cross class. *Read-only-foreign*: the
+    /// commit's writes fit one shard and only the MST search's recorded
+    /// read region (validated by stamp checks, never mutated) pulled in
+    /// more lock scopes. *Write-cross*: the written tree itself spans
+    /// shards, the only class that truly serialises multi-shard mutation.
+    /// `local + read_foreign + write_cross == commits`.
+    pub fn locality_detail(&self) -> (u64, u64, u64) {
+        (
+            self.local_commits,
+            self.read_foreign_commits,
+            self.write_cross_commits,
+        )
     }
 
     /// Classify the intent's footprint into (write shards, read-only
@@ -574,6 +597,7 @@ impl ShardedCommitter {
     pub fn apply(&mut self, db: &ShardedDb, intent: Intent<'_>) -> Result<CommitReceipt> {
         let (writes, reads) = Self::classify(db, &intent);
         let is_local = writes.len() + reads.len() <= 1;
+        let write_cross = writes.len() > 1;
         let mut guards = Self::acquire(db, &writes, &reads);
         let map = db.map();
         let outcome = match intent {
@@ -616,8 +640,10 @@ impl ShardedCommitter {
                 self.commits += 1;
                 if is_local {
                     self.local_commits += 1;
+                } else if write_cross {
+                    self.write_cross_commits += 1;
                 } else {
-                    self.cross_commits += 1;
+                    self.read_foreign_commits += 1;
                 }
             }
             Err(_) => self.rejections += 1,

@@ -260,6 +260,11 @@ fn locality_counters_classify_footprints() {
     let receipt = committer.apply(&sharded, Intent::admit(&p)).unwrap();
     let (local, cross) = committer.locality();
     assert_eq!((local, cross), (0, 1), "three-site tree must cross shards");
+    assert_eq!(
+        committer.locality_detail(),
+        (0, 0, 1),
+        "the written tree itself spans shards, so the cross commit is write-cross"
+    );
     committer
         .release(&sharded, receipt.task, &receipt.groomed)
         .unwrap();

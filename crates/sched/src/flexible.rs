@@ -20,7 +20,7 @@ use crate::snapshot::NetworkSnapshot;
 use crate::weights::{auxiliary_weight, GAMMA_WAVELENGTH};
 use crate::{Result, Scheduler};
 use flexsched_task::AiTask;
-use flexsched_topo::algo::{steiner_tree_in, steiner_tree_sparse_in, ScratchPool, SteinerTree};
+use flexsched_topo::algo::{steiner_tree_in, ScratchPool, SteinerTree};
 use flexsched_topo::{LinkId, NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -113,22 +113,94 @@ impl FlexibleMst {
     /// below the terminal-count threshold, Mehlhorn sparsified closure at
     /// or above it. Both constructions share the same weight contract,
     /// candidate comparison and rooting, so the choice affects decision
-    /// latency, not the quality guarantee.
+    /// latency, not the quality guarantee. The sparse path runs through
+    /// the pool's [`flexsched_topo::algo::ClosureCache`], which shares and
+    /// incrementally repairs the Voronoi/SPT passes across equal-regime
+    /// decisions — the returned tree is pinned identical to a from-scratch
+    /// [`flexsched_topo::algo::steiner_tree_sparse_in`] solve.
+    #[allow(clippy::too_many_arguments)]
     fn build_tree(
         &self,
-        topo: &Topology,
+        snap: &NetworkSnapshot,
         root: NodeId,
         terminals: &[NodeId],
+        fn_kind: u64,
+        demand: f64,
+        reused: &BTreeSet<LinkId>,
         weight: impl Fn(&flexsched_topo::Link) -> f64,
         scratch: &mut ScratchPool,
     ) -> std::result::Result<SteinerTree, flexsched_topo::TopoError> {
         if terminals.len() >= self.sparse_closure_threshold {
-            steiner_tree_sparse_in(topo, root, terminals, weight, scratch)
+            self.cached_sparse_tree(
+                snap, root, terminals, fn_kind, demand, reused, weight, scratch,
+            )
         } else {
-            steiner_tree_in(topo, root, terminals, weight, scratch)
+            steiner_tree_in(snap.topo(), root, terminals, weight, scratch)
         }
     }
+
+    /// The Mehlhorn sparse-closure construction, amortised through the
+    /// pool's closure cache.
+    ///
+    /// Cache-key soundness: everything the weight function closes over
+    /// *except per-link snapshot state* is tokenised into the regime —
+    /// the topology's identity (the `Arc` address, so fresh all-zero-stamp
+    /// snapshots of two same-shaped fabrics cannot collide), which weight
+    /// function is being priced (`fn_kind`), the task demand, the headroom
+    /// gamma, whether an optical layer is attached, and the ordered reuse
+    /// set. The per-link state itself ([`auxiliary_weight`] reads residual
+    /// capacity, the down set, free-wavelength counts and grooming
+    /// residuals) is covered by the per-link mutation stamps: every IP
+    /// mutation bumps [`flexsched_simnet::NetSnapshot::link_version`] and
+    /// every spectrum mutation bumps
+    /// [`flexsched_optical::OpticalSnapshot::link_version`] for each
+    /// crossed link.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_sparse_tree(
+        &self,
+        snap: &NetworkSnapshot,
+        root: NodeId,
+        terminals: &[NodeId],
+        fn_kind: u64,
+        demand: f64,
+        reused: &BTreeSet<LinkId>,
+        weight: impl Fn(&flexsched_topo::Link) -> f64,
+        scratch: &mut ScratchPool,
+    ) -> std::result::Result<SteinerTree, flexsched_topo::TopoError> {
+        let mut regime: Vec<u64> = Vec::with_capacity(5 + reused.len());
+        regime.push(Arc::as_ptr(&snap.net().topo_arc()) as usize as u64);
+        regime.push(fn_kind);
+        regime.push(demand.to_bits());
+        regime.push(self.wavelength_headroom.to_bits());
+        regime.push(u64::from(snap.optical().is_some()));
+        regime.extend(reused.iter().map(|l| u64::from(l.0)));
+        let stamp = |l: LinkId| {
+            [
+                snap.net().link_version(l),
+                snap.optical().map_or(0, |o| o.link_version(l)),
+            ]
+        };
+        let mut cache = scratch.take_closure_cache();
+        let out = cache.solve_in(
+            snap.topo(),
+            root,
+            terminals,
+            &regime,
+            stamp,
+            weight,
+            scratch,
+        );
+        scratch.give_back_closure_cache(cache);
+        out
+    }
 }
+
+/// Regime discriminators for the closure-cache key: the three weight
+/// functions a [`FlexibleMst`] decision prices trees under must never
+/// share cached passes even when their other parameters coincide.
+const REGIME_BROADCAST: u64 = 0;
+const REGIME_UPLOAD: u64 = 1;
+const REGIME_FRESH_ESTIMATE: u64 = 2;
 
 /// Per-node upload copy counts: how many model updates each node's parent
 /// edge carries, given which nodes can aggregate.
@@ -222,9 +294,12 @@ impl Scheduler for FlexibleMst {
         let no_reuse: BTreeSet<LinkId> = BTreeSet::new();
         let broadcast_tree = Arc::new(
             self.build_tree(
-                topo,
+                snap,
                 task.global_site,
                 selected,
+                REGIME_BROADCAST,
+                demand,
+                &no_reuse,
                 |l| auxiliary_weight(snap, demand, &no_reuse, l, self.wavelength_headroom),
                 scratch,
             )
@@ -239,9 +314,12 @@ impl Scheduler for FlexibleMst {
             let reused: BTreeSet<LinkId> = broadcast_tree.links.iter().copied().collect();
             Arc::new(
                 self.build_tree(
-                    topo,
+                    snap,
                     task.global_site,
                     selected,
+                    REGIME_UPLOAD,
+                    demand,
+                    &reused,
                     |l| auxiliary_weight(snap, demand, &reused, l, self.wavelength_headroom),
                     scratch,
                 )
@@ -341,10 +419,13 @@ impl Scheduler for FlexibleMst {
                     !opt.has_free_wavelength(l).unwrap_or(false) && !opt.groomable_across(l, demand)
                 })
         };
-        let shadow = steiner_tree_sparse_in(
-            snap.topo(),
+        let shadow = self.cached_sparse_tree(
+            snap,
             current.global_site,
             &current.selected_locals,
+            REGIME_FRESH_ESTIMATE,
+            demand,
+            &own,
             |l| {
                 if own.contains(&l.id) && dead(l.id) {
                     f64::INFINITY
@@ -729,5 +810,76 @@ mod tests {
         } else {
             panic!("expected tree plan");
         }
+    }
+
+    fn tree_links(s: &Schedule) -> (Vec<LinkId>, Vec<LinkId>) {
+        let (RoutingPlan::Tree { tree: b, .. }, RoutingPlan::Tree { tree: u, .. }) =
+            (&s.broadcast, &s.upload)
+        else {
+            panic!("expected tree plans");
+        };
+        (b.links.clone(), u.links.clone())
+    }
+
+    #[test]
+    fn closure_cache_shares_passes_across_repeated_proposals() {
+        // Re-proposing the same task against the same snapshot with one
+        // warm pool (what BatchScheduler wave re-speculation does) must
+        // hit the closure cache instead of re-running the Voronoi pass,
+        // and must reproduce the first decision's trees exactly.
+        let (state, task) = task_on_metro(15);
+        let sched = FlexibleMst::default(); // threshold 12 → sparse path
+        let snap = NetworkSnapshot::capture(&state);
+        let mut pool = ScratchPool::new();
+        let first = sched
+            .propose(&task, &task.local_sites, &snap, &mut pool)
+            .unwrap();
+        let warm = pool.closure_stats();
+        assert_eq!(warm.full_solves, 2, "broadcast + upload regimes: {warm:?}");
+        let second = sched
+            .propose(&task, &task.local_sites, &snap, &mut pool)
+            .unwrap();
+        let delta = pool.closure_stats().since(&warm);
+        assert_eq!(
+            (delta.hits, delta.full_solves, delta.fallbacks),
+            (2, 0, 0),
+            "repeat proposal must be pure cache hits: {delta:?}"
+        );
+        assert_eq!(tree_links(&first.schedule), tree_links(&second.schedule));
+    }
+
+    #[test]
+    fn closure_cache_repairs_match_cold_solves_after_mutations() {
+        // Background reservations between snapshots shift per-link weights;
+        // the warm pool's incremental repair must produce bit-identical
+        // schedules to a cold pool's from-scratch solves.
+        let (mut state, task) = task_on_metro(15);
+        let sched = FlexibleMst::default();
+        let mut warm_pool = ScratchPool::new();
+        for round in 0..4u32 {
+            let snap = NetworkSnapshot::capture(&state);
+            let warm = sched
+                .propose(&task, &task.local_sites, &snap, &mut warm_pool)
+                .unwrap();
+            let cold = sched
+                .propose(&task, &task.local_sites, &snap, &mut ScratchPool::new())
+                .unwrap();
+            assert_eq!(
+                tree_links(&warm.schedule),
+                tree_links(&cold.schedule),
+                "round {round}: warm-cache schedule diverged from cold solve"
+            );
+            // Perturb a few links' residuals for the next round.
+            for raw in [round * 3, round * 3 + 1, round * 3 + 2] {
+                let l = flexsched_topo::LinkId(raw % state.topo().link_count() as u32);
+                let dl = flexsched_simnet::DirLink::new(l, flexsched_topo::Direction::AtoB);
+                state.reserve(dl, 5.0).unwrap();
+            }
+        }
+        let stats = warm_pool.closure_stats();
+        assert!(
+            stats.repairs > 0,
+            "mutation rounds must exercise the repair path: {stats:?}"
+        );
     }
 }

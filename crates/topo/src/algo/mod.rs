@@ -7,6 +7,7 @@
 //! (ascending link/node id), so equal-seed runs produce identical schedules.
 
 pub mod bellman_ford;
+pub mod closure;
 pub mod dijkstra;
 pub mod mehlhorn;
 pub mod mst;
@@ -17,6 +18,7 @@ pub mod unionfind;
 pub mod yen;
 
 pub use bellman_ford::bellman_ford;
+pub use closure::{ClosureCache, ClosureStats};
 pub use dijkstra::{shortest_path, shortest_path_tree, ShortestPathTree};
 pub use mehlhorn::{sparse_closure_mst_weight, steiner_tree_sparse, steiner_tree_sparse_in};
 pub use mst::{kruskal_mst, prim_mst, MstResult};

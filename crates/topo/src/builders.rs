@@ -11,6 +11,9 @@ use rand::{RngExt, SeedableRng};
 
 /// A linear chain of `n` IP routers: `r0 - r1 - ... - r(n-1)`.
 ///
+/// Nodes are untagged; use [`tag_regions_round_robin`] to give the sharded
+/// commit plane regions to route on.
+///
 /// # Panics
 /// Panics if `n == 0`.
 pub fn linear(n: usize, hop_km: f64, capacity_gbps: f64) -> Topology {
@@ -27,6 +30,9 @@ pub fn linear(n: usize, hop_km: f64, capacity_gbps: f64) -> Topology {
 }
 
 /// A ring of `n` IP routers.
+///
+/// Nodes are untagged; use [`tag_regions_round_robin`] to give the sharded
+/// commit plane regions to route on.
 ///
 /// # Panics
 /// Panics if `n < 3`.
@@ -45,6 +51,9 @@ pub fn ring(n: usize, hop_km: f64, capacity_gbps: f64) -> Topology {
 
 /// A star: one central IP router with `leaves` servers attached.
 ///
+/// Nodes are untagged; use [`tag_regions_round_robin`] to give the sharded
+/// commit plane regions to route on.
+///
 /// # Panics
 /// Panics if `leaves == 0`.
 pub fn star(leaves: usize, spoke_km: f64, capacity_gbps: f64) -> Topology {
@@ -59,39 +68,51 @@ pub fn star(leaves: usize, spoke_km: f64, capacity_gbps: f64) -> Topology {
     t
 }
 
+/// Number of sites in the classic NSFNET reference backbone.
+pub const NSFNET_SITES: usize = 14;
+
+/// Classic NSFNET 14-node 21-link adjacency with representative span
+/// lengths scaled to metro-ish kilometres (1/20 of the continental
+/// distances so latencies remain in the paper's low-millisecond regime).
+const NSFNET_SPANS: &[(usize, usize, f64)] = &[
+    (0, 1, 54.0),
+    (0, 2, 54.0),
+    (0, 7, 144.0),
+    (1, 2, 36.0),
+    (1, 3, 54.0),
+    (2, 5, 96.0),
+    (3, 4, 36.0),
+    (3, 10, 96.0),
+    (4, 5, 48.0),
+    (4, 6, 36.0),
+    (5, 9, 84.0),
+    (5, 13, 90.0),
+    (6, 7, 36.0),
+    (7, 8, 54.0),
+    (8, 9, 36.0),
+    (8, 11, 30.0),
+    (8, 12, 30.0),
+    (10, 11, 36.0),
+    (10, 12, 42.0),
+    (11, 13, 30.0),
+    (12, 13, 30.0),
+];
+
 /// The 14-node NSFNET reference backbone (router nodes, span lengths scaled
 /// to metro-ish kilometres at 1/20 of the classic continental distances so
-/// latencies remain in the paper's low-millisecond regime).
+/// latencies remain in the paper's low-millisecond regime). Each site is
+/// its own region, so the sharded commit plane routes sensibly when the
+/// backbone anchors a larger fabric.
 pub fn nsfnet() -> Topology {
     let mut t = Topology::new();
-    let n: Vec<NodeId> = (0..14)
-        .map(|i| t.add_node(NodeKind::IpRouter, format!("nsf{i}")))
+    let n: Vec<NodeId> = (0..NSFNET_SITES)
+        .map(|i| {
+            let id = t.add_node(NodeKind::IpRouter, format!("nsf{i}"));
+            t.set_region(id, i as u32).expect("node just added");
+            id
+        })
         .collect();
-    // Classic NSFNET 14-node 21-link adjacency with representative lengths.
-    let edges: &[(usize, usize, f64)] = &[
-        (0, 1, 54.0),
-        (0, 2, 54.0),
-        (0, 7, 144.0),
-        (1, 2, 36.0),
-        (1, 3, 54.0),
-        (2, 5, 96.0),
-        (3, 4, 36.0),
-        (3, 10, 96.0),
-        (4, 5, 48.0),
-        (4, 6, 36.0),
-        (5, 9, 84.0),
-        (5, 13, 90.0),
-        (6, 7, 36.0),
-        (7, 8, 54.0),
-        (8, 9, 36.0),
-        (8, 11, 30.0),
-        (8, 12, 30.0),
-        (10, 11, 36.0),
-        (10, 12, 42.0),
-        (11, 13, 30.0),
-        (12, 13, 30.0),
-    ];
-    for &(a, b, km) in edges {
+    for &(a, b, km) in NSFNET_SPANS {
         t.add_wdm_link(n[a], n[b], km, 800.0, 8)
             .expect("nsfnet endpoints exist");
     }
@@ -347,6 +368,9 @@ pub fn fat_tree(k: usize, link_gbps: f64) -> Topology {
 /// connected by chaining component representatives. Every fourth node is a
 /// server so placement logic has hosts to use.
 ///
+/// Nodes are untagged; use [`tag_regions_round_robin`] to give the sharded
+/// commit plane regions to route on.
+///
 /// # Panics
 /// Panics if `n == 0` or `p` is not within `[0, 1]`.
 pub fn random_connected(n: usize, p: f64, seed: u64, capacity_gbps: f64) -> Topology {
@@ -382,6 +406,184 @@ pub fn random_connected(n: usize, p: f64, seed: u64, capacity_gbps: f64) -> Topo
             let km = rng.random_range(1.0..20.0);
             t.add_link(anchor, comp[0], km, capacity_gbps)
                 .expect("patch endpoints exist");
+        }
+    }
+    t
+}
+
+/// Explicitly region-tag a topology whose builder leaves nodes untagged
+/// ([`linear`], [`ring`], [`star`], [`random_connected`]): node `i` lands
+/// in region `i % regions`. The structured builders ([`metro`],
+/// [`spine_leaf`], [`fat_tree`], [`nsfnet`], [`backbone`]) already tag
+/// their natural sites; this round-robin hatch gives the sharded commit
+/// plane something to route on for the synthetic shapes.
+///
+/// # Panics
+/// Panics if `regions == 0`.
+pub fn tag_regions_round_robin(t: &mut Topology, regions: u32) {
+    assert!(regions > 0, "need at least one region");
+    for id in t.node_ids().collect::<Vec<_>>() {
+        t.set_region(id, id.0 % regions).expect("node exists");
+    }
+}
+
+/// Parameters for the continental backbone fabric: the 14-site NSFNET WDM
+/// core with metro aggregation rings hanging off every site.
+#[derive(Debug, Clone)]
+pub struct BackboneParams {
+    /// Metro aggregation rings attached to each NSFNET site.
+    pub metros_per_site: usize,
+    /// Shape of each metro ring (see [`MetroParams`]).
+    pub metro: MetroParams,
+    /// Multiplier on the stored NSFNET span lengths. The stored spans are
+    /// 1/20-scale metro-ish kilometres; `20.0` restores the classic
+    /// continental distances.
+    pub core_scale: f64,
+    /// Wavelengths per core fiber (also used on the metro express uplinks).
+    pub core_wavelengths: u16,
+    /// Per-wavelength rate on core fibers, Gbit/s.
+    pub core_wavelength_gbps: f64,
+}
+
+impl Default for BackboneParams {
+    fn default() -> Self {
+        BackboneParams {
+            metros_per_site: 4,
+            metro: MetroParams::default(),
+            core_scale: 20.0,
+            core_wavelengths: 16,
+            core_wavelength_gbps: 400.0,
+        }
+    }
+}
+
+impl BackboneParams {
+    /// Links contributed by one metro ring: the ring itself, its express
+    /// chords, the router add/drop attachments, the server access links
+    /// and the two express uplinks to the site's core ROADM. Exact for
+    /// `core_roadms >= 4` (at 3 the single possible chord duplicates a
+    /// ring span and is skipped).
+    pub fn links_per_metro(&self) -> usize {
+        let m = &self.metro;
+        let r = m.core_roadms;
+        r + m.chords.min(r / 2) + r + r * m.servers_per_router + 2
+    }
+
+    /// Scale `metros_per_site` so the fabric carries at least
+    /// `target_links` links (national scale is 10⁵–10⁶).
+    pub fn with_target_links(mut self, target: usize) -> Self {
+        let per_site = self.links_per_metro() * NSFNET_SITES;
+        self.metros_per_site = target.div_ceil(per_site).max(1);
+        self
+    }
+}
+
+/// Build a continental WDM fabric: the [`nsfnet`] core re-scaled to
+/// continental span lengths, with `metros_per_site` metro aggregation
+/// rings (each shaped by [`MetroParams`], uplinked through two express
+/// fibers for path diversity) hanging off every site. Every node carries
+/// its NSFNET site index as its region, so the sharded commit plane and
+/// region-aware placement route by site. With default metro parameters,
+/// `BackboneParams::default().with_target_links(100_000)` yields a
+/// ≈10⁵-link national fabric; `with_target_links(1_000_000)` a ≈10⁶-link
+/// one.
+///
+/// # Panics
+/// Panics if `metros_per_site == 0` or the metro shape violates
+/// [`metro`]'s own preconditions.
+pub fn backbone(p: &BackboneParams) -> Topology {
+    assert!(
+        p.metros_per_site > 0,
+        "backbone needs at least one metro ring per site"
+    );
+    let m = &p.metro;
+    assert!(m.core_roadms >= 3, "metro core needs at least 3 ROADMs");
+    assert!(
+        m.servers_per_router > 0,
+        "need at least one server per router"
+    );
+    let mut t = Topology::new();
+    let core_capacity = p.core_wavelength_gbps * f64::from(p.core_wavelengths);
+    let metro_capacity = m.wavelength_gbps * f64::from(m.core_wavelengths);
+
+    // Continental core: one ROADM per NSFNET site.
+    let sites: Vec<NodeId> = (0..NSFNET_SITES)
+        .map(|i| {
+            let id = t.add_node(NodeKind::Roadm, format!("bb{i}"));
+            t.set_region(id, i as u32).expect("node just added");
+            id
+        })
+        .collect();
+    for &(a, b, km) in NSFNET_SPANS {
+        t.add_wdm_link(
+            sites[a],
+            sites[b],
+            km * p.core_scale,
+            core_capacity,
+            p.core_wavelengths,
+        )
+        .expect("core endpoints exist");
+    }
+
+    let half = m.core_roadms / 2;
+    for (site, &core) in sites.iter().enumerate() {
+        let region = site as u32;
+        for mi in 0..p.metros_per_site {
+            // Metro ring, same shape as `metro(...)` but tagged with the
+            // *site* region rather than per-ROADM sites.
+            let roadms: Vec<NodeId> = (0..m.core_roadms)
+                .map(|i| {
+                    let id = t.add_node(NodeKind::Roadm, format!("s{site}m{mi}_roadm{i}"));
+                    t.set_region(id, region).expect("node just added");
+                    id
+                })
+                .collect();
+            for i in 0..m.core_roadms {
+                t.add_wdm_link(
+                    roadms[i],
+                    roadms[(i + 1) % m.core_roadms],
+                    m.core_span_km,
+                    metro_capacity,
+                    m.core_wavelengths,
+                )
+                .expect("ring endpoints exist");
+            }
+            for c in 0..m.chords.min(half) {
+                let (a, b) = (c, (c + half) % m.core_roadms);
+                if a != b && t.find_link(roadms[a], roadms[b]).is_none() {
+                    t.add_wdm_link(
+                        roadms[a],
+                        roadms[b],
+                        m.core_span_km * half as f64 * 0.8,
+                        metro_capacity,
+                        m.core_wavelengths,
+                    )
+                    .expect("chord endpoints exist");
+                }
+            }
+            for (i, roadm) in roadms.iter().enumerate() {
+                let router = t.add_node(NodeKind::IpRouter, format!("s{site}m{mi}_router{i}"));
+                t.set_region(router, region).expect("node just added");
+                t.add_wdm_link(router, *roadm, 0.1, metro_capacity, m.core_wavelengths)
+                    .expect("attachment endpoints exist");
+                for s in 0..m.servers_per_router {
+                    let srv = t.add_node(NodeKind::Server, format!("s{site}m{mi}_srv{i}_{s}"));
+                    t.set_region(srv, region).expect("node just added");
+                    t.add_link(router, srv, m.access_km, m.access_gbps)
+                        .expect("access endpoints exist");
+                }
+            }
+            // Two express uplinks into the continental core for diversity.
+            for entry in [roadms[0], roadms[half.max(1) % m.core_roadms]] {
+                t.add_wdm_link(
+                    core,
+                    entry,
+                    m.core_span_km * 2.0,
+                    core_capacity,
+                    p.core_wavelengths,
+                )
+                .expect("uplink endpoints exist");
+            }
         }
     }
     t
@@ -564,5 +766,73 @@ mod tests {
     #[should_panic]
     fn ring_too_small_panics() {
         let _ = ring(2, 1.0, 1.0);
+    }
+
+    #[test]
+    fn nsfnet_regions_tag_each_site() {
+        let t = nsfnet();
+        for (i, n) in t.nodes().iter().enumerate() {
+            assert_eq!(n.region, Some(i as u32), "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn round_robin_hatch_tags_untagged_builders() {
+        let mut t = random_connected(17, 0.1, 7, 100.0);
+        assert!(t.nodes().iter().all(|n| n.region.is_none()));
+        tag_regions_round_robin(&mut t, 4);
+        for n in t.nodes() {
+            assert!(n.region.is_some_and(|r| r < 4), "{}", n.name);
+        }
+        let mut chain = linear(5, 1.0, 100.0);
+        tag_regions_round_robin(&mut chain, 2);
+        let tags: Vec<_> = chain.nodes().iter().map(|n| n.region.unwrap()).collect();
+        assert_eq!(tags, [0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn backbone_shape_and_regions() {
+        let p = BackboneParams {
+            metros_per_site: 2,
+            ..BackboneParams::default()
+        };
+        let t = backbone(&p);
+        assert!(is_connected(&t));
+        // 14 core ROADMs + per-metro (roadms + routers + servers).
+        let m = &p.metro;
+        let per_metro_nodes = m.core_roadms * (2 + m.servers_per_router);
+        assert_eq!(
+            t.node_count(),
+            NSFNET_SITES * (1 + p.metros_per_site * per_metro_nodes)
+        );
+        assert_eq!(
+            t.link_count(),
+            NSFNET_SPANS.len() + NSFNET_SITES * p.metros_per_site * p.links_per_metro()
+        );
+        // Every node carries its NSFNET site as its region.
+        for n in t.nodes() {
+            assert!(
+                n.region.is_some_and(|r| (r as usize) < NSFNET_SITES),
+                "{}: untagged",
+                n.name
+            );
+        }
+        // Servers exist at every site for placement.
+        assert_eq!(
+            t.servers().len(),
+            NSFNET_SITES * p.metros_per_site * m.core_roadms * m.servers_per_router
+        );
+    }
+
+    #[test]
+    fn backbone_scales_to_target_link_counts() {
+        let p = BackboneParams::default().with_target_links(20_000);
+        let t = backbone(&p);
+        assert!(
+            t.link_count() >= 20_000,
+            "target missed: {}",
+            t.link_count()
+        );
+        assert!(is_connected(&t));
     }
 }

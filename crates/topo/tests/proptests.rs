@@ -409,3 +409,177 @@ proptest! {
         prop_assert_eq!(kmb, sparse);
     }
 }
+
+/// The three fabric families the closure engine must amortise over:
+/// a metro ring, a fat-tree pod fabric, and a (small) continental
+/// backbone with one metro ring per NSFNET site.
+fn closure_fabric(pick: u8) -> flexsched_topo::Topology {
+    match pick % 3 {
+        0 => builders::metro(&builders::MetroParams::default()),
+        1 => builders::fat_tree(4, 400.0),
+        _ => builders::backbone(&builders::BackboneParams {
+            metros_per_site: 1,
+            metro: builders::MetroParams {
+                core_roadms: 4,
+                servers_per_router: 2,
+                ..builders::MetroParams::default()
+            },
+            ..builders::BackboneParams::default()
+        }),
+    }
+}
+
+/// Strictly positive synthetic weight in `[1, 10)`, deterministic in
+/// `(seed, link index)` (splitmix-style mix).
+fn synth_weight(seed: u64, i: usize) -> f64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    1.0 + 9.0 * ((x >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental closure maintenance, pinned: across a random sequence
+    /// of per-link weight deltas on metro / fat-tree / backbone fabrics,
+    /// the [`ClosureCache`] — hit, repaired, or fully re-solved — returns
+    /// bit-identical Steiner trees to a from-scratch
+    /// [`steiner_tree_sparse_in`] on the current weights, every round.
+    /// This is the invariant that lets the batch scheduler reuse one
+    /// labeled multi-source pass across wave re-speculation instead of
+    /// paying a full pass per decision.
+    #[test]
+    fn closure_cache_tree_equals_from_scratch_across_weight_deltas(
+        pick in 0u8..3,
+        seed in 0u64..1_000,
+        term_picks in proptest::collection::vec(0usize..100_000, 4..12),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0usize..100_000, 0.8f64..1.25), 0..6),
+            2..5,
+        ),
+    ) {
+        use flexsched_topo::algo::{steiner_tree_sparse_in, ClosureCache, ScratchPool};
+
+        let t = closure_fabric(pick);
+        let servers = t.servers();
+        let root = servers[seed as usize % servers.len()];
+        let mut terminals: Vec<NodeId> = term_picks
+            .iter()
+            .map(|i| servers[i % servers.len()])
+            .filter(|x| *x != root)
+            .collect();
+        terminals.sort_unstable();
+        terminals.dedup();
+        prop_assume!(!terminals.is_empty());
+
+        let mut weights: Vec<f64> =
+            (0..t.link_count()).map(|i| synth_weight(seed, i)).collect();
+        let mut stamps: Vec<u64> = vec![0; t.link_count()];
+
+        let mut cache = ClosureCache::new();
+        let mut warm_pool = ScratchPool::new();
+        let mut cold_pool = ScratchPool::new();
+        let regime = [0u64];
+
+        for (r, churn) in rounds.iter().enumerate() {
+            // Apply this round's weight deltas (round 0 churns too: the
+            // first solve must cope with a cold cache regardless).
+            for (link_pick, factor) in churn {
+                let i = link_pick % t.link_count();
+                weights[i] = (weights[i] * factor).clamp(0.5, 20.0);
+                stamps[i] += 1;
+            }
+            let before = cache.stats();
+            let warm = cache.solve_in(
+                &t,
+                root,
+                &terminals,
+                &regime,
+                |l| [stamps[l.index()], 0],
+                |l| weights[l.id.index()],
+                &mut warm_pool,
+            ).unwrap();
+            let cold = steiner_tree_sparse_in(
+                &t,
+                root,
+                &terminals,
+                |l| weights[l.id.index()],
+                &mut cold_pool,
+            ).unwrap();
+            prop_assert_eq!(&warm, &cold, "round {}: cached tree != from-scratch", r);
+
+            let d = cache.stats().since(&before);
+            prop_assert_eq!(d.decisions(), 1, "round {}: exactly one decision", r);
+            if r > 0 && churn.is_empty() {
+                prop_assert_eq!(d.hits, 1, "round {}: unchanged stamps must hit", r);
+            }
+            if r == 0 {
+                prop_assert_eq!(d.full_solves, 1, "round 0 is a cold full solve");
+            }
+        }
+        prop_assert_eq!(cache.stats().decisions(), rounds.len() as u64);
+    }
+
+    /// Small-delta churn on a warm cache must take the repair path (these
+    /// fabrics sit far under the affected-region budget), and repairs must
+    /// still agree with from-scratch solves on the mutated weights.
+    #[test]
+    fn closure_cache_repairs_small_deltas_and_stays_exact(
+        pick in 0u8..3,
+        seed in 0u64..1_000,
+        deltas in proptest::collection::vec((0usize..100_000, 0.9f64..1.12), 1..4),
+    ) {
+        use flexsched_topo::algo::{steiner_tree_sparse_in, ClosureCache, ScratchPool};
+
+        let t = closure_fabric(pick);
+        let servers = t.servers();
+        let root = servers[0];
+        let terminals: Vec<NodeId> = (1..=8)
+            .map(|k| servers[(k * servers.len() / 9) % servers.len()])
+            .filter(|x| *x != root)
+            .collect();
+
+        let mut weights: Vec<f64> =
+            (0..t.link_count()).map(|i| synth_weight(seed, i)).collect();
+        let mut stamps: Vec<u64> = vec![0; t.link_count()];
+        let mut cache = ClosureCache::new();
+        let mut warm_pool = ScratchPool::new();
+        let mut cold_pool = ScratchPool::new();
+        let regime = [0u64];
+
+        // Warm the cache, then churn a handful of links.
+        cache.solve_in(
+            &t, root, &terminals, &regime,
+            |l| [stamps[l.index()], 0],
+            |l| weights[l.id.index()],
+            &mut warm_pool,
+        ).unwrap();
+        for (link_pick, factor) in &deltas {
+            let i = link_pick % t.link_count();
+            weights[i] = (weights[i] * factor).clamp(0.5, 20.0);
+            stamps[i] += 1;
+        }
+        let before = cache.stats();
+        let warm = cache.solve_in(
+            &t, root, &terminals, &regime,
+            |l| [stamps[l.index()], 0],
+            |l| weights[l.id.index()],
+            &mut warm_pool,
+        ).unwrap();
+        let cold = steiner_tree_sparse_in(
+            &t, root, &terminals,
+            |l| weights[l.id.index()],
+            &mut cold_pool,
+        ).unwrap();
+        prop_assert_eq!(&warm, &cold, "repaired tree != from-scratch");
+
+        let d = cache.stats().since(&before);
+        // A stamp bump whose weight bits didn't move is a hit; any real
+        // delta this small must repair, never fall back to a full pass.
+        prop_assert_eq!(d.full_solves, 0, "small delta must not full-solve");
+        prop_assert_eq!(d.fallbacks, 0, "small delta must not exhaust the repair budget");
+        prop_assert_eq!(d.hits + d.repairs, 1);
+    }
+}

@@ -35,7 +35,14 @@
 #       commits/s per shard count plus the measured local/cross commit
 #       split (a commit is local only when its whole consulted surface —
 #       written links plus the scheduler's read log — homes on one
-#       shard) (`shard/*`).
+#       shard); since BENCH_9 the split further separates read-only-
+#       foreign commits from true write-cross commits (`shard/*`),
+#     * closure_scaling   — (since BENCH_9) the amortised closure engine
+#       on metro-15 / fat-tree-10 / continental-backbone fabrics:
+#       cached/incremental vs from-scratch per-decision latency, the
+#       speedup factor (backbone acceptance bar: >= 3x), decisions/s and
+#       the cache hit / repair / full-solve / fallback counters
+#       (`closure/*/<fabric>`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
@@ -55,7 +62,10 @@ FLEXSCHED_BENCH_JSON="$TMP/horizon.json" \
   cargo run --release -p flexsched-bench --bin horizon_sweep
 FLEXSCHED_BENCH_JSON="$TMP/shard.json" \
   cargo run --release -p flexsched-bench --bin shard_sweep
+FLEXSCHED_BENCH_JSON="$TMP/closure_scaling.json" \
+  cargo run --release -p flexsched-bench --bin closure_scaling
 
 jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" \
-  "$TMP/overload.json" "$TMP/horizon.json" "$TMP/shard.json" > "$OUT"
+  "$TMP/overload.json" "$TMP/horizon.json" "$TMP/shard.json" \
+  "$TMP/closure_scaling.json" > "$OUT"
 echo "wrote $OUT"
