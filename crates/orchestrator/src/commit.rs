@@ -284,6 +284,24 @@ impl<'a> Intent<'a> {
     }
 }
 
+/// All-or-nothing rejection of a gang commit: the index of the first
+/// member whose validation failed, plus its typed [`Conflict`]. The
+/// database is left bit-identical — stamps, grooming and ledger included —
+/// whenever this is returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GangConflict {
+    /// Index into the submitted gang of the rejected member.
+    pub member: usize,
+    /// Why that member's claims no longer hold.
+    pub conflict: Conflict,
+}
+
+impl fmt::Display for GangConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gang member {} rejected: {}", self.member, self.conflict)
+    }
+}
+
 impl Committer {
     /// A committer with nothing installed.
     pub fn new() -> Self {
@@ -462,6 +480,101 @@ impl Committer {
                 self.migrate_inner(db, old, proposal, Validation::Current, Some(&scope))
             }
         }
+    }
+
+    /// Gang-admit a ready stage frontier: validate **every** member, then
+    /// install **every** member, under one write lock — all or nothing.
+    ///
+    /// Members validate in gang order against live state *debited* with
+    /// the link claims of the members before them (the mirror image of the
+    /// migration path's credit), so a gang cannot jointly oversubscribe a
+    /// link that each member alone would fit. The first member that fails
+    /// rejects the whole gang with [`OrchError::GangRejected`](crate::OrchError::GangRejected) carrying
+    /// its index and typed [`Conflict`]; validation is read-only and runs
+    /// before any mutation, so a rejected gang leaves the database
+    /// bit-identical — stamps, grooming and ledger included.
+    ///
+    /// Wavelength pressure *within* a gang is deliberately not debited:
+    /// grooming is best-effort at install time (a shortage never blocks an
+    /// IP-layer schedule), so two members contending for the last free
+    /// wavelength behave exactly like two back-to-back admissions — the
+    /// later one falls back to grey spectrum.
+    ///
+    /// Counters advance by the gang size on success, one rejection on
+    /// failure (the gang rejects as a unit).
+    ///
+    /// # Errors
+    /// [`OrchError::GangRejected`](crate::OrchError::GangRejected) when a
+    /// member's claims no longer hold; other [`OrchError`](crate::OrchError)
+    /// variants only for malformed schedules (nothing installed either way
+    /// — a mid-install failure rolls back the members before it).
+    pub fn apply_gang(
+        &mut self,
+        db: &Database,
+        gang: &[&Proposal],
+        validation: Validation,
+    ) -> Result<Vec<CommitReceipt>> {
+        let sdn = &mut self.sdn;
+        let groom = &mut self.groom;
+        let outcome = db.write(|net, opt, cluster| -> Result<Vec<CommitReceipt>> {
+            // Phase 1 — read-only joint validation. `debit` accumulates
+            // the earlier members' link claims; `validate` adds credit to
+            // available capacity, so the debit rides in negated.
+            let mut debit: std::collections::BTreeMap<flexsched_simnet::DirLink, f64> =
+                std::collections::BTreeMap::new();
+            for (member, p) in gang.iter().enumerate() {
+                let overlay: Vec<(flexsched_simnet::DirLink, f64)> =
+                    debit.iter().map(|(dl, g)| (*dl, -*g)).collect();
+                let overlay = (!overlay.is_empty()).then_some(overlay);
+                Self::validate(p, net, opt, cluster, validation, overlay.as_deref(), None)
+                    .map_err(|conflict| {
+                        crate::OrchError::GangRejected(GangConflict { member, conflict })
+                    })?;
+                if member + 1 < gang.len() {
+                    for c in &p.claims.links {
+                        *debit.entry(c.link).or_insert(0.0) += c.gbps;
+                    }
+                }
+            }
+            // Phase 2 — all claims hold jointly: install every member.
+            let mut receipts: Vec<CommitReceipt> = Vec::with_capacity(gang.len());
+            for p in gang.iter() {
+                if let Err(e) = sdn.install(&p.schedule, net) {
+                    // Unreachable when the debited validation was exact;
+                    // kept as a defensive rollback so a floating-point
+                    // edge cannot leave a partial gang installed.
+                    for (k, r) in receipts.iter().enumerate() {
+                        sdn.remove_task(gang[k].schedule.task, net)
+                            .expect("removing a just-installed gang member cannot fail");
+                        for d in &r.groomed {
+                            let _ = groom.release(opt, *d);
+                        }
+                    }
+                    return Err(e);
+                }
+                let mut groomed = Vec::new();
+                for chain in schedule_chains(&p.schedule) {
+                    if let Ok(d) = groom.groom(
+                        opt,
+                        &chain,
+                        p.schedule.demand_gbps,
+                        WavelengthPolicy::FirstFit,
+                    ) {
+                        groomed.push(d);
+                    }
+                }
+                receipts.push(CommitReceipt {
+                    task: p.schedule.task,
+                    groomed,
+                });
+            }
+            Ok(receipts)
+        });
+        match &outcome {
+            Ok(r) => self.commits += r.len() as u64,
+            Err(_) => self.rejections += 1,
+        }
+        outcome
     }
 
     /// Release a committed task: remove its flow rules and free its

@@ -12,6 +12,9 @@ pub enum OrchError {
     /// live state. Carries the precise typed conflict so callers can decide
     /// to re-speculate, back off or drop the task.
     Rejected(crate::commit::Conflict),
+    /// A gang commit rejected all-or-nothing: one member's claims no
+    /// longer hold, so none of the gang was installed.
+    GangRejected(crate::commit::GangConflict),
     /// Scheduling failed (wraps the scheduler's error text).
     Scheduling(String),
     /// Codec failure: malformed control message.
@@ -35,6 +38,7 @@ impl fmt::Display for OrchError {
         match self {
             OrchError::UnknownTask(t) => write!(f, "unknown task {t}"),
             OrchError::Rejected(c) => write!(f, "proposal rejected: {c}"),
+            OrchError::GangRejected(g) => write!(f, "{g}"),
             OrchError::Scheduling(s) => write!(f, "scheduling failed: {s}"),
             OrchError::Codec(s) => write!(f, "codec error: {s}"),
             OrchError::ControllerDown => write!(f, "controller thread is down"),

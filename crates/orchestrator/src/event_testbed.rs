@@ -36,9 +36,9 @@
 //!   more than the pending events — the million-task `horizon_sweep` mode.
 
 use crate::admission::{AdmissionController, Verdict};
-use crate::commit::Committer;
 use crate::database::{Database, TaskPhase};
 use crate::managers::AiTaskManager;
+use crate::plane::CommitPlane;
 use crate::testbed::{RunSummary, TestbedConfig};
 use crate::{OrchError, Result};
 use flexsched_compute::server::ResourceRequest;
@@ -175,8 +175,7 @@ struct BandwidthProbe {
 }
 
 impl BandwidthProbe {
-    fn sample(&mut self, db: &Database, now: SimTime) {
-        let current = db.total_reserved_gbps();
+    fn sample(&mut self, current: f64, now: SimTime) {
         let dt = now.saturating_sub(self.last_sample).as_ns() as f64;
         self.integral += current * dt;
         self.peak = self.peak.max(current);
@@ -209,7 +208,11 @@ impl TrafficSource {
 
 impl Component for TrafficSource {
     fn handle(&mut self, at: SimTime, event: Event, ctx: &mut SimContext<'_>) {
-        self.probe.borrow_mut().sample(&self.db, at);
+        // Traffic only runs on the single-lock plane, where the database's
+        // own state is authoritative.
+        self.probe
+            .borrow_mut()
+            .sample(self.db.total_reserved_gbps(), at);
         match event {
             Event::TrafficArrival => {
                 match self.db.write(|net, _, _| self.gen.spawn_flow(net)) {
@@ -245,7 +248,7 @@ struct ControlPlane {
     cfg: TestbedConfig,
     mode: MemoryMode,
     db: Database,
-    committer: Committer,
+    plane: CommitPlane,
     mgr: AiTaskManager,
     scheduler: Box<dyn Scheduler>,
     degraded_scheduler: FixedSpff,
@@ -339,7 +342,7 @@ impl ControlPlane {
         degrade: bool,
         ctx: &mut SimContext<'_>,
     ) -> Result<bool> {
-        let (selected, snap) = self.db.read(|net, opt, _| {
+        let (selected, snap) = self.plane.read_state(&self.db, |net, opt, _| {
             (
                 self.cfg.selection.select(task, net),
                 NetworkSnapshot::capture(net).with_optical(opt),
@@ -359,10 +362,7 @@ impl ControlPlane {
             | Err(flexsched_sched::SchedError::Unreachable { .. }) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
-        let receipt = match self
-            .committer
-            .apply(&self.db, crate::Intent::admit(&proposal))
-        {
+        let receipt = match self.plane.apply(&self.db, crate::Intent::admit(&proposal)) {
             Ok(r) => r,
             Err(OrchError::Rejected(_)) => return Ok(false),
             Err(e) => return Err(e),
@@ -370,7 +370,7 @@ impl ControlPlane {
         let schedule = proposal.schedule;
         let report = {
             let transport = &self.cfg.transport;
-            self.db.read(|net, _, cluster| {
+            self.plane.read_state(&self.db, |net, _, cluster| {
                 evaluate_schedule(task, &schedule, net, cluster, transport)
             })?
         };
@@ -524,7 +524,7 @@ impl ControlPlane {
     fn shed_active(&mut self, id: TaskId) -> Result<()> {
         if let Some(active) = self.active.remove(&id) {
             if let Some(schedule) = self.db.take_schedule(id) {
-                self.committer
+                self.plane
                     .release(&self.db, schedule.task, &active.groomed)?;
             }
             self.db.set_phase(id, TaskPhase::Blocked)?;
@@ -546,7 +546,7 @@ impl ControlPlane {
             return Ok(());
         };
         if let Some(schedule) = self.db.take_schedule(id) {
-            self.committer
+            self.plane
                 .release(&self.db, schedule.task, &active.groomed)?;
         }
         // A task that lost a migrate race earlier must not leave its retry
@@ -579,7 +579,7 @@ impl ControlPlane {
                 (a.task.clone(), a.report_idx)
             };
             let transport = &self.cfg.transport;
-            let fresh = self.db.read(|net, _, cluster| {
+            let fresh = self.plane.read_state(&self.db, |net, _, cluster| {
                 evaluate_schedule(&task, &schedule, net, cluster, transport)
             });
             if let (Ok(mut fresh), Some(slot)) = (fresh, idx.and_then(|i| self.reports.get_mut(i)))
@@ -635,7 +635,7 @@ impl ControlPlane {
             let drift_forced = policy
                 .resolve_after_repairs
                 .is_some_and(|n| repairs_so_far >= n);
-            let verdict = self.db.read(|net, opt, cluster| {
+            let verdict = self.plane.read_state(&self.db, |net, opt, cluster| {
                 reschedule::consider(
                     &task_policy,
                     scheduler,
@@ -664,7 +664,7 @@ impl ControlPlane {
                         Some(delta) => crate::Intent::repair(&schedule, &new_proposal, delta),
                         None => crate::Intent::migrate(&schedule, &new_proposal),
                     };
-                    let committed = self.committer.apply(&self.db, intent).is_ok();
+                    let committed = self.plane.apply(&self.db, intent).is_ok();
                     if committed {
                         let via_repair = repair_delta.is_some();
                         self.db.store_schedule(new_proposal.schedule);
@@ -763,7 +763,7 @@ impl ControlPlane {
                 self.finish_task(TaskId(task), at)?;
             }
             Event::LinkFault { link } => {
-                self.db.write(|net, _, _| net.set_down(link, true))?;
+                self.plane.set_link_down(&self.db, link, true)?;
                 self.refresh_reports()?;
                 if self.cfg.reschedule.is_some() {
                     // Repair-first: only schedules crossing the cut link.
@@ -773,7 +773,7 @@ impl ControlPlane {
                 }
             }
             Event::LinkRepair { link } => {
-                self.db.write(|net, _, _| net.set_down(link, false))?;
+                self.plane.set_link_down(&self.db, link, false)?;
                 self.refresh_reports()?;
                 if self.cfg.reschedule.is_some() {
                     // A healed link is an opportunity for any task: widen
@@ -818,7 +818,8 @@ impl ControlPlane {
 
 impl Component for ControlPlane {
     fn handle(&mut self, at: SimTime, event: Event, ctx: &mut SimContext<'_>) {
-        self.probe.borrow_mut().sample(&self.db, at);
+        let reserved = self.plane.total_reserved_gbps(&self.db);
+        self.probe.borrow_mut().sample(reserved, at);
         if let Err(e) = self.dispatch(at, event, ctx) {
             self.fail(e, ctx);
         }
@@ -838,6 +839,7 @@ pub struct EventTestbed {
     cfg: TestbedConfig,
     mode: MemoryMode,
     db: Database,
+    plane: CommitPlane,
     scheduler: Box<dyn Scheduler>,
     traffic: Option<TrafficGenerator>,
     faults: FaultSchedule,
@@ -869,10 +871,12 @@ impl EventTestbed {
         } else {
             FaultSchedule::new()
         };
+        let plane = CommitPlane::new(cfg.plane, &topo);
         EventTestbed {
             cfg,
             mode: MemoryMode::default(),
             db,
+            plane,
             scheduler,
             traffic,
             faults,
@@ -891,6 +895,14 @@ impl EventTestbed {
         &self.db
     }
 
+    /// An Arc-shared handle on the sharded plane's state, when this
+    /// testbed runs on [`PlaneConfig::Sharded`](crate::plane::PlaneConfig::Sharded) —
+    /// lets tests fingerprint
+    /// the plane after the run consumes the driver.
+    pub fn sharded_db(&self) -> Option<crate::shard::ShardedDb> {
+        self.plane.sharded().cloned()
+    }
+
     /// Run the scenario; convenience wrapper over
     /// [`EventTestbed::run_detailed`] returning just the summary.
     pub fn run(self) -> Result<RunSummary> {
@@ -900,6 +912,11 @@ impl EventTestbed {
     /// Run the scenario to its horizon. `traced` records the full dispatch
     /// trace (determinism tests compare it across runs).
     pub fn run_detailed(mut self, traced: bool) -> Result<EventRunOutcome> {
+        if self.traffic.is_some() && !self.plane.supports_traffic() {
+            return Err(OrchError::Scheduling(
+                "background traffic requires the single-lock commit plane".into(),
+            ));
+        }
         let mut sim = if traced {
             Simulation::with_trace()
         } else {
@@ -937,7 +954,7 @@ impl EventTestbed {
         let control = ControlPlane {
             mode: self.mode,
             db: self.db.clone(),
-            committer: Committer::new(),
+            plane: self.plane,
             mgr,
             degraded_scheduler: FixedSpff,
             admission: self.cfg.admission.clone().map(AdmissionController::new),
@@ -1045,7 +1062,7 @@ impl EventTestbed {
                 control.task_bw_sum,
             ),
         };
-        let (groom_reuse_hits, groom_new_lights) = control.committer.groom_stats();
+        let (groom_reuse_hits, groom_new_lights) = control.plane.groom_stats();
         let sojourn = SojournStats {
             completed: control.completed,
             sojourn_mean_ns: control.sojourn.mean_ns(),
@@ -1076,6 +1093,7 @@ impl EventTestbed {
             degraded_decisions: control.degraded_decisions,
             admission: control.admission.take().map(|c| c.stats().clone()),
             sojourn: Some(sojourn),
+            dag: None,
             reports: std::mem::take(&mut control.reports),
         };
         let peak_active_tasks = control.peak_active;
@@ -1121,7 +1139,7 @@ mod tests {
             cfg,
             mode: MemoryMode::Bounded,
             db,
-            committer: Committer::new(),
+            plane: CommitPlane::new(crate::plane::PlaneConfig::Single, &topo),
             mgr,
             scheduler: Box::new(FlexibleMst::paper()),
             degraded_scheduler: FixedSpff,

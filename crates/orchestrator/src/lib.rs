@@ -38,17 +38,26 @@
 //!   `flexsched-simcore` discrete-event engine: self-rescheduling arrivals,
 //!   departures at actual completion times, fault/repair event pairs and
 //!   `RetryDue` admission retries, yielding true per-task time-in-system
-//!   tails and bounded-memory million-task horizons.
+//!   tails and bounded-memory million-task horizons,
+//! * [`CommitPlane`] — the plane seam: both testbed drivers run on either
+//!   the single write lock or the region-sharded committer
+//!   ([`PlaneConfig`]), pinned bit-identical at 1 shard,
+//! * [`DagTestbed`] / [`DagEventTestbed`] — DAG-job drivers: stage
+//!   frontiers gang-admitted all-or-nothing through
+//!   [`CommitPlane::apply_gang`], stage-granular fault repair, per-job
+//!   makespan and critical-path-inflation metrics ([`DagStats`]).
 
 pub mod admission;
 pub mod batch;
 pub mod bus;
 pub mod commit;
+pub mod dag_testbed;
 pub mod database;
 pub mod error;
 pub mod event_testbed;
 pub mod managers;
 pub mod messages;
+pub mod plane;
 pub mod sdn;
 pub mod shard;
 pub mod testbed;
@@ -59,12 +68,16 @@ pub use admission::{
 };
 pub use batch::{BatchReport, BatchScheduler};
 pub use bus::ControllerHandle;
-pub use commit::{CommitReceipt, Committer, Conflict, Intent, Validation};
+pub use commit::{CommitReceipt, Committer, Conflict, GangConflict, Intent, Validation};
+pub use dag_testbed::{
+    DagEventTestbed, DagStats, DagTestbed, DagTestbedConfig, DagTopology, RepairScope,
+};
 pub use database::Database;
 pub use error::OrchError;
 pub use event_testbed::{EventRunOutcome, EventTestbed, MemoryMode, SojournStats};
 pub use managers::AiTaskManager;
 pub use messages::ControlMessage;
+pub use plane::{CommitPlane, PlaneConfig};
 pub use sdn::SdnController;
 pub use shard::{DbShard, ShardMap, ShardedCommitter, ShardedDb};
 pub use testbed::{RunSummary, Testbed, TestbedConfig};

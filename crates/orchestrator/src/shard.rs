@@ -44,7 +44,7 @@
 //! subsequence from its home shard) while spectrum assignment may
 //! legitimately differ across shard counts.
 
-use crate::commit::{schedule_chains, CommitReceipt, Conflict, Intent, Validation};
+use crate::commit::{schedule_chains, CommitReceipt, Conflict, GangConflict, Intent, Validation};
 use crate::messages::FlowRule;
 use crate::Result;
 use flexsched_compute::ClusterManager;
@@ -241,6 +241,36 @@ impl ShardedDb {
                 )
             })
             .collect()
+    }
+
+    /// Apply a *scenario-level* mutation — a fault flipping a down flag,
+    /// a repair — to **every** shard's replica of the state, shard 0
+    /// first, then the rest in ascending order. Commits only ever touch a
+    /// link's home shard, but environment events (outages, repairs) must
+    /// be visible to every shard's full-topology view so proposals built
+    /// from any shard's snapshot route around them.
+    pub fn write_all(&self, mut f: impl FnMut(&mut NetworkState, &mut OpticalState)) {
+        for shard in self.shards.iter() {
+            let mut g = shard.write();
+            let DbShard {
+                network, optical, ..
+            } = &mut *g;
+            f(network, optical);
+        }
+    }
+
+    /// Grooming statistics summed over the shards: (lightpath reuse hits,
+    /// new wavelengths lit) — the sharded analogue of
+    /// [`Committer::groom_stats`](crate::Committer::groom_stats).
+    pub fn groom_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut lights = 0;
+        for shard in self.shards.iter() {
+            let g = shard.read();
+            hits += g.groom.reuse_hits();
+            lights += g.groom.new_lights();
+        }
+        (hits, lights)
     }
 
     /// Total reserved bandwidth, summed over each link's home shard.
@@ -720,6 +750,126 @@ impl ShardedCommitter {
             task: p.schedule.task,
             groomed: Vec::new(),
         })
+    }
+
+    /// Gang-admit a ready stage frontier across the sharded plane: the
+    /// union of the members' write/read shards is locked in ascending
+    /// order, then — exactly like the single-lock
+    /// [`Committer::apply_gang`](crate::Committer::apply_gang) — **every**
+    /// member validates (in gang order, against each link's home shard,
+    /// with the earlier members' link claims debited) before **any**
+    /// member installs. The first failing member rejects the whole gang
+    /// with [`OrchError::GangRejected`](crate::OrchError::GangRejected)
+    /// and leaves every shard bit-identical, stamps and grooming
+    /// included.
+    ///
+    /// Counters advance by the gang size on success (classified once, by
+    /// the union footprint's locality) and by one rejection on failure.
+    pub fn apply_gang(
+        &mut self,
+        db: &ShardedDb,
+        gang: &[&Proposal],
+        validation: Validation,
+    ) -> Result<Vec<CommitReceipt>> {
+        let map = db.map();
+        let mut writes: Vec<u32> = Vec::new();
+        let mut all_reads: Vec<u32> = Vec::new();
+        for p in gang {
+            let (w, r) = p.footprint().shards(|l| map.link_home(l));
+            writes.extend(w);
+            all_reads.extend(r);
+        }
+        writes.sort_unstable();
+        writes.dedup();
+        all_reads.sort_unstable();
+        all_reads.dedup();
+        let reads: Vec<u32> = all_reads
+            .into_iter()
+            .filter(|s| writes.binary_search(s).is_err())
+            .collect();
+        let is_local = writes.len() + reads.len() <= 1;
+        let write_cross = writes.len() > 1;
+        let mut guards = Self::acquire(db, &writes, &reads);
+        let outcome = (|| -> Result<Vec<CommitReceipt>> {
+            // Phase 1 — read-only joint validation with accumulated debit
+            // (negated: `validate` adds credit to available capacity).
+            let mut debit: BTreeMap<DirLink, f64> = BTreeMap::new();
+            for (member, p) in gang.iter().enumerate() {
+                let overlay: Vec<(DirLink, f64)> = debit.iter().map(|(dl, g)| (*dl, -*g)).collect();
+                let overlay = (!overlay.is_empty()).then_some(overlay);
+                Self::validate(
+                    p,
+                    &guards,
+                    map,
+                    db.cluster(),
+                    validation,
+                    overlay.as_deref(),
+                    None,
+                )
+                .map_err(|conflict| {
+                    crate::OrchError::GangRejected(GangConflict { member, conflict })
+                })?;
+                if member + 1 < gang.len() {
+                    for c in &p.claims.links {
+                        *debit.entry(c.link).or_insert(0.0) += c.gbps;
+                    }
+                }
+            }
+            // Phase 2 — all claims hold jointly: install every member.
+            let mut receipts: Vec<CommitReceipt> = Vec::with_capacity(gang.len());
+            for p in gang.iter() {
+                let rules = {
+                    let any = guards.values().next().expect("at least one shard involved");
+                    compile_rules(&p.schedule, any.state().network.topo())?
+                };
+                if let Err(e) = Self::install_rules(&mut guards, map, &rules) {
+                    // Unreachable when the debited validation was exact;
+                    // kept as a defensive rollback so a floating-point
+                    // edge cannot leave a partial gang installed.
+                    for r in &receipts {
+                        let prev = self
+                            .installed
+                            .remove(&r.task)
+                            .expect("gang member was just installed");
+                        Self::release_rules(&mut guards, map, &prev)
+                            .expect("rolling back fresh gang rules cannot fail");
+                        for d in &r.groomed {
+                            if let Some((shard, local)) = self.demands.remove(d) {
+                                let state = guards
+                                    .get_mut(&shard)
+                                    .expect("write shard acquired")
+                                    .state_mut();
+                                let DbShard { optical, groom, .. } = state;
+                                let _ = groom.release(optical, local);
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+                let groomed = self.groom_chains(&mut guards, map, &p.schedule);
+                self.installed.insert(p.schedule.task, rules);
+                receipts.push(CommitReceipt {
+                    task: p.schedule.task,
+                    groomed,
+                });
+            }
+            Ok(receipts)
+        })();
+        match &outcome {
+            Ok(r) => {
+                self.commits += r.len() as u64;
+                let n = r.len() as u64;
+                if is_local {
+                    self.local_commits += n;
+                } else if write_cross {
+                    self.write_cross_commits += n;
+                } else {
+                    self.read_foreign_commits += n;
+                }
+            }
+            Err(_) => self.rejections += 1,
+        }
+        outcome
     }
 
     /// Release a committed task: free its flow rules on their home shards

@@ -4,14 +4,15 @@
 //! (computing manager), their routing *proposed* by the configured policy
 //! against a database snapshot, and their proposals *committed* — claims
 //! validated, flow rules installed, wavelengths groomed — by the
-//! [`Committer`], all against live background traffic and optional link
+//! [`Committer`](crate::Committer), all against live background traffic
+//! and optional link
 //! faults. Every task produces a [`flexsched_task::TaskReport`]; the run
 //! summary aggregates the Figure 3a/3b metrics.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, Verdict};
-use crate::commit::Committer;
 use crate::database::{Database, TaskPhase};
 use crate::managers::AiTaskManager;
+use crate::plane::{CommitPlane, PlaneConfig};
 use crate::{OrchError, Result};
 use flexsched_compute::{ClusterManager, ServerSpec};
 use flexsched_optical::OpticalState;
@@ -64,6 +65,11 @@ pub struct TestbedConfig {
     /// bounded attempts, decision deadline), and degraded mode routes
     /// non-critical tasks to the cheap fixed-tree scheduler.
     pub admission: Option<AdmissionConfig>,
+    /// Which commit plane to run on: the single write lock (default) or
+    /// the region-sharded committer. At 1 shard the sharded plane is
+    /// pinned bit-identical to the single-lock plane; background traffic
+    /// requires the single plane.
+    pub plane: PlaneConfig,
 }
 
 impl Default for TestbedConfig {
@@ -83,6 +89,7 @@ impl Default for TestbedConfig {
             max_retries: 500,
             horizon: SimTime::from_secs(60),
             admission: None,
+            plane: PlaneConfig::default(),
         }
     }
 }
@@ -130,6 +137,10 @@ pub struct RunSummary {
     /// runs ([`crate::EventTestbed`]) measure true per-task sojourn;
     /// fixed-tick runs report `None`.
     pub sojourn: Option<crate::event_testbed::SojournStats>,
+    /// DAG-job outcome (gang commits, per-job makespan and critical-path
+    /// inflation). Only the DAG drivers ([`crate::DagTestbed`],
+    /// [`crate::DagEventTestbed`]) report `Some`.
+    pub dag: Option<crate::dag_testbed::DagStats>,
 }
 
 #[derive(Debug)]
@@ -165,7 +176,7 @@ struct Consideration {
 pub struct Testbed {
     cfg: TestbedConfig,
     db: Database,
-    committer: Committer,
+    plane: CommitPlane,
     mgr: AiTaskManager,
     traffic: Option<TrafficGenerator>,
     faults: FaultSchedule,
@@ -223,10 +234,11 @@ impl Testbed {
             FaultSchedule::new()
         };
         let admission = cfg.admission.clone().map(AdmissionController::new);
+        let plane = CommitPlane::new(cfg.plane, &topo);
         Testbed {
             cfg,
             db,
-            committer: Committer::new(),
+            plane,
             mgr: AiTaskManager::new(),
             traffic,
             faults,
@@ -265,8 +277,15 @@ impl Testbed {
         &self.db
     }
 
+    /// An Arc-shared handle on the sharded plane's state, when this
+    /// testbed runs on [`PlaneConfig::Sharded`] — lets tests fingerprint
+    /// the plane after [`Testbed::run`] consumes the driver.
+    pub fn sharded_db(&self) -> Option<crate::shard::ShardedDb> {
+        self.plane.sharded().cloned()
+    }
+
     fn sample_bandwidth(&mut self, now: SimTime) {
-        let current = self.db.total_reserved_gbps();
+        let current = self.plane.total_reserved_gbps(&self.db);
         let dt = now.saturating_sub(self.last_sample).as_ns() as f64;
         self.reserved_integral += current * dt;
         self.peak_reserved = self.peak_reserved.max(current);
@@ -287,7 +306,7 @@ impl Testbed {
         let task = self.tasks[idx].clone();
         // Snapshot stage: selection and the frozen world view come from one
         // read lock, so they are mutually consistent.
-        let (selected, snap) = self.db.read(|net, opt, _| {
+        let (selected, snap) = self.plane.read_state(&self.db, |net, opt, _| {
             (
                 self.cfg.selection.select(&task, net),
                 NetworkSnapshot::capture(net).with_optical(opt),
@@ -313,10 +332,7 @@ impl Testbed {
         // wavelengths installed atomically. A typed conflict means another
         // actor took the resources between snapshot and commit — back off
         // and retry like any other blocked task.
-        let receipt = match self
-            .committer
-            .apply(&self.db, crate::Intent::admit(&proposal))
-        {
+        let receipt = match self.plane.apply(&self.db, crate::Intent::admit(&proposal)) {
             Ok(r) => r,
             Err(OrchError::Rejected(_)) => return Ok(false),
             Err(e) => return Err(e),
@@ -324,7 +340,7 @@ impl Testbed {
         let schedule = proposal.schedule;
         let report = {
             let transport = &self.cfg.transport;
-            self.db.read(|net, _, cluster| {
+            self.plane.read_state(&self.db, |net, _, cluster| {
                 evaluate_schedule(&task, &schedule, net, cluster, transport)
             })?
         };
@@ -434,7 +450,7 @@ impl Testbed {
     fn shed_active(&mut self, id: TaskId) -> Result<()> {
         if let Some(active) = self.active.remove(&id) {
             if let Some(schedule) = self.db.take_schedule(id) {
-                self.committer
+                self.plane
                     .release(&self.db, schedule.task, &active.groomed)?;
             }
             self.db.set_phase(id, TaskPhase::Blocked)?;
@@ -449,7 +465,7 @@ impl Testbed {
             return Ok(());
         };
         if let Some(schedule) = self.db.take_schedule(id) {
-            self.committer
+            self.plane
                 .release(&self.db, schedule.task, &active.groomed)?;
         }
         // A task that lost a migrate race earlier must not leave its retry
@@ -472,7 +488,7 @@ impl Testbed {
                 (a.task.clone(), a.report_idx)
             };
             let transport = &self.cfg.transport;
-            let fresh = self.db.read(|net, _, cluster| {
+            let fresh = self.plane.read_state(&self.db, |net, _, cluster| {
                 evaluate_schedule(&task, &schedule, net, cluster, transport)
             });
             if let (Ok(mut fresh), Some(slot)) = (fresh, self.reports.get_mut(idx)) {
@@ -593,7 +609,7 @@ impl Testbed {
         let drift_forced = policy
             .resolve_after_repairs
             .is_some_and(|n| repairs_so_far >= n);
-        let verdict = self.db.read(|net, opt, cluster| {
+        let verdict = self.plane.read_state(&self.db, |net, opt, cluster| {
             reschedule::consider(
                 &task_policy,
                 scheduler,
@@ -684,7 +700,7 @@ impl Testbed {
                     Some(delta) => crate::Intent::repair(&schedule, &new_proposal, delta),
                     None => crate::Intent::migrate(&schedule, &new_proposal),
                 };
-                let committed = self.committer.apply(&self.db, intent).is_ok();
+                let committed = self.plane.apply(&self.db, intent).is_ok();
                 if committed {
                     let via_repair = repair_delta.is_some();
                     written = match &repair_delta {
@@ -753,6 +769,11 @@ impl Testbed {
 
     /// Run the scenario to completion (or the configured horizon).
     pub fn run(mut self) -> Result<RunSummary> {
+        if self.traffic.is_some() && !self.plane.supports_traffic() {
+            return Err(OrchError::Scheduling(
+                "background traffic requires the single-lock commit plane".into(),
+            ));
+        }
         let mut queue: EventQueue<Ev> = EventQueue::new();
         // Seed arrivals.
         for (i, t) in self.tasks.iter().enumerate() {
@@ -823,8 +844,7 @@ impl Testbed {
                     }
                 }
                 Ev::FaultTick => {
-                    let faults = &mut self.faults;
-                    let applied = self.db.write(|net, _, _| faults.apply_due(now, net))?;
+                    let applied = self.plane.apply_faults(&self.db, &mut self.faults, now)?;
                     if let Some(next) = self.faults.events().first() {
                         queue.schedule(next.at.max(now), Ev::FaultTick);
                     }
@@ -876,7 +896,7 @@ impl Testbed {
         };
         let (mean_iteration_ms, sum_task_bandwidth_gbps) =
             flexsched_task::report::aggregate(&self.reports);
-        let (groom_reuse_hits, groom_new_lights) = self.committer.groom_stats();
+        let (groom_reuse_hits, groom_new_lights) = self.plane.groom_stats();
         Ok(RunSummary {
             scheduler: self.scheduler.name().to_string(),
             blocked: self.blocked,
@@ -895,6 +915,7 @@ impl Testbed {
             degraded_decisions: self.degraded_decisions,
             admission: self.admission.map(|c| c.stats().clone()),
             sojourn: None,
+            dag: None,
             reports: self.reports,
         })
     }
@@ -1098,6 +1119,56 @@ mod tests {
         assert!(with_repair.reports.len() >= without.reports.len());
         assert_eq!(with_repair.blocked, without.blocked);
         assert_eq!(without.repairs, 0, "full_resolve must never repair");
+    }
+
+    #[test]
+    fn sharded_plane_at_one_shard_is_bit_identical() {
+        // PR 8 residual (d): the end-to-end driver on the sharded plane.
+        // At 1 shard every link homes on shard 0, so the whole run — every
+        // report, every counter, and the final mutation-stamped state —
+        // must be bit-identical to the single-lock plane, faults and
+        // rescheduling included.
+        let mut cfg = quick_cfg(8);
+        cfg.fault_count = 6;
+        cfg.reschedule = Some(ReschedulePolicy::default());
+        let single_tb = Testbed::new(cfg.clone(), Box::new(FlexibleMst::paper()));
+        let single_db = single_tb.database().clone();
+        let single = single_tb.run().unwrap();
+        cfg.plane = PlaneConfig::Sharded { shards: 1 };
+        let sharded_tb = Testbed::new(cfg, Box::new(FlexibleMst::paper()));
+        let sharded_db = sharded_tb.sharded_db().expect("sharded plane");
+        let sharded = sharded_tb.run().unwrap();
+        assert_eq!(single.reports, sharded.reports);
+        assert_eq!(
+            (
+                single.blocked,
+                single.retries,
+                single.reschedules,
+                single.repairs
+            ),
+            (
+                sharded.blocked,
+                sharded.retries,
+                sharded.reschedules,
+                sharded.repairs
+            )
+        );
+        assert_eq!(single.events, sharded.events);
+        assert_eq!(
+            (single.groom_reuse_hits, single.groom_new_lights),
+            (sharded.groom_reuse_hits, sharded.groom_new_lights)
+        );
+        let single_fp = single_db.read(|net, opt, _| format!("{net:?}|{opt:?}"));
+        assert_eq!(single_fp, sharded_db.fingerprint_single());
+    }
+
+    #[test]
+    fn sharded_plane_rejects_background_traffic() {
+        let mut cfg = quick_cfg(4);
+        cfg.traffic = Some(TrafficConfig::default());
+        cfg.plane = PlaneConfig::Sharded { shards: 2 };
+        let err = Testbed::new(cfg, Box::new(FixedSpff)).run().unwrap_err();
+        assert!(err.to_string().contains("single-lock commit plane"));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Gang-admission atomicity (the PR 10 DAG contract).
+//!
+//! A stage frontier commits as one gang — one proposal per stage,
+//! all-or-nothing. These properties pin the failure half of that
+//! contract: a gang with ONE conflicting member (a cut link under its
+//! tree, or a stale mutation stamp in strict mode) must leave the
+//! database **bit-identical** — IP reservations, spectrum state, their
+//! mutation stamps, and the grooming ledger — on BOTH the single-lock
+//! [`Committer`] and the 1-shard [`ShardedCommitter`]. The rejection
+//! must also be identical: same member index, same typed conflict.
+//!
+//! Run with `PROPTEST_CASES=256` in nightly-deep.
+
+use flexsched_compute::{ClusterManager, ModelProfile, ServerSpec};
+use flexsched_optical::OpticalState;
+use flexsched_orchestrator::{
+    Committer, Database, Intent, OrchError, ShardedCommitter, ShardedDb, Validation,
+};
+use flexsched_sched::{FlexibleMst, Proposal, Scheduler};
+use flexsched_simnet::NetworkState;
+use flexsched_task::{AiTask, TaskId};
+use flexsched_topo::{builders, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn metro_topo() -> Arc<Topology> {
+    Arc::new(builders::metro(&builders::MetroParams::default()))
+}
+
+fn fresh_db(topo: &Arc<Topology>) -> Database {
+    Database::new(
+        NetworkState::new(Arc::clone(topo)),
+        OpticalState::new(Arc::clone(topo)),
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+fn fresh_sharded(topo: &Arc<Topology>) -> ShardedDb {
+    ShardedDb::new(
+        Arc::clone(topo),
+        1,
+        ClusterManager::from_topology(topo, ServerSpec::default()),
+    )
+}
+
+/// A stage-like task whose locals span `sites` metro sites (same
+/// construction as the sharded-committer proptests).
+fn stage_task(topo: &Topology, id: u64, seed: u64, sites: usize, locals: usize) -> AiTask {
+    let servers = topo.servers();
+    let per_site = 4; // MetroParams::default().servers_per_router
+    let n_sites = servers.len() / per_site;
+    let first = (seed as usize) % n_sites;
+    let pool: Vec<_> = (0..sites.max(1))
+        .flat_map(|s| {
+            let site = (first + s) % n_sites;
+            servers[site * per_site..(site + 1) * per_site].to_vec()
+        })
+        .collect();
+    let g = pool[(seed as usize) % pool.len()];
+    let mut local_sites = Vec::new();
+    let mut k = seed as usize + 1;
+    while local_sites.len() < locals.min(pool.len() - 1) {
+        let cand = pool[k % pool.len()];
+        if cand != g && !local_sites.contains(&cand) {
+            local_sites.push(cand);
+        }
+        k += 1;
+    }
+    local_sites.sort();
+    AiTask {
+        id: TaskId(id),
+        model: ModelProfile::mobilenet(),
+        global_site: g,
+        local_sites,
+        data_utility: Default::default(),
+        iterations: 1,
+        comm_budget_ms: 10.0,
+        arrival_ns: id,
+        class: Default::default(),
+    }
+}
+
+fn propose(db: &Database, task: &AiTask) -> Option<Proposal> {
+    let snap = db.snapshot();
+    FlexibleMst::paper()
+        .propose_once(task, &task.local_sites, &snap)
+        .ok()
+}
+
+fn fingerprint(db: &Database) -> String {
+    db.read(|net, opt, _| format!("{net:?}|{opt:?}"))
+}
+
+/// Normalise a gang outcome: receipts' task ids, or the rejected member +
+/// conflict, or another error's display.
+fn gang_key(r: &Result<Vec<flexsched_orchestrator::CommitReceipt>, OrchError>) -> String {
+    match r {
+        Ok(receipts) => format!(
+            "ok:{:?}",
+            receipts.iter().map(|g| g.task).collect::<Vec<_>>()
+        ),
+        Err(OrchError::GangRejected(g)) => format!("gang-rejected:{g:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A gang with one member crossing a down link (Fit validation) or a
+    /// moved mutation stamp (strict validation) rejects identically on
+    /// both planes and mutates nothing: fingerprints before == after,
+    /// grooming ledger untouched. Clearing the conflict makes the same
+    /// gang commit on both planes, and tearing it down drains to zero.
+    #[test]
+    fn rejected_gang_is_a_pure_no_op_on_both_planes(
+        specs in proptest::collection::vec((0u64..300, 2usize..4, 2usize..8), 2..5),
+        cut_link in proptest::bool::ANY,
+        victim_sel in 0usize..8,
+    ) {
+        let topo = metro_topo();
+        let db = fresh_db(&topo);
+        let sharded = fresh_sharded(&topo);
+        let mut single = Committer::new();
+        let mut shard = ShardedCommitter::new();
+
+        // The gang: one proposal per "stage", all from one fresh snapshot
+        // (the DAG drivers snapshot once per frontier the same way).
+        let mut proposals: Vec<Proposal> = Vec::new();
+        for (i, (seed, sites, locals)) in specs.iter().enumerate() {
+            let t = stage_task(&topo, i as u64, *seed, *sites, *locals);
+            if let Some(p) = propose(&db, &t) {
+                proposals.push(p);
+            }
+        }
+        prop_assume!(proposals.len() >= 2);
+        let victim = victim_sel % proposals.len();
+        let vclaim = proposals[victim].claims.links.first().copied();
+        prop_assume!(vclaim.is_some());
+        let vlink = vclaim.unwrap().link.link;
+
+        // Manufacture the conflict identically in both planes.
+        let mut interferer_receipts = None;
+        let validation = if cut_link {
+            db.write(|net, _, _| net.set_down(vlink, true)).unwrap();
+            sharded.write_all(|net, _| net.set_down(vlink, true).unwrap());
+            Validation::Fit
+        } else {
+            // Move the victim's link stamps: admit an interfering task
+            // with the victim's exact site selection (deterministic
+            // proposer ⇒ same tree ⇒ shared links), then validate strict.
+            let (seed, sites, locals) = specs[victim];
+            let interferer = stage_task(&topo, 100, seed, sites, locals);
+            let ip = propose(&db, &interferer).unwrap();
+            let ra = single.apply(&db, Intent::admit(&ip)).unwrap();
+            let rb = shard.apply(&sharded, Intent::admit(&ip)).unwrap();
+            interferer_receipts = Some((ra, rb));
+            Validation::Current
+        };
+
+        let fp_single = fingerprint(&db);
+        let fp_shard = sharded.fingerprint_single();
+        let groom_single = single.groom_stats();
+        let groom_shard = sharded.groom_stats();
+
+        let refs: Vec<&Proposal> = proposals.iter().collect();
+        let r1 = single.apply_gang(&db, &refs, validation);
+        let r2 = shard.apply_gang(&sharded, &refs, validation);
+        prop_assert!(
+            matches!(r1, Err(OrchError::GangRejected(_))),
+            "single-lock gang must reject, got {}", gang_key(&r1)
+        );
+        prop_assert_eq!(gang_key(&r1), gang_key(&r2),
+            "planes rejected different members/conflicts");
+
+        // The atomicity pin: zero mutation on either plane.
+        prop_assert_eq!(fingerprint(&db), fp_single,
+            "single-lock database mutated by a rejected gang");
+        prop_assert_eq!(sharded.fingerprint_single(), fp_shard,
+            "sharded database mutated by a rejected gang");
+        prop_assert_eq!(single.groom_stats(), groom_single);
+        prop_assert_eq!(sharded.groom_stats(), groom_shard);
+
+        // Positive control: clear the conflict and the same frontier
+        // commits on both planes (strict mode needs fresh stamps, so
+        // re-propose from the live state).
+        let commit_proposals: Vec<Proposal> = if cut_link {
+            db.write(|net, _, _| net.set_down(vlink, false)).unwrap();
+            sharded.write_all(|net, _| net.set_down(vlink, false).unwrap());
+            proposals.clone()
+        } else {
+            proposals
+                .iter()
+                .enumerate()
+                .filter_map(|(i, _)| {
+                    let (seed, sites, locals) = specs[i];
+                    propose(&db, &stage_task(&topo, i as u64, seed, sites, locals))
+                })
+                .collect()
+        };
+        prop_assume!(commit_proposals.len() == refs.len());
+        let refs: Vec<&Proposal> = commit_proposals.iter().collect();
+        let r1 = single.apply_gang(&db, &refs, validation);
+        let r2 = shard.apply_gang(&sharded, &refs, validation);
+        prop_assert_eq!(gang_key(&r1), gang_key(&r2));
+        let (g1, g2) = (r1.unwrap(), r2.unwrap());
+
+        for (a, b) in g1.iter().zip(&g2) {
+            single.release(&db, a.task, &a.groomed).unwrap();
+            shard.release(&sharded, b.task, &b.groomed).unwrap();
+        }
+        if let Some((ra, rb)) = interferer_receipts {
+            single.release(&db, ra.task, &ra.groomed).unwrap();
+            shard.release(&sharded, rb.task, &rb.groomed).unwrap();
+        }
+        prop_assert!(db.total_reserved_gbps().abs() < 1e-9);
+        prop_assert!(sharded.total_reserved_gbps().abs() < 1e-9);
+        prop_assert_eq!(fingerprint(&db), sharded.fingerprint_single(),
+            "planes diverged over the full commit/release cycle");
+    }
+}
+
+/// Deterministic atomicity pin: in a two-member gang where only the LATER
+/// member's tree crosses the cut, the earlier (individually committable)
+/// member must not be left installed — and committing it alone afterwards
+/// succeeds, proving the joint rejection was the later member's fault.
+#[test]
+fn later_member_conflict_uninstalls_earlier_members() {
+    let topo = metro_topo();
+    let db = fresh_db(&topo);
+    let mut committer = Committer::new();
+
+    // Two disjoint-site stages: sites {0,1} and sites {3,4} — their trees
+    // share no metro access links.
+    let a = stage_task(&topo, 0, 0, 2, 3);
+    let b = stage_task(&topo, 1, 12, 2, 3);
+    let pa = propose(&db, &a).unwrap();
+    let pb = propose(&db, &b).unwrap();
+    let b_only: Vec<_> = pb
+        .claims
+        .links
+        .iter()
+        .filter(|c| !pa.claims.links.iter().any(|ac| ac.link.link == c.link.link))
+        .collect();
+    let cut = b_only
+        .first()
+        .expect("disjoint stages share no links")
+        .link
+        .link;
+
+    db.write(|net, _, _| net.set_down(cut, true)).unwrap();
+    let before = fingerprint(&db);
+    let err = committer
+        .apply_gang(&db, &[&pa, &pb], Validation::Fit)
+        .unwrap_err();
+    match err {
+        OrchError::GangRejected(g) => {
+            assert_eq!(g.member, 1, "the cut is under member 1's tree");
+        }
+        other => panic!("expected GangRejected, got {other}"),
+    }
+    assert_eq!(fingerprint(&db), before, "member 0 left installed");
+
+    // Member 0 alone commits fine — the rejection was collective.
+    let receipt = committer.apply(&db, Intent::admit(&pa)).unwrap();
+    committer
+        .release(&db, receipt.task, &receipt.groomed)
+        .unwrap();
+    assert!(db.total_reserved_gbps().abs() < 1e-9);
+}

@@ -40,6 +40,7 @@
 //! * [`reschedule`] — the re-scheduling trade-off policy (interruption vs
 //!   bandwidth/latency saving, also open challenge #1).
 
+pub mod dag;
 pub mod error;
 pub mod evaluate;
 pub mod fixed;
@@ -54,6 +55,7 @@ pub mod selection;
 pub mod snapshot;
 pub mod weights;
 
+pub use dag::JobTracker;
 pub use error::SchedError;
 pub use evaluate::evaluate_schedule;
 pub use fixed::FixedSpff;

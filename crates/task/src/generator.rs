@@ -1,6 +1,7 @@
 //! Seeded workload generation: "We generate 30 AI tasks to evaluate the
 //! proposed scheduling policy".
 
+use crate::dag::{AiJob, DataEdge, JobId, Stage, StageKind};
 use crate::task::{AiTask, ServiceClass, TaskId};
 use flexsched_compute::ModelProfile;
 use flexsched_topo::{NodeId, Topology};
@@ -336,6 +337,143 @@ impl Iterator for WorkloadStream {
 /// `model_mix` indexes outside the catalog.
 pub fn generate_workload(topo: &Topology, cfg: &WorkloadConfig) -> Vec<AiTask> {
     WorkloadStream::new(topo, cfg).collect()
+}
+
+/// Shape parameters for DAG-structured jobs ([`JobStream`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagConfig {
+    /// Jobs the stream yields before ending.
+    pub num_jobs: usize,
+    /// Inclusive range of stages per job.
+    pub stages: (u32, u32),
+    /// Inclusive range of per-edge data-item sizes, Gbit.
+    pub transfer_gbit: (f64, f64),
+    /// Percent chance (0–100) that a non-root stage gets a second
+    /// in-edge, turning chains into fan-in/fan-out diamonds.
+    pub fanin_pct: u32,
+}
+
+impl Default for DagConfig {
+    fn default() -> Self {
+        DagConfig {
+            num_jobs: 16,
+            stages: (3, 6),
+            transfer_gbit: (0.5, 4.0),
+            fanin_pct: 30,
+        }
+    }
+}
+
+/// A lazy, deterministic stream of stage-DAG jobs ([`AiJob`]s).
+///
+/// Layered on [`WorkloadStream`] exactly the way the class stream was
+/// layered on the site/parameter streams (PR 6): all DAG-*shape* draws —
+/// stage counts, wiring, stage kinds, data-item sizes — come from a
+/// **fourth** seeded RNG stream, while every stage's embedded [`AiTask`]
+/// is pulled from the inner stream untouched. Consequence: the monolithic
+/// task sequence for a given seed is byte-identical whether tasks are
+/// consumed directly or through jobs, and changing only the DAG shape
+/// parameters never moves a task's placement, model or arrival.
+#[derive(Debug, Clone)]
+pub struct JobStream {
+    stream: WorkloadStream,
+    dag: DagConfig,
+    rng_dag: StdRng,
+    produced: u64,
+}
+
+impl JobStream {
+    /// Start a job stream over the topology's servers. `cfg.seed` feeds
+    /// the fourth (DAG-shape) stream through its own salt.
+    pub fn new(topo: &Topology, cfg: &WorkloadConfig, dag: DagConfig) -> Self {
+        JobStream {
+            stream: WorkloadStream::new(topo, cfg),
+            rng_dag: StdRng::seed_from_u64(cfg.seed ^ 0xBF58_476D_1CE4_E5B9),
+            dag,
+            produced: 0,
+        }
+    }
+
+    /// Jobs produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn next_job(&mut self) -> AiJob {
+        // Shape draws first, all from the DAG stream: stage count, then
+        // per-stage (kind, primary predecessor, item size, optional
+        // fan-in edge) in stage order.
+        let n = self
+            .rng_dag
+            .random_range(self.dag.stages.0..=self.dag.stages.1)
+            .max(1) as usize;
+        let (lo, hi) = self.dag.transfer_gbit;
+        let mut kinds = vec![StageKind::Compute; n];
+        let mut edges: Vec<DataEdge> = Vec::new();
+        for (i, kind) in kinds.iter_mut().enumerate().skip(1) {
+            *kind = match self.rng_dag.random_range(0..3u32) {
+                0 => StageKind::Compute,
+                1 => StageKind::AllReduce,
+                _ => StageKind::PipelineTransfer,
+            };
+            let pred = self.rng_dag.random_range(0..i) as u32;
+            let gbit = self.rng_dag.random_range(lo..=hi);
+            edges.push(DataEdge {
+                from: pred,
+                to: i as u32,
+                gbit,
+            });
+            if i >= 2 && self.rng_dag.random_range(0..100u32) < self.dag.fanin_pct {
+                let extra = self.rng_dag.random_range(0..i) as u32;
+                let gbit = self.rng_dag.random_range(lo..=hi);
+                if extra != pred {
+                    edges.push(DataEdge {
+                        from: extra,
+                        to: i as u32,
+                        gbit,
+                    });
+                }
+            }
+        }
+        if n >= 2 {
+            // Jobs end on a synchronisation phase.
+            kinds[n - 1] = StageKind::AllReduce;
+        }
+
+        // Stage tasks second, pulled from the inner stream with its own
+        // three RNGs — draws identical to plain task generation.
+        let stages: Vec<Stage> = (0..n as u32)
+            .map(|id| Stage {
+                id,
+                kind: kinds[id as usize],
+                task: self.stream.next_task(),
+            })
+            .collect();
+        let arrival_ns = stages[0].task.arrival_ns;
+        let class = stages[0].task.class;
+        let id = JobId(self.produced);
+        self.produced += 1;
+        let job = AiJob {
+            id,
+            stages,
+            edges,
+            arrival_ns,
+            class,
+        };
+        debug_assert!(job.validate().is_ok(), "generated job must validate");
+        job
+    }
+}
+
+impl Iterator for JobStream {
+    type Item = AiJob;
+
+    fn next(&mut self) -> Option<AiJob> {
+        if self.produced >= self.dag.num_jobs as u64 {
+            return None;
+        }
+        Some(self.next_job())
+    }
 }
 
 #[cfg(test)]

@@ -13,13 +13,15 @@
 //!   evaluation ("we generate 30 AI tasks") across a sweep of local-model
 //!   counts.
 
+pub mod dag;
 pub mod generator;
 pub mod report;
 pub mod task;
 
+pub use dag::{AiJob, DataEdge, JobId, Stage, StageKind};
 pub use generator::{
-    generate_workload, ArrivalProcess, ClassMix, WorkloadConfig, WorkloadStream,
-    PRODUCTION_CLASS_MIX,
+    generate_workload, ArrivalProcess, ClassMix, DagConfig, JobStream, WorkloadConfig,
+    WorkloadStream, PRODUCTION_CLASS_MIX,
 };
 pub use report::TaskReport;
 pub use task::{AiTask, ServiceClass, TaskId};

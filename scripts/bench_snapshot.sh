@@ -42,7 +42,12 @@
 #       cached/incremental vs from-scratch per-decision latency, the
 #       speedup factor (backbone acceptance bar: >= 3x), decisions/s and
 #       the cache hit / repair / full-solve / fallback counters
-#       (`closure/*/<fabric>`).
+#       (`closure/*/<fabric>`),
+#     * dag_sweep         — (since BENCH_10) DAG-job gang scheduling on
+#       metro / fat-tree / reduced-backbone fabrics under growing outage
+#       storms: jobs completed/shed, gang commits/rejections, fault-time
+#       repair decisions, per-job makespan p50/p99 and critical-path
+#       inflation p50/p99/max (`dag/*/<fabric>/f<faults>`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 N="${1:-1}"
@@ -64,8 +69,10 @@ FLEXSCHED_BENCH_JSON="$TMP/shard.json" \
   cargo run --release -p flexsched-bench --bin shard_sweep
 FLEXSCHED_BENCH_JSON="$TMP/closure_scaling.json" \
   cargo run --release -p flexsched-bench --bin closure_scaling
+FLEXSCHED_BENCH_JSON="$TMP/dag.json" \
+  cargo run --release -p flexsched-bench --bin dag_sweep
 
 jq -s 'add' "$TMP/throughput.json" "$TMP/closure.json" "$TMP/gamma.json" \
   "$TMP/overload.json" "$TMP/horizon.json" "$TMP/shard.json" \
-  "$TMP/closure_scaling.json" > "$OUT"
+  "$TMP/closure_scaling.json" "$TMP/dag.json" > "$OUT"
 echo "wrote $OUT"
